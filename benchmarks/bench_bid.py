@@ -1,0 +1,118 @@
+"""E7 — Theorem 4.15: countable block-independent-disjoint PDBs.
+
+Regenerates: measure mass vs enumerated worlds, within-block exclusivity
+and across-block independence at growing block counts, and the rejection
+of divergent block specifications.
+
+Shape to hold: mass → 1; exclusivity exact; across-block joint equals
+product; divergent family rejected.
+"""
+
+import itertools
+import math
+
+from benchmarks.conftest import report
+from repro.core.bid import BlockFamily, CountableBIDPDB
+from repro.errors import ConvergenceError
+from repro.finite.bid import Block
+from repro.relational import Instance, Schema
+
+schema = Schema.of(R=2)
+R = schema["R"]
+
+
+def key_family(ratio=0.5):
+    def make_block(i: int) -> Block:
+        mass = 0.5 * ratio**i
+        return Block(f"k{i + 1}", {
+            R(i + 1, 1): mass / 2, R(i + 1, 2): mass / 2,
+        })
+
+    return BlockFamily.geometric(
+        make_block=make_block,
+        block_mass=lambda i: 0.5 * ratio**i,
+        first=0.5,
+        ratio=ratio,
+    )
+
+
+def mass_convergence():
+    pdb = CountableBIDPDB(schema, key_family())
+    rows = []
+    for worlds in (100, 1000, 10000):
+        mass = sum(m for _, m in itertools.islice(pdb.worlds(), worlds))
+        rows.append((worlds, mass, 1.0 - mass))
+    return rows
+
+
+def independence_structure():
+    pdb = CountableBIDPDB(schema, key_family())
+    same_block = pdb.probability(
+        lambda D: R(1, 1) in D and R(1, 2) in D, tolerance=1e-3)
+    cross_joint = pdb.probability(
+        lambda D: R(1, 1) in D and R(2, 1) in D, tolerance=1e-3)
+    cross_product = pdb.marginal(R(1, 1)) * pdb.marginal(R(2, 1))
+    return [
+        ("within-block joint", same_block, 0.0),
+        ("across-block joint", cross_joint, cross_product),
+    ]
+
+
+def truncation_scaling():
+    """Finite BID truncations at growing block counts: expected size
+    matches the closed form, instance probabilities stay a product."""
+    rows = []
+    for blocks in (10, 100, 1000):
+        family = key_family(ratio=0.9)
+        pdb = CountableBIDPDB(schema, family)
+        table = pdb.truncate(blocks)
+        expected = sum(
+            sum(b.alternatives.values()) for b in family.prefix(blocks))
+        rows.append((blocks, table.expected_size(), expected))
+    return rows
+
+
+def divergent_rejection():
+    def harmonic_block(i: int) -> Block:
+        return Block(f"h{i}", {R(i + 1, 1): min(1.0, 1.0 / (i + 1))})
+
+    family = BlockFamily(
+        lambda: (harmonic_block(i) for i in itertools.count()),
+        tail=lambda n: math.inf,
+        total_mass=math.inf,
+    )
+    try:
+        CountableBIDPDB(schema, family)
+    except ConvergenceError:
+        return True
+    return False
+
+
+def test_e7_mass(benchmark):
+    rows = benchmark.pedantic(mass_convergence, rounds=1, iterations=1)
+    report("E7a: BID measure mass vs worlds (Prop. 4.13)",
+           ("worlds", "mass", "deficit"), rows)
+    assert rows[-1][1] > 0.99
+
+
+def test_e7_independence(benchmark):
+    rows = benchmark.pedantic(independence_structure, rounds=1, iterations=1)
+    report("E7b: Definition 4.11 conditions",
+           ("quantity", "measured", "expected"), rows)
+    assert rows[0][1] == 0.0
+    assert abs(rows[1][1] - rows[1][2]) < 3e-3
+
+
+def test_e7_truncation_scaling(benchmark):
+    rows = benchmark.pedantic(truncation_scaling, rounds=1, iterations=1)
+    report("E7c: truncated BID tables at scale",
+           ("blocks", "E(S) measured", "E(S) closed form"), rows)
+    for _, measured, expected in rows:
+        assert abs(measured - expected) < 1e-9
+
+
+def test_e7_divergent_rejected(benchmark):
+    rejected = benchmark.pedantic(divergent_rejection, rounds=1, iterations=1)
+    report("E7d: Theorem 4.15 necessity",
+           ("divergent spec rejected",), [(rejected,)])
+    assert rejected

@@ -1,0 +1,94 @@
+"""E4 — Theorem 5.5 completions on Example 5.7.
+
+Regenerates: the completion-condition residual ``|P′({D}|Ω) − P({D})|``
+over all original worlds, the open-world marginals of new facts, and
+positivity of finite Boolean combinations.
+
+Shape to hold: residual at float-noise level; new-fact probabilities
+positive and decaying; Boolean combinations of distinct facts all
+positive.
+"""
+
+from benchmarks.conftest import report
+from repro.core.completion import complete
+from repro.core.fact_distribution import GeometricFactDistribution
+from repro.finite import TupleIndependentTable, query_probability
+from repro.logic import BooleanQuery, parse_formula
+from repro.relational import Schema
+from repro.universe import FactSpace, FiniteUniverse, Naturals
+
+schema = Schema.of(R=2)
+R = schema["R"]
+
+
+def example_5_7_completion():
+    table = TupleIndependentTable(schema, {
+        R("A", 1): 0.8, R("B", 1): 0.4, R("B", 2): 0.5, R("C", 3): 0.9,
+    })
+    typed_space = FactSpace(
+        schema, Naturals(),
+        position_universes={
+            "R": (FiniteUniverse(["A", "B", "C", "D"]), Naturals())},
+    )
+    return table, complete(
+        table,
+        GeometricFactDistribution(typed_space, first=0.5, ratio=2 ** -0.25))
+
+
+def completion_condition_residuals():
+    table, completed = example_5_7_completion()
+    original = table.expand()
+    rows = []
+    worst = 0.0
+    for world in original.instances():
+        conditional = completed.conditioned_on_original(world)
+        residual = abs(conditional - original.probability_of(world))
+        worst = max(worst, residual)
+    rows.append((len(original), worst))
+    return rows
+
+
+def open_world_marginals():
+    _, completed = example_5_7_completion()
+    rows = []
+    for fact in (R("D", 1), R("A", 2), R("D", 7), R("C", 40)):
+        rows.append((str(fact), completed.fact_marginal(fact)))
+    return rows
+
+
+def boolean_combinations():
+    _, completed = example_5_7_completion()
+    finite = completed.truncate(10)
+    rows = []
+    for text in [
+        "R('D', 1)",
+        "R('D', 1) AND R('A', 2)",
+        "R('D', 1) AND NOT R('A', 2)",
+        "NOT R('D', 1) AND NOT R('A', 2) AND R('A', 1)",
+    ]:
+        query = BooleanQuery(parse_formula(text, schema), schema)
+        rows.append((text, query_probability(query, finite)))
+    return rows
+
+
+def test_e4_completion_condition(benchmark):
+    rows = benchmark.pedantic(completion_condition_residuals, rounds=1, iterations=1)
+    report("E4a: completion condition residual (Def. 5.1 CC)",
+           ("original worlds", "max |P'(D|Ω) − P(D)|"), rows)
+    assert rows[0][1] < 1e-9
+
+
+def test_e4_open_marginals(benchmark):
+    rows = benchmark.pedantic(open_world_marginals, rounds=1, iterations=1)
+    report("E4b: open-world marginals of unseen facts (Thm 5.5)",
+           ("fact", "P'(E_f)"), rows)
+    values = [p for _, p in rows]
+    assert all(p > 0 for p in values)
+
+
+def test_e4_boolean_combinations(benchmark):
+    rows = benchmark.pedantic(boolean_combinations, rounds=1, iterations=1)
+    report("E4c: finite Boolean combinations (Example 5.7)",
+           ("query", "P"), rows)
+    for _, p in rows:
+        assert 0.0 < p < 1.0

@@ -1,0 +1,122 @@
+"""E8 — engine ablation: world enumeration vs lineage vs lifted vs
+Monte Carlo on growing truncations (the "traditional closed-world
+algorithm" of Prop. 6.1 instantiated four ways).
+
+Regenerates: runtime per engine vs fact count, exactness/agreement, and
+Monte-Carlo error decay.
+
+Shape to hold: world enumeration blows up exponentially (capped ~16
+facts); lineage and lifted stay polynomial on the safe query and agree
+exactly; MC error shrinks ~ samples^{-1/2}.
+"""
+
+import math
+import random
+import time
+
+from benchmarks.conftest import report
+from repro.core.fact_distribution import GeometricFactDistribution
+from repro.core.tuple_independent import CountableTIPDB
+from repro.finite import (
+    query_probability,
+    query_probability_monte_carlo,
+)
+from repro.logic import BooleanQuery, parse_formula
+from repro.relational import Schema
+from repro.universe import FactSpace, Naturals
+
+schema = Schema.of(R=1, S=2)
+space = FactSpace(schema, Naturals())
+
+QUERY = "EXISTS x, y. R(x) AND S(x, y)"
+
+
+def make_table(n_facts: int):
+    pdb = CountableTIPDB(
+        schema, GeometricFactDistribution(space, first=0.9, ratio=0.98))
+    return pdb.truncate(n_facts)
+
+
+def engine_runtimes():
+    query = BooleanQuery(parse_formula(QUERY, schema), schema)
+    rows = []
+    for n in (8, 12, 100, 400):
+        table = make_table(n)
+        timings = {}
+        values = {}
+        for strategy in ("worlds", "lineage", "lifted"):
+            # Each engine has a practical ceiling: world enumeration is
+            # exponential; Shannon expansion rebuilds the lineage tree
+            # per pivot (fine to ~10^2 facts, hopeless at 4·10^2).
+            ceiling = {"worlds": 12, "lineage": 100, "lifted": 10**9}
+            if n > ceiling[strategy]:
+                timings[strategy] = float("nan")
+                values[strategy] = float("nan")
+                continue
+            start = time.perf_counter()
+            values[strategy] = query_probability(query, table, strategy=strategy)
+            timings[strategy] = time.perf_counter() - start
+        rows.append((
+            n,
+            timings["worlds"], timings["lineage"], timings["lifted"],
+            values["lifted"],
+        ))
+        # Exactness: all engines that ran agree.
+        ran = [v for v in values.values() if not math.isnan(v)]
+        assert max(ran) - min(ran) < 1e-9
+    return rows
+
+
+def monte_carlo_error_decay():
+    query = BooleanQuery(parse_formula(QUERY, schema), schema)
+    table = make_table(60)
+    truth = query_probability(query, table, strategy="lifted")
+    rows = []
+    for samples in (100, 1000, 10000):
+        rng = random.Random(13)
+        estimate = query_probability_monte_carlo(query, table, samples, rng)
+        rows.append((
+            samples, truth, estimate.estimate,
+            abs(estimate.estimate - truth), estimate.half_width,
+        ))
+    return rows
+
+
+def worlds_blowup():
+    """World-enumeration runtime doubling per added fact."""
+    query = BooleanQuery(parse_formula(QUERY, schema), schema)
+    rows = []
+    for n in (6, 8, 10, 12):
+        table = make_table(n)
+        start = time.perf_counter()
+        query_probability(query, table, strategy="worlds")
+        rows.append((n, 2**n, time.perf_counter() - start))
+    return rows
+
+
+def test_e8_engine_agreement_and_runtime(benchmark):
+    rows = benchmark.pedantic(engine_runtimes, rounds=1, iterations=1)
+    report("E8a: engine runtimes (s) and lifted value",
+           ("facts", "worlds", "lineage", "lifted", "P(Q)"), rows)
+    # Lifted handles 400 facts; worlds cannot (NaN sentinel).
+    assert not math.isnan(rows[-1][3])
+    assert math.isnan(rows[-1][1])
+
+
+def test_e8_worlds_exponential(benchmark):
+    rows = benchmark.pedantic(worlds_blowup, rounds=1, iterations=1)
+    report("E8b: world enumeration blowup",
+           ("facts", "worlds", "seconds"), rows)
+    # Runtime grows superlinearly: last step at least 2.5× the first.
+    assert rows[-1][2] > 2.5 * rows[0][2]
+
+
+def test_e8_monte_carlo_decay(benchmark):
+    rows = benchmark.pedantic(monte_carlo_error_decay, rounds=1, iterations=1)
+    report("E8c: Monte-Carlo error vs samples",
+           ("samples", "truth", "estimate", "|error|", "CI half-width"),
+           rows)
+    half_widths = [hw for *_, hw in rows]
+    assert half_widths == sorted(half_widths, reverse=True)
+    # ~ n^{-1/2}: 100× samples → ~10× narrower interval.
+    assert half_widths[0] / half_widths[-1] > 5

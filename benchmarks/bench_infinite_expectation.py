@@ -1,0 +1,67 @@
+"""E3 — Example 3.3 and the Proposition 4.9 expressivity gap.
+
+Regenerates: the diverging partial expected size of the Example 3.3 PDB
+against the (finite) FO-view size bound of tuple-independent PDBs, plus
+Remark 4.10's moment gap.
+
+Shape to hold: Example 3.3 partial sums blow past any fixed TI bound;
+``E(S^k)`` finite but ``E(S^{k+1})`` infinite for the gap PDB.
+"""
+
+import math
+
+from benchmarks.conftest import report
+from repro.core.fact_distribution import GeometricFactDistribution
+from repro.core.size import Example33PDB, MomentGapPDB
+from repro.core.tuple_independent import CountableTIPDB
+from repro.core.views import fo_view_size_bound
+from repro.logic import FOView, parse_formula
+from repro.relational import Schema
+from repro.universe import FactSpace, Naturals
+
+source = Schema.of(R=2)
+target = Schema.of(T=1)
+
+
+def partial_sums_vs_ti_bound():
+    example = Example33PDB()
+    space = FactSpace(source, Naturals())
+    # A deliberately heavy TI PDB (E(S) = 9) and the unary FO view bound.
+    pdb = CountableTIPDB(
+        source, GeometricFactDistribution(space, first=0.9, ratio=0.9))
+    view = FOView(source, target,
+                  {"T": parse_formula("EXISTS y. R(x, y)", source)})
+    bound = fo_view_size_bound(view, pdb)
+    rows = []
+    for terms in (5, 10, 20, 40):
+        partial = example.partial_expected_size(terms)
+        rows.append((terms, partial, bound, partial > bound))
+    return rows
+
+
+def moment_gap():
+    rows = []
+    for k in (1, 2):
+        pdb = MomentGapPDB(k)
+        rows.append((
+            k,
+            pdb.moment(k),
+            "inf" if math.isinf(pdb.moment(k + 1)) else pdb.moment(k + 1),
+        ))
+    return rows
+
+
+def test_e3_partial_sums_exceed_ti_bound(benchmark):
+    rows = benchmark.pedantic(partial_sums_vs_ti_bound, rounds=1, iterations=1)
+    report("E3a: Example 3.3 partial E(S) vs TI view bound (Prop. 4.9)",
+           ("terms", "partial E(S)", "TI view bound", "exceeds"), rows)
+    assert rows[-1][3]  # eventually exceeds any fixed bound
+
+
+def test_e3_moment_gap(benchmark):
+    rows = benchmark.pedantic(moment_gap, rounds=1, iterations=1)
+    report("E3b: Remark 4.10 moment gap",
+           ("k", "E(S^k)", "E(S^{k+1})"), rows)
+    for _, finite_moment, infinite_moment in rows:
+        assert math.isfinite(finite_moment)
+        assert infinite_moment == "inf"

@@ -1,0 +1,89 @@
+"""E9 — Proposition 6.2: additive approximation works, multiplicative
+cannot.
+
+Regenerates: for TM-represented PDBs M(N), the additive approximation
+error at several ε (always within guarantee), and the multiplicative
+gap between a budget-limited evaluation and the truth as the machine's
+acceptance is delayed.
+
+Shape to hold: additive errors ≤ ε everywhere; for slow acceptors the
+budget-limited answer is 0 while the truth is positive — an infinite
+ratio no constant c can bound.
+"""
+
+from fractions import Fraction
+
+from benchmarks.conftest import report
+from repro.core.approx import approximate_query_probability
+from repro.core.tm_represented import (
+    TM_SCHEMA,
+    TMRepresentedDistribution,
+    exists_r_probability,
+    machine_accept_all,
+    machine_accept_slowly,
+    machine_empty_language,
+)
+from repro.core.tuple_independent import CountableTIPDB
+from repro.logic import BooleanQuery, parse_formula
+
+
+def query():
+    return BooleanQuery(
+        parse_formula("EXISTS x. R(x)", TM_SCHEMA), TM_SCHEMA)
+
+
+def additive_works():
+    rows = []
+    for name, machine in [
+        ("empty language", machine_empty_language()),
+        ("accept all", machine_accept_all()),
+    ]:
+        distribution = TMRepresentedDistribution(machine)
+        pdb = CountableTIPDB(TM_SCHEMA, distribution)
+        truth = float(exists_r_probability(distribution, 200))
+        for epsilon in (0.1, 0.01):
+            result = approximate_query_probability(query(), pdb, epsilon)
+            rows.append((
+                name, epsilon, truth, result.value,
+                abs(result.value - truth) <= epsilon,
+            ))
+    return rows
+
+
+def multiplicative_gap():
+    budget = 16
+    rows = []
+    for delay in (0, 20, 60, 200):
+        distribution = TMRepresentedDistribution(machine_accept_slowly(delay))
+        estimate = exists_r_probability(distribution, budget)
+        deep = (delay + 3) * (delay + 4) // 2 + 16  # past ⟨1, delay+2⟩
+        truth = exists_r_probability(distribution, deep)
+        if estimate > 0:
+            ratio = f"{float(truth / estimate):.2f}"
+        else:
+            ratio = "infinite" if truth > 0 else "0/0"
+        rows.append((
+            delay,
+            float(estimate),
+            "positive (~2^-%d)" % (
+                (delay + 2) * (delay + 1) // 2) if truth > 0 else "0",
+            ratio,
+        ))
+    return rows
+
+
+def test_e9_additive(benchmark):
+    rows = benchmark.pedantic(additive_works, rounds=1, iterations=1)
+    report("E9a: additive approximation on M(N) (Prop. 6.1 applies)",
+           ("machine", "ε", "truth", "answer", "within ε"), rows)
+    assert all(within for *_, within in rows)
+
+
+def test_e9_multiplicative(benchmark):
+    rows = benchmark.pedantic(multiplicative_gap, rounds=1, iterations=1)
+    report("E9b: multiplicative gap at inspection budget 16 (Prop. 6.2)",
+           ("acceptance delay", "estimate", "truth", "truth/estimate"),
+           rows)
+    # Fast acceptor: finite ratio.  Slow acceptors: infinite ratio.
+    assert rows[0][3] not in ("infinite", "0/0")
+    assert all(row[3] == "infinite" for row in rows[1:])

@@ -1,0 +1,76 @@
+"""E10 — analytic substrate: Lemma 2.3 truncations, the claim (∗) bound,
+and the Borel–Cantelli dichotomy behind Lemma 4.6.
+
+Regenerates: distributive-law truncation values converging; the
+``Π(1−p) ≥ exp(−1.5Σp)`` bound's tightness as p → 0; the frequency of
+"many events occur" under convergent vs divergent Σ P(A_i).
+
+Shape to hold: truncations converge with exact equality at every step;
+bound ratio → 1; divergent frequency → 1, convergent stays near 0.
+"""
+
+import random
+
+from benchmarks.conftest import report
+from repro.analysis.borel_cantelli import borel_cantelli_frequency
+from repro.analysis.bounds import verify_star_bound
+from repro.analysis.distributive import distributive_law_convergence
+
+
+def distributive_truncations():
+    terms = [(-1.0) / 2**i for i in range(1, 14)]
+    prefixes = [terms[:k] for k in (2, 4, 8, 13)]
+    return [
+        (length, float(value))
+        for length, value in distributive_law_convergence(prefixes)
+    ]
+
+
+def star_bound_tightness():
+    rows = []
+    for p in (0.4, 0.1, 0.01, 0.001):
+        product, bound, holds = verify_star_bound([p] * 50)
+        rows.append((p, product, bound, product / bound, holds))
+    return rows
+
+
+def borel_cantelli_dichotomy():
+    rows = []
+    for name, probability_of in [
+        ("divergent 1/i", lambda i: 1.0 / i),
+        ("convergent 1/i^2", lambda i: 1.0 / i**2),
+    ]:
+        for horizon in (100, 1000, 5000):
+            frequency = borel_cantelli_frequency(
+                probability_of, horizon=horizon, threshold=6,
+                trials=120, seed=11)
+            rows.append((name, horizon, frequency))
+    return rows
+
+
+def test_e10_distributive(benchmark):
+    rows = benchmark.pedantic(distributive_truncations, rounds=1, iterations=1)
+    report("E10a: Lemma 2.3 truncation values (both sides equal exactly)",
+           ("prefix length", "Π(1+a_i) = Σ_J Π a_j"), rows)
+    values = [v for _, v in rows]
+    diffs = [abs(b - a) for a, b in zip(values, values[1:])]
+    assert diffs == sorted(diffs, reverse=True)  # converging
+
+
+def test_e10_star_bound(benchmark):
+    rows = benchmark.pedantic(star_bound_tightness, rounds=1, iterations=1)
+    report("E10b: claim (∗) Π(1−p) vs exp(−1.5Σp)",
+           ("p", "product", "bound", "ratio", "holds"), rows)
+    assert all(holds for *_, holds in rows)
+    ratios = [ratio for _, _, _, ratio, _ in rows]
+    assert ratios == sorted(ratios, reverse=True)  # tightening as p → 0
+
+
+def test_e10_borel_cantelli(benchmark):
+    rows = benchmark.pedantic(borel_cantelli_dichotomy, rounds=1, iterations=1)
+    report("E10c: P(≥6 events occur) — Lemma 2.5 dichotomy",
+           ("Σ P(A_i)", "horizon", "frequency"), rows)
+    divergent = [f for name, _, f in rows if name.startswith("divergent")]
+    convergent = [f for name, _, f in rows if name.startswith("convergent")]
+    assert divergent[-1] > 0.9
+    assert max(convergent) < 0.1

@@ -1,0 +1,58 @@
+"""E2 — size distribution of countable t.i. PDBs (§3.2, Corollary 4.7).
+
+Regenerates: empirical E(S) vs Σ p_f across sample sizes, and the size
+tail ``P(S ≥ n)`` dropping to 0.
+
+Shape to hold: empirical mean → Σ p_f as samples grow; tail monotone to
+0 (eq. (6)).
+"""
+
+import random
+
+from benchmarks.conftest import report
+from repro.core.fact_distribution import GeometricFactDistribution
+from repro.core.tuple_independent import CountableTIPDB
+from repro.relational import Schema
+from repro.universe import FactSpace, Naturals
+
+schema = Schema.of(R=1)
+space = FactSpace(schema, Naturals())
+
+
+def make_pdb():
+    return CountableTIPDB(
+        schema, GeometricFactDistribution(space, first=0.9, ratio=0.6))
+
+
+def empirical_expected_size():
+    pdb = make_pdb()
+    truth = pdb.expected_size()
+    rows = []
+    for samples in (10**3, 10**4, 5 * 10**4):
+        rng = random.Random(3)
+        mean = sum(pdb.sample(rng).size for _ in range(samples)) / samples
+        rows.append((samples, truth, mean, abs(mean - truth)))
+    return rows
+
+
+def size_tail():
+    pdb = make_pdb()
+    return [
+        (n, pdb.size_tail(n, tolerance=1e-3)) for n in (1, 2, 4, 6, 8)
+    ]
+
+
+def test_e2_expected_size(benchmark):
+    rows = benchmark.pedantic(empirical_expected_size, rounds=1, iterations=1)
+    report("E2a: empirical E(S) vs Σ p_f (Corollary 4.7, eq. (5))",
+           ("samples", "Σ p_f", "empirical", "error"), rows)
+    # Error shrinks with sample size and ends small.
+    assert rows[-1][3] < 0.05
+
+
+def test_e2_size_tail(benchmark):
+    rows = benchmark.pedantic(size_tail, rounds=1, iterations=1)
+    report("E2b: P(S ≥ n) (eq. (6))", ("n", "P(S ≥ n)"), rows)
+    tails = [tail for _, tail in rows]
+    assert tails == sorted(tails, reverse=True)
+    assert tails[-1] < 0.03

@@ -1,0 +1,40 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each benchmark module regenerates one experiment from DESIGN.md §4
+(E1–E10).  Because the paper is a theory paper with no measured tables,
+each experiment prints the quantities its paper result governs — the
+"rows/series" to compare are the qualitative shapes recorded in
+EXPERIMENTS.md.
+
+Run with:  pytest benchmarks/ --benchmark-only -s
+(the -s lets the experiment tables through; timings work either way).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, Sequence
+
+
+def report(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print one experiment table to stdout."""
+    print(f"\n== {title} ==", file=sys.stderr)
+    widths = [max(len(str(h)), 12) for h in header]
+    print(
+        "  " + "  ".join(str(h).rjust(w) for h, w in zip(header, widths)),
+        file=sys.stderr,
+    )
+    for row in rows:
+        print(
+            "  " + "  ".join(_format(cell).rjust(w)
+                             for cell, w in zip(row, widths)),
+            file=sys.stderr,
+        )
+
+
+def _format(cell) -> str:
+    if isinstance(cell, float):
+        if cell != 0 and (abs(cell) < 1e-3 or abs(cell) >= 1e6):
+            return f"{cell:.3e}"
+        return f"{cell:.6f}"
+    return str(cell)

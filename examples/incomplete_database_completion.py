@@ -1,0 +1,84 @@
+"""Example 3.2: probabilistic completion of an incomplete database.
+
+The paper's running example — a Person relation with null values:
+
+* ``(Peter, Lindner, male, German, ⊥)``: the missing height completed
+  from a (discretized) normal distribution around 180 cm;
+* ``(⊥, Grohe, male, German, 183)``: the missing first name completed
+  from a name-frequency list *plus* a small open-world tail over all
+  other strings, decaying with length — "this time a countable"
+  probabilistic database.
+
+Run:  python examples/incomplete_database_completion.py
+"""
+
+from repro import Schema, StringUniverse
+from repro.incomplete import (
+    DiscretizedContinuous,
+    IncompleteFact,
+    IncompleteInstance,
+    Null,
+    StringFrequencyValues,
+    complete_incomplete_instance,
+)
+
+ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+def main() -> None:
+    schema = Schema.of(Person=5)
+    person = schema["Person"]
+
+    database = IncompleteInstance([
+        IncompleteFact(person,
+                       ("Peter", "Lindner", "male", "German", Null("h"))),
+        IncompleteFact(person,
+                       (Null("n"), "Grohe", "male", "German", 183)),
+    ])
+    print(f"Incomplete database: {len(database)} tuples, "
+          f"nulls {sorted(n.label for n in database.nulls())}")
+
+    height = DiscretizedContinuous.normal(
+        mean=180.0, std=7.0, low=150.0, high=210.0, bins=60)
+    first_name = StringFrequencyValues(
+        {"martin": 0.55, "michael": 0.25, "m": 0.05},
+        unseen_mass=0.15,
+        universe=StringUniverse(ALPHABET),
+        decay=0.5,
+    )
+    pdb = complete_incomplete_instance(
+        database, {Null("h"): height, Null("n"): first_name}, schema)
+    print(f"Completion PDB is "
+          f"{'finite' if pdb.exhaustive else 'countably infinite'} "
+          "(the name tail ranges over all of Sigma*).\n")
+
+    print("Marginal height completions (Lindner):")
+    for h in (173.5, 180.5, 187.5, 200.5):
+        fact = person("Peter", "Lindner", "male", "German", h)
+        p = pdb.fact_marginal(fact, tolerance=1e-6)
+        bar = "#" * int(400 * p)
+        print(f"  {h:>6} cm: {p:.4f} {bar}")
+
+    print("\nMarginal first-name completions (Grohe):")
+    for name in ("martin", "michael", "m", "a", "zz"):
+        fact = person(name, "Grohe", "male", "German", 183)
+        p = pdb.fact_marginal(fact, tolerance=1e-7)
+        print(f"  {name!r:>10}: {p:.6f}")
+    print("\nNames absent from the frequency list keep a small positive "
+          "probability,\ndecaying with enumeration rank — the open-world "
+          "reading of Example 3.2.")
+
+    joint = pdb.probability(
+        lambda D: person("martin", "Grohe", "male", "German", 183) in D
+        and any(f.args[1] == "Lindner" and f.args[4] > 183 for f in D),
+        tolerance=1e-6,
+    )
+    print(f"\nP(first name 'martin' AND Lindner taller than 183 cm) "
+          f"= {joint:.4f}")
+    print("(Nulls complete independently — the paper's caveat about "
+          "correlated attributes\nis handled by completing a joint null "
+          "with tuple values instead.)")
+
+
+if __name__ == "__main__":
+    main()

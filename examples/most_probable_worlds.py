@@ -1,0 +1,57 @@
+"""MAP-style inference: the most probable worlds of an uncertain KB.
+
+Given a noisy, conflicting extraction table, the most probable worlds
+(top-k possible worlds) are the canonical "best repairs".  This example
+builds a small BID-constrained extraction scenario, ranks its worlds,
+and shows how the ranking shifts once the table is completed to an open
+world — the mode stays the same, but previously impossible repairs enter
+the ranking with small positive probability.
+
+Run:  python examples/most_probable_worlds.py
+"""
+
+from repro import Schema, TupleIndependentTable, open_world
+from repro.finite.topk import top_k_worlds
+
+
+def main() -> None:
+    schema = Schema.of(BornIn=2)
+    born_in = schema["BornIn"]
+    # Conflicting extractions with confidences.
+    kb = TupleIndependentTable(schema, {
+        born_in("turing", "london"): 0.8,
+        born_in("turing", "paris"): 0.1,
+        born_in("hopper", "nyc"): 0.7,
+        born_in("hopper", "boston"): 0.35,
+    })
+
+    print("Top 5 worlds of the closed-world table:")
+    for world, probability in top_k_worlds(kb, 5):
+        facts = ", ".join(str(f) for f in world) or "(empty)"
+        print(f"  {probability:.4f}  {facts}")
+
+    # Open-world completion: unseen birthplace facts become possible.
+    completed = open_world(kb, total_open_mass=0.2, decay=0.5)
+    truncated = completed.truncate(6)  # original ⊗ 6 most likely new facts
+    # Collapse the completed finite PDB back to a TI table for ranking:
+    # the product of the original TI table and the truncated new table
+    # is itself tuple-independent.
+    marginals = dict(kb.marginals)
+    for fact, probability in completed.new_facts.distribution.prefix(6):
+        marginals[fact] = probability
+    open_table = TupleIndependentTable(schema, marginals)
+
+    print("\nTop 5 worlds after open-world completion "
+          "(budget 0.2 of new mass):")
+    for world, probability in top_k_worlds(open_table, 5):
+        facts = ", ".join(str(f) for f in world) or "(empty)"
+        print(f"  {probability:.4f}  {facts}")
+
+    print("\nThe mode (MAP repair) is unchanged; worlds containing "
+          "never-extracted facts\nnow appear in the ranking with small "
+          "positive probability instead of 0.")
+    assert truncated is not None  # the finite PDB view, for further queries
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Shim for legacy editable installs (offline environments without the
+``wheel`` package can run ``pip install -e . --no-build-isolation
+--no-use-pep517``)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""Series and infinite products (paper §2.2).
+
+Infinite products ``Π (1 − p_f)`` are the analytic heart of the
+tuple-independent construction (Theorem 4.8); this package provides
+convergence certificates for fact-probability series, log-space product
+evaluation, the infinite distributive law (Lemma 2.3) and the tail bound
+``Π(1−p_i) ≥ exp(−(3/2) Σ p_i)`` used in Proposition 6.1.
+"""
+
+from repro.analysis.series import (
+    SeriesCertificate,
+    certify_convergence,
+    geometric_tail,
+    partial_sums,
+    zeta_tail,
+)
+from repro.analysis.products import (
+    converges_absolutely,
+    product_complement,
+    product_one_plus,
+)
+from repro.analysis.distributive import distributive_law_truncation
+from repro.analysis.bounds import (
+    complement_product_lower_bound,
+    truncation_error_bound,
+)
+from repro.analysis.borel_cantelli import borel_cantelli_frequency
+
+__all__ = [
+    "SeriesCertificate",
+    "certify_convergence",
+    "partial_sums",
+    "geometric_tail",
+    "zeta_tail",
+    "product_one_plus",
+    "product_complement",
+    "converges_absolutely",
+    "distributive_law_truncation",
+    "complement_product_lower_bound",
+    "truncation_error_bound",
+    "borel_cantelli_frequency",
+]

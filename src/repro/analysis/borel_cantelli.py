@@ -1,0 +1,78 @@
+"""The (second) Borel–Cantelli lemma, empirically (Lemma 2.5).
+
+The necessity direction of Theorem 4.8 (Lemma 4.6) rests on
+Borel–Cantelli: if independent events have divergent probability sum,
+almost surely infinitely many occur — but instances of a PDB are finite,
+contradiction.  This module provides Monte-Carlo demonstrators used by
+tests and the E10 bench: simulate independent Bernoulli events and count
+how many occur among the first N, under convergent vs divergent ``Σ p_i``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator, List, Sequence, Tuple
+
+
+def simulate_event_count(
+    probabilities: Sequence[float],
+    trials: int,
+    rng: random.Random,
+) -> List[int]:
+    """For each trial, the number of the given independent events that
+    occur.  Returns one count per trial.
+
+    >>> rng = random.Random(0)
+    >>> counts = simulate_event_count([1.0, 1.0, 0.0], 5, rng)
+    >>> counts
+    [2, 2, 2, 2, 2]
+    """
+    counts = []
+    for _ in range(trials):
+        count = sum(1 for p in probabilities if rng.random() < p)
+        counts.append(count)
+    return counts
+
+
+def borel_cantelli_frequency(
+    probability_of: Callable[[int], float],
+    horizon: int,
+    threshold: int,
+    trials: int,
+    seed: int = 0,
+) -> float:
+    """Fraction of trials in which at least ``threshold`` of the events
+    ``A_1 … A_horizon`` occur (events independent, ``P(A_i)`` given by
+    ``probability_of(i)``, i ≥ 1).
+
+    Divergent ``Σ P(A_i)`` (e.g. ``1/i``) drives this fraction to 1 for
+    any fixed threshold as the horizon grows (second Borel–Cantelli);
+    convergent sums keep the expected count bounded (first
+    Borel–Cantelli), so the fraction stays small for thresholds above
+    that bound.
+
+    >>> freq = borel_cantelli_frequency(lambda i: 1.0 / i, 2000, 5, 200)
+    >>> freq > 0.9
+    True
+    >>> freq = borel_cantelli_frequency(lambda i: 1.0 / i**2, 2000, 5, 200)
+    >>> freq < 0.1
+    True
+    """
+    rng = random.Random(seed)
+    hits = 0
+    probabilities = [probability_of(i) for i in range(1, horizon + 1)]
+    for _ in range(trials):
+        count = 0
+        for p in probabilities:
+            if rng.random() < p:
+                count += 1
+                if count >= threshold:
+                    break
+        if count >= threshold:
+            hits += 1
+    return hits / trials
+
+
+def expected_count(probability_of: Callable[[int], float], horizon: int) -> float:
+    """``Σ_{i≤horizon} P(A_i)`` — the partial sum driving the dichotomy."""
+    return sum(probability_of(i) for i in range(1, horizon + 1))

@@ -1,0 +1,105 @@
+"""Analytic bounds used by the approximation algorithm (Proposition 6.1).
+
+The appendix of the paper proves claim (∗): for ``p_i ∈ [0, 1/2)`` with
+``Σ p_i < ∞``,
+
+    Π (1 − p_i)  ≥  exp(−(3/2) Σ p_i).
+
+With ``α_n := (3/2) Σ_{i>n} p_i`` the truncation error analysis then
+requires ``e^{α_n} ≤ 1 + ε`` and ``e^{−α_n} ≥ 1 − ε``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence, Tuple
+
+from repro.analysis.products import product_complement
+from repro.errors import ApproximationError, ConvergenceError
+
+
+def complement_product_lower_bound(probabilities: Iterable[float]) -> float:
+    """The (∗) lower bound ``exp(−(3/2) Σ p_i)``.
+
+    Requires every ``p_i < 1/2`` (the paper's hypothesis).
+
+    >>> bound = complement_product_lower_bound([0.1, 0.2])
+    >>> actual = product_complement([0.1, 0.2])
+    >>> bound <= actual
+    True
+    """
+    total = 0.0
+    for p in probabilities:
+        if not 0 <= p < 0.5:
+            raise ConvergenceError(
+                f"claim (*) requires p in [0, 1/2), got {p}"
+            )
+        total += p
+    return math.exp(-1.5 * total)
+
+
+def verify_star_bound(probabilities: Sequence[float]) -> Tuple[float, float, bool]:
+    """Check claim (∗) numerically: returns (product, bound, holds).
+
+    >>> product, bound, holds = verify_star_bound([0.3, 0.4, 0.1])
+    >>> holds
+    True
+    """
+    product = product_complement(probabilities)
+    bound = complement_product_lower_bound(probabilities)
+    return product, bound, product >= bound - 1e-15
+
+
+def alpha_from_tail(tail_mass: float) -> float:
+    """``α_n = (3/2) · Σ_{i>n} p_i`` from the certified tail mass."""
+    if tail_mass < 0:
+        raise ApproximationError(f"tail mass must be non-negative, got {tail_mass}")
+    return 1.5 * tail_mass
+
+
+def epsilon_conditions_hold(alpha: float, epsilon: float) -> bool:
+    """The truncation-size conditions of Proposition 6.1:
+    ``e^α ≤ 1 + ε`` and ``e^{−α} ≥ 1 − ε``.
+
+    Evaluated with a hair of floating-point slack so that the exact
+    boundary value ``α = log(1 + ε)`` passes.
+
+    >>> epsilon_conditions_hold(0.0001, 0.01)
+    True
+    >>> epsilon_conditions_hold(1.0, 0.01)
+    False
+    """
+    slack = 1e-12
+    return (
+        math.exp(alpha) <= (1 + epsilon) * (1 + slack)
+        and math.exp(-alpha) >= (1 - epsilon) * (1 - slack)
+    )
+
+
+def required_alpha(epsilon: float) -> float:
+    """The largest α satisfying both ε-conditions:
+    ``α ≤ min(log(1+ε), −log(1−ε)) = log(1+ε)``.
+
+    (For ε ∈ (0, 1), ``log(1+ε) ≤ −log(1−ε)``, so the binding condition
+    is ``e^α ≤ 1+ε``.)
+
+    >>> a = required_alpha(0.1)
+    >>> epsilon_conditions_hold(a, 0.1)
+    True
+    """
+    if not 0 < epsilon < 0.5:
+        raise ApproximationError(
+            f"Proposition 6.1 requires 0 < epsilon < 1/2, got {epsilon}"
+        )
+    return math.log1p(epsilon)
+
+
+def truncation_error_bound(tail_mass: float) -> float:
+    """Additive error bound implied by the remaining tail mass:
+    ``1 − e^{−α_n} ≤ ε`` portion of the proof — the probability mass of
+    the worlds outside Ω_n is at most ``1 − e^{−(3/2)·tail}``.
+
+    >>> truncation_error_bound(0.0) == 0.0
+    True
+    """
+    return 1 - math.exp(-alpha_from_tail(tail_mass))

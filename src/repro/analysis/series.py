@@ -1,0 +1,225 @@
+"""Series of fact probabilities: partial sums, tails, and convergence
+certificates.
+
+Theorem 4.8 characterizes existence of countable tuple-independent PDBs
+by convergence of ``Σ p_f``.  Numerically, convergence of an arbitrary
+black-box series is undecidable, so the library works with *certified*
+series: a :class:`SeriesCertificate` pairs the sequence with an explicit
+tail bound ``tail(n) ≥ Σ_{i>n} p_i`` that tends to 0.  Standard
+certificates (geometric, zeta with exponent > 1, finite support) are
+provided; custom ones take a user-supplied tail function.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import ConvergenceError
+
+
+def partial_sums(terms: Iterable[float]) -> Iterator[float]:
+    """Yield the running partial sums ``Σ_{i≤n} x_i``.
+
+    >>> from repro.utils import take
+    >>> take(4, partial_sums([1, 2, 3, 4]))
+    [1, 3, 6, 10]
+    """
+    return itertools.accumulate(terms)
+
+
+def geometric_tail(first: float, ratio: float) -> Callable[[int], float]:
+    """Tail bound for the geometric series ``first · ratio^i`` (i ≥ 0).
+
+    ``tail(n) = first · ratio^n / (1 − ratio)`` bounds ``Σ_{i ≥ n}``.
+
+    >>> tail = geometric_tail(0.5, 0.5)
+    >>> abs(tail(0) - 1.0) < 1e-12
+    True
+    """
+    if not 0 <= ratio < 1:
+        raise ConvergenceError(f"geometric ratio must be in [0, 1), got {ratio}")
+    if first < 0:
+        raise ConvergenceError(f"first term must be non-negative, got {first}")
+
+    def tail(n: int) -> float:
+        return first * ratio**n / (1 - ratio)
+
+    return tail
+
+
+def zeta_tail(exponent: float, scale: float = 1.0) -> Callable[[int], float]:
+    """Tail bound for ``scale / i^exponent`` (i ≥ 1), exponent > 1.
+
+    Integral bound: ``Σ_{i > n} scale/i^s ≤ scale · n^{1−s} / (s − 1)``
+    for n ≥ 1; tail(0) falls back to the full sum bound
+    ``scale · (1 + 1/(s−1))``.
+
+    >>> tail = zeta_tail(2.0)
+    >>> tail(10) <= 0.1 + 1e-12
+    True
+    """
+    if exponent <= 1:
+        raise ConvergenceError(
+            f"zeta series requires exponent > 1 for convergence, got {exponent}"
+        )
+    if scale < 0:
+        raise ConvergenceError(f"scale must be non-negative, got {scale}")
+
+    def tail(n: int) -> float:
+        if n == 0:
+            return scale * (1 + 1 / (exponent - 1))
+        return scale * n ** (1 - exponent) / (exponent - 1)
+
+    return tail
+
+
+class SeriesCertificate:
+    """A non-negative series with a certified convergent tail.
+
+    Parameters
+    ----------
+    terms:
+        A callable producing a fresh iterator over the terms ``p_1, p_2, …``
+        (each call must enumerate the same sequence).
+    tail:
+        ``tail(n)`` must upper-bound ``Σ_{i > n} p_i`` and tend to 0.
+    total:
+        The exact value of ``Σ p_i`` if known in closed form; otherwise
+        it is approximated on demand via :meth:`sum`.
+
+    >>> cert = SeriesCertificate.geometric(0.5, 0.5)
+    >>> abs(cert.sum(1e-9) - 1.0) < 1e-8
+    True
+    >>> cert.prefix_length_for_tail(0.01) <= 10
+    True
+    """
+
+    def __init__(
+        self,
+        terms: Callable[[], Iterator[float]],
+        tail: Callable[[int], float],
+        total: Optional[float] = None,
+    ):
+        self._terms = terms
+        self._tail = tail
+        self._total = total
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def geometric(cls, first: float, ratio: float) -> "SeriesCertificate":
+        """``p_i = first · ratio^{i-1}``, i ≥ 1."""
+        def terms() -> Iterator[float]:
+            value = first
+            while True:
+                yield value
+                value *= ratio
+
+        total = first / (1 - ratio) if ratio < 1 else math.inf
+        return cls(terms, geometric_tail(first, ratio), total=total)
+
+    @classmethod
+    def zeta(cls, exponent: float, scale: float = 1.0) -> "SeriesCertificate":
+        """``p_i = scale / i^exponent``, i ≥ 1, exponent > 1.
+
+        The total is evaluated once by Euler–Maclaurin: a partial sum to
+        N plus ``∫_N^∞ − f(N)/2 + f′(N)·(−1/12)`` — accurate to
+        ``O(N^{−exponent−3})``, far beyond float precision at N = 10⁴.
+        """
+        def terms() -> Iterator[float]:
+            for i in itertools.count(1):
+                yield scale / i**exponent
+
+        cutoff = 10**4
+        partial = sum(scale / i**exponent for i in range(1, cutoff + 1))
+        integral = scale * cutoff ** (1 - exponent) / (exponent - 1)
+        correction = (
+            -0.5 * scale * cutoff**-exponent
+            + exponent * scale * cutoff ** (-exponent - 1) / 12.0
+        )
+        total = partial + integral + correction
+        return cls(terms, zeta_tail(exponent, scale), total=total)
+
+    @classmethod
+    def finite(cls, values: Sequence[float]) -> "SeriesCertificate":
+        """A finitely supported series (tail 0 beyond the support)."""
+        values = list(values)
+        if any(v < 0 for v in values):
+            raise ConvergenceError("series terms must be non-negative")
+        suffix: List[float] = [0.0] * (len(values) + 1)
+        for i in range(len(values) - 1, -1, -1):
+            suffix[i] = suffix[i + 1] + values[i]
+
+        def tail(n: int) -> float:
+            return suffix[min(n, len(values))]
+
+        return cls(lambda: iter(values), tail, total=sum(values))
+
+    # ----------------------------------------------------------------- queries
+    def terms(self) -> Iterator[float]:
+        """A fresh iterator over the terms."""
+        return self._terms()
+
+    def tail(self, n: int) -> float:
+        """Certified upper bound on ``Σ_{i > n} p_i``."""
+        bound = self._tail(n)
+        if bound < 0:
+            raise ConvergenceError(f"tail bound must be non-negative, got {bound}")
+        return bound
+
+    def sum(self, tolerance: float = 1e-12, max_terms: int = 10**7) -> float:
+        """``Σ p_i`` to within ``tolerance`` (exact total if known).
+
+        Raises :class:`ConvergenceError` if the tail does not drop below
+        ``tolerance`` within ``max_terms`` terms.
+        """
+        if self._total is not None:
+            return self._total
+        acc = 0.0
+        for n, term in enumerate(self.terms(), start=1):
+            acc += term
+            if self.tail(n) <= tolerance:
+                return acc
+            if n >= max_terms:
+                raise ConvergenceError(
+                    f"tail still {self.tail(n):.3g} after {max_terms} terms"
+                )
+        return acc  # finite series exhausted
+
+    def prefix_length_for_tail(self, bound: float, max_terms: int = 10**7) -> int:
+        """Smallest n (by linear search) with ``tail(n) ≤ bound``.
+
+        This is the "systematically listing facts until the remaining
+        probability mass is small enough" step of Proposition 6.1.
+        """
+        if bound <= 0:
+            raise ConvergenceError(f"tail bound must be positive, got {bound}")
+        for n in range(max_terms + 1):
+            if self.tail(n) <= bound:
+                return n
+        raise ConvergenceError(
+            f"tail did not reach {bound} within {max_terms} terms "
+            "(series may converge arbitrarily slowly, cf. paper §6)"
+        )
+
+    def prefix(self, n: int) -> List[float]:
+        """The first n terms as a list."""
+        return list(itertools.islice(self.terms(), n))
+
+
+def certify_convergence(
+    terms: Sequence[float],
+    tail: Optional[Callable[[int], float]] = None,
+) -> SeriesCertificate:
+    """Build a certificate from an explicit finite term list, or from an
+    arbitrary sequence plus a caller-supplied tail bound.
+
+    >>> cert = certify_convergence([0.5, 0.25])
+    >>> cert.sum()
+    0.75
+    """
+    if tail is None:
+        return SeriesCertificate.finite(terms)
+    terms_list = list(terms)
+    return SeriesCertificate(lambda: iter(terms_list), tail)

@@ -1,0 +1,76 @@
+"""The paper's contribution: countably infinite probabilistic databases.
+
+* :mod:`repro.core.fact_distribution` — families ``(p_f)`` with
+  convergence certificates: the Section 6 oracle (assumptions (i)/(ii)).
+* :mod:`repro.core.tuple_independent` — the Theorem 4.8 construction of
+  countable tuple-independent PDBs.
+* :mod:`repro.core.bid` — the Theorem 4.15 block-independent-disjoint
+  construction.
+* :mod:`repro.core.completion` — Theorem 5.5 independent-fact
+  completions (open-world semantics for finite PDBs).
+* :mod:`repro.core.approx` — Proposition 6.1 truncation-based additive
+  approximation of query probabilities.
+* :mod:`repro.core.tm_represented` — Proposition 6.2 Turing-machine
+  represented PDBs and the inapproximability reduction.
+* :mod:`repro.core.size` — size distributions (§3.2), Example 3.3.
+* :mod:`repro.core.views` — views on countable PDBs, Proposition 4.9.
+"""
+
+from repro.core.fact_distribution import (
+    FactDistribution,
+    GeometricFactDistribution,
+    TableFactDistribution,
+    ZetaFactDistribution,
+    FilteredFactDistribution,
+    UnionFactDistribution,
+    DivergentFactDistribution,
+    WordLengthFactDistribution,
+)
+from repro.core.pdb import CountablePDB
+from repro.core.tuple_independent import CountableTIPDB
+from repro.core.bid import CountableBIDPDB, BlockFamily
+from repro.core.completion import (
+    CompletedPDB,
+    complete,
+    closed_world_completion,
+    open_world,
+    extend_to_closure,
+    verify_completion_condition,
+)
+from repro.core.approx import (
+    ApproximationResult,
+    approximate_query_probability,
+    approximate_answer_marginals,
+    choose_truncation,
+)
+from repro.core.size import example_3_3_pdb, size_tail_probabilities
+from repro.core.views import apply_fo_view_countable, fo_view_size_bound
+
+__all__ = [
+    "FactDistribution",
+    "GeometricFactDistribution",
+    "ZetaFactDistribution",
+    "TableFactDistribution",
+    "FilteredFactDistribution",
+    "UnionFactDistribution",
+    "DivergentFactDistribution",
+    "WordLengthFactDistribution",
+    "CountablePDB",
+    "CountableTIPDB",
+    "CountableBIDPDB",
+    "BlockFamily",
+    "CompletedPDB",
+    "complete",
+    "closed_world_completion",
+    "open_world",
+    "extend_to_closure",
+    "verify_completion_condition",
+    "ApproximationResult",
+    "approximate_query_probability",
+    "approximate_answer_marginals",
+    "choose_truncation",
+    "example_3_3_pdb",
+    "size_tail_probabilities",
+    "apply_fo_view_countable",
+    "fo_view_size_bound",
+]

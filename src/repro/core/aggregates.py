@@ -1,0 +1,123 @@
+"""Expected aggregates over countable PDBs.
+
+The paper's query semantics (§3.1) returns marginal answer-tuple
+probabilities; the natural next aggregate is the *expected answer count*
+
+    E[|Q(D)|]  =  Σ_ā Pr(ā ∈ Q(D))     (linearity of expectation)
+
+which for countable TI PDBs is approximable with certified error by the
+same truncation idea as Proposition 6.1: answers involving only the
+first n facts are evaluated exactly, and the contribution of tuples
+touching the tail is bounded by the tail mass times the query's answer
+multiplicity.
+
+For *atomic* queries ``Q(x̄) = R(x̄)`` the expected count is exactly the
+expected number of R-facts, ``Σ_{f ∈ R} p_f`` — computed in closed form.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.core.approx import approximate_answer_marginals, choose_truncation
+from repro.core.tuple_independent import CountableTIPDB
+from repro.errors import ApproximationError
+from repro.logic.analysis import atoms_of, free_variables
+from repro.logic.queries import Query
+from repro.logic.syntax import Atom, Variable
+
+
+class ExpectedCount(NamedTuple):
+    """An expected answer count with a certified error bound."""
+
+    value: float
+    #: Upper bound on the absolute error.
+    error: float
+    #: Truncation size used.
+    truncation: int
+
+
+def expected_answer_count(
+    query: Query,
+    pdb: CountableTIPDB,
+    epsilon: float = 0.01,
+    max_facts: int = 10**6,
+) -> ExpectedCount:
+    """Approximate ``E[|Q(D)|]`` for a monotone query on a countable TI
+    PDB.
+
+    The per-tuple marginals over ``adom(Ω_n)`` are summed; every answer
+    tuple outside ``adom(Ω_n)^k`` requires at least one fact beyond the
+    truncation, and for a query whose every answer is *witnessed* by at
+    least one fact (monotone queries with at least one atom containing
+    all free variables), each tail fact can witness at most
+    ``witness_bound`` answers, giving the error term
+    ``witness_bound · tail(n)`` plus the per-tuple ε·count slack.
+
+    >>> from repro.relational import Schema
+    >>> from repro.universe import FactSpace, Naturals
+    >>> from repro.core.fact_distribution import GeometricFactDistribution
+    >>> from repro.logic import parse_formula
+    >>> schema = Schema.of(R=1)
+    >>> pdb = CountableTIPDB(schema, GeometricFactDistribution(
+    ...     FactSpace(schema, Naturals()), first=0.5, ratio=0.5))
+    >>> q = Query(parse_formula("R(x)", schema), schema)
+    >>> result = expected_answer_count(q, pdb, epsilon=0.001)
+    >>> abs(result.value - 1.0) < 0.05   # E[#R-facts] = Σ p_f = 1
+    True
+    """
+    if query.is_boolean:
+        raise ApproximationError(
+            "expected_answer_count needs free variables; Boolean queries "
+            "have E[|Q|] = P(Q)"
+        )
+    witness_bound = _witness_bound(query)
+    if witness_bound is None:
+        raise ApproximationError(
+            "expected count requires an atom containing all free "
+            "variables (so tail facts witness boundedly many answers)"
+        )
+    marginals = approximate_answer_marginals(
+        query, pdb, epsilon, max_facts=max_facts)
+    value = sum(result.value for result in marginals.values())
+    n = choose_truncation(pdb.distribution, epsilon, max_facts=max_facts)
+    tail_mass = pdb.distribution.tail(n)
+    error = epsilon * max(len(marginals), 1) + witness_bound * tail_mass
+    return ExpectedCount(value, error, n)
+
+
+def _witness_bound(query: Query):
+    """If some atom contains every free variable, each fact of that
+    atom's relation witnesses at most one assignment of the free
+    variables per occurrence pattern — return the number of such guard
+    atoms (the multiplicity bound per tail fact)."""
+    head = set(free_variables(query.formula))
+    guards = 0
+    for atom in atoms_of(query.formula):
+        atom_variables = {t for t in atom.terms if isinstance(t, Variable)}
+        if head <= atom_variables:
+            guards += 1
+    return guards if guards > 0 else None
+
+
+def exact_relation_expected_count(
+    relation_name: str, pdb: CountableTIPDB, tolerance: float = 1e-12
+) -> float:
+    """Closed form for the atomic query ``Q(x̄) = R(x̄)``:
+    ``E[|R|] = Σ_{f over R} p_f``.
+
+    >>> from repro.relational import Schema
+    >>> from repro.core.fact_distribution import TableFactDistribution
+    >>> schema = Schema.of(R=1, S=1)
+    >>> R, S = schema["R"], schema["S"]
+    >>> pdb = CountableTIPDB(schema, TableFactDistribution(
+    ...     {R(1): 0.5, R(2): 0.25, S(1): 0.9}))
+    >>> exact_relation_expected_count("R", pdb)
+    0.75
+    """
+    n = pdb.distribution.prefix_for_tail(tolerance)
+    return sum(
+        p
+        for fact, p in pdb.distribution.prefix(n)
+        if fact.relation.name == relation_name
+    )

@@ -1,0 +1,257 @@
+"""Approximate query evaluation on countable TI PDBs (Proposition 6.1).
+
+Given a Boolean FO query Q, ``0 < ε < 1/2``, and oracle access to a
+countable tuple-independent PDB (a certified
+:class:`~repro.core.fact_distribution.FactDistribution`), the algorithm:
+
+1. chooses n so that ``α_n = (3/2)·Σ_{i>n} p_i`` satisfies
+   ``e^{α_n} ≤ 1 + ε`` and ``e^{−α_n} ≥ 1 − ε`` and every tail fact has
+   ``p_i ≤ 1/2`` (ensured by making the tail mass itself ≤ 1/2) — found
+   by "systematically listing facts until the remaining probability mass
+   is small enough";
+2. computes ``p = P(Q | Ω_n)``, where ``Ω_n = 2^{{f_1,…,f_n}}``: because
+   the measure is a product, this conditional *is* the finite TI table on
+   the first n facts, evaluated by a traditional closed-world algorithm;
+3. returns p, which satisfies ``P(Q) − ε ≤ p ≤ P(Q) + ε``.
+
+The non-Boolean extension grounds the free variables over
+``adom(Ω_n)`` and approximates each resulting sentence (paper §6).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, NamedTuple, Optional, Tuple
+
+from repro.analysis.bounds import alpha_from_tail, required_alpha
+from repro.core.fact_distribution import FactDistribution
+from repro.core.tuple_independent import CountableTIPDB
+from repro.errors import ApproximationError
+from repro.finite.evaluation import query_probability
+from repro.logic.queries import BooleanQuery, Query
+from repro.logic.analysis import constants_of, quantifier_rank
+from repro.logic.normalform import substitute
+from repro.relational.facts import Value
+
+
+class ApproximationResult(NamedTuple):
+    """The output of the Proposition 6.1 algorithm."""
+
+    #: The approximate answer ``p = P(Q | Ω_n)``.
+    value: float
+    #: The requested additive error guarantee ε.
+    epsilon: float
+    #: The truncation size n (number of facts kept).
+    truncation: int
+    #: ``α_n = (3/2) · tail(n)`` actually achieved.
+    alpha: float
+    #: The certified enclosure ``[value − ε, value + ε] ∩ [0, 1]``.
+    @property
+    def low(self) -> float:
+        return max(0.0, self.value - self.epsilon)
+
+    @property
+    def high(self) -> float:
+        return min(1.0, self.value + self.epsilon)
+
+    def contains(self, true_probability: float) -> bool:
+        return self.low <= true_probability <= self.high
+
+
+def choose_truncation(
+    distribution: FactDistribution,
+    epsilon: float,
+    max_facts: int = 10**7,
+) -> int:
+    """The truncation size n of Proposition 6.1.
+
+    Requires ``tail(n) ≤ min(log(1+ε)/1.5, 0.49)``: the first bound gives
+    both ε-conditions on ``e^{±α_n}``, the second forces every tail fact
+    below 1/2 (hypothesis of claim (∗)).
+
+    >>> from repro.core.fact_distribution import TableFactDistribution
+    >>> from repro.relational import RelationSymbol
+    >>> R = RelationSymbol("R", 1)
+    >>> d = TableFactDistribution({R(1): 0.9, R(2): 0.009})
+    >>> choose_truncation(d, 0.1)
+    1
+    """
+    if not 0 < epsilon < 0.5:
+        raise ApproximationError(
+            f"Proposition 6.1 requires 0 < epsilon < 1/2, got {epsilon}"
+        )
+    target_tail = min(required_alpha(epsilon) / 1.5, 0.49)
+    return distribution.prefix_for_tail(target_tail, max_facts=max_facts)
+
+
+def approximate_query_probability(
+    query: BooleanQuery,
+    pdb: CountableTIPDB,
+    epsilon: float,
+    strategy: str = "auto",
+    max_facts: int = 10**7,
+) -> ApproximationResult:
+    """Additive ε-approximation of ``P(Q)`` (Proposition 6.1).
+
+    >>> from repro.relational import Schema
+    >>> from repro.universe import Naturals, FactSpace
+    >>> from repro.core.fact_distribution import GeometricFactDistribution
+    >>> from repro.logic.parser import parse_formula
+    >>> schema = Schema.of(R=1)
+    >>> space = FactSpace(schema, Naturals())
+    >>> pdb = CountableTIPDB(schema, GeometricFactDistribution(
+    ...     space, first=0.25, ratio=0.5))
+    >>> q = BooleanQuery(parse_formula("EXISTS x. R(x)", schema), schema)
+    >>> result = approximate_query_probability(q, pdb, epsilon=0.01)
+    >>> 0.3 < result.value < 0.45 and result.truncation >= 4
+    True
+    """
+    n = choose_truncation(pdb.distribution, epsilon, max_facts=max_facts)
+    table = pdb.truncate(n)
+    value = query_probability(query, table, strategy=strategy)
+    alpha = alpha_from_tail(pdb.distribution.tail(n))
+    return ApproximationResult(value, epsilon, n, alpha)
+
+
+def approximate_query_probability_completed(
+    query: BooleanQuery,
+    completed,
+    epsilon: float,
+) -> ApproximationResult:
+    """Proposition 6.1 extended to Theorem 5.5 completions.
+
+    The completion is a product of the original finite PDB with a
+    countable TI PDB on new facts; conditioning on Ω_n (no new fact
+    beyond the first n) again factorizes, so the proof's error analysis
+    applies verbatim — only the finite evaluation now runs on the
+    (original × truncated-new) finite PDB.
+    """
+    if not 0 < epsilon < 0.5:
+        raise ApproximationError(
+            f"requires 0 < epsilon < 1/2, got {epsilon}"
+        )
+    distribution = completed.new_facts.distribution
+    target_tail = min(required_alpha(epsilon) / 1.5, 0.49)
+    n = distribution.prefix_for_tail(target_tail)
+    finite = completed.truncate(n)
+    value = query_probability(query, finite, strategy="auto")
+    alpha = alpha_from_tail(distribution.tail(n))
+    return ApproximationResult(value, epsilon, n, alpha)
+
+
+def approximate_query_probability_bid(
+    query: BooleanQuery,
+    pdb,
+    epsilon: float,
+    max_blocks: int = 10**6,
+) -> ApproximationResult:
+    """Proposition 6.1 extended to countable BID PDBs (paper §4.4 +
+    future-work direction).
+
+    The proof carries over verbatim with blocks in place of facts:
+    conditioning the block-product measure on Ω_n = "no block beyond
+    the first n is touched" yields the finite BID table on those blocks,
+    and ``P(Ω̄_n) ≤ 1 − Π_{j>n} p_⊥^j ≤ 1 − e^{−(3/2)·Σ_{j>n} mass_j}``
+    by the same claim (∗) once every tail block's mass is ≤ 1/2 —
+    guaranteed by pushing the certified block-mass tail below
+    ``min(log(1+ε)/1.5, 0.49)``.
+
+    >>> from repro.relational import Schema
+    >>> from repro.core.bid import BlockFamily, CountableBIDPDB
+    >>> from repro.finite.bid import Block
+    >>> from repro.logic import parse_formula
+    >>> schema = Schema.of(R=2)
+    >>> R = schema["R"]
+    >>> family = BlockFamily.geometric(
+    ...     make_block=lambda i: Block(
+    ...         f"k{i}", {R(i + 1, 1): 0.25 * 0.5**i,
+    ...                   R(i + 1, 2): 0.25 * 0.5**i}),
+    ...     block_mass=lambda i: 0.5 * 0.5**i, first=0.5, ratio=0.5)
+    >>> pdb = CountableBIDPDB(schema, family)
+    >>> q = BooleanQuery(parse_formula("EXISTS x, y. R(x, y)", schema),
+    ...                  schema)
+    >>> result = approximate_query_probability_bid(q, pdb, 0.01)
+    >>> 0.5 < result.value < 0.75
+    True
+    """
+    if not 0 < epsilon < 0.5:
+        raise ApproximationError(
+            f"requires 0 < epsilon < 1/2, got {epsilon}"
+        )
+    target_tail = min(required_alpha(epsilon) / 1.5, 0.49)
+    n = pdb.family.prefix_for_tail(target_tail, max_blocks=max_blocks)
+    table = pdb.truncate(n)
+    value = query_probability(query, table, strategy="auto")
+    alpha = alpha_from_tail(pdb.family.tail(n))
+    return ApproximationResult(value, epsilon, n, alpha)
+
+
+def approximate_answer_marginals(
+    query: Query,
+    pdb: CountableTIPDB,
+    epsilon: float,
+    strategy: str = "auto",
+    max_facts: int = 10**7,
+) -> Dict[Tuple[Value, ...], ApproximationResult]:
+    """The non-Boolean extension of Proposition 6.1 (paper §6).
+
+    Grounds the free variables ``x̄`` over ``adom(Ω_n)`` (plus the
+    query's own constants) and approximates each sentence ``Q(ā)``.
+    Tuples outside ``adom(Ω_n)^k`` have approximate probability 0 — the
+    paper notes "this approximation only contains facts from Ω_n".
+
+    >>> from repro.relational import Schema
+    >>> from repro.universe import Naturals, FactSpace
+    >>> from repro.core.fact_distribution import GeometricFactDistribution
+    >>> from repro.logic.parser import parse_formula
+    >>> schema = Schema.of(R=1)
+    >>> space = FactSpace(schema, Naturals())
+    >>> pdb = CountableTIPDB(schema, GeometricFactDistribution(
+    ...     space, first=0.5, ratio=0.5))
+    >>> q = Query(parse_formula("R(x)", schema), schema)
+    >>> marginals = approximate_answer_marginals(q, pdb, epsilon=0.05)
+    >>> round(marginals[(1,)].value, 3)
+    0.5
+    """
+    if query.is_boolean:
+        boolean = BooleanQuery(query.formula, query.schema, name=query.name)
+        return {
+            (): approximate_query_probability(
+                boolean, pdb, epsilon, strategy=strategy, max_facts=max_facts
+            )
+        }
+    n = choose_truncation(pdb.distribution, epsilon, max_facts=max_facts)
+    table = pdb.truncate(n)
+    domain = set(constants_of(query.formula))
+    for fact in table.facts():
+        domain.update(fact.args)
+    candidates = sorted(domain, key=repr)
+    alpha = alpha_from_tail(pdb.distribution.tail(n))
+    answers: Dict[Tuple[Value, ...], ApproximationResult] = {}
+    assignments = [()]
+    for _ in query.variables:
+        assignments = [a + (v,) for a in assignments for v in candidates]
+    for answer in assignments:
+        binding = dict(zip(query.variables, answer))
+        grounded = substitute(query.formula, binding)
+        sentence = BooleanQuery(
+            grounded, query.schema, name=f"{query.name}{answer}"
+        )
+        value = query_probability(sentence, table, strategy=strategy)
+        if value > 0:
+            answers[answer] = ApproximationResult(value, epsilon, n, alpha)
+    return answers
+
+
+def truncation_profile(
+    distribution: FactDistribution,
+    epsilons,
+    max_facts: int = 10**7,
+) -> Dict[float, int]:
+    """``n(ε)`` for a range of ε — the complexity profile discussed at
+    the end of paper §6 (geometric tails give ``n = O(log 1/ε)``; slower
+    series need far larger truncations)."""
+    return {
+        epsilon: choose_truncation(distribution, epsilon, max_facts=max_facts)
+        for epsilon in epsilons
+    }

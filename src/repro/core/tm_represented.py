@@ -1,0 +1,240 @@
+"""Turing-machine-represented PDBs and the Proposition 6.2 reduction.
+
+A Turing machine M *represents* a tuple-independent PDB over Σ, τ of
+weight w if it computes ``p_M : F[τ, Σ*] → ℚ`` with ``Σ_f p_M(f) = w``.
+Proposition 6.2 proves no algorithm can produce *multiplicative*
+c-approximations of query probabilities for such PDBs: given any machine
+N, the reduction builds M(N) over τ = {R, S} with
+
+    p(R(k)) = 2^{−k}  if  k = ⟨n, t⟩ and N accepts n within t steps,
+    p(S(k)) = 2^{−k}  if  k = ⟨n, t⟩ and N does not accept n in t steps,
+
+so ``Pr(∃x R(x)) = 0  ⟺  L(N) = ∅`` — and Rice's theorem makes emptiness
+undecidable.  A multiplicative approximator would decide zero-ness.
+
+This module implements the substrate (a deterministic Turing machine
+simulator), the reduction ``reduction_distribution``, and the empirical
+demonstration used by the E9 bench: *additive* approximation (Prop. 6.1)
+works at every precision, while the multiplicative ratio between the
+truth and any finite-inspection answer is unbounded.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from fractions import Fraction
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.core.fact_distribution import FactDistribution
+from repro.errors import ReproError
+from repro.relational.facts import Fact
+from repro.relational.schema import RelationSymbol, Schema
+from repro.universe.strings import BinaryStrings
+from repro.utils.enumeration import paper_pair, paper_unpair
+
+#: The Proposition 6.2 schema: two unary relations over Σ = {0, 1}.
+TM_SCHEMA = Schema.of(R=1, S=1)
+
+
+class TuringMachine:
+    """A deterministic single-tape Turing machine over a finite alphabet.
+
+    Transitions map ``(state, symbol) → (state, symbol, move)`` with
+    move ∈ {−1, 0, +1}; blank is ``"_"``.  Missing transitions halt; the
+    machine accepts iff it halts in ``accept_state``.
+
+    >>> accept_all = TuringMachine({}, start="acc", accept_state="acc")
+    >>> accept_all.accepts("010", max_steps=5)
+    True
+    """
+
+    BLANK = "_"
+
+    def __init__(
+        self,
+        transitions: Mapping[Tuple[str, str], Tuple[str, str, int]],
+        start: str,
+        accept_state: str,
+        reject_state: Optional[str] = None,
+    ):
+        self.transitions = dict(transitions)
+        self.start = start
+        self.accept_state = accept_state
+        self.reject_state = reject_state
+        for (_state, _symbol), (_next, _write, move) in self.transitions.items():
+            if move not in (-1, 0, 1):
+                raise ReproError(f"invalid head move {move}")
+
+    def run(self, word: str, max_steps: int) -> Optional[bool]:
+        """Simulate up to ``max_steps`` steps.
+
+        Returns True (accepted), False (halted without accepting), or
+        None (still running after the budget).
+        """
+        tape: Dict[int, str] = {i: ch for i, ch in enumerate(word)}
+        head = 0
+        state = self.start
+        for _ in range(max_steps):
+            if state == self.accept_state:
+                return True
+            if self.reject_state is not None and state == self.reject_state:
+                return False
+            symbol = tape.get(head, self.BLANK)
+            transition = self.transitions.get((state, symbol))
+            if transition is None:
+                return state == self.accept_state
+            state, write, move = transition
+            tape[head] = write
+            head += move
+        if state == self.accept_state:
+            return True
+        return None
+
+    def accepts(self, word: str, max_steps: int) -> bool:
+        """``word ∈ L_{N,t}``: accepted within the step budget."""
+        return self.run(word, max_steps) is True
+
+
+def machine_empty_language() -> TuringMachine:
+    """A machine with ``L(N) = ∅``: loops forever on every input."""
+    return TuringMachine(
+        {
+            ("loop", "0"): ("loop", "0", 0),
+            ("loop", "1"): ("loop", "1", 0),
+            ("loop", "_"): ("loop", "_", 0),
+        },
+        start="loop",
+        accept_state="acc",
+    )
+
+
+def machine_accept_all() -> TuringMachine:
+    """A machine accepting every input immediately."""
+    return TuringMachine({}, start="acc", accept_state="acc")
+
+
+def machine_accept_slowly(delay: int) -> TuringMachine:
+    """Accepts every input, but only after ``delay`` burned steps —
+    making the accepting mass live arbitrarily deep in the fact
+    enumeration (the multiplicative-hardness knob of the E9 bench)."""
+    transitions = {}
+    for step in range(delay):
+        state = f"wait{step}"
+        nxt = f"wait{step + 1}" if step + 1 < delay else "acc"
+        for symbol in ("0", "1", "_"):
+            transitions[(state, symbol)] = (nxt, symbol, 0)
+    return TuringMachine(transitions, start="wait0" if delay else "acc",
+                         accept_state="acc")
+
+
+class TMRepresentedDistribution(FactDistribution):
+    """The reduction's family ``p_{M(N)}`` — weight exactly 1.
+
+    Fact indices k = 1, 2, … are split as ``k = ⟨n, t⟩``; exactly one of
+    ``R(k)`` / ``S(k)`` carries mass ``2^{−k}`` depending on whether N
+    accepts the word of rank n within t steps.
+
+    >>> d = TMRepresentedDistribution(machine_accept_all())
+    >>> d.total_mass()
+    1.0
+    >>> d.r_probability_upper_bound(0) <= 1.0
+    True
+    """
+
+    def __init__(self, machine: TuringMachine):
+        self.machine = machine
+        self._strings = BinaryStrings()
+        self._r = TM_SCHEMA["R"]
+        self._s = TM_SCHEMA["S"]
+
+    # k-th fact (k >= 1): which relation holds the 2^-k mass?
+    def _fact_for_index(self, k: int) -> Fact:
+        n, t = paper_unpair(k)
+        # Word with "integer value" n under the 1x-binary identification.
+        word = BinaryStrings.from_natural(n)
+        if self.machine.accepts(word, max_steps=t):
+            return Fact(self._r, (k,))
+        return Fact(self._s, (k,))
+
+    def support(self) -> Iterator[Fact]:
+        for k in itertools.count(1):
+            yield self._fact_for_index(k)
+
+    def probability(self, fact: Fact) -> float:
+        if fact.relation not in (self._r, self._s):
+            return 0.0
+        if len(fact.args) != 1 or not isinstance(fact.args[0], int):
+            return 0.0
+        k = fact.args[0]
+        if k < 1:
+            return 0.0
+        return 2.0**-k if self._fact_for_index(k) == fact else 0.0
+
+    def tail(self, n: int) -> float:
+        # After the first n facts (indices 1..n), remaining mass 2^{-n}.
+        return 2.0**-n
+
+    def total_mass(self) -> float:
+        return 1.0
+
+    # ---------------------------------------------------------- Prop 6.2 view
+    def r_mass_up_to(self, depth: int) -> float:
+        """``Σ_{k ≤ depth} p(R(k))`` — the accepting mass visible after
+        inspecting the first ``depth`` fact indices."""
+        total = 0.0
+        for k in range(1, depth + 1):
+            fact = self._fact_for_index(k)
+            if fact.relation == self._r:
+                total += 2.0**-k
+        return total
+
+    def r_probability_upper_bound(self, depth: int) -> float:
+        """Upper bound on ``Pr(∃x R(x))`` from a depth-limited
+        inspection: visible R-mass plus the whole unseen tail."""
+        return min(1.0, self.r_mass_up_to(depth) + self.tail(depth))
+
+
+def exists_r_probability(
+    distribution: TMRepresentedDistribution, depth: int
+) -> "Fraction":
+    """``Pr(∃x R(x))`` over the truncation to the first ``depth`` fact
+    indices: ``1 − Π_{R-facts k ≤ depth} (1 − 2^{−k})``.
+
+    Computed in exact rational arithmetic — the accepting mass can be as
+    small as ``2^{−k}`` for huge k, far below float precision, and the
+    whole point of Proposition 6.2 is that "tiny positive" and "zero"
+    are worlds apart multiplicatively.
+
+    For the empty-language machine this is 0 at *every* depth, while a
+    slow acceptor keeps it 0 until the acceptance depth then jumps
+    positive — the unbounded multiplicative gap.
+
+    >>> exists_r_probability(
+    ...     TMRepresentedDistribution(machine_empty_language()), 64)
+    Fraction(0, 1)
+    """
+    complement = Fraction(1)
+    for k in range(1, depth + 1):
+        fact = distribution._fact_for_index(k)
+        if fact.relation.name == "R":
+            complement *= 1 - Fraction(1, 2**k)
+    return 1 - complement
+
+
+def multiplicative_gap_demonstration(
+    delays, depth_budget: int
+) -> Dict[int, Tuple["Fraction", "Fraction"]]:
+    """For each acceptance delay, the pair (estimate-at-budget, truth at
+    a generous depth): the ratio truth/estimate is ∞ whenever the budget
+    misses the acceptance depth — no constant c can bound it (Prop 6.2).
+    """
+    results: Dict[int, Tuple[Fraction, Fraction]] = {}
+    for delay in delays:
+        distribution = TMRepresentedDistribution(machine_accept_slowly(delay))
+        estimate = exists_r_probability(distribution, depth_budget)
+        # "Truth" ~ evaluated deep enough to see the first acceptance.
+        deep = max(depth_budget * 4, paper_pair(1, delay + 2) + 8)
+        truth = exists_r_probability(distribution, deep)
+        results[delay] = (estimate, truth)
+    return results

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the more specific conditions below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or a fact/instance violates its schema.
+
+    Raised e.g. for duplicate relation names, non-positive arities, or
+    facts whose argument count does not match the relation's arity.
+    """
+
+
+class UniverseError(ReproError):
+    """A value does not belong to the expected universe, or a universe
+    operation (ranking, enumeration) is applied to an unsupported value."""
+
+
+class ParseError(ReproError):
+    """A textual formula or fact could not be parsed."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        #: Character offset of the error in the input, or -1 if unknown.
+        self.position = position
+
+
+class EvaluationError(ReproError):
+    """Query/formula evaluation failed (e.g. unbound free variables or a
+    quantifier over an uncomputable domain)."""
+
+
+class ConvergenceError(ReproError):
+    """A series or infinite product required by a construction diverges,
+    or convergence could not be certified.
+
+    This is the error that enforces Theorem 4.8 / Theorem 4.15: asking
+    for a countable tuple-independent (or BID) PDB whose fact-probability
+    series diverges raises :class:`ConvergenceError`.
+    """
+
+
+class ProbabilityError(ReproError):
+    """A probability is outside ``[0, 1]``, a distribution does not sum to
+    the required mass, or an operation would produce an invalid measure."""
+
+
+class IndependenceError(ReproError):
+    """An independence assumption was violated where it is required
+    (e.g. block constraints in BID constructions)."""
+
+
+class UnsafeQueryError(ReproError):
+    """A query is not hierarchical/safe, so the lifted evaluation plan
+    cannot be constructed (Dalvi–Suciu dichotomy)."""
+
+
+class ApproximationError(ReproError):
+    """The approximation machinery of Section 6 cannot meet the requested
+    guarantee (e.g. ``epsilon`` outside ``(0, 1/2)``, or the truncation
+    search exceeded its budget for a slowly converging tail)."""
+
+
+class CompletionError(ReproError):
+    """A completion (Section 5) is ill-posed: new facts with probability 1,
+    original PDB not closed under subsets without an extension mass, or a
+    completion-condition check failed."""

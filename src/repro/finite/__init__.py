@@ -1,0 +1,68 @@
+"""Classical finite probabilistic databases — the substrate the paper
+generalizes, and the "traditional closed-world query evaluation
+algorithm" that Proposition 6.1 delegates to.
+
+Contents: explicit possible-world PDBs, finite tuple-independent tables,
+finite block-independent-disjoint tables, and four interchangeable query
+evaluation strategies (possible-world enumeration, lineage + Shannon
+expansion, lifted safe plans, Monte Carlo).
+"""
+
+from repro.finite.pdb import FinitePDB
+from repro.finite.tuple_independent import TupleIndependentTable
+from repro.finite.bid import BlockIndependentTable, Block
+from repro.finite.evaluation import (
+    query_probability,
+    query_probability_by_worlds,
+    marginal_answer_probabilities,
+)
+from repro.finite.lineage_eval import lineage_probability, query_probability_by_lineage
+from repro.finite.lifted import evaluate_plan, query_probability_lifted
+from repro.finite.montecarlo import query_probability_monte_carlo, MonteCarloEstimate
+from repro.finite.karp_luby import (
+    DNFTerm,
+    KarpLubyEstimate,
+    karp_luby_probability,
+    query_probability_karp_luby,
+)
+from repro.finite.representation import (
+    represent_over_tuple_independent,
+    verify_representation,
+)
+from repro.finite.bdd import BDDManager, compile_lineage, query_probability_by_bdd
+from repro.finite.topk import (
+    iter_worlds_by_probability,
+    most_probable_world,
+    top_k_worlds,
+)
+from repro.finite.views import apply_view, apply_query
+
+__all__ = [
+    "FinitePDB",
+    "TupleIndependentTable",
+    "BlockIndependentTable",
+    "Block",
+    "query_probability",
+    "query_probability_by_worlds",
+    "marginal_answer_probabilities",
+    "lineage_probability",
+    "query_probability_by_lineage",
+    "evaluate_plan",
+    "query_probability_lifted",
+    "query_probability_monte_carlo",
+    "MonteCarloEstimate",
+    "DNFTerm",
+    "KarpLubyEstimate",
+    "karp_luby_probability",
+    "query_probability_karp_luby",
+    "represent_over_tuple_independent",
+    "verify_representation",
+    "BDDManager",
+    "compile_lineage",
+    "query_probability_by_bdd",
+    "top_k_worlds",
+    "most_probable_world",
+    "iter_worlds_by_probability",
+    "apply_view",
+    "apply_query",
+]

@@ -1,0 +1,205 @@
+"""Lifted (extensional) query evaluation via safe plans.
+
+Evaluates hierarchical, self-join-free Boolean CQs (and UCQs with
+symbol-disjoint disjuncts) in polynomial time on finite tuple-independent
+tables — the efficient "traditional closed-world evaluation algorithm"
+plugged into the Proposition 6.1 truncation pipeline.
+
+Correctness relies on the independence structure the plan certifies:
+
+* ground atoms over distinct relations are independent facts;
+* connected components sharing no variables touch disjoint fact sets;
+* grounding a root variable with distinct constants yields subqueries
+  over disjoint fact sets, so ``P(∃x φ) = 1 − Π_a (1 − P(φ[x↦a]))``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.errors import UnsafeQueryError
+from repro.finite.tuple_independent import TupleIndependentTable
+from repro.logic.hierarchy import (
+    FactLeaf,
+    IndependentJoin,
+    IndependentProject,
+    IndependentUnion,
+    SafePlan,
+    safe_plan,
+    safe_plan_ucq,
+)
+from repro.logic.normalform import (
+    ConjunctiveQuery,
+    UnionOfConjunctiveQueries,
+    extract_ucq,
+)
+from repro.logic.queries import BooleanQuery
+from repro.logic.syntax import Atom, Constant, Term, Variable
+from repro.relational.facts import Fact, Value
+
+
+def _ground_atom(atom: Atom, binding: Dict[Variable, Value]) -> Atom:
+    terms: List[Term] = []
+    for term in atom.terms:
+        if isinstance(term, Variable) and term in binding:
+            terms.append(Constant(binding[term]))
+        else:
+            terms.append(term)
+    return Atom(atom.relation, terms)
+
+
+def _candidate_values(
+    cq: ConjunctiveQuery,
+    variable: Variable,
+    table: TupleIndependentTable,
+) -> List[Value]:
+    """Values worth grounding ``variable`` with: the intersection over
+    atoms containing it of the table's values at the variable's
+    positions.  Values outside give subquery probability 0 and contribute
+    nothing to the independent project."""
+    candidate_sets: List[Set[Value]] = []
+    for atom in cq.atoms:
+        positions = [
+            i for i, term in enumerate(atom.terms) if term == variable
+        ]
+        if not positions:
+            continue
+        values: Set[Value] = set()
+        for fact in table.marginals:
+            if fact.relation != atom.relation:
+                continue
+            position_values = {fact.args[i] for i in positions}
+            if len(position_values) == 1:
+                values.add(position_values.pop())
+        candidate_sets.append(values)
+    if not candidate_sets:
+        return []
+    common = set.intersection(*candidate_sets)
+    return sorted(common, key=repr)
+
+
+def _cq_probability(cq: ConjunctiveQuery, table: TupleIndependentTable) -> float:
+    """Recursive safe-plan evaluation of a Boolean CQ."""
+    if cq.head_variables:
+        raise UnsafeQueryError("lifted evaluation expects a Boolean CQ")
+    existential = cq.existential_variables
+    if not existential:
+        probability = 1.0
+        seen: Set[Fact] = set()
+        for atom in cq.atoms:
+            fact = Fact(atom.relation, tuple(t.value for t in atom.terms))  # type: ignore[union-attr]
+            if fact in seen:
+                continue  # idempotent conjunct
+            seen.add(fact)
+            probability *= table.marginal(fact)
+            if probability == 0.0:
+                return 0.0
+        return probability
+    components = _components(cq)
+    if len(components) > 1:
+        probability = 1.0
+        for atoms in components:
+            probability *= _cq_probability(ConjunctiveQuery(atoms), table)
+            if probability == 0.0:
+                return 0.0
+        return probability
+    roots = _roots(cq)
+    if not roots:
+        raise UnsafeQueryError(f"no root variable: {cq!r} is not hierarchical")
+    root = sorted(roots, key=lambda v: v.name)[0]
+    complement_product = 1.0
+    for value in _candidate_values(cq, root, table):
+        grounded = ConjunctiveQuery(
+            [_ground_atom(atom, {root: value}) for atom in cq.atoms]
+        )
+        complement_product *= 1.0 - _cq_probability(grounded, table)
+        if complement_product == 0.0:
+            return 1.0
+    return 1.0 - complement_product
+
+
+def _components(cq: ConjunctiveQuery) -> List[Tuple[Atom, ...]]:
+    from repro.logic.hierarchy import _connected_components
+
+    return _connected_components(cq)
+
+
+def _roots(cq: ConjunctiveQuery) -> FrozenSet[Variable]:
+    from repro.logic.hierarchy import _root_variables
+
+    return _root_variables(cq)
+
+
+def evaluate_plan(plan: SafePlan, table: TupleIndependentTable) -> float:
+    """Evaluate a compiled :class:`SafePlan` on a TI table.
+
+    >>> from repro.relational import Schema
+    >>> from repro.logic.syntax import Atom, Variable
+    >>> schema = Schema.of(R=1)
+    >>> R = schema["R"]
+    >>> table = TupleIndependentTable(schema, {R(1): 0.5, R(2): 0.5})
+    >>> plan = safe_plan(ConjunctiveQuery([Atom(R, (Variable("x"),))]))
+    >>> round(evaluate_plan(plan, table), 10)
+    0.75
+    """
+    if isinstance(plan, FactLeaf):
+        fact = Fact(
+            plan.atom.relation,
+            tuple(t.value for t in plan.atom.terms),  # type: ignore[union-attr]
+        )
+        return table.marginal(fact)
+    if isinstance(plan, IndependentJoin):
+        probability = 1.0
+        for child in plan.children:
+            probability *= evaluate_plan(child, table)
+        return probability
+    if isinstance(plan, IndependentUnion):
+        complement = 1.0
+        for child in plan.children:
+            complement *= 1.0 - evaluate_plan(child, table)
+        return 1.0 - complement
+    if isinstance(plan, IndependentProject):
+        complement = 1.0
+        for value in _candidate_values(plan.subquery, plan.variable, table):
+            grounded = ConjunctiveQuery(
+                [
+                    _ground_atom(atom, {plan.variable: value})
+                    for atom in plan.subquery.atoms
+                ]
+            )
+            complement *= 1.0 - _cq_probability(grounded, table)
+        return 1.0 - complement
+    raise UnsafeQueryError(f"unknown plan node {plan!r}")
+
+
+def query_probability_lifted(
+    query: BooleanQuery,
+    table: TupleIndependentTable,
+) -> float:
+    """Exact ``P(Q)`` via safe plans, or :class:`UnsafeQueryError`.
+
+    The query must be (equivalent to) a Boolean UCQ whose disjuncts are
+    self-join-free and hierarchical, with pairwise symbol-disjoint
+    disjuncts when there is more than one.
+
+    >>> from repro.relational import Schema
+    >>> from repro.logic.parser import parse_formula
+    >>> schema = Schema.of(R=2)
+    >>> R = schema["R"]
+    >>> table = TupleIndependentTable(schema, {R(1, 1): 0.5, R(2, 1): 0.4})
+    >>> q = BooleanQuery(parse_formula("EXISTS x, y. R(x, y)", schema), schema)
+    >>> round(query_probability_lifted(q, table), 10)
+    0.7
+    """
+    ucq = extract_ucq(query.formula)
+    if ucq is None:
+        raise UnsafeQueryError(
+            f"query {query.name} is not a UCQ; use lineage evaluation"
+        )
+    plan = safe_plan_ucq(ucq)  # validates hierarchy/self-join-freeness
+    if isinstance(plan, IndependentUnion):
+        complement = 1.0
+        for cq in ucq.disjuncts:
+            complement *= 1.0 - _cq_probability(cq, table)
+        return 1.0 - complement
+    return _cq_probability(ucq.disjuncts[0], table)

@@ -1,0 +1,100 @@
+"""Monte-Carlo query evaluation with confidence intervals.
+
+The sampling fallback for queries outside every exact engine's reach
+(non-hierarchical with large lineage), and the E8 ablation baseline:
+its error decays as ``n^{−1/2}`` while exact engines are exact.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, NamedTuple, Union
+
+from repro.finite.bid import BlockIndependentTable
+from repro.finite.pdb import FinitePDB
+from repro.finite.tuple_independent import TupleIndependentTable
+from repro.logic.queries import BooleanQuery
+from repro.relational.instance import Instance
+
+Samplable = Union[FinitePDB, TupleIndependentTable, BlockIndependentTable]
+
+
+class MonteCarloEstimate(NamedTuple):
+    """A point estimate with a normal-approximation confidence interval."""
+
+    estimate: float
+    samples: int
+    #: Half-width of the confidence interval at the requested level.
+    half_width: float
+
+    @property
+    def low(self) -> float:
+        return max(0.0, self.estimate - self.half_width)
+
+    @property
+    def high(self) -> float:
+        return min(1.0, self.estimate + self.half_width)
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+#: Standard normal quantiles for common confidence levels.
+_Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+def query_probability_monte_carlo(
+    query: BooleanQuery,
+    pdb: Samplable,
+    samples: int,
+    rng: random.Random,
+    confidence: float = 0.95,
+) -> MonteCarloEstimate:
+    """Estimate ``P(Q)`` by sampling worlds and model checking.
+
+    >>> from repro.relational import Schema
+    >>> from repro.logic.parser import parse_formula
+    >>> schema = Schema.of(R=1)
+    >>> R = schema["R"]
+    >>> table = TupleIndependentTable(schema, {R(1): 0.5})
+    >>> q = BooleanQuery(parse_formula("EXISTS x. R(x)", schema), schema)
+    >>> est = query_probability_monte_carlo(q, table, 2000, random.Random(1))
+    >>> est.contains(0.5)
+    True
+    """
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    z = _Z.get(confidence)
+    if z is None:
+        raise ValueError(f"unsupported confidence level {confidence}")
+    hits = 0
+    for _ in range(samples):
+        world = pdb.sample(rng)
+        if query.holds_in(world):
+            hits += 1
+    estimate = hits / samples
+    # Wald interval with a continuity floor to avoid zero width at 0/1.
+    variance = max(estimate * (1.0 - estimate), 1.0 / samples)
+    half_width = z * math.sqrt(variance / samples)
+    return MonteCarloEstimate(estimate, samples, half_width)
+
+
+def event_probability_monte_carlo(
+    event: Callable[[Instance], bool],
+    pdb: Samplable,
+    samples: int,
+    rng: random.Random,
+    confidence: float = 0.95,
+) -> MonteCarloEstimate:
+    """Like :func:`query_probability_monte_carlo` for arbitrary events."""
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    z = _Z.get(confidence)
+    if z is None:
+        raise ValueError(f"unsupported confidence level {confidence}")
+    hits = sum(1 for _ in range(samples) if event(pdb.sample(rng)))
+    estimate = hits / samples
+    variance = max(estimate * (1.0 - estimate), 1.0 / samples)
+    half_width = z * math.sqrt(variance / samples)
+    return MonteCarloEstimate(estimate, samples, half_width)

@@ -1,0 +1,177 @@
+"""The finite representation theorem (paper §4.3, positive direction).
+
+"Every finite PDB is FO-definable over a tuple-independent finite PDB"
+[Suciu et al.].  This module implements the classical construction:
+
+* number the worlds ``D₁, …, D_m`` of the finite PDB;
+* build a TI table over fresh *selector* facts ``W(1), …, W(m−1)`` with
+  probabilities chosen so the events "the first selector present is
+  W(i)" (or none) have exactly the world probabilities — a sequential
+  (inverse-transform) encoding;
+* define the FO view mapping each selector outcome to its world.
+
+Proposition 4.9 is precisely the statement that this recipe (and every
+other) *fails* for some countable PDBs; having the finite construction
+executable makes the contrast concrete (E3 territory).
+
+The selector-to-world mapping is not FO over the selector vocabulary
+alone for arbitrary worlds (worlds are data, not logic), so — as in the
+standard textbook construction — the view's formulas carry the worlds as
+constants: for each target relation R,
+
+    φ_R(x̄) = ⋁_i ( "world i selected" ∧ x̄ ∈ R^{D_i} )
+
+where "world i selected" = W(i) ∧ ¬W(1) ∧ … ∧ ¬W(i−1) for i < m, and
+``¬W(1) ∧ … ∧ ¬W(m−1)`` selects the last world.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import ProbabilityError
+from repro.finite.pdb import FinitePDB
+from repro.finite.tuple_independent import TupleIndependentTable
+from repro.logic.queries import FOView
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Constant,
+    Formula,
+    Not,
+    Variable,
+    conjoin,
+    disjoin,
+)
+from repro.relational.instance import Instance
+from repro.relational.schema import RelationSymbol, Schema
+
+
+def _selector_probabilities(world_masses: List[float]) -> List[float]:
+    """Sequential encoding: q_i = P(select world i | not 1..i−1).
+
+    With selectors independent and q_i as below, the event "W(i) is the
+    first present selector" has probability exactly world_masses[i], and
+    "no selector present" has the last world's mass.
+    """
+    qs: List[float] = []
+    remaining = 1.0
+    for mass in world_masses[:-1]:
+        if remaining <= 0:
+            qs.append(0.0)
+            continue
+        qs.append(min(1.0, mass / remaining))
+        remaining -= mass
+    return qs
+
+
+def represent_over_tuple_independent(
+    pdb: FinitePDB,
+    selector_name: str = "W",
+) -> Tuple[TupleIndependentTable, FOView]:
+    """Build ``(C, V)`` with C tuple-independent and ``V(C) = pdb``.
+
+    >>> schema = Schema.of(R=1)
+    >>> R = schema["R"]
+    >>> correlated = FinitePDB(schema, {
+    ...     Instance([R(1), R(2)]): 0.5,   # perfectly correlated facts —
+    ...     Instance(): 0.5,               # not tuple-independent itself
+    ... })
+    >>> table, view = represent_over_tuple_independent(correlated)
+    >>> image = apply_representation(table, view)
+    >>> round(image.probability_of(Instance([R(1), R(2)])), 9)
+    0.5
+    """
+    worlds = sorted(pdb.worlds, key=Instance.sort_key)
+    masses = [pdb.probability_of(w) for w in worlds]
+    if not worlds:
+        raise ProbabilityError("cannot represent an empty PDB")
+    selector = RelationSymbol(selector_name, 1)
+    if selector_name in (r.name for r in pdb.schema):
+        raise ProbabilityError(
+            f"selector relation {selector_name!r} collides with the schema"
+        )
+    source = Schema([selector])
+    qs = _selector_probabilities(masses)
+    table = TupleIndependentTable(
+        source, {selector(i + 1): q for i, q in enumerate(qs)}
+    )
+
+    def selected(i: int) -> Formula:
+        """'World i is selected' over the selector vocabulary."""
+        negatives: List[Formula] = [
+            Not(Atom(selector, (Constant(j + 1),))) for j in range(i)
+        ]
+        if i < len(qs):
+            return conjoin([Atom(selector, (Constant(i + 1),))] + negatives)
+        return conjoin(negatives)  # none present → last world
+
+    formulas: Dict[str, object] = {}
+    target_relations = sorted(
+        {f.relation for w in worlds for f in w}, key=lambda r: r.name
+    )
+    if not target_relations:
+        # All worlds empty: represent with a trivial 0-ary relation view.
+        target_relations = [RelationSymbol("Empty", 0)]
+    target = Schema(target_relations)
+    for relation in target_relations:
+        variables = tuple(
+            Variable(f"x{i}") for i in range(relation.arity)
+        )
+        disjuncts: List[Formula] = []
+        for i, world in enumerate(worlds):
+            tuples = world.relation(relation)
+            if not tuples:
+                continue
+            membership = disjoin([
+                conjoin([
+                    _equals(variables[j], value)
+                    for j, value in enumerate(args)
+                ])
+                for args in sorted(tuples, key=repr)
+            ])
+            disjuncts.append(And(selected(i), membership))
+        formulas[relation.name] = (disjoin(disjuncts), variables)
+    view = FOView(source, target, formulas)
+    return table, view
+
+
+def _equals(variable: Variable, value) -> Formula:
+    from repro.logic.syntax import Equals
+
+    return Equals(variable, Constant(value))
+
+
+def apply_representation(
+    table: TupleIndependentTable, view: FOView
+) -> FinitePDB:
+    """Evaluate the representation: pushforward of the TI table under
+    the view (the right-hand side of ``D = V(C)``)."""
+    from repro.finite.views import apply_view
+
+    return apply_view(view, table)
+
+
+def verify_representation(pdb: FinitePDB, tolerance: float = 1e-9) -> float:
+    """Round-trip check: build the representation, push it forward, and
+    return the largest world-probability discrepancy.
+
+    >>> schema = Schema.of(R=1)
+    >>> R = schema["R"]
+    >>> pdb = FinitePDB(schema, {Instance([R(1)]): 0.3, Instance(): 0.7})
+    >>> verify_representation(pdb) < 1e-9
+    True
+    """
+    table, view = represent_over_tuple_independent(pdb)
+    image = apply_representation(table, view)
+    worst = 0.0
+    for world in set(pdb.worlds) | set(image.worlds):
+        worst = max(
+            worst,
+            abs(pdb.probability_of(world) - image.probability_of(world)),
+        )
+    if worst > tolerance:
+        raise ProbabilityError(
+            f"representation mismatch {worst:.3g} > {tolerance}"
+        )
+    return worst

@@ -1,0 +1,132 @@
+"""Finite tuple-independent tables.
+
+A TI table lists possible facts with marginal probabilities; all fact
+events are independent.  It is the finite special case of the paper's
+Theorem 4.8 construction (``Σ p_f`` trivially converges) and the output
+of the Section 6 truncation ``truncate(n)`` of a countable TI PDB.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.analysis.products import product_complement
+from repro.errors import ProbabilityError
+from repro.finite.pdb import FinitePDB
+from repro.relational.facts import Fact
+from repro.relational.instance import Instance
+from repro.relational.schema import Schema
+from repro.utils.iteration import powerset
+from repro.utils.rationals import validate_probability
+
+
+class TupleIndependentTable:
+    """A finite TI table: possible facts annotated with marginals.
+
+    >>> schema = Schema.of(R=1)
+    >>> R = schema["R"]
+    >>> table = TupleIndependentTable(schema, {R(1): 0.8, R(2): 0.5})
+    >>> round(table.instance_probability(Instance([R(1)])), 10)
+    0.4
+    >>> table.expected_size()
+    1.3
+    """
+
+    def __init__(self, schema: Schema, marginals: Mapping[Fact, float]):
+        self.schema = schema
+        self.marginals: Dict[Fact, float] = {}
+        for fact, probability in marginals.items():
+            validate_probability(probability, what=f"marginal of {fact}")
+            if fact.relation not in schema:
+                from repro.errors import SchemaError
+
+                raise SchemaError(f"fact {fact} not over schema {schema}")
+            if probability > 0:
+                self.marginals[fact] = float(probability)
+
+    # ------------------------------------------------------------------ basics
+    def __len__(self) -> int:
+        return len(self.marginals)
+
+    def facts(self) -> List[Fact]:
+        """Possible facts in canonical order."""
+        return sorted(self.marginals)
+
+    def marginal(self, fact: Fact) -> float:
+        """``P(E_f)``; 0 for unlisted facts (closed world)."""
+        return self.marginals.get(fact, 0.0)
+
+    def expected_size(self) -> float:
+        """``E(S) = Σ p_f`` (eq. (5) of the paper, finite case)."""
+        return sum(self.marginals.values())
+
+    def instance_probability(self, instance: Instance) -> float:
+        """The Theorem 4.8 product
+        ``P({D}) = Π_{f∈D} p_f · Π_{f∈F−D} (1 − p_f)``.
+
+        Zero for instances containing impossible facts.
+        """
+        product = 1.0
+        for fact in instance:
+            p = self.marginals.get(fact)
+            if p is None:
+                return 0.0
+            product *= p
+        absent = (
+            p for fact, p in self.marginals.items() if fact not in instance
+        )
+        return product * product_complement(absent)
+
+    def empty_world_probability(self) -> float:
+        """``P({∅}) = Π (1 − p_f)`` — the ``P₁({∅})`` of Theorem 5.5."""
+        return product_complement(self.marginals.values())
+
+    # ------------------------------------------------------------- conversions
+    def expand(self) -> FinitePDB:
+        """Materialize all 2^n possible worlds as a :class:`FinitePDB`.
+
+        Exponential — intended for validation at small n.
+        """
+        if len(self.marginals) > 24:
+            raise ProbabilityError(
+                f"refusing to expand {len(self.marginals)} facts "
+                f"({2 ** len(self.marginals)} worlds)"
+            )
+        worlds: Dict[Instance, float] = {}
+        for subset in powerset(self.marginals):
+            instance = Instance(subset)
+            worlds[instance] = self.instance_probability(instance)
+        return FinitePDB(self.schema, worlds)
+
+    def restrict(self, facts: Iterable[Fact]) -> "TupleIndependentTable":
+        """Sub-table containing only the given facts."""
+        wanted = set(facts)
+        return TupleIndependentTable(
+            self.schema,
+            {f: p for f, p in self.marginals.items() if f in wanted},
+        )
+
+    def top(self, n: int) -> "TupleIndependentTable":
+        """Sub-table of the n most probable facts (ties broken by the
+        canonical fact order) — the Ω_n truncation workhorse."""
+        ranked = sorted(
+            self.marginals.items(), key=lambda item: (-item[1], item[0].sort_key())
+        )
+        return TupleIndependentTable(self.schema, dict(ranked[:n]))
+
+    # ---------------------------------------------------------------- sampling
+    def sample(self, rng: random.Random) -> Instance:
+        """Draw a world: independent Bernoulli per fact."""
+        return Instance(
+            fact for fact, p in self.marginals.items() if rng.random() < p
+        )
+
+    def sample_many(self, n: int, rng: random.Random) -> List[Instance]:
+        return [self.sample(rng) for _ in range(n)]
+
+    def __repr__(self) -> str:
+        return (
+            f"TupleIndependentTable(facts={len(self.marginals)}, "
+            f"expected_size={self.expected_size():.4g})"
+        )

@@ -1,0 +1,49 @@
+"""Views on finite PDBs: pushforward semantics (paper §3.1, eq. (3)).
+
+``V(D)`` is the PDB with ``P′({D′}) = P(V⁻¹({D′}))`` — every world is
+mapped through the view and probabilities of colliding images add up.
+This is also the mechanism behind the classical result that every finite
+PDB is FO-definable over a tuple-independent one (paper §4.3), which
+Proposition 4.9 shows fails in the infinite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+from repro.finite.bid import BlockIndependentTable
+from repro.finite.pdb import FinitePDB
+from repro.finite.tuple_independent import TupleIndependentTable
+from repro.logic.queries import Query, View
+from repro.relational.instance import Instance
+
+PDBLike = Union[FinitePDB, TupleIndependentTable, BlockIndependentTable]
+
+
+def apply_view(view: View, pdb: PDBLike) -> FinitePDB:
+    """The image PDB ``V(D)`` (eq. (3)): pushforward of the world
+    distribution under the view mapping.
+
+    >>> from repro.relational import Schema
+    >>> from repro.logic.parser import parse_formula
+    >>> from repro.logic.queries import FOView
+    >>> source, target = Schema.of(R=2), Schema.of(T=1)
+    >>> R = source["R"]
+    >>> view = FOView(source, target,
+    ...               {"T": parse_formula("EXISTS y. R(x, y)", source)})
+    >>> pdb = TupleIndependentTable(source, {R(1, 2): 0.5})
+    >>> image = apply_view(view, pdb)
+    >>> round(image.fact_marginal(target["T"](1)), 10)
+    0.5
+    """
+    finite = pdb if isinstance(pdb, FinitePDB) else pdb.expand()
+    images: Dict[Instance, float] = {}
+    for instance in finite.instances():
+        image = view(instance)
+        images[image] = images.get(image, 0.0) + finite.probability_of(instance)
+    return FinitePDB(view.target, images)
+
+
+def apply_query(query: Query, pdb: PDBLike) -> FinitePDB:
+    """``Q(D)`` as a PDB over the single answer relation."""
+    return apply_view(query.as_view(), pdb)

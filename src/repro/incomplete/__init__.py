@@ -1,0 +1,29 @@
+"""Incomplete databases with nulls and their probabilistic completions
+(Example 3.2 of the paper).
+
+An incomplete database has tuples with labelled nulls; assigning each
+null an independent value distribution induces a probabilistic database
+over the completions — countable when the value distributions are
+discrete, and handled via discretization when they are continuous (the
+height example).
+"""
+
+from repro.incomplete.nulls import Null, IncompleteInstance, IncompleteFact
+from repro.incomplete.completion import (
+    ValueDistribution,
+    DiscreteValues,
+    DiscretizedContinuous,
+    StringFrequencyValues,
+    complete_incomplete_instance,
+)
+
+__all__ = [
+    "Null",
+    "IncompleteFact",
+    "IncompleteInstance",
+    "ValueDistribution",
+    "DiscreteValues",
+    "DiscretizedContinuous",
+    "StringFrequencyValues",
+    "complete_incomplete_instance",
+]

@@ -1,0 +1,228 @@
+"""Probabilistic completion of incomplete databases (Example 3.2).
+
+Each null gets an independent :class:`ValueDistribution`; the induced
+PDB over ground completions is their product, realized as a
+:class:`~repro.core.pdb.CountablePDB` (countable when every distribution
+is discrete — continuous attributes are discretized first, which is the
+library's substitution for the paper's uncountable normal-distribution
+completion; see DESIGN.md).
+
+Example 3.2's two flavours are covered:
+
+* a numeric null completed from a (discretized) normal distribution of
+  heights, and
+* a string null completed from a name-frequency list *plus* a decaying
+  open-world tail over all other strings ("a small positive probability
+  to all strings not occurring in the list, decaying with increasing
+  length").
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.pdb import CountablePDB
+from repro.errors import ProbabilityError
+from repro.incomplete.nulls import IncompleteInstance, Null
+from repro.relational.facts import Value
+from repro.relational.schema import Schema
+from repro.universe.strings import StringUniverse
+from repro.utils.enumeration import diagonal_product
+from repro.utils.rationals import validate_probability
+
+
+class ValueDistribution:
+    """A discrete distribution over completion values for one null."""
+
+    def masses(self) -> Iterator[Tuple[Value, float]]:
+        """Enumerate (value, mass), distinct values, mass sum → 1."""
+        raise NotImplementedError
+
+    @property
+    def exhaustive(self) -> bool:
+        """True iff the enumeration is finite."""
+        raise NotImplementedError
+
+
+class DiscreteValues(ValueDistribution):
+    """An explicit finite value distribution.
+
+    >>> d = DiscreteValues({180: 0.5, 183: 0.5})
+    >>> sorted(v for v, _ in d.masses())
+    [180, 183]
+    """
+
+    def __init__(self, masses: Mapping[Value, float]):
+        total = 0.0
+        cleaned: Dict[Value, float] = {}
+        for value, mass in masses.items():
+            validate_probability(mass, what=f"mass of {value!r}")
+            if mass > 0:
+                cleaned[value] = float(mass)
+                total += mass
+        if abs(total - 1.0) > 1e-9:
+            raise ProbabilityError(f"value masses sum to {total}, not 1")
+        self._masses = cleaned
+
+    def masses(self) -> Iterator[Tuple[Value, float]]:
+        return iter(sorted(self._masses.items(), key=lambda kv: repr(kv[0])))
+
+    @property
+    def exhaustive(self) -> bool:
+        return True
+
+
+class DiscretizedContinuous(ValueDistribution):
+    """A continuous density discretized onto a finite grid — the
+    library's stand-in for Example 3.2's normal-distribution height
+    (substitution documented in DESIGN.md: the paper's uncountable
+    completion is approximated by a countable one at grid resolution).
+
+    >>> normal = DiscretizedContinuous.normal(
+    ...     mean=180.0, std=7.0, low=150.0, high=210.0, bins=60)
+    >>> abs(sum(m for _, m in normal.masses()) - 1.0) < 1e-9
+    True
+    """
+
+    def __init__(self, grid: Sequence[float], weights: Sequence[float]):
+        if len(grid) != len(weights):
+            raise ProbabilityError("grid and weights must have equal length")
+        total = sum(weights)
+        if total <= 0:
+            raise ProbabilityError("weights must have positive total")
+        self._masses = [
+            (float(value), weight / total)
+            for value, weight in zip(grid, weights)
+            if weight > 0
+        ]
+
+    @classmethod
+    def normal(
+        cls, mean: float, std: float, low: float, high: float, bins: int
+    ) -> "DiscretizedContinuous":
+        """Gaussian density sampled at bin midpoints and renormalized."""
+        if bins < 1 or std <= 0 or high <= low:
+            raise ProbabilityError("invalid discretization parameters")
+        width = (high - low) / bins
+        grid, weights = [], []
+        for i in range(bins):
+            midpoint = low + (i + 0.5) * width
+            grid.append(midpoint)
+            z = (midpoint - mean) / std
+            weights.append(math.exp(-0.5 * z * z))
+        return cls(grid, weights)
+
+    def masses(self) -> Iterator[Tuple[Value, float]]:
+        return iter(self._masses)
+
+    @property
+    def exhaustive(self) -> bool:
+        return True
+
+
+class StringFrequencyValues(ValueDistribution):
+    """Example 3.2's name distribution: a frequency list over known
+    strings, plus mass ``unseen_mass`` spread over all *other* strings of
+    the universe with geometrically decaying weights by enumeration rank.
+
+    >>> d = StringFrequencyValues({"Peter": 0.6, "Martin": 0.3},
+    ...                           unseen_mass=0.1,
+    ...                           universe=StringUniverse("ab"))
+    >>> d.exhaustive
+    False
+    >>> known = dict(itertools.islice(d.masses(), 2))
+    >>> known["Peter"]
+    0.6
+    """
+
+    def __init__(
+        self,
+        frequencies: Mapping[str, float],
+        unseen_mass: float,
+        universe: StringUniverse,
+        decay: float = 0.5,
+    ):
+        validate_probability(unseen_mass, what="unseen mass")
+        if not 0 < decay < 1:
+            raise ProbabilityError(f"decay must be in (0, 1), got {decay}")
+        known_total = sum(frequencies.values())
+        if abs(known_total + unseen_mass - 1.0) > 1e-9:
+            raise ProbabilityError(
+                f"known mass {known_total} + unseen {unseen_mass} ≠ 1"
+            )
+        self._known = {
+            name: float(mass) for name, mass in frequencies.items() if mass > 0
+        }
+        self._unseen_mass = float(unseen_mass)
+        self._universe = universe
+        self._decay = decay
+
+    def masses(self) -> Iterator[Tuple[Value, float]]:
+        # Known names first (descending frequency), then unseen strings
+        # with geometric weights normalized to the unseen mass.
+        for name, mass in sorted(
+            self._known.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            yield name, mass
+        if self._unseen_mass <= 0:
+            return
+        scale = self._unseen_mass * (1 - self._decay)
+        weight = scale
+        for word in self._universe.enumerate():
+            if word in self._known:
+                continue
+            yield word, weight
+            weight *= self._decay
+
+    @property
+    def exhaustive(self) -> bool:
+        return self._unseen_mass <= 0
+
+
+def complete_incomplete_instance(
+    incomplete: IncompleteInstance,
+    distributions: Mapping[Null, ValueDistribution],
+    schema: Schema,
+) -> CountablePDB:
+    """The product completion PDB of Example 3.2.
+
+    Each null is completed independently with its own distribution
+    (the paper notes the independence assumption can be inappropriate
+    for correlated nulls; callers model correlations by completing a
+    joint null whose values are tuples).
+
+    >>> from repro.relational import RelationSymbol
+    >>> from repro.incomplete.nulls import IncompleteFact
+    >>> schema = Schema.of(Person=2)
+    >>> P = schema["Person"]
+    >>> db = IncompleteInstance([IncompleteFact(P, ("Lindner", Null("h")))])
+    >>> pdb = complete_incomplete_instance(
+    ...     db, {Null("h"): DiscreteValues({178: 0.5, 179: 0.5})}, schema)
+    >>> round(pdb.fact_marginal(P("Lindner", 178)), 10)
+    0.5
+    """
+    nulls = sorted(incomplete.nulls(), key=lambda n: n.label)
+    missing = [n for n in nulls if n not in distributions]
+    if missing:
+        raise ProbabilityError(
+            f"no distribution for nulls {[n.label for n in missing]}"
+        )
+    exhaustive = all(distributions[n].exhaustive for n in nulls)
+
+    def worlds():
+        if not nulls:
+            instance = incomplete.to_instance()
+            yield instance, 1.0
+            return
+        streams = [distributions[n].masses() for n in nulls]
+        for combo in diagonal_product(*streams):
+            valuation = {null: value for null, (value, _) in zip(nulls, combo)}
+            mass = 1.0
+            for _, m in combo:
+                mass *= m
+            grounded = incomplete.substitute(valuation).to_instance()
+            yield grounded, mass
+
+    return CountablePDB(schema, worlds, exhaustive=exhaustive)

@@ -1,0 +1,159 @@
+"""Incomplete databases: facts with labelled nulls.
+
+The classical Imieliński–Lipski model restricted to what Example 3.2 of
+the paper needs: tuples whose unknown positions carry named nulls ``⊥ₓ``;
+substituting values for the nulls yields ordinary facts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Set, Tuple, Union
+
+from repro.errors import SchemaError
+from repro.relational.facts import Fact, Value
+from repro.relational.instance import Instance
+from repro.relational.schema import RelationSymbol, Schema
+
+
+class Null:
+    """A labelled null ``⊥ₓ``; nulls with the same label corefer.
+
+    >>> Null("h") == Null("h")
+    True
+    """
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str):
+        self.label = label
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Null) and self.label == other.label
+
+    def __hash__(self) -> int:
+        return hash(("null", self.label))
+
+    def __repr__(self) -> str:
+        return f"Null({self.label!r})"
+
+    def __str__(self) -> str:
+        return f"⊥{self.label}"
+
+
+MaybeValue = Union[Value, Null]
+
+
+class IncompleteFact:
+    """A fact whose arguments may be nulls.
+
+    >>> R = RelationSymbol("R", 2)
+    >>> f = IncompleteFact(R, ("Grohe", Null("h")))
+    >>> sorted(n.label for n in f.nulls())
+    ['h']
+    >>> f.substitute({Null("h"): 183})
+    Fact(R('Grohe', 183))
+    """
+
+    __slots__ = ("relation", "args")
+
+    def __init__(self, relation: RelationSymbol, args: Iterable[MaybeValue]):
+        args = tuple(args)
+        if len(args) != relation.arity:
+            raise SchemaError(
+                f"relation {relation} expects {relation.arity} arguments"
+            )
+        self.relation = relation
+        self.args: Tuple[MaybeValue, ...] = args
+
+    def nulls(self) -> FrozenSet[Null]:
+        return frozenset(a for a in self.args if isinstance(a, Null))
+
+    @property
+    def is_complete(self) -> bool:
+        return not self.nulls()
+
+    def substitute(self, valuation: Mapping[Null, Value]) -> "FactOrIncomplete":
+        """Replace nulls by values; returns a ground :class:`Fact` when
+        every null is covered, else a partially substituted copy."""
+        new_args: List[MaybeValue] = []
+        for arg in self.args:
+            if isinstance(arg, Null) and arg in valuation:
+                new_args.append(valuation[arg])
+            else:
+                new_args.append(arg)
+        if any(isinstance(a, Null) for a in new_args):
+            return IncompleteFact(self.relation, new_args)
+        return Fact(self.relation, new_args)  # type: ignore[arg-type]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, IncompleteFact)
+            and self.relation == other.relation
+            and self.args == other.args
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.relation, self.args))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"IncompleteFact({self.relation.name}({inner}))"
+
+
+FactOrIncomplete = Union[Fact, IncompleteFact]
+
+
+class IncompleteInstance:
+    """A finite set of (possibly incomplete) facts.
+
+    >>> R = RelationSymbol("R", 2)
+    >>> db = IncompleteInstance([
+    ...     IncompleteFact(R, ("Grohe", Null("h"))),
+    ...     IncompleteFact(R, ("Lindner", 178)),
+    ... ])
+    >>> sorted(n.label for n in db.nulls())
+    ['h']
+    """
+
+    def __init__(self, facts: Iterable[FactOrIncomplete]):
+        normalized: List[FactOrIncomplete] = []
+        for fact in facts:
+            if isinstance(fact, Fact):
+                normalized.append(fact)
+            elif isinstance(fact, IncompleteFact):
+                if fact.is_complete:
+                    normalized.append(Fact(fact.relation, fact.args))  # type: ignore[arg-type]
+                else:
+                    normalized.append(fact)
+            else:
+                raise SchemaError(f"not a fact: {fact!r}")
+        self.facts: Tuple[FactOrIncomplete, ...] = tuple(normalized)
+
+    def nulls(self) -> FrozenSet[Null]:
+        found: Set[Null] = set()
+        for fact in self.facts:
+            if isinstance(fact, IncompleteFact):
+                found |= fact.nulls()
+        return frozenset(found)
+
+    def substitute(self, valuation: Mapping[Null, Value]) -> "IncompleteInstance":
+        return IncompleteInstance(
+            fact.substitute(valuation) if isinstance(fact, IncompleteFact) else fact
+            for fact in self.facts
+        )
+
+    def to_instance(self) -> Instance:
+        """Ground completion → :class:`Instance`; raises if nulls remain."""
+        remaining = self.nulls()
+        if remaining:
+            raise SchemaError(
+                f"instance still contains nulls: "
+                f"{sorted(n.label for n in remaining)}"
+            )
+        return Instance(fact for fact in self.facts if isinstance(fact, Fact))
+
+    def __len__(self) -> int:
+        return len(self.facts)
+
+    def __repr__(self) -> str:
+        return f"IncompleteInstance(facts={len(self.facts)}, nulls={len(self.nulls())})"

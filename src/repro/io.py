@@ -1,0 +1,219 @@
+"""Loading and saving probabilistic tables.
+
+Two interchange formats:
+
+* **Fact lines** — one ``R(arg, …) : p`` per line, ``#`` comments; the
+  human-friendly format used in docs and tests.
+* **JSON** — a dict with ``schema`` (name → arity), ``facts``
+  (list of ``[relation, args, probability]``) and, for BID tables,
+  ``blocks`` (name → list of fact entries).
+
+Round-trips preserve marginals exactly up to float formatting.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, TextIO, Tuple, Union
+
+from repro.errors import ParseError, SchemaError
+from repro.finite.bid import Block, BlockIndependentTable
+from repro.finite.tuple_independent import TupleIndependentTable
+from repro.relational.facts import Fact, parse_fact
+from repro.relational.schema import RelationSymbol, Schema
+
+
+# ------------------------------------------------------------------ fact lines
+def parse_fact_lines(text: str, schema: Schema) -> Dict[Fact, float]:
+    """Parse ``R(1, 'x') : 0.5`` lines into a marginal dict.
+
+    >>> schema = Schema.of(R=1)
+    >>> marginals = parse_fact_lines('''
+    ... # a comment
+    ... R(1) : 0.5
+    ... R(2) : 0.25
+    ... ''', schema)
+    >>> len(marginals)
+    2
+    """
+    marginals: Dict[Fact, float] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if ":" not in line:
+            raise ParseError(f"line {lineno}: expected 'fact : probability'")
+        fact_text, _, probability_text = line.rpartition(":")
+        try:
+            fact = parse_fact(fact_text.strip(), schema)
+            probability = float(probability_text.strip())
+        except (ParseError, ValueError, SchemaError) as err:
+            raise ParseError(f"line {lineno}: {err}") from err
+        if fact in marginals:
+            raise ParseError(f"line {lineno}: duplicate fact {fact}")
+        marginals[fact] = probability
+    return marginals
+
+
+def load_tuple_independent(text: str, schema: Schema) -> TupleIndependentTable:
+    """Load a TI table from fact lines.
+
+    >>> schema = Schema.of(R=1)
+    >>> table = load_tuple_independent("R(1): 0.5", schema)
+    >>> table.marginal(schema["R"](1))
+    0.5
+    """
+    return TupleIndependentTable(schema, parse_fact_lines(text, schema))
+
+
+def dump_tuple_independent(table: TupleIndependentTable) -> str:
+    """Serialize a TI table to fact lines (canonical fact order).
+
+    >>> schema = Schema.of(R=1)
+    >>> R = schema["R"]
+    >>> print(dump_tuple_independent(
+    ...     TupleIndependentTable(schema, {R(1): 0.5})))
+    R(1) : 0.5
+    """
+    lines = [
+        f"{fact} : {table.marginal(fact)!r}" for fact in table.facts()
+    ]
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------------------ JSON
+def _schema_to_json(schema: Schema) -> Dict[str, int]:
+    return {relation.name: relation.arity for relation in schema}
+
+
+def _schema_from_json(data: Mapping[str, int]) -> Schema:
+    return Schema(
+        RelationSymbol(name, arity) for name, arity in sorted(data.items())
+    )
+
+
+def _fact_to_json(fact: Fact, probability: float) -> list:
+    return [fact.relation.name, list(fact.args), probability]
+
+
+def _fact_from_json(entry: list, schema: Schema) -> Tuple[Fact, float]:
+    if len(entry) != 3:
+        raise ParseError(f"fact entry must be [name, args, p]: {entry!r}")
+    name, args, probability = entry
+    symbol = schema[name]
+    return Fact(symbol, tuple(_revive(a) for a in args)), float(probability)
+
+
+def _revive(value):
+    # JSON has no tuples; lists in argument position become tuples.
+    if isinstance(value, list):
+        return tuple(_revive(v) for v in value)
+    return value
+
+
+def tuple_independent_to_json(table: TupleIndependentTable) -> str:
+    """Serialize a TI table to a JSON string.
+
+    >>> schema = Schema.of(R=1)
+    >>> R = schema["R"]
+    >>> text = tuple_independent_to_json(
+    ...     TupleIndependentTable(schema, {R(1): 0.5}))
+    >>> '"R"' in text
+    True
+    """
+    payload = {
+        "kind": "tuple-independent",
+        "schema": _schema_to_json(table.schema),
+        "facts": [
+            _fact_to_json(fact, table.marginal(fact))
+            for fact in table.facts()
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def tuple_independent_from_json(text: str) -> TupleIndependentTable:
+    """Inverse of :func:`tuple_independent_to_json`.
+
+    >>> schema = Schema.of(R=1)
+    >>> R = schema["R"]
+    >>> original = TupleIndependentTable(schema, {R(1): 0.5})
+    >>> restored = tuple_independent_from_json(
+    ...     tuple_independent_to_json(original))
+    >>> restored.marginal(R(1))
+    0.5
+    """
+    payload = json.loads(text)
+    if payload.get("kind") != "tuple-independent":
+        raise ParseError(f"not a tuple-independent payload: {payload.get('kind')!r}")
+    schema = _schema_from_json(payload["schema"])
+    marginals = dict(
+        _fact_from_json(entry, schema) for entry in payload["facts"]
+    )
+    return TupleIndependentTable(schema, marginals)
+
+
+def block_independent_to_json(table: BlockIndependentTable) -> str:
+    """Serialize a BID table to a JSON string."""
+    payload = {
+        "kind": "block-independent-disjoint",
+        "schema": _schema_to_json(table.schema),
+        "blocks": {
+            block.name: [
+                _fact_to_json(fact, block.alternatives[fact])
+                for fact in block.facts()
+            ]
+            for block in table.blocks
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def block_independent_from_json(text: str) -> BlockIndependentTable:
+    """Inverse of :func:`block_independent_to_json`.
+
+    >>> from repro.relational import Schema
+    >>> schema = Schema.of(R=1)
+    >>> R = schema["R"]
+    >>> original = BlockIndependentTable(
+    ...     schema, [Block("b", {R(1): 0.5, R(2): 0.25})])
+    >>> restored = block_independent_from_json(
+    ...     block_independent_to_json(original))
+    >>> restored.marginal(R(2))
+    0.25
+    """
+    payload = json.loads(text)
+    if payload.get("kind") != "block-independent-disjoint":
+        raise ParseError(
+            f"not a BID payload: {payload.get('kind')!r}")
+    schema = _schema_from_json(payload["schema"])
+    blocks = [
+        Block(name, dict(
+            _fact_from_json(entry, schema) for entry in entries
+        ))
+        for name, entries in sorted(payload["blocks"].items())
+    ]
+    return BlockIndependentTable(schema, blocks)
+
+
+def save(obj: Union[TupleIndependentTable, BlockIndependentTable],
+         stream: TextIO) -> None:
+    """Write a table to an open text stream as JSON."""
+    if isinstance(obj, TupleIndependentTable):
+        stream.write(tuple_independent_to_json(obj))
+    elif isinstance(obj, BlockIndependentTable):
+        stream.write(block_independent_to_json(obj))
+    else:
+        raise ParseError(f"cannot serialize {type(obj).__name__}")
+
+
+def load(stream: TextIO):
+    """Read a table (either kind) from an open text stream."""
+    text = stream.read()
+    payload = json.loads(text)
+    kind = payload.get("kind")
+    if kind == "tuple-independent":
+        return tuple_independent_from_json(text)
+    if kind == "block-independent-disjoint":
+        return block_independent_from_json(text)
+    raise ParseError(f"unknown payload kind {kind!r}")

@@ -1,0 +1,204 @@
+"""Static analysis of FO formulas: free variables, quantifier rank,
+constants, atoms, and safe-range (domain-independence) checking.
+
+Quantifier rank drives the r-equivalence argument in the proof of
+Proposition 6.1 ("every instance of Ω_n is r-equivalent to some finite
+structure of size O(n + r + s)"); ``adom(φ)`` is the constant set of
+Fact 2.1.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set, Tuple
+
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Constant,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Variable,
+    _Truth,
+    walk,
+)
+from repro.relational.facts import Value
+from repro.relational.schema import RelationSymbol
+
+
+def free_variables(formula: Formula) -> FrozenSet[Variable]:
+    """The free variables of ``formula``.
+
+    >>> from repro.relational import Schema
+    >>> from repro.logic.parser import parse_formula
+    >>> schema = Schema.of(R=2)
+    >>> sorted(v.name for v in free_variables(
+    ...     parse_formula("EXISTS x. R(x, y)", schema)))
+    ['y']
+    """
+    if isinstance(formula, Atom):
+        return frozenset(t for t in formula.terms if isinstance(t, Variable))
+    if isinstance(formula, Equals):
+        return frozenset(
+            t for t in (formula.left, formula.right) if isinstance(t, Variable)
+        )
+    if isinstance(formula, _Truth):
+        return frozenset()
+    if isinstance(formula, Not):
+        return free_variables(formula.operand)
+    if isinstance(formula, (And, Or, Implies)):
+        return free_variables(formula.left) | free_variables(formula.right)
+    if isinstance(formula, (Exists, Forall)):
+        return free_variables(formula.body) - {formula.variable}
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def quantifier_rank(formula: Formula) -> int:
+    """Maximum nesting depth of quantifiers (paper §6, the parameter r).
+
+    >>> from repro.relational import Schema
+    >>> from repro.logic.parser import parse_formula
+    >>> schema = Schema.of(R=2)
+    >>> quantifier_rank(parse_formula("EXISTS x. EXISTS y. R(x, y)", schema))
+    2
+    >>> quantifier_rank(parse_formula("(EXISTS x. R(x, x)) AND "
+    ...                               "(EXISTS y. R(y, y))", schema))
+    1
+    """
+    if isinstance(formula, (Atom, Equals, _Truth)):
+        return 0
+    if isinstance(formula, Not):
+        return quantifier_rank(formula.operand)
+    if isinstance(formula, (And, Or, Implies)):
+        return max(quantifier_rank(formula.left), quantifier_rank(formula.right))
+    if isinstance(formula, (Exists, Forall)):
+        return 1 + quantifier_rank(formula.body)
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def constants_of(formula: Formula) -> FrozenSet[Value]:
+    """``adom(φ)``: all constants from U occurring in the formula
+    (Fact 2.1; the parameter s of Proposition 6.1 is its size).
+
+    >>> from repro.relational import Schema
+    >>> from repro.logic.parser import parse_formula
+    >>> schema = Schema.of(R=2)
+    >>> sorted(constants_of(parse_formula("R(x, 3) AND R(x, 5)", schema)))
+    [3, 5]
+    """
+    found: Set[Value] = set()
+    for node in walk(formula):
+        if isinstance(node, Atom):
+            found.update(t.value for t in node.terms if isinstance(t, Constant))
+        elif isinstance(node, Equals):
+            for term in (node.left, node.right):
+                if isinstance(term, Constant):
+                    found.add(term.value)
+    return frozenset(found)
+
+
+# Keep the paper's name available as an alias.
+adom_of_formula = constants_of
+
+
+def atoms_of(formula: Formula) -> Tuple[Atom, ...]:
+    """All relational atoms, in pre-order."""
+    return tuple(node for node in walk(formula) if isinstance(node, Atom))
+
+
+def relations_of(formula: Formula) -> FrozenSet[RelationSymbol]:
+    """The relation symbols mentioned by the formula."""
+    return frozenset(atom.relation for atom in atoms_of(formula))
+
+
+def is_sentence(formula: Formula) -> bool:
+    """True iff the formula has no free variables (Boolean query)."""
+    return not free_variables(formula)
+
+
+def is_quantifier_free(formula: Formula) -> bool:
+    """True iff no quantifier occurs anywhere in the formula."""
+    return not any(isinstance(node, (Exists, Forall)) for node in walk(formula))
+
+
+def is_positive(formula: Formula) -> bool:
+    """True iff the formula contains no negation or implication."""
+    return not any(isinstance(node, (Not, Implies)) for node in walk(formula))
+
+
+def is_safe_range(formula: Formula) -> bool:
+    """Conservative safe-range (domain-independence) test.
+
+    Returns True only if every free or quantified variable is *range
+    restricted*: it occurs in a positive relational atom within the scope
+    that binds it.  Safe-range formulas evaluated under active-domain
+    semantics are domain independent, so their answers don't depend on
+    the (possibly infinite) universe beyond ``adom(D) ∪ adom(φ)``
+    (Fact 2.1 territory).  The test is sound but not complete.
+
+    >>> from repro.relational import Schema
+    >>> from repro.logic.parser import parse_formula
+    >>> schema = Schema.of(R=1)
+    >>> is_safe_range(parse_formula("EXISTS x. R(x)", schema))
+    True
+    >>> is_safe_range(parse_formula("EXISTS x. NOT R(x)", schema))
+    False
+    """
+
+    def restricted(node: Formula, positive: bool) -> FrozenSet[Variable]:
+        """Variables guaranteed bound to the active domain by ``node``
+        when it appears in the given polarity."""
+        if isinstance(node, Atom):
+            if positive:
+                return frozenset(
+                    t for t in node.terms if isinstance(t, Variable)
+                )
+            return frozenset()
+        if isinstance(node, (Equals, _Truth)):
+            return frozenset()
+        if isinstance(node, Not):
+            return restricted(node.operand, not positive)
+        if isinstance(node, And):
+            if positive:
+                return restricted(node.left, True) | restricted(node.right, True)
+            return restricted(node.left, False) & restricted(node.right, False)
+        if isinstance(node, Or):
+            if positive:
+                return restricted(node.left, True) & restricted(node.right, True)
+            return restricted(node.left, False) | restricted(node.right, False)
+        if isinstance(node, Implies):
+            # φ -> ψ  ≡  ¬φ ∨ ψ
+            if positive:
+                return restricted(node.left, False) & restricted(node.right, True)
+            return restricted(node.left, True) | restricted(node.right, False)
+        if isinstance(node, (Exists, Forall)):
+            return restricted(node.body, positive) - {node.variable}
+        raise TypeError(f"unknown formula node {node!r}")
+
+    def check(node: Formula, positive: bool) -> bool:
+        if isinstance(node, Exists):
+            inner_positive = positive
+            if node.variable not in restricted(node.body, inner_positive):
+                return False
+            return check(node.body, inner_positive)
+        if isinstance(node, Forall):
+            # ∀x. φ ≡ ¬∃x.¬φ: the variable must be restricted in ¬φ.
+            if node.variable not in restricted(node.body, not positive):
+                return False
+            return check(node.body, positive)
+        if isinstance(node, Not):
+            return check(node.operand, not positive)
+        if isinstance(node, (And, Or)):
+            return check(node.left, positive) and check(node.right, positive)
+        if isinstance(node, Implies):
+            return check(node.left, not positive) and check(node.right, positive)
+        return True
+
+    outer = restricted(formula, True)
+    if not free_variables(formula) <= outer:
+        return False
+    return check(formula, True)

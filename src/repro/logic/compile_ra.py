@@ -1,0 +1,237 @@
+"""Compilation of safe-range FO formulas to relational algebra.
+
+The evaluable (domain-independent) fragment of relational calculus is
+the safe-range one (:func:`repro.logic.analysis.is_safe_range`); this
+module translates it into the operators of
+:mod:`repro.relational.algebra`, giving a second, independent evaluator
+whose answers are checked against direct model checking by the tests.
+
+Supported shapes (sufficient for the safe-range normal form):
+
+* relational atoms with variables, constants and repeated variables;
+* conjunction (natural join), including *guarded* negation
+  ``φ ∧ ¬ψ`` where ``ψ``'s free variables are bound by ``φ``;
+* equality selections ``x = c`` / ``x = y`` guarded by a conjunct;
+* disjunction of subformulas with identical free variables (union);
+* existential quantification (projection);
+* universal quantification via the classical rewrite
+  ``∀x. φ ≡ ¬∃x. ¬φ`` when the result is guarded.
+
+Unsupported shapes raise :class:`~repro.errors.UnsafeQueryError` —
+use :func:`repro.logic.semantics.answer_tuples` (active-domain model
+checking) for those.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import UnsafeQueryError
+from repro.logic.analysis import free_variables
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Constant,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    Variable,
+    _Truth,
+)
+from repro.relational.algebra import (
+    Relation,
+    difference,
+    join,
+    project,
+    rename,
+    select,
+    union,
+)
+from repro.relational.instance import Instance
+
+
+def compile_and_evaluate(
+    formula: Formula,
+    instance: Instance,
+) -> Relation:
+    """Evaluate a safe-range formula via relational algebra.
+
+    Columns of the result are the free variables' names.
+
+    >>> from repro.relational import Schema
+    >>> from repro.logic.parser import parse_formula
+    >>> schema = Schema.of(R=1, S=2)
+    >>> R, S = schema["R"], schema["S"]
+    >>> D = Instance([R(1), S(1, 2), S(3, 4)])
+    >>> result = compile_and_evaluate(
+    ...     parse_formula("R(x) AND S(x, y)", schema), D)
+    >>> result.tuples(("x", "y"))
+    {(1, 2)}
+    """
+    # NOTE: no NNF pass — pushing negation inward would turn the guarded
+    # shape ``φ ∧ ¬∃ȳ.ψ`` into an (untranslatable) universal quantifier;
+    # negation is handled structurally inside conjunctions instead.
+    return _translate(formula, instance)
+
+
+def _columns(formula: Formula) -> Tuple[str, ...]:
+    return tuple(sorted(v.name for v in free_variables(formula)))
+
+
+def _translate(formula: Formula, instance: Instance) -> Relation:
+    if isinstance(formula, _Truth):
+        return Relation.nullary(formula.value)
+    if isinstance(formula, Atom):
+        return _atom_relation(formula, instance)
+    if isinstance(formula, And):
+        return _translate_conjunction(_flatten_and(formula), instance)
+    if isinstance(formula, Or):
+        left = _translate(formula.left, instance)
+        right = _translate(formula.right, instance)
+        if set(left.columns) != set(right.columns):
+            raise UnsafeQueryError(
+                "disjuncts must share free variables for union translation"
+            )
+        return union(left, right)
+    if isinstance(formula, Exists):
+        body = _translate(formula.body, instance)
+        keep = tuple(c for c in body.columns if c != formula.variable.name)
+        return project(body, keep)
+    if isinstance(formula, Forall):
+        # ∀x. φ ≡ ¬∃x. ¬φ; only evaluable when the complement is guarded
+        # — handled inside conjunctions; a bare ∀ is only allowed as a
+        # sentence (then we can check it by model checking semantics).
+        raise UnsafeQueryError(
+            "bare universal quantification is not safe-range; rewrite "
+            "with a guard (∀x. guard(x) -> ψ inside a conjunction)"
+        )
+    if isinstance(formula, Not):
+        raise UnsafeQueryError(
+            "negation must be guarded by a positive conjunct"
+        )
+    if isinstance(formula, Equals):
+        raise UnsafeQueryError(
+            "bare equality is not range-restricted; guard it with an atom"
+        )
+    from repro.logic.syntax import Implies
+
+    if isinstance(formula, Implies):
+        # φ → ψ ≡ ¬φ ∨ ψ: only translatable when both branches are
+        # (sentences or) identically-ranged — delegate to Or/Not rules.
+        return _translate(Or(Not(formula.left), formula.right), instance)
+    raise UnsafeQueryError(f"unsupported node {type(formula).__name__}")
+
+
+def _flatten_and(formula: Formula) -> List[Formula]:
+    if isinstance(formula, And):
+        return _flatten_and(formula.left) + _flatten_and(formula.right)
+    return [formula]
+
+
+def _translate_conjunction(
+    conjuncts: List[Formula], instance: Instance
+) -> Relation:
+    """Positive conjuncts join first; selections and guarded negations
+    apply afterwards over the bound columns."""
+    positives: List[Formula] = []
+    equalities: List[Equals] = []
+    negations: List[Formula] = []
+    for conjunct in conjuncts:
+        if isinstance(conjunct, Equals):
+            equalities.append(conjunct)
+        elif isinstance(conjunct, Not):
+            negations.append(conjunct.operand)
+        elif isinstance(conjunct, _Truth):
+            if not conjunct.value:
+                return Relation((), [])
+            # TRUE conjuncts are dropped.
+        else:
+            positives.append(conjunct)
+    if not positives:
+        raise UnsafeQueryError(
+            "conjunction needs at least one positive range-restricting "
+            "conjunct"
+        )
+    result = _translate(positives[0], instance)
+    for positive in positives[1:]:
+        result = join(result, _translate(positive, instance))
+    # Equality selections: x = c filters, x = y filters (both must be
+    # bound by the positive part).
+    for equality in equalities:
+        result = _apply_equality(result, equality)
+    # Guarded negations: anti-join / difference.
+    for negation in negations:
+        negated = _translate(negation, instance)
+        missing = set(negated.columns) - set(result.columns)
+        if missing:
+            raise UnsafeQueryError(
+                f"negated conjunct has unbound variables {sorted(missing)}"
+            )
+        if negated.columns == ():
+            # Boolean guard: ¬ψ for a sentence ψ.
+            if not negated.is_empty():
+                return Relation(result.columns, [])
+            continue
+        matching = project(result, tuple(negated.columns))
+        surviving = difference(matching, negated)
+        result = join(result, surviving)
+    return result
+
+
+def _apply_equality(relation: Relation, equality: Equals) -> Relation:
+    left, right = equality.left, equality.right
+    if isinstance(left, Constant) and isinstance(right, Constant):
+        if left.value == right.value:
+            return relation
+        return Relation(relation.columns, [])
+    if isinstance(left, Constant):
+        left, right = right, left  # normalize: variable on the left
+    if isinstance(left, Variable) and isinstance(right, Constant):
+        if left.name not in relation.columns:
+            raise UnsafeQueryError(
+                f"equality variable {left.name} is not range-restricted"
+            )
+        value = right.value
+        return select(relation, lambda row: row[left.name] == value)
+    assert isinstance(left, Variable) and isinstance(right, Variable)
+    if (left.name not in relation.columns
+            or right.name not in relation.columns):
+        raise UnsafeQueryError(
+            "both sides of a variable equality must be range-restricted"
+        )
+    return select(
+        relation, lambda row: row[left.name] == row[right.name]
+    )
+
+
+def _atom_relation(atom: Atom, instance: Instance) -> Relation:
+    """Base relation access with constant selection, repeated-variable
+    selection and renaming to variable-named columns."""
+    tuples = instance.relation(atom.relation)
+    positional = [f"#{i}" for i in range(atom.relation.arity)]
+    relation = Relation.from_tuples(positional, tuples)
+    # Constants: select matching positions.
+    for i, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            column, value = positional[i], term.value
+            relation = select(
+                relation, lambda row, c=column, v=value: row[c] == v)
+    # Repeated variables: equality selections between their positions.
+    first_position: Dict[str, str] = {}
+    for i, term in enumerate(atom.terms):
+        if isinstance(term, Variable):
+            if term.name in first_position:
+                left, right = first_position[term.name], positional[i]
+                relation = select(
+                    relation,
+                    lambda row, a=left, b=right: row[a] == row[b])
+            else:
+                first_position[term.name] = positional[i]
+    # Project to one column per variable, named after it.
+    keep = tuple(first_position.values())
+    relation = project(relation, keep)
+    renaming = {pos: name for name, pos in first_position.items()}
+    return rename(relation, renaming)

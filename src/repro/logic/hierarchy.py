@@ -1,0 +1,261 @@
+"""Hierarchical queries and safe plans (Dalvi–Suciu dichotomy).
+
+Proposition 6.1 of the paper reduces approximate evaluation on infinite
+tuple-independent PDBs to "a traditional closed-world query evaluation
+algorithm for finite tuple-independent PDBs".  For self-join-free
+conjunctive queries the classical result is a dichotomy: the query
+probability is computable in polynomial time iff the query is
+*hierarchical* — for every two existential variables x, y, the sets of
+atoms containing them are nested or disjoint.  This module implements
+the hierarchy test and compiles hierarchical queries to *safe plans*,
+trees of extensional operators evaluated by ``repro.finite.lifted``:
+
+* ``FactLeaf`` — a ground atom; probability is the fact's marginal.
+* ``IndependentJoin`` — conjunction of subplans over disjoint fact sets;
+  probabilities multiply.
+* ``IndependentProject`` — existential quantification over a root
+  variable x occurring in *all* atoms; ``P = 1 − Π_a (1 − P(Q[x↦a]))``.
+* ``IndependentUnion`` — disjunction of subplans over disjoint fact
+  sets (used for UCQs whose disjuncts share no relation symbol).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import UnsafeQueryError
+from repro.logic.normalform import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.logic.syntax import Atom, Constant, Variable
+
+
+def _atom_variables(atom: Atom) -> FrozenSet[Variable]:
+    return frozenset(t for t in atom.terms if isinstance(t, Variable))
+
+
+def is_self_join_free(cq: ConjunctiveQuery) -> bool:
+    """True iff no relation symbol occurs in two different atoms.
+
+    >>> from repro.relational import RelationSymbol
+    >>> R = RelationSymbol("R", 1)
+    >>> x = Variable("x")
+    >>> is_self_join_free(ConjunctiveQuery([Atom(R, (x,))]))
+    True
+    >>> is_self_join_free(ConjunctiveQuery(
+    ...     [Atom(R, (x,)), Atom(R, (Constant(1),))]))
+    False
+    """
+    symbols = [atom.relation for atom in cq.atoms]
+    return len(symbols) == len(set(symbols))
+
+
+def is_hierarchical(cq: ConjunctiveQuery) -> bool:
+    """The hierarchy test on existential variables.
+
+    For all existential x, y: ``at(x) ⊆ at(y)``, ``at(y) ⊆ at(x)`` or
+    ``at(x) ∩ at(y) = ∅``, where ``at(x)`` is the set of atoms containing
+    x.  Head variables are ignored (they are constants at evaluation
+    time).
+
+    >>> from repro.relational import RelationSymbol
+    >>> R, S, T = (RelationSymbol(n, a) for n, a in
+    ...            [("R", 1), ("S", 2), ("T", 1)])
+    >>> x, y = Variable("x"), Variable("y")
+    >>> is_hierarchical(ConjunctiveQuery(
+    ...     [Atom(R, (x,)), Atom(S, (x, y))]))
+    True
+    >>> is_hierarchical(ConjunctiveQuery(            # the classic H0
+    ...     [Atom(R, (x,)), Atom(S, (x, y)), Atom(T, (y,))]))
+    False
+    """
+    existential = cq.existential_variables
+    at: Dict[Variable, Set[int]] = {v: set() for v in existential}
+    for index, atom in enumerate(cq.atoms):
+        for variable in _atom_variables(atom):
+            if variable in at:
+                at[variable].add(index)
+    variables = list(existential)
+    for i, x in enumerate(variables):
+        for y in variables[i + 1:]:
+            ax, ay = at[x], at[y]
+            if not (ax <= ay or ay <= ax or not (ax & ay)):
+                return False
+    return True
+
+
+# ------------------------------------------------------------------ plan AST
+class SafePlan:
+    """Base class of safe-plan nodes."""
+
+    __slots__ = ()
+
+
+class FactLeaf(SafePlan):
+    """A ground atom; evaluates to its marginal probability."""
+
+    __slots__ = ("atom",)
+
+    def __init__(self, atom: Atom):
+        if not atom.is_ground():
+            raise UnsafeQueryError(f"FactLeaf requires a ground atom, got {atom}")
+        self.atom = atom
+
+    def __repr__(self) -> str:
+        return f"FactLeaf({self.atom})"
+
+
+class IndependentJoin(SafePlan):
+    """Conjunction of independent subplans: probabilities multiply."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Sequence[SafePlan]):
+        self.children: Tuple[SafePlan, ...] = tuple(children)
+
+    def __repr__(self) -> str:
+        return f"IndependentJoin({list(self.children)})"
+
+
+class IndependentUnion(SafePlan):
+    """Disjunction of independent subplans:
+    ``P = 1 − Π (1 − P(child))``."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Sequence[SafePlan]):
+        self.children: Tuple[SafePlan, ...] = tuple(children)
+
+    def __repr__(self) -> str:
+        return f"IndependentUnion({list(self.children)})"
+
+
+class IndependentProject(SafePlan):
+    """Existential quantification over a root variable.
+
+    ``subquery`` is the CQ with the variable still free; evaluation
+    grounds it with every active-domain value and combines
+    ``1 − Π (1 − P)``.
+    """
+
+    __slots__ = ("variable", "subquery")
+
+    def __init__(self, variable: Variable, subquery: ConjunctiveQuery):
+        self.variable = variable
+        self.subquery = subquery
+
+    def __repr__(self) -> str:
+        return f"IndependentProject({self.variable}, {self.subquery!r})"
+
+
+def _connected_components(cq: ConjunctiveQuery) -> List[Tuple[Atom, ...]]:
+    """Partition atoms into components connected via shared existential
+    variables."""
+    existential = cq.existential_variables
+    n = len(cq.atoms)
+    parent = list(range(n))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        parent[find(i)] = find(j)
+
+    by_variable: Dict[Variable, List[int]] = {}
+    for index, atom in enumerate(cq.atoms):
+        for variable in _atom_variables(atom) & existential:
+            by_variable.setdefault(variable, []).append(index)
+    for indices in by_variable.values():
+        for other in indices[1:]:
+            union(indices[0], other)
+    groups: Dict[int, List[Atom]] = {}
+    for index, atom in enumerate(cq.atoms):
+        groups.setdefault(find(index), []).append(atom)
+    return [tuple(group) for group in groups.values()]
+
+
+def _root_variables(cq: ConjunctiveQuery) -> FrozenSet[Variable]:
+    """Existential variables occurring in every atom of the CQ."""
+    existential = cq.existential_variables
+    if not existential:
+        return frozenset()
+    common = set(existential)
+    for atom in cq.atoms:
+        common &= _atom_variables(atom)
+    return frozenset(common)
+
+
+def safe_plan(cq: ConjunctiveQuery) -> SafePlan:
+    """Compile a Boolean, self-join-free hierarchical CQ to a safe plan.
+
+    Raises :class:`UnsafeQueryError` if the query has head variables,
+    self-joins, or is not hierarchical (e.g. the classic unsafe query
+    ``H₀ = ∃x∃y. R(x) ∧ S(x, y) ∧ T(y)``).
+
+    >>> from repro.relational import RelationSymbol
+    >>> R, S = RelationSymbol("R", 1), RelationSymbol("S", 2)
+    >>> x, y = Variable("x"), Variable("y")
+    >>> plan = safe_plan(ConjunctiveQuery([Atom(R, (x,)), Atom(S, (x, y))]))
+    >>> isinstance(plan, IndependentProject)
+    True
+    """
+    if cq.head_variables:
+        raise UnsafeQueryError(
+            "safe_plan expects a Boolean CQ; ground the head variables first"
+        )
+    if not is_self_join_free(cq):
+        raise UnsafeQueryError(f"query has self-joins: {cq!r}")
+    if not is_hierarchical(cq):
+        raise UnsafeQueryError(f"query is not hierarchical: {cq!r}")
+    return _plan(cq)
+
+
+def _plan(cq: ConjunctiveQuery) -> SafePlan:
+    # 1. All atoms ground: independent join of fact leaves.
+    if not cq.existential_variables:
+        leaves = [FactLeaf(atom) for atom in cq.atoms]
+        if len(leaves) == 1:
+            return leaves[0]
+        return IndependentJoin(leaves)
+    # 2. Multiple connected components: independent join.
+    components = _connected_components(cq)
+    if len(components) > 1:
+        return IndependentJoin(
+            [_plan(ConjunctiveQuery(atoms)) for atoms in components]
+        )
+    # 3. Single component: a root variable must exist (hierarchical +
+    #    connected self-join-free CQs always have one).
+    roots = _root_variables(cq)
+    if not roots:
+        raise UnsafeQueryError(
+            f"no root variable in connected component {cq!r}; "
+            "query is not hierarchical"
+        )
+    root = sorted(roots, key=lambda v: v.name)[0]
+    return IndependentProject(root, cq)
+
+
+def safe_plan_ucq(ucq: UnionOfConjunctiveQueries) -> SafePlan:
+    """Compile a Boolean UCQ whose disjuncts mention pairwise disjoint
+    relation symbols (hence are independent) to a safe plan.
+
+    General UCQ lifted inference (with shared symbols) requires
+    inclusion–exclusion / cancellation machinery beyond this engine;
+    such queries raise :class:`UnsafeQueryError` and callers fall back
+    to lineage-based exact evaluation.
+    """
+    symbol_sets = [
+        frozenset(atom.relation for atom in cq.atoms) for cq in ucq.disjuncts
+    ]
+    for i, left in enumerate(symbol_sets):
+        for right in symbol_sets[i + 1:]:
+            if left & right:
+                raise UnsafeQueryError(
+                    "UCQ disjuncts share relation symbols; not supported "
+                    "by the independent-union plan"
+                )
+    children = [safe_plan(cq) for cq in ucq.disjuncts]
+    if len(children) == 1:
+        return children[0]
+    return IndependentUnion(children)

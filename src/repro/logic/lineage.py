@@ -1,0 +1,335 @@
+"""Boolean lineage (event expressions / provenance) of queries on
+tuple-independent fact tables.
+
+The *lineage* of a Boolean query Q over a set of possible facts is a
+Boolean function over fact-indicator variables that evaluates to Q's
+truth value in every possible world.  Exact query probability is then
+the probability of the lineage under independent fact marginals —
+computed in ``repro.finite.lineage_eval`` by Shannon expansion with
+memoization (a poor man's ROBDD, adequate at bench scales).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, FrozenSet, Iterable, Optional, Sequence, Set, Tuple
+
+from repro.errors import EvaluationError
+from repro.logic.analysis import constants_of
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Constant,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Variable,
+    _Truth,
+)
+from repro.relational.facts import Fact, Value
+
+
+class Lineage:
+    """An immutable Boolean expression over fact variables.
+
+    Nodes are ("var", fact), ("true",), ("false",), ("not", child),
+    ("and", children...), ("or", children...) — encoded as nested tuples
+    so they hash cheaply and structurally identical sub-lineages share
+    cache entries during Shannon expansion.
+    """
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: tuple):
+        self.node = node
+
+    # ----------------------------------------------------------- constructors
+    @classmethod
+    def true(cls) -> "Lineage":
+        return _TRUE
+
+    @classmethod
+    def false(cls) -> "Lineage":
+        return _FALSE
+
+    @classmethod
+    def var(cls, fact: Fact) -> "Lineage":
+        return cls(("var", fact))
+
+    @classmethod
+    def conj(cls, children: Iterable["Lineage"]) -> "Lineage":
+        flat = []
+        for child in children:
+            if child.node == ("false",):
+                return _FALSE
+            if child.node == ("true",):
+                continue
+            if child.node[0] == "and":
+                flat.extend(Lineage(n) for n in child.node[1])
+            else:
+                flat.append(child)
+        unique = _dedupe(flat)
+        if not unique:
+            return _TRUE
+        if len(unique) == 1:
+            return unique[0]
+        return cls(("and", tuple(sorted((c.node for c in unique), key=repr))))
+
+    @classmethod
+    def disj(cls, children: Iterable["Lineage"]) -> "Lineage":
+        flat = []
+        for child in children:
+            if child.node == ("true",):
+                return _TRUE
+            if child.node == ("false",):
+                continue
+            if child.node[0] == "or":
+                flat.extend(Lineage(n) for n in child.node[1])
+            else:
+                flat.append(child)
+        unique = _dedupe(flat)
+        if not unique:
+            return _FALSE
+        if len(unique) == 1:
+            return unique[0]
+        return cls(("or", tuple(sorted((c.node for c in unique), key=repr))))
+
+    @classmethod
+    def negation(cls, child: "Lineage") -> "Lineage":
+        if child.node == ("true",):
+            return _FALSE
+        if child.node == ("false",):
+            return _TRUE
+        if child.node[0] == "not":
+            return cls(child.node[1])
+        return cls(("not", child.node))
+
+    # ---------------------------------------------------------------- queries
+    def facts(self) -> FrozenSet[Fact]:
+        """All fact variables mentioned in the expression."""
+        found: Set[Fact] = set()
+        stack = [self.node]
+        while stack:
+            node = stack.pop()
+            tag = node[0]
+            if tag == "var":
+                found.add(node[1])
+            elif tag == "not":
+                stack.append(node[1])
+            elif tag in ("and", "or"):
+                stack.extend(node[1])
+        return frozenset(found)
+
+    def evaluate(self, world: AbstractSet[Fact]) -> bool:
+        """Truth value when exactly the facts in ``world`` are present.
+
+        >>> from repro.relational import RelationSymbol
+        >>> R = RelationSymbol("R", 1)
+        >>> expr = Lineage.disj([Lineage.var(R(1)), Lineage.var(R(2))])
+        >>> expr.evaluate({R(2)})
+        True
+        >>> expr.evaluate(set())
+        False
+        """
+        return _eval_node(self.node, world)
+
+    def condition(self, fact: Fact, present: bool) -> "Lineage":
+        """The cofactor: substitute a truth value for one fact variable.
+
+        This is the Shannon-expansion step used by exact evaluation.
+        """
+        return Lineage(_condition(self.node, fact, present))
+
+    def is_constant(self) -> Optional[bool]:
+        """True/False if the expression is the constant ⊤/⊥, else None."""
+        if self.node == ("true",):
+            return True
+        if self.node == ("false",):
+            return False
+        return None
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Lineage) and self.node == other.node
+
+    def __hash__(self) -> int:
+        return hash(self.node)
+
+    def __repr__(self) -> str:
+        return f"Lineage({_format(self.node)})"
+
+
+def _dedupe(children: Sequence[Lineage]) -> Tuple[Lineage, ...]:
+    seen: Set[tuple] = set()
+    out = []
+    for child in children:
+        if child.node not in seen:
+            seen.add(child.node)
+            out.append(child)
+    return tuple(out)
+
+
+_TRUE = Lineage(("true",))
+_FALSE = Lineage(("false",))
+
+
+def _eval_node(node: tuple, world: AbstractSet[Fact]) -> bool:
+    tag = node[0]
+    if tag == "true":
+        return True
+    if tag == "false":
+        return False
+    if tag == "var":
+        return node[1] in world
+    if tag == "not":
+        return not _eval_node(node[1], world)
+    if tag == "and":
+        return all(_eval_node(child, world) for child in node[1])
+    if tag == "or":
+        return any(_eval_node(child, world) for child in node[1])
+    raise EvaluationError(f"unknown lineage node {node!r}")
+
+
+def _condition(node: tuple, fact: Fact, present: bool) -> tuple:
+    tag = node[0]
+    if tag in ("true", "false"):
+        return node
+    if tag == "var":
+        if node[1] == fact:
+            return ("true",) if present else ("false",)
+        return node
+    if tag == "not":
+        inner = Lineage.negation(Lineage(_condition(node[1], fact, present)))
+        return inner.node
+    if tag == "and":
+        children = [Lineage(_condition(c, fact, present)) for c in node[1]]
+        return Lineage.conj(children).node
+    if tag == "or":
+        children = [Lineage(_condition(c, fact, present)) for c in node[1]]
+        return Lineage.disj(children).node
+    raise EvaluationError(f"unknown lineage node {node!r}")
+
+
+def _format(node: tuple) -> str:
+    tag = node[0]
+    if tag == "true":
+        return "⊤"
+    if tag == "false":
+        return "⊥"
+    if tag == "var":
+        return str(node[1])
+    if tag == "not":
+        return f"¬{_format(node[1])}"
+    joiner = " ∧ " if tag == "and" else " ∨ "
+    return "(" + joiner.join(_format(c) for c in node[1]) + ")"
+
+
+def lineage_of(
+    formula: Formula,
+    possible_facts: AbstractSet[Fact],
+    domain: Optional[Iterable[Value]] = None,
+    assignment: Optional[Dict[Variable, Value]] = None,
+) -> Lineage:
+    """Lineage of a Boolean FO formula over a tuple-independent fact set.
+
+    Quantifiers are expanded over ``domain`` (default: the active domain
+    of ``possible_facts`` plus the formula's constants).  Atoms whose
+    ground fact is not a possible fact are the constant ⊥ — the
+    closed-world reading of the *finite* table; the paper's Section 6
+    machinery applies this to truncations Ω_n of infinite PDBs.
+
+    >>> from repro.relational import RelationSymbol
+    >>> from repro.relational import Schema
+    >>> from repro.logic.parser import parse_formula
+    >>> schema = Schema.of(R=1)
+    >>> R = schema["R"]
+    >>> expr = lineage_of(parse_formula("EXISTS x. R(x)", schema),
+    ...                   {R(1), R(2)})
+    >>> sorted(str(f) for f in expr.facts())
+    ['R(1)', 'R(2)']
+    """
+    if domain is None:
+        values: Set[Value] = set()
+        for fact in possible_facts:
+            values.update(fact.args)
+        values |= constants_of(formula)
+        domain_set = frozenset(values)
+    else:
+        domain_set = frozenset(domain)
+    return _lineage(formula, possible_facts, domain_set, dict(assignment or {}))
+
+
+def _lineage(
+    formula: Formula,
+    possible: AbstractSet[Fact],
+    domain: FrozenSet[Value],
+    assignment: Dict[Variable, Value],
+) -> Lineage:
+    if isinstance(formula, _Truth):
+        return _TRUE if formula.value else _FALSE
+    if isinstance(formula, Atom):
+        args = []
+        for term in formula.terms:
+            if isinstance(term, Constant):
+                args.append(term.value)
+            elif isinstance(term, Variable):
+                if term not in assignment:
+                    raise EvaluationError(f"unbound variable {term} in lineage")
+                args.append(assignment[term])
+        fact = Fact(formula.relation, args)
+        return Lineage.var(fact) if fact in possible else _FALSE
+    if isinstance(formula, Equals):
+        def resolve(term):
+            if isinstance(term, Constant):
+                return term.value
+            if term not in assignment:
+                raise EvaluationError(f"unbound variable {term} in lineage")
+            return assignment[term]
+
+        return _TRUE if resolve(formula.left) == resolve(formula.right) else _FALSE
+    if isinstance(formula, Not):
+        return Lineage.negation(
+            _lineage(formula.operand, possible, domain, assignment)
+        )
+    if isinstance(formula, And):
+        return Lineage.conj(
+            [
+                _lineage(formula.left, possible, domain, assignment),
+                _lineage(formula.right, possible, domain, assignment),
+            ]
+        )
+    if isinstance(formula, Or):
+        return Lineage.disj(
+            [
+                _lineage(formula.left, possible, domain, assignment),
+                _lineage(formula.right, possible, domain, assignment),
+            ]
+        )
+    if isinstance(formula, Implies):
+        return Lineage.disj(
+            [
+                Lineage.negation(
+                    _lineage(formula.left, possible, domain, assignment)
+                ),
+                _lineage(formula.right, possible, domain, assignment),
+            ]
+        )
+    if isinstance(formula, (Exists, Forall)):
+        # Save/restore any shadowed outer binding (∃x … ∃x …).
+        variable = formula.variable
+        missing = object()
+        saved = assignment.get(variable, missing)
+        children = []
+        for value in sorted(domain, key=repr):
+            assignment[variable] = value
+            children.append(_lineage(formula.body, possible, domain, assignment))
+        if saved is missing:
+            assignment.pop(variable, None)
+        else:
+            assignment[variable] = saved
+        if isinstance(formula, Exists):
+            return Lineage.disj(children)
+        return Lineage.conj(children)
+    raise TypeError(f"unknown formula node {formula!r}")

@@ -1,0 +1,364 @@
+"""Normal forms: negation normal form, prenex normal form, and extraction
+of unions of conjunctive queries (UCQs).
+
+The lifted inference engine (``repro.finite.lifted``) works on UCQs; the
+truncation algorithm of Proposition 6.1 works on arbitrary FO sentences
+via model checking, so these conversions are the bridge between "any FO
+query" and "query class with efficient evaluation".
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import EvaluationError
+from repro.logic.analysis import free_variables, is_positive
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Constant,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Term,
+    Variable,
+    _Truth,
+    FALSE,
+    TRUE,
+)
+
+_fresh_counter = itertools.count()
+
+
+def _fresh_variable(base: str) -> Variable:
+    return Variable(f"{base}#{next(_fresh_counter)}")
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Negation normal form: negations pushed to atoms, no implications.
+
+    >>> from repro.relational import Schema
+    >>> from repro.logic.parser import parse_formula
+    >>> schema = Schema.of(R=1)
+    >>> str(to_nnf(parse_formula("NOT (EXISTS x. R(x))", schema)))
+    'FORALL x. (NOT (R(x)))'
+    """
+    return _nnf(formula, negate=False)
+
+
+def _nnf(formula: Formula, negate: bool) -> Formula:
+    if isinstance(formula, _Truth):
+        return FALSE if (formula.value == negate) else TRUE
+    if isinstance(formula, (Atom, Equals)):
+        return Not(formula) if negate else formula
+    if isinstance(formula, Not):
+        return _nnf(formula.operand, not negate)
+    if isinstance(formula, And):
+        left = _nnf(formula.left, negate)
+        right = _nnf(formula.right, negate)
+        return Or(left, right) if negate else And(left, right)
+    if isinstance(formula, Or):
+        left = _nnf(formula.left, negate)
+        right = _nnf(formula.right, negate)
+        return And(left, right) if negate else Or(left, right)
+    if isinstance(formula, Implies):
+        # φ -> ψ ≡ ¬φ ∨ ψ
+        return _nnf(Or(Not(formula.left), formula.right), negate)
+    if isinstance(formula, Exists):
+        body = _nnf(formula.body, negate)
+        return Forall(formula.variable, body) if negate else Exists(
+            formula.variable, body
+        )
+    if isinstance(formula, Forall):
+        body = _nnf(formula.body, negate)
+        return Exists(formula.variable, body) if negate else Forall(
+            formula.variable, body
+        )
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def rename_variable(formula: Formula, old: Variable, new: Variable) -> Formula:
+    """Capture-avoiding substitution of variable ``old`` by ``new``."""
+    if isinstance(formula, _Truth):
+        return formula
+    if isinstance(formula, Atom):
+        return Atom(
+            formula.relation,
+            tuple(new if t == old else t for t in formula.terms),
+        )
+    if isinstance(formula, Equals):
+        return Equals(
+            new if formula.left == old else formula.left,
+            new if formula.right == old else formula.right,
+        )
+    if isinstance(formula, Not):
+        return Not(rename_variable(formula.operand, old, new))
+    if isinstance(formula, And):
+        return And(
+            rename_variable(formula.left, old, new),
+            rename_variable(formula.right, old, new),
+        )
+    if isinstance(formula, Or):
+        return Or(
+            rename_variable(formula.left, old, new),
+            rename_variable(formula.right, old, new),
+        )
+    if isinstance(formula, Implies):
+        return Implies(
+            rename_variable(formula.left, old, new),
+            rename_variable(formula.right, old, new),
+        )
+    if isinstance(formula, (Exists, Forall)):
+        if formula.variable == old:
+            return formula  # old is shadowed; nothing free to rename
+        builder = type(formula)
+        return builder(formula.variable, rename_variable(formula.body, old, new))
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def substitute(formula: Formula, binding: Dict[Variable, object]) -> Formula:
+    """Replace free variables by constants (grounding).
+
+    >>> from repro.relational import Schema
+    >>> from repro.logic.parser import parse_formula
+    >>> schema = Schema.of(R=1)
+    >>> str(substitute(parse_formula("R(x)", schema), {Variable("x"): 7}))
+    'R(7)'
+    """
+    if isinstance(formula, _Truth):
+        return formula
+    if isinstance(formula, Atom):
+        terms: List[Term] = []
+        for term in formula.terms:
+            if isinstance(term, Variable) and term in binding:
+                terms.append(Constant(binding[term]))
+            else:
+                terms.append(term)
+        return Atom(formula.relation, terms)
+    if isinstance(formula, Equals):
+        def sub(term: Term) -> Term:
+            if isinstance(term, Variable) and term in binding:
+                return Constant(binding[term])
+            return term
+
+        return Equals(sub(formula.left), sub(formula.right))
+    if isinstance(formula, Not):
+        return Not(substitute(formula.operand, binding))
+    if isinstance(formula, And):
+        return And(
+            substitute(formula.left, binding), substitute(formula.right, binding)
+        )
+    if isinstance(formula, Or):
+        return Or(
+            substitute(formula.left, binding), substitute(formula.right, binding)
+        )
+    if isinstance(formula, Implies):
+        return Implies(
+            substitute(formula.left, binding), substitute(formula.right, binding)
+        )
+    if isinstance(formula, (Exists, Forall)):
+        inner = {v: c for v, c in binding.items() if v != formula.variable}
+        builder = type(formula)
+        return builder(formula.variable, substitute(formula.body, inner))
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def standardize_apart(formula: Formula) -> Formula:
+    """Rename every quantified variable to a fresh one, so distinct
+    quantifier scopes never share a variable name.
+
+    Required before UCQ extraction: ``(∃x. R(x)) ∧ (∃x. S(x, y))`` must
+    not conflate the two x's into a join variable.
+
+    >>> from repro.relational import Schema
+    >>> from repro.logic.parser import parse_formula
+    >>> from repro.logic.analysis import free_variables
+    >>> schema = Schema.of(R=1)
+    >>> renamed = standardize_apart(parse_formula(
+    ...     "(EXISTS x. R(x)) AND (EXISTS x. R(x))", schema))
+    >>> len({v for node in [renamed.left, renamed.right]
+    ...      for v in [node.variable]})
+    2
+    """
+    if isinstance(formula, (Atom, Equals, _Truth)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(standardize_apart(formula.operand))
+    if isinstance(formula, (And, Or, Implies)):
+        builder = type(formula)
+        return builder(
+            standardize_apart(formula.left), standardize_apart(formula.right)
+        )
+    if isinstance(formula, (Exists, Forall)):
+        fresh = _fresh_variable(formula.variable.name.split("#")[0])
+        body = rename_variable(formula.body, formula.variable, fresh)
+        builder = type(formula)
+        return builder(fresh, standardize_apart(body))
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def to_prenex(formula: Formula) -> Formula:
+    """Prenex normal form: all quantifiers pulled to the front.
+
+    Bound variables are freshened to avoid capture, so the result may use
+    renamed variables.
+
+    >>> from repro.relational import Schema
+    >>> from repro.logic.parser import parse_formula
+    >>> schema = Schema.of(R=1, S=1)
+    >>> pnf = to_prenex(parse_formula(
+    ...     "(EXISTS x. R(x)) AND (EXISTS x. S(x))", schema))
+    >>> str(pnf).count("EXISTS")
+    2
+    """
+    nnf = to_nnf(formula)
+    prefix, matrix = _pull_quantifiers(nnf)
+    result = matrix
+    for builder, variable in reversed(prefix):
+        result = builder(variable, result)
+    return result
+
+
+def _pull_quantifiers(formula: Formula) -> Tuple[List[tuple], Formula]:
+    if isinstance(formula, (Atom, Equals, _Truth)):
+        return [], formula
+    if isinstance(formula, Not):
+        # NNF: operand is an atom/equality.
+        return [], formula
+    if isinstance(formula, (And, Or)):
+        left_prefix, left_matrix = _pull_quantifiers(formula.left)
+        right_prefix, right_matrix = _pull_quantifiers(formula.right)
+        builder = type(formula)
+        return left_prefix + right_prefix, builder(left_matrix, right_matrix)
+    if isinstance(formula, (Exists, Forall)):
+        fresh = _fresh_variable(formula.variable.name.split("#")[0])
+        body = rename_variable(formula.body, formula.variable, fresh)
+        prefix, matrix = _pull_quantifiers(body)
+        return [(type(formula), fresh)] + prefix, matrix
+    raise TypeError(f"unexpected node in NNF {formula!r}")
+
+
+class ConjunctiveQuery:
+    """A conjunctive query: ``∃x̄. A₁ ∧ … ∧ A_m`` over relational atoms.
+
+    ``head_variables`` are the free (answer) variables; all other
+    variables in the atoms are existentially quantified.
+    """
+
+    __slots__ = ("atoms", "head_variables")
+
+    def __init__(
+        self,
+        atoms: Sequence[Atom],
+        head_variables: Sequence[Variable] = (),
+    ):
+        self.atoms: Tuple[Atom, ...] = tuple(atoms)
+        if not self.atoms:
+            raise EvaluationError("a conjunctive query needs at least one atom")
+        self.head_variables: Tuple[Variable, ...] = tuple(head_variables)
+
+    @property
+    def existential_variables(self) -> FrozenSet[Variable]:
+        variables: set = set()
+        for atom in self.atoms:
+            variables.update(t for t in atom.terms if isinstance(t, Variable))
+        return frozenset(variables - set(self.head_variables))
+
+    def to_formula(self) -> Formula:
+        body: Formula = self.atoms[0]
+        for atom in self.atoms[1:]:
+            body = And(body, atom)
+        for variable in sorted(self.existential_variables, key=lambda v: v.name):
+            body = Exists(variable, body)
+        return body
+
+    def __repr__(self) -> str:
+        inner = " AND ".join(str(a) for a in self.atoms)
+        return f"CQ({inner})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return (
+            set(self.atoms) == set(other.atoms)
+            and self.head_variables == other.head_variables
+        )
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self.atoms), self.head_variables))
+
+
+class UnionOfConjunctiveQueries:
+    """A UCQ: a disjunction of conjunctive queries with a shared head."""
+
+    __slots__ = ("disjuncts",)
+
+    def __init__(self, disjuncts: Sequence[ConjunctiveQuery]):
+        self.disjuncts: Tuple[ConjunctiveQuery, ...] = tuple(disjuncts)
+        if not self.disjuncts:
+            raise EvaluationError("a UCQ needs at least one disjunct")
+
+    def to_formula(self) -> Formula:
+        result = self.disjuncts[0].to_formula()
+        for cq in self.disjuncts[1:]:
+            result = Or(result, cq.to_formula())
+        return result
+
+    def __repr__(self) -> str:
+        return f"UCQ({' OR '.join(repr(d) for d in self.disjuncts)})"
+
+
+def extract_ucq(formula: Formula) -> Optional[UnionOfConjunctiveQueries]:
+    """Try to recognize ``formula`` as a UCQ (up to NNF/flattening).
+
+    Returns None for formulas using negation, ∀, equality or implications
+    that don't simplify away.
+
+    >>> from repro.relational import Schema
+    >>> from repro.logic.parser import parse_formula
+    >>> schema = Schema.of(R=1, S=2)
+    >>> ucq = extract_ucq(parse_formula(
+    ...     "(EXISTS x. R(x)) OR (EXISTS x, y. S(x, y))", schema))
+    >>> len(ucq.disjuncts)
+    2
+    """
+    nnf = standardize_apart(to_nnf(formula))
+    head = tuple(sorted(free_variables(nnf), key=lambda v: v.name))
+    try:
+        disjunct_atom_sets = _ucq_disjuncts(nnf)
+    except _NotUCQ:
+        return None
+    disjuncts = [
+        ConjunctiveQuery(atoms, head_variables=head)
+        for atoms in disjunct_atom_sets
+        if atoms
+    ]
+    if not disjuncts:
+        return None
+    return UnionOfConjunctiveQueries(disjuncts)
+
+
+class _NotUCQ(Exception):
+    pass
+
+
+def _ucq_disjuncts(formula: Formula) -> List[Tuple[Atom, ...]]:
+    """DNF-style expansion of an NNF positive-existential formula into
+    lists of atoms.  Raises _NotUCQ on ∀/¬/=/⊥⊤ oddities."""
+    if isinstance(formula, Atom):
+        return [(formula,)]
+    if isinstance(formula, Or):
+        return _ucq_disjuncts(formula.left) + _ucq_disjuncts(formula.right)
+    if isinstance(formula, And):
+        left = _ucq_disjuncts(formula.left)
+        right = _ucq_disjuncts(formula.right)
+        return [l + r for l in left for r in right]
+    if isinstance(formula, Exists):
+        # Existential variables stay implicit in the CQ representation.
+        return _ucq_disjuncts(formula.body)
+    raise _NotUCQ(formula)

@@ -1,0 +1,239 @@
+"""A recursive-descent parser for a textual FO syntax.
+
+Grammar (precedence low to high)::
+
+    formula   := quantified
+    quantified:= ("EXISTS" | "FORALL") var ("," var)* "." quantified
+               | implies
+    implies   := or ("->" implies)?
+    or        := and ("OR" and)*
+    and       := unary ("AND" unary)*
+    unary     := "NOT" unary | "TRUE" | "FALSE" | "(" formula ")" | atom
+    atom      := NAME "(" term ("," term)* ")" | term "=" term
+    term      := NAME | NUMBER | STRING
+
+Keywords are case-insensitive; ``~``, ``&``, ``|`` are accepted as
+aliases of NOT/AND/OR.  Lower-case bare identifiers are variables unless
+they are bound by no quantifier *and* the caller asked for constants —
+here we keep it simple and deterministic: a bare identifier is a variable
+if it starts lower-case, a (string) constant if it starts upper-case or
+is quoted.  Numbers are int/float constants.
+
+>>> from repro.relational import Schema
+>>> schema = Schema.of(R=1, S=2)
+>>> str(parse_formula("EXISTS x. R(x) AND NOT S(x, 3)", schema))
+'EXISTS x. ((R(x)) AND (NOT (S(x, 3))))'
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional, Union
+
+from repro.errors import ParseError
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Constant,
+    Equals,
+    Exists,
+    FALSE,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    TRUE,
+    Term,
+    Variable,
+)
+from repro.relational.schema import Schema
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+
+_TOKEN_SPEC = [
+    ("ARROW", r"->"),
+    ("NUMBER", r"-?\d+(\.\d+)?"),
+    ("STRING", r"'[^']*'|\"[^\"]*\""),
+    ("NAME", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("DOT", r"\."),
+    ("EQUALS", r"="),
+    ("TILDE", r"~"),
+    ("AMP", r"&"),
+    ("PIPE", r"\|"),
+    ("SKIP", r"\s+"),
+]
+_TOKEN_RE = re.compile("|".join(f"(?P<{k}>{p})" for k, p in _TOKEN_SPEC))
+
+_KEYWORDS = {"EXISTS", "FORALL", "AND", "OR", "NOT", "TRUE", "FALSE"}
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if not match:
+            raise ParseError(f"unexpected character {text[position]!r}", position)
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind != "SKIP":
+            if kind == "NAME" and value.upper() in _KEYWORDS:
+                kind = value.upper()
+            tokens.append(_Token(kind, value, position))
+        position = match.end()
+    tokens.append(_Token("EOF", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token], schema: Schema):
+        self.tokens = tokens
+        self.index = 0
+        self.schema = schema
+        self.bound: List[str] = []
+
+    # --------------------------------------------------------------- plumbing
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, got {token.kind} ({token.text!r})",
+                token.position,
+            )
+        return self.advance()
+
+    def at(self, *kinds: str) -> bool:
+        return self.peek().kind in kinds
+
+    # ---------------------------------------------------------------- grammar
+    def formula(self) -> Formula:
+        return self.quantified()
+
+    def quantified(self) -> Formula:
+        if self.at("EXISTS", "FORALL"):
+            quantifier = self.advance().kind
+            names = [self.expect("NAME").text]
+            while self.at("COMMA"):
+                self.advance()
+                names.append(self.expect("NAME").text)
+            self.expect("DOT")
+            self.bound.extend(names)
+            body = self.quantified()
+            del self.bound[-len(names):]
+            builder = Exists if quantifier == "EXISTS" else Forall
+            for name in reversed(names):
+                body = builder(Variable(name), body)
+            return body
+        return self.implies()
+
+    def implies(self) -> Formula:
+        left = self.disjunction()
+        if self.at("ARROW"):
+            self.advance()
+            return Implies(left, self.implies())
+        return left
+
+    def disjunction(self) -> Formula:
+        left = self.conjunction()
+        while self.at("OR", "PIPE"):
+            self.advance()
+            left = Or(left, self.conjunction())
+        return left
+
+    def conjunction(self) -> Formula:
+        left = self.unary()
+        while self.at("AND", "AMP"):
+            self.advance()
+            left = And(left, self.unary())
+        return left
+
+    def unary(self) -> Formula:
+        if self.at("NOT", "TILDE"):
+            self.advance()
+            return Not(self.unary())
+        if self.at("TRUE"):
+            self.advance()
+            return TRUE
+        if self.at("FALSE"):
+            self.advance()
+            return FALSE
+        if self.at("EXISTS", "FORALL"):
+            return self.quantified()
+        if self.at("LPAREN"):
+            self.advance()
+            inner = self.formula()
+            self.expect("RPAREN")
+            return inner
+        return self.atom_or_equality()
+
+    def atom_or_equality(self) -> Formula:
+        token = self.peek()
+        if token.kind == "NAME" and self.tokens[self.index + 1].kind == "LPAREN":
+            name = self.advance().text
+            if name not in self.schema:
+                raise ParseError(f"unknown relation {name!r}", token.position)
+            symbol = self.schema[name]
+            self.expect("LPAREN")
+            terms: List[Term] = []
+            if not self.at("RPAREN"):
+                terms.append(self.term())
+                while self.at("COMMA"):
+                    self.advance()
+                    terms.append(self.term())
+            self.expect("RPAREN")
+            return Atom(symbol, terms)
+        # Otherwise it must be an equality between two terms.
+        left = self.term()
+        self.expect("EQUALS")
+        right = self.term()
+        return Equals(left, right)
+
+    def term(self) -> Term:
+        token = self.advance()
+        if token.kind == "NUMBER":
+            text = token.text
+            return Constant(float(text) if "." in text else int(text))
+        if token.kind == "STRING":
+            return Constant(token.text[1:-1])
+        if token.kind == "NAME":
+            name = token.text
+            if name in self.bound or name[0].islower() or name == "_":
+                return Variable(name)
+            return Constant(name)
+        raise ParseError(
+            f"expected a term, got {token.kind} ({token.text!r})", token.position
+        )
+
+
+def parse_formula(text: str, schema: Schema) -> Formula:
+    """Parse ``text`` into a :class:`Formula` against ``schema``.
+
+    >>> schema = Schema.of(R=2)
+    >>> str(parse_formula("FORALL x. R(x, x) -> R(x, 'A')", schema))
+    "FORALL x. ((R(x, x)) -> (R(x, 'A')))"
+    """
+    parser = _Parser(_tokenize(text), schema)
+    formula = parser.formula()
+    trailing = parser.peek()
+    if trailing.kind != "EOF":
+        raise ParseError(
+            f"unexpected trailing input {trailing.text!r}", trailing.position
+        )
+    return formula

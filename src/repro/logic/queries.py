@@ -1,0 +1,205 @@
+"""Queries and views (paper §2.1, §3.1).
+
+A *view* of source schema τ and target schema τ′ is a mapping
+``V : D[τ, U] → D[τ′, U]``; a *query* is a view whose target schema has a
+single relation.  An *FO-view* is given by one FO formula per target
+relation: ``R^{V(D)} = φ_R(D)``.
+
+These are plain deterministic mappings on instances; their probabilistic
+semantics (pushforward measures, eq. (3)/(4) of the paper) lives in
+``repro.finite.views`` and ``repro.core.views``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.errors import EvaluationError, SchemaError
+from repro.logic.analysis import free_variables, is_sentence
+from repro.logic.semantics import answer_tuples, evaluate
+from repro.logic.syntax import Formula, Variable
+from repro.relational.facts import Fact, Value
+from repro.relational.instance import Instance
+from repro.relational.schema import RelationSymbol, Schema
+
+
+class View:
+    """A view ``V : D[τ, U] → D[τ′, U]`` backed by an arbitrary function.
+
+    >>> source = Schema.of(R=1)
+    >>> target = Schema.of(T=1)
+    >>> T = target["T"]
+    >>> double = View(source, target,
+    ...     lambda D: Instance(T(a * 2) for (a,) in D.relation(source["R"])))
+    >>> R = source["R"]
+    >>> sorted(double(Instance([R(1), R(3)])).relation(T))
+    [(2,), (6,)]
+    """
+
+    def __init__(
+        self,
+        source: Schema,
+        target: Schema,
+        mapping: Callable[[Instance], Instance],
+    ):
+        self.source = source
+        self.target = target
+        self._mapping = mapping
+
+    def __call__(self, instance: Instance) -> Instance:
+        image = self._mapping(instance)
+        return image.validate_schema(self.target)
+
+    def __repr__(self) -> str:
+        return f"View({self.source!r} -> {self.target!r})"
+
+
+class FOView(View):
+    """An FO-view: one formula per target relation (paper §2.1).
+
+    ``formulas`` maps each target relation symbol to a pair
+    ``(formula, variables)`` where ``variables`` fixes the answer column
+    order; a bare formula is accepted, with free variables sorted by name.
+
+    >>> from repro.logic.parser import parse_formula
+    >>> source = Schema.of(R=2)
+    >>> target = Schema.of(T=1)
+    >>> view = FOView(source, target,
+    ...     {"T": parse_formula("EXISTS y. R(x, y)", source)})
+    >>> R = source["R"]
+    >>> sorted(view(Instance([R(1, 2), R(3, 1)])).relation(target["T"]))
+    [(1,), (3,)]
+    """
+
+    def __init__(
+        self,
+        source: Schema,
+        target: Schema,
+        formulas: Mapping[str, object],
+    ):
+        normalized: Dict[RelationSymbol, Tuple[Formula, Tuple[Variable, ...]]] = {}
+        for name, spec in formulas.items():
+            symbol = target[name]
+            if isinstance(spec, tuple):
+                formula, variables = spec
+                variables = tuple(variables)
+            else:
+                formula = spec
+                variables = tuple(
+                    sorted(free_variables(formula), key=lambda v: v.name)
+                )
+            if len(variables) != symbol.arity:
+                raise SchemaError(
+                    f"view formula for {symbol} has {len(variables)} answer "
+                    f"variables but the relation has arity {symbol.arity}"
+                )
+            if set(variables) != set(free_variables(formula)):
+                raise SchemaError(
+                    f"answer variables {[v.name for v in variables]} must be "
+                    f"exactly the free variables of the formula for {symbol}"
+                )
+            normalized[symbol] = (formula, variables)
+        missing = {r.name for r in target} - {r.name for r in normalized}
+        if missing:
+            raise SchemaError(f"no formula for target relations {sorted(missing)}")
+        self.formulas = normalized
+        super().__init__(source, target, self._apply)
+
+    def _apply(self, instance: Instance) -> Instance:
+        facts = []
+        for symbol, (formula, variables) in self.formulas.items():
+            for answer in answer_tuples(formula, instance, variables):
+                facts.append(Fact(symbol, answer))
+        return Instance(facts)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{symbol.name}={formula}" for symbol, (formula, _) in self.formulas.items()
+        )
+        return f"FOView({inner})"
+
+
+class Query:
+    """A k-ary query: an FO formula with k answer variables.
+
+    ``Q(D)`` denotes the answer relation (a set of k-tuples).  For k = 0
+    the query is Boolean and ``{()}``/``{}`` are identified with
+    True/False (paper §2.1).
+
+    >>> from repro.logic.parser import parse_formula
+    >>> schema = Schema.of(R=2)
+    >>> q = Query(parse_formula("EXISTS y. R(x, y)", schema), schema)
+    >>> R = schema["R"]
+    >>> sorted(q(Instance([R(1, 5)])))
+    [(1,)]
+    """
+
+    def __init__(
+        self,
+        formula: Formula,
+        schema: Schema,
+        variables: Optional[Iterable[Variable]] = None,
+        name: str = "Q",
+    ):
+        self.formula = formula
+        self.schema = schema
+        self.name = name
+        if variables is None:
+            self.variables: Tuple[Variable, ...] = tuple(
+                sorted(free_variables(formula), key=lambda v: v.name)
+            )
+        else:
+            self.variables = tuple(variables)
+            if set(self.variables) != set(free_variables(formula)):
+                raise EvaluationError(
+                    "answer variables must be exactly the free variables"
+                )
+
+    @property
+    def arity(self) -> int:
+        return len(self.variables)
+
+    @property
+    def is_boolean(self) -> bool:
+        return self.arity == 0
+
+    def __call__(self, instance: Instance):
+        answers = answer_tuples(self.formula, instance, self.variables)
+        if self.is_boolean:
+            return bool(answers)
+        return answers
+
+    def holds_in(self, instance: Instance) -> bool:
+        """For Boolean queries: ``D ⊨ Q``."""
+        if not self.is_boolean:
+            raise EvaluationError(f"{self.name} is not Boolean (arity {self.arity})")
+        return evaluate(self.formula, instance)
+
+    def as_view(self, target_name: str = "Answer") -> FOView:
+        """Wrap this query as a single-relation FO-view."""
+        target = Schema([RelationSymbol(target_name, self.arity)])
+        return FOView(
+            self.schema, target, {target_name: (self.formula, self.variables)}
+        )
+
+    def __repr__(self) -> str:
+        return f"Query({self.name}: {self.formula})"
+
+
+class BooleanQuery(Query):
+    """A 0-ary (sentence) query; rejects formulas with free variables.
+
+    >>> from repro.logic.parser import parse_formula
+    >>> schema = Schema.of(R=1)
+    >>> q = BooleanQuery(parse_formula("EXISTS x. R(x)", schema), schema)
+    >>> q.holds_in(Instance([schema["R"](9)]))
+    True
+    """
+
+    def __init__(self, formula: Formula, schema: Schema, name: str = "Q"):
+        if not is_sentence(formula):
+            raise EvaluationError(
+                f"Boolean query must be a sentence, free variables: "
+                f"{sorted(v.name for v in free_variables(formula))}"
+            )
+        super().__init__(formula, schema, variables=(), name=name)

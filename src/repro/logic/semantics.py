@@ -1,0 +1,195 @@
+"""Model checking of FO formulas over finite instances.
+
+Quantifiers range over the *evaluation domain* ``adom(D) ∪ adom(φ)``
+(active-domain semantics).  By Fact 2.1 of the paper this is the right
+domain whenever the answer relation is finite — which is the regime of
+all instances of a PDB (instances are always finite), and it makes
+evaluation decidable even though the universe U is infinite.
+
+Callers who want quantification over an explicitly larger finite domain
+(e.g. the truncated fact space Ω_n of Proposition 6.1) pass ``domain=``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.errors import EvaluationError
+from repro.logic.analysis import constants_of, free_variables
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Constant,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Term,
+    Variable,
+    _Truth,
+)
+from repro.relational.facts import Fact, Value
+from repro.relational.instance import Instance
+
+Assignment = Dict[Variable, Value]
+
+
+def evaluation_domain(
+    formula: Formula,
+    instance: Instance,
+    domain: Optional[Iterable[Value]] = None,
+) -> FrozenSet[Value]:
+    """The set quantifiers range over: ``adom(D) ∪ adom(φ)`` by default,
+    or the caller-provided ``domain`` augmented with both adoms."""
+    base: Set[Value] = set(instance.active_domain())
+    base |= constants_of(formula)
+    if domain is not None:
+        base |= set(domain)
+    return frozenset(base)
+
+
+def _resolve(term: Term, assignment: Assignment) -> Value:
+    if isinstance(term, Constant):
+        return term.value
+    if isinstance(term, Variable):
+        try:
+            return assignment[term]
+        except KeyError:
+            raise EvaluationError(f"unbound variable {term}") from None
+    raise TypeError(f"unknown term {term!r}")
+
+
+def evaluate(
+    formula: Formula,
+    instance: Instance,
+    assignment: Optional[Assignment] = None,
+    domain: Optional[Iterable[Value]] = None,
+) -> bool:
+    """Does ``instance ⊨ formula[assignment]`` hold?
+
+    >>> from repro.relational import Schema, Instance
+    >>> from repro.logic.parser import parse_formula
+    >>> schema = Schema.of(R=1)
+    >>> R = schema["R"]
+    >>> D = Instance([R(1), R(2)])
+    >>> evaluate(parse_formula("EXISTS x. R(x)", schema), D)
+    True
+    >>> evaluate(parse_formula("FORALL x. R(x)", schema), D)
+    True
+    >>> evaluate(parse_formula("R(3)", schema), D)
+    False
+    """
+    assignment = dict(assignment or {})
+    quantifier_domain = evaluation_domain(formula, instance, domain)
+    return _eval(formula, instance, assignment, quantifier_domain)
+
+
+# Alias matching the paper's ``D ⊨ φ(a₁,…,a_k)`` notation.
+satisfies = evaluate
+
+
+def _eval(
+    formula: Formula,
+    instance: Instance,
+    assignment: Assignment,
+    domain: FrozenSet[Value],
+) -> bool:
+    if isinstance(formula, _Truth):
+        return formula.value
+    if isinstance(formula, Atom):
+        args = tuple(_resolve(t, assignment) for t in formula.terms)
+        return Fact(formula.relation, args) in instance
+    if isinstance(formula, Equals):
+        return _resolve(formula.left, assignment) == _resolve(
+            formula.right, assignment
+        )
+    if isinstance(formula, Not):
+        return not _eval(formula.operand, instance, assignment, domain)
+    if isinstance(formula, And):
+        return _eval(formula.left, instance, assignment, domain) and _eval(
+            formula.right, instance, assignment, domain
+        )
+    if isinstance(formula, Or):
+        return _eval(formula.left, instance, assignment, domain) or _eval(
+            formula.right, instance, assignment, domain
+        )
+    if isinstance(formula, Implies):
+        return (not _eval(formula.left, instance, assignment, domain)) or _eval(
+            formula.right, instance, assignment, domain
+        )
+    if isinstance(formula, (Exists, Forall)):
+        # Save any outer binding the quantifier shadows (∃x … ∃x …) and
+        # restore it afterwards — deleting would un-bind the outer x.
+        variable = formula.variable
+        missing = object()
+        saved = assignment.get(variable, missing)
+        is_exists = isinstance(formula, Exists)
+        result = not is_exists
+        for value in domain:
+            assignment[variable] = value
+            truth = _eval(formula.body, instance, assignment, domain)
+            if truth == is_exists:  # witness found / counterexample found
+                result = is_exists
+                break
+        if saved is missing:
+            assignment.pop(variable, None)
+        else:
+            assignment[variable] = saved
+        return result
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def answer_tuples(
+    formula: Formula,
+    instance: Instance,
+    variables: Optional[Tuple[Variable, ...]] = None,
+    domain: Optional[Iterable[Value]] = None,
+) -> Set[Tuple[Value, ...]]:
+    """The answer relation ``φ(D)``: all tuples ``ā`` over the evaluation
+    domain with ``D ⊨ φ(ā)`` (paper §2.1).
+
+    ``variables`` fixes the output column order; by default the free
+    variables sorted by name.
+
+    >>> from repro.relational import Schema, Instance
+    >>> from repro.logic.parser import parse_formula
+    >>> schema = Schema.of(R=2)
+    >>> R = schema["R"]
+    >>> D = Instance([R(1, 2), R(2, 2)])
+    >>> sorted(answer_tuples(parse_formula("R(x, 2)", schema), D))
+    [(1,), (2,)]
+    """
+    if variables is None:
+        variables = tuple(sorted(free_variables(formula), key=lambda v: v.name))
+    else:
+        missing = free_variables(formula) - set(variables)
+        if missing:
+            raise EvaluationError(
+                f"free variables {sorted(v.name for v in missing)} not listed"
+            )
+    quantifier_domain = evaluation_domain(formula, instance, domain)
+    answers: Set[Tuple[Value, ...]] = set()
+    k = len(variables)
+    if k == 0:
+        if _eval(formula, instance, {}, quantifier_domain):
+            answers.add(())
+        return answers
+    # Enumerate assignments over the evaluation domain (Fact 2.1 justifies
+    # restricting to adom(D) ∪ adom(φ) when the answer is finite).
+    values = sorted(quantifier_domain, key=repr)
+    stack: list = [{}]
+    for variable in variables:
+        next_stack = []
+        for partial in stack:
+            for value in values:
+                extended = dict(partial)
+                extended[variable] = value
+                next_stack.append(extended)
+        stack = next_stack
+    for assignment in stack:
+        if _eval(formula, instance, dict(assignment), quantifier_domain):
+            answers.add(tuple(assignment[v] for v in variables))
+    return answers

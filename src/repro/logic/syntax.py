@@ -1,0 +1,374 @@
+"""Abstract syntax of first-order logic over a relational vocabulary.
+
+Formulas are immutable trees built from atoms ``R(t₁, …, t_k)``, equality
+``t₁ = t₂``, the connectives ``¬ ∧ ∨ →`` and the quantifiers ``∃ ∀``.
+Terms are variables or constants; constants are universe elements (the
+paper identifies ``a ∈ U`` with its constant symbol, §2.1).
+
+All nodes are hashable value objects, so formulas can key caches, and
+provide ``children()`` for generic traversals used by the analysis and
+normal-form modules.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple, Union
+
+from repro.relational.facts import Value
+from repro.relational.schema import RelationSymbol
+
+
+# --------------------------------------------------------------------- terms
+class Term:
+    """Base class of terms (variables and constants)."""
+
+    __slots__ = ()
+
+
+class Variable(Term):
+    """A first-order variable, identified by name.
+
+    >>> Variable("x") == Variable("x")
+    True
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Variable) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("var", self.name))
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Constant(Term):
+    """A constant naming a universe element (paper §2.1 expands FO[τ] by
+    constants from U).
+
+    >>> Constant(3).value
+    3
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Value):
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Constant) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("const", self.value))
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return repr(self.value)
+        return str(self.value)
+
+
+def as_term(value: Union[Term, Value]) -> Term:
+    """Coerce raw Python values to constants, pass terms through.
+
+    >>> as_term(5)
+    Constant(5)
+    """
+    if isinstance(value, Term):
+        return value
+    return Constant(value)
+
+
+# ------------------------------------------------------------------ formulas
+class Formula:
+    """Base class of FO formulas."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple["Formula", ...]:
+        """Immediate subformulas (empty for atoms)."""
+        return ()
+
+    # Connective builders, so formulas compose fluently:
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+class Atom(Formula):
+    """A relational atom ``R(t₁, …, t_k)``.
+
+    >>> R = RelationSymbol("R", 2)
+    >>> str(Atom(R, (Variable("x"), Constant(1))))
+    'R(x, 1)'
+    """
+
+    __slots__ = ("relation", "terms")
+
+    def __init__(self, relation: RelationSymbol, terms: Iterable[Union[Term, Value]]):
+        terms = tuple(as_term(t) for t in terms)
+        if len(terms) != relation.arity:
+            from repro.errors import SchemaError
+
+            raise SchemaError(
+                f"atom over {relation} needs {relation.arity} terms, "
+                f"got {len(terms)}"
+            )
+        self.relation = relation
+        self.terms: Tuple[Term, ...] = terms
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Atom)
+            and self.relation == other.relation
+            and self.terms == other.terms
+        )
+
+    def __hash__(self) -> int:
+        return hash(("atom", self.relation, self.terms))
+
+    def __repr__(self) -> str:
+        return f"Atom({self})"
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(t) for t in self.terms)
+        return f"{self.relation.name}({inner})"
+
+    def is_ground(self) -> bool:
+        """True iff all terms are constants."""
+        return all(isinstance(t, Constant) for t in self.terms)
+
+
+class Equals(Formula):
+    """Equality atom ``t₁ = t₂``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Union[Term, Value], right: Union[Term, Value]):
+        self.left = as_term(left)
+        self.right = as_term(right)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Equals)
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("eq", self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"Equals({self.left!r}, {self.right!r})"
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+class _Truth(Formula):
+    """The propositional constant ⊤ or ⊥ (singletons TRUE / FALSE)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Truth) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("truth", self.value))
+
+    def __repr__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+    __str__ = __repr__
+
+
+TRUE = _Truth(True)
+FALSE = _Truth(False)
+
+
+class Not(Formula):
+    """Negation ``¬φ``."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Formula):
+        self.operand = operand
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Not) and self.operand == other.operand
+
+    def __hash__(self) -> int:
+        return hash(("not", self.operand))
+
+    def __repr__(self) -> str:
+        return f"Not({self.operand!r})"
+
+    def __str__(self) -> str:
+        return f"NOT ({self.operand})"
+
+
+class _Binary(Formula):
+    """Shared plumbing of binary connectives."""
+
+    __slots__ = ("left", "right")
+    _tag = "?"
+    _symbol = "?"
+
+    def __init__(self, left: Formula, right: Formula):
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self.left == other.left  # type: ignore[union-attr]
+            and self.right == other.right  # type: ignore[union-attr]
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._tag, self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.left!r}, {self.right!r})"
+
+    def __str__(self) -> str:
+        return f"({self.left}) {self._symbol} ({self.right})"
+
+
+class And(_Binary):
+    """Conjunction ``φ ∧ ψ``."""
+
+    __slots__ = ()
+    _tag = "and"
+    _symbol = "AND"
+
+
+class Or(_Binary):
+    """Disjunction ``φ ∨ ψ``."""
+
+    __slots__ = ()
+    _tag = "or"
+    _symbol = "OR"
+
+
+class Implies(_Binary):
+    """Implication ``φ → ψ``."""
+
+    __slots__ = ()
+    _tag = "implies"
+    _symbol = "->"
+
+
+class _Quantifier(Formula):
+    """Shared plumbing of ∃/∀."""
+
+    __slots__ = ("variable", "body")
+    _tag = "?"
+    _symbol = "?"
+
+    def __init__(self, variable: Union[Variable, str], body: Formula):
+        if isinstance(variable, str):
+            variable = Variable(variable)
+        self.variable = variable
+        self.body = body
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.body,)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self.variable == other.variable  # type: ignore[union-attr]
+            and self.body == other.body  # type: ignore[union-attr]
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._tag, self.variable, self.body))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.variable!r}, {self.body!r})"
+
+    def __str__(self) -> str:
+        return f"{self._symbol} {self.variable}. ({self.body})"
+
+
+class Exists(_Quantifier):
+    """Existential quantification ``∃x. φ``."""
+
+    __slots__ = ()
+    _tag = "exists"
+    _symbol = "EXISTS"
+
+
+class Forall(_Quantifier):
+    """Universal quantification ``∀x. φ``."""
+
+    __slots__ = ()
+    _tag = "forall"
+    _symbol = "FORALL"
+
+
+def exists_all(variables: Iterable[Union[Variable, str]], body: Formula) -> Formula:
+    """``∃x₁…∃x_n. body`` — fold a block of existentials.
+
+    >>> R = RelationSymbol("R", 2)
+    >>> str(exists_all(["x", "y"], Atom(R, (Variable("x"), Variable("y")))))
+    'EXISTS x. (EXISTS y. (R(x, y)))'
+    """
+    result = body
+    for var in reversed(list(variables)):
+        result = Exists(var, result)
+    return result
+
+
+def conjoin(formulas: Iterable[Formula]) -> Formula:
+    """Conjunction of a (possibly empty) list; empty gives TRUE."""
+    result: Formula = TRUE
+    first = True
+    for formula in formulas:
+        result = formula if first else And(result, formula)
+        first = False
+    return result
+
+
+def disjoin(formulas: Iterable[Formula]) -> Formula:
+    """Disjunction of a (possibly empty) list; empty gives FALSE."""
+    result: Formula = FALSE
+    first = True
+    for formula in formulas:
+        result = formula if first else Or(result, formula)
+        first = False
+    return result
+
+
+def walk(formula: Formula) -> Iterator[Formula]:
+    """Pre-order traversal of all subformulas (including ``formula``)."""
+    stack = [formula]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children()))

@@ -1,0 +1,30 @@
+"""Discrete probability spaces (paper §2.3).
+
+Countable sample spaces with lazily enumerated point masses, an event
+algebra, independence checking, random variables and product spaces.
+These are the measure-theoretic bones under both the finite PDB engine
+and the countable constructions of Sections 4–5.
+"""
+
+from repro.measure.space import DiscreteProbabilitySpace, PointMass
+from repro.measure.events import Event
+from repro.measure.independence import (
+    are_independent,
+    are_pairwise_independent,
+    independence_defect,
+)
+from repro.measure.random_variables import RandomVariable, expectation, moment
+from repro.measure.product import product_space
+
+__all__ = [
+    "DiscreteProbabilitySpace",
+    "PointMass",
+    "Event",
+    "are_independent",
+    "are_pairwise_independent",
+    "independence_defect",
+    "RandomVariable",
+    "expectation",
+    "moment",
+    "product_space",
+]

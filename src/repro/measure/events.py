@@ -1,0 +1,105 @@
+"""Events as predicates with an algebra.
+
+An :class:`Event` wraps a membership predicate on outcomes.  Countable
+σ-algebra operations are supported symbolically: complement, finite and
+countable unions/intersections (countable ones lazily, evaluated per
+outcome).  This mirrors how the paper's generic σ-algebras are generated
+from the fact events ``E_f`` / ``E_F``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Sequence
+
+Predicate = Callable[[Hashable], bool]
+
+
+class Event:
+    """A measurable event, represented by its indicator predicate.
+
+    >>> even = Event(lambda n: n % 2 == 0, name="even")
+    >>> even(4), (~even)(4)
+    (True, False)
+    >>> (even & Event(lambda n: n > 2))(4)
+    True
+    """
+
+    __slots__ = ("predicate", "name")
+
+    def __init__(self, predicate: Predicate, name: str = "E"):
+        self.predicate = predicate
+        self.name = name
+
+    def __call__(self, outcome: Hashable) -> bool:
+        return bool(self.predicate(outcome))
+
+    def __invert__(self) -> "Event":
+        return Event(lambda o: not self.predicate(o), name=f"¬{self.name}")
+
+    def __and__(self, other: "Event") -> "Event":
+        return Event(
+            lambda o: self.predicate(o) and other.predicate(o),
+            name=f"({self.name} ∩ {other.name})",
+        )
+
+    def __or__(self, other: "Event") -> "Event":
+        return Event(
+            lambda o: self.predicate(o) or other.predicate(o),
+            name=f"({self.name} ∪ {other.name})",
+        )
+
+    def __sub__(self, other: "Event") -> "Event":
+        return Event(
+            lambda o: self.predicate(o) and not other.predicate(o),
+            name=f"({self.name} − {other.name})",
+        )
+
+    def __repr__(self) -> str:
+        return f"Event({self.name})"
+
+    @classmethod
+    def always(cls) -> "Event":
+        """The sure event Ω."""
+        return cls(lambda o: True, name="Ω")
+
+    @classmethod
+    def never(cls) -> "Event":
+        """The null event ∅."""
+        return cls(lambda o: False, name="∅")
+
+    @classmethod
+    def union_of(cls, events: Iterable["Event"], name: str = "∪") -> "Event":
+        """Countable union, evaluated lazily per outcome.
+
+        The iterable is re-materialized eagerly if it is a sequence;
+        generators are consumed once and cached.
+        """
+        events = list(events)
+        return cls(lambda o: any(e.predicate(o) for e in events), name=name)
+
+    @classmethod
+    def intersection_of(
+        cls, events: Iterable["Event"], name: str = "∩"
+    ) -> "Event":
+        """Countable intersection, evaluated lazily per outcome."""
+        events = list(events)
+        return cls(lambda o: all(e.predicate(o) for e in events), name=name)
+
+    @classmethod
+    def limsup(cls, events: Sequence["Event"], name: str = "limsup") -> "Event":
+        """``⋂_i ⋃_{j≥i} E_j`` truncated to the given finite prefix —
+        the "infinitely many occur" event of Borel–Cantelli (Lemma 2.5),
+        approximated as "at least one occurs in every suffix window"."""
+        events = list(events)
+
+        def predicate(outcome: Hashable) -> bool:
+            # On a finite prefix, limsup degenerates to the last event
+            # window; we interpret it as "some event with index ≥ i occurs
+            # for every i", which on a finite list means the last
+            # occurring index is the controlling one.
+            occurring = [i for i, e in enumerate(events) if e.predicate(outcome)]
+            if not occurring:
+                return False
+            return occurring[-1] == len(events) - 1
+
+        return cls(predicate, name=name)

@@ -1,0 +1,86 @@
+"""Independence of event families (paper §2.3, Definition 4.1).
+
+A collection ``(A_i)`` is independent if ``P(⋂_{i∈M} A_i) = Π P(A_i)``
+for every finite ``M``.  On finite/countable spaces we can check this
+exactly (up to enumeration tolerance) for every subset of a finite
+family — which is how the tests verify Lemma 4.4 (the construction's
+events ``E_f`` are independent).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, Hashable, Sequence, Tuple
+
+from repro.measure.events import Event
+from repro.measure.space import DiscreteProbabilitySpace
+
+
+def independence_defect(
+    space: DiscreteProbabilitySpace,
+    events: Sequence[Event],
+    tolerance: float = 1e-9,
+) -> float:
+    """The largest violation ``|P(⋂ A_i) − Π P(A_i)|`` over all subsets
+    of size ≥ 2 of the given (finite) event family.
+
+    >>> space = DiscreteProbabilitySpace.from_dict(
+    ...     {(0, 0): 0.25, (0, 1): 0.25, (1, 0): 0.25, (1, 1): 0.25})
+    >>> first = Event(lambda o: o[0] == 1)
+    >>> second = Event(lambda o: o[1] == 1)
+    >>> independence_defect(space, [first, second]) < 1e-12
+    True
+    """
+    marginals = [space.probability(e.predicate, tolerance=tolerance) for e in events]
+    worst = 0.0
+    for size in range(2, len(events) + 1):
+        for subset in combinations(range(len(events)), size):
+            joint_event = Event.intersection_of([events[i] for i in subset])
+            joint = space.probability(joint_event.predicate, tolerance=tolerance)
+            product = 1.0
+            for i in subset:
+                product *= marginals[i]
+            worst = max(worst, abs(joint - product))
+    return worst
+
+
+def are_independent(
+    space: DiscreteProbabilitySpace,
+    events: Sequence[Event],
+    tolerance: float = 1e-7,
+) -> bool:
+    """True iff the family is independent up to ``tolerance``.
+
+    >>> space = DiscreteProbabilitySpace.from_dict({(0,): 0.5, (1,): 0.5})
+    >>> e = Event(lambda o: o[0] == 1)
+    >>> are_independent(space, [e, e])   # an event is dependent on itself
+    False
+    """
+    return independence_defect(space, events, tolerance=tolerance) <= tolerance
+
+
+def are_pairwise_independent(
+    space: DiscreteProbabilitySpace,
+    events: Sequence[Event],
+    tolerance: float = 1e-7,
+) -> bool:
+    """Pairwise (not mutual) independence — what Lemma 2.5 needs."""
+    marginals = [space.probability(e.predicate) for e in events]
+    for (i, left), (j, right) in combinations(enumerate(events), 2):
+        joint = space.probability((left & right).predicate)
+        if abs(joint - marginals[i] * marginals[j]) > tolerance:
+            return False
+    return True
+
+
+def mutually_exclusive(
+    space: DiscreteProbabilitySpace,
+    events: Sequence[Event],
+    tolerance: float = 1e-9,
+) -> bool:
+    """True iff ``P(A_i ∩ A_j) = 0`` for all i ≠ j — the within-block
+    condition (1) of Definition 4.11 (BID PDBs)."""
+    for left, right in combinations(events, 2):
+        if space.probability((left & right).predicate) > tolerance:
+            return False
+    return True

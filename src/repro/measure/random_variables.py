@@ -1,0 +1,131 @@
+"""Random variables on discrete spaces: expectation, moments, and the
+instance-size variable ``S_D`` of paper §3.2.
+
+Linearity of expectation for countable sums of non-negative RVs (used in
+eq. (5): ``E(S_D) = Σ_f P(E_f)``) is exercised by the tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable, Hashable, Iterator, Optional
+
+from repro.errors import ProbabilityError
+from repro.measure.space import DiscreteProbabilitySpace
+
+
+class RandomVariable:
+    """A real-valued function on outcomes, bound to no particular space.
+
+    >>> X = RandomVariable(lambda o: o * 2.0, name="double")
+    >>> X(3)
+    6.0
+    """
+
+    __slots__ = ("function", "name")
+
+    def __init__(self, function: Callable[[Hashable], float], name: str = "X"):
+        self.function = function
+        self.name = name
+
+    def __call__(self, outcome: Hashable) -> float:
+        return float(self.function(outcome))
+
+    def __add__(self, other: "RandomVariable") -> "RandomVariable":
+        return RandomVariable(
+            lambda o: self(o) + other(o), name=f"({self.name}+{other.name})"
+        )
+
+    def __mul__(self, scalar: float) -> "RandomVariable":
+        return RandomVariable(
+            lambda o: self(o) * scalar, name=f"({scalar}·{self.name})"
+        )
+
+    __rmul__ = __mul__
+
+    def power(self, k: int) -> "RandomVariable":
+        """``X^k`` — for the moment conditions of Remark 4.10."""
+        return RandomVariable(lambda o: self(o) ** k, name=f"{self.name}^{k}")
+
+    def __repr__(self) -> str:
+        return f"RandomVariable({self.name})"
+
+    @classmethod
+    def indicator(cls, predicate: Callable[[Hashable], bool], name: str = "1") -> "RandomVariable":
+        """The 0/1 indicator of an event; E[1_A] = P(A)."""
+        return cls(lambda o: 1.0 if predicate(o) else 0.0, name=name)
+
+
+def expectation(
+    space: DiscreteProbabilitySpace,
+    variable: RandomVariable,
+    tolerance: float = 1e-9,
+    max_outcomes: int = 10**6,
+    allow_infinite: bool = True,
+) -> float:
+    """``E[X] = Σ_ω X(ω) P({ω})`` by enumeration.
+
+    For infinite spaces the sum runs until the remaining mass is below
+    ``tolerance``; if ``X`` is unbounded this is only a *partial* sum —
+    a divergent expectation (Example 3.3) shows up as estimates growing
+    without bound as the tolerance shrinks, not as an automatic
+    ``inf``.  Returns ``math.inf`` when partial sums exceed
+    ``1/tolerance`` and ``allow_infinite`` (which catches fast
+    divergence like Example 3.3's ``2^n`` worlds).
+
+    >>> space = DiscreteProbabilitySpace.from_dict({0: 0.5, 10: 0.5})
+    >>> expectation(space, RandomVariable(float))
+    5.0
+    """
+    acc = 0.0
+    seen_mass = 0.0
+    for index, point in enumerate(space.point_masses()):
+        acc += variable(point.outcome) * point.mass
+        seen_mass += point.mass
+        if allow_infinite and acc > 1.0 / tolerance:
+            return math.inf
+        if not space.exhaustive:
+            if 1.0 - seen_mass <= tolerance:
+                return acc
+            if index + 1 >= max_outcomes:
+                raise ProbabilityError(
+                    f"expectation did not stabilize in {max_outcomes} outcomes"
+                )
+    return acc
+
+
+def moment(
+    space: DiscreteProbabilitySpace,
+    variable: RandomVariable,
+    k: int,
+    tolerance: float = 1e-9,
+) -> float:
+    """The k-th raw moment ``E[X^k]`` (Remark 4.10 uses k ≥ 2).
+
+    >>> space = DiscreteProbabilitySpace.from_dict({1: 0.5, 3: 0.5})
+    >>> moment(space, RandomVariable(float), 2)
+    5.0
+    """
+    return expectation(space, variable.power(k), tolerance=tolerance)
+
+
+def variance(
+    space: DiscreteProbabilitySpace,
+    variable: RandomVariable,
+    tolerance: float = 1e-9,
+) -> float:
+    """``Var[X] = E[X²] − E[X]²``."""
+    mean = expectation(space, variable, tolerance=tolerance)
+    if math.isinf(mean):
+        return math.inf
+    second = moment(space, variable, 2, tolerance=tolerance)
+    return second - mean * mean
+
+
+def empirical_expectation(samples, variable: RandomVariable) -> float:
+    """Monte-Carlo estimate ``(1/n) Σ X(sample_i)``."""
+    samples = list(samples)
+    if not samples:
+        raise ProbabilityError("empirical expectation of no samples")
+    return sum(variable(s) for s in samples) / len(samples)

@@ -1,0 +1,333 @@
+"""Countable (discrete) probability spaces.
+
+A discrete probability space is fully determined by its point masses
+``P({ω})`` (σ-additivity, paper §2.3).  We represent the sample space as
+a *deterministic enumeration* of (outcome, mass) pairs: finite spaces
+list them eagerly; countably infinite spaces provide a generator ordered
+so that the enumerated mass converges to 1 (the enumerator's
+responsibility, certified by a tail bound where available).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import (
+    Callable,
+    Dict,
+    Generic,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Tuple,
+    TypeVar,
+)
+
+from repro.errors import ProbabilityError
+from repro.utils.rationals import validate_probability
+
+Outcome = TypeVar("Outcome", bound=Hashable)
+
+
+class PointMass(NamedTuple):
+    """An outcome with its probability mass."""
+
+    outcome: Hashable
+    mass: float
+
+
+class DiscreteProbabilitySpace(Generic[Outcome]):
+    """A countable probability space given by enumerated point masses.
+
+    Parameters
+    ----------
+    enumerate_masses:
+        Zero-argument callable returning a fresh iterator of
+        ``(outcome, mass)`` pairs; outcomes must be distinct and masses
+        non-negative.  For infinite spaces the running mass must tend
+        to 1.
+    exhaustive:
+        True iff the enumeration terminates (finite space).  Finite
+        spaces are checked to sum to 1 (within tolerance) on first use.
+
+    >>> space = DiscreteProbabilitySpace.from_dict({"a": 0.5, "b": 0.5})
+    >>> space.probability_of("a")
+    0.5
+    >>> space.total_mass()
+    1.0
+    """
+
+    #: Tolerance on total mass for finite spaces.
+    MASS_TOLERANCE = 1e-9
+
+    def __init__(
+        self,
+        enumerate_masses: Callable[[], Iterator[Tuple[Outcome, float]]],
+        exhaustive: bool,
+        mass_tail: Optional[Callable[[int], float]] = None,
+    ):
+        self._enumerate = enumerate_masses
+        self.exhaustive = exhaustive
+        self._mass_tail = mass_tail
+        self._finite_cache: Optional[Dict[Outcome, float]] = None
+        if exhaustive:
+            self._materialize()
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_dict(cls, masses: Dict[Outcome, float]) -> "DiscreteProbabilitySpace":
+        """Finite space from an outcome → mass mapping."""
+        items = list(masses.items())
+        return cls(lambda: iter(items), exhaustive=True)
+
+    @classmethod
+    def degenerate(cls, outcome: Outcome) -> "DiscreteProbabilitySpace":
+        """The Dirac measure at a single outcome."""
+        return cls.from_dict({outcome: 1.0})
+
+    @classmethod
+    def mixture(
+        cls,
+        components: "list[tuple[float, DiscreteProbabilitySpace]]",
+    ) -> "DiscreteProbabilitySpace":
+        """The convex mixture ``Σ w_i · P_i`` (weights summing to 1).
+
+        This is the Example 2.4 construction: a measure on ``Σ* ∪ ℝ``
+        mixing a word distribution and a (here: discretized) real
+        distribution with weights ½/½.  Component supports may overlap;
+        masses add.  Infinite components are interleaved.
+
+        >>> words = DiscreteProbabilitySpace.from_dict({"a": 1.0})
+        >>> reals = DiscreteProbabilitySpace.from_dict({1.5: 1.0})
+        >>> mixed = DiscreteProbabilitySpace.mixture(
+        ...     [(0.5, words), (0.5, reals)])
+        >>> mixed.probability_of("a")
+        0.5
+        """
+        components = list(components)
+        total = sum(weight for weight, _ in components)
+        if abs(total - 1.0) > cls.MASS_TOLERANCE:
+            raise ProbabilityError(f"mixture weights sum to {total}, not 1")
+        if any(weight < 0 for weight, _ in components):
+            raise ProbabilityError("mixture weights must be non-negative")
+        exhaustive = all(space.exhaustive for _, space in components)
+        if exhaustive:
+            masses: Dict[Outcome, float] = {}
+            for weight, space in components:
+                for point in space.point_masses():
+                    masses[point.outcome] = (
+                        masses.get(point.outcome, 0.0) + weight * point.mass
+                    )
+            return cls.from_dict(masses)
+
+        def enumerate_masses() -> Iterator[Tuple[Outcome, float]]:
+            iterators = [
+                (weight, space.point_masses())
+                for weight, space in components
+            ]
+            while iterators:
+                alive = []
+                for weight, iterator in iterators:
+                    try:
+                        point = next(iterator)
+                    except StopIteration:
+                        continue
+                    yield point.outcome, weight * point.mass
+                    alive.append((weight, iterator))
+                iterators = alive
+
+        mixed = cls(enumerate_masses, exhaustive=False)
+        # Overlapping supports may repeat outcomes in the lazy stream;
+        # point-mass queries must aggregate.
+        mixed.probability_of = (  # type: ignore[assignment]
+            lambda outcome: mixed.probability(lambda o: o == outcome)
+        )
+        return mixed
+
+    @classmethod
+    def uniform(cls, outcomes: Iterable[Outcome]) -> "DiscreteProbabilitySpace":
+        """Uniform distribution on a finite outcome list."""
+        outcomes = list(outcomes)
+        if not outcomes:
+            raise ProbabilityError("uniform distribution needs outcomes")
+        mass = 1.0 / len(outcomes)
+        return cls.from_dict({o: mass for o in outcomes})
+
+    # ---------------------------------------------------------------- internal
+    def _materialize(self) -> Dict[Outcome, float]:
+        if self._finite_cache is None:
+            cache: Dict[Outcome, float] = {}
+            for outcome, mass in self._enumerate():
+                if mass < 0:
+                    raise ProbabilityError(f"negative mass {mass} at {outcome!r}")
+                if outcome in cache:
+                    raise ProbabilityError(f"duplicate outcome {outcome!r}")
+                cache[outcome] = mass
+            total = sum(cache.values())
+            if abs(total - 1.0) > self.MASS_TOLERANCE:
+                raise ProbabilityError(
+                    f"finite space total mass {total} differs from 1"
+                )
+            self._finite_cache = cache
+        return self._finite_cache
+
+    # ----------------------------------------------------------------- queries
+    def point_masses(self) -> Iterator[PointMass]:
+        """Enumerate (outcome, mass) pairs; fresh iterator each call."""
+        if self._finite_cache is not None:
+            source: Iterable[Tuple[Outcome, float]] = self._finite_cache.items()
+        else:
+            source = self._enumerate()
+        for outcome, mass in source:
+            yield PointMass(outcome, mass)
+
+    def outcomes(self) -> Iterator[Outcome]:
+        for point in self.point_masses():
+            yield point.outcome
+
+    def probability_of(self, outcome: Outcome) -> float:
+        """``P({outcome})``.
+
+        For infinite spaces this scans the enumeration; prefer subclass
+        overrides with closed forms (the PDB constructions provide them).
+        """
+        if self._finite_cache is not None:
+            return self._finite_cache.get(outcome, 0.0)
+        for point in self.point_masses():
+            if point.outcome == outcome:
+                return point.mass
+        return 0.0
+
+    def probability(
+        self,
+        event: Callable[[Outcome], bool],
+        tolerance: float = 1e-9,
+        max_outcomes: int = 10**6,
+    ) -> float:
+        """``P({ω : event(ω)})`` by enumeration.
+
+        For finite spaces this is exact; for infinite spaces enumeration
+        stops when the un-enumerated mass (1 − running total, or the
+        certified tail) is below ``tolerance``, giving that additive
+        accuracy.
+        """
+        acc = 0.0
+        seen_mass = 0.0
+        for index, point in enumerate(self.point_masses()):
+            if event(point.outcome):
+                acc += point.mass
+            seen_mass += point.mass
+            if not self.exhaustive:
+                remaining = (
+                    self._mass_tail(index + 1)
+                    if self._mass_tail is not None
+                    else 1.0 - seen_mass
+                )
+                if remaining <= tolerance:
+                    return acc
+                if index + 1 >= max_outcomes:
+                    raise ProbabilityError(
+                        f"enumerated {max_outcomes} outcomes, remaining mass "
+                        f"~{remaining:.3g} still above tolerance {tolerance}"
+                    )
+        return acc
+
+    def total_mass(self, max_outcomes: int = 10**6) -> float:
+        """Sum of enumerated masses (≈1; exactly summed for finite)."""
+        if self._finite_cache is not None:
+            return sum(self._finite_cache.values())
+        return sum(
+            point.mass
+            for point in itertools.islice(self.point_masses(), max_outcomes)
+        )
+
+    def support(self, max_outcomes: int = 10**6) -> List[Outcome]:
+        """Outcomes with positive mass (finite spaces, or a prefix)."""
+        out = []
+        for point in itertools.islice(self.point_masses(), max_outcomes):
+            if point.mass > 0:
+                out.append(point.outcome)
+        return out
+
+    # ---------------------------------------------------------------- sampling
+    def sample(self, rng: random.Random) -> Outcome:
+        """Draw one outcome via inverse transform over the enumeration."""
+        u = rng.random()
+        acc = 0.0
+        last: Optional[Outcome] = None
+        for point in self.point_masses():
+            acc += point.mass
+            last = point.outcome
+            if u < acc:
+                return point.outcome
+        if last is None:
+            raise ProbabilityError("cannot sample from an empty space")
+        return last  # numeric slack: return the final outcome
+
+    def sample_many(self, n: int, rng: random.Random) -> List[Outcome]:
+        return [self.sample(rng) for _ in range(n)]
+
+    # ------------------------------------------------------------- combinators
+    def map(self, function: Callable[[Outcome], Hashable]) -> "DiscreteProbabilitySpace":
+        """Pushforward measure under ``function`` (image distribution).
+
+        This is the semantics of views on countable PDBs, eq. (3) of the
+        paper: ``P′({D′}) = P(V⁻¹(D′))``.
+
+        >>> space = DiscreteProbabilitySpace.from_dict({1: 0.3, -1: 0.7})
+        >>> space.map(abs).probability_of(1)
+        1.0
+        """
+        if self.exhaustive:
+            masses: Dict[Hashable, float] = {}
+            for point in self.point_masses():
+                image = function(point.outcome)
+                masses[image] = masses.get(image, 0.0) + point.mass
+            return DiscreteProbabilitySpace.from_dict(masses)
+
+        def enumerate_pushforward() -> Iterator[Tuple[Hashable, float]]:
+            # Lazy grouping: accumulate masses of already-seen images and
+            # re-emit corrected pairs is not possible in a single pass, so
+            # we emit per-preimage masses; probability_of/probability
+            # aggregate them.  Duplicate outcomes are therefore allowed in
+            # the *lazy* representation; we mark it non-exhaustive.
+            for point in self.point_masses():
+                yield function(point.outcome), point.mass
+
+        pushforward = DiscreteProbabilitySpace(
+            enumerate_pushforward, exhaustive=False, mass_tail=self._mass_tail
+        )
+        # Lazy pushforwards may repeat outcomes; probability_of must sum.
+        pushforward.probability_of = (  # type: ignore[assignment]
+            lambda outcome: pushforward.probability(lambda o: o == outcome)
+        )
+        return pushforward
+
+    def condition(
+        self, event: Callable[[Outcome], bool]
+    ) -> "DiscreteProbabilitySpace":
+        """The conditional space ``P(· | event)``; finite spaces only.
+
+        >>> space = DiscreteProbabilitySpace.from_dict({1: 0.2, 2: 0.8})
+        >>> space.condition(lambda o: o == 2).probability_of(2)
+        1.0
+        """
+        if not self.exhaustive:
+            raise ProbabilityError(
+                "exact conditioning requires a finite space; use "
+                "probability() ratios for infinite spaces"
+            )
+        masses = {
+            point.outcome: point.mass
+            for point in self.point_masses()
+            if event(point.outcome)
+        }
+        total = sum(masses.values())
+        if total <= 0:
+            raise ProbabilityError("conditioning on a null event")
+        return DiscreteProbabilitySpace.from_dict(
+            {o: m / total for o, m in masses.items()}
+        )

@@ -1,0 +1,15 @@
+"""The OpenPDB model of Ceylan, Darwiche & Van den Broeck (KR 2016) —
+the finite-universe open-world baseline the paper generalizes.
+
+An OpenPDB is a finite TI table plus a threshold λ: facts over the
+*finite* universe that are not listed may take any probability in
+``[0, λ]``.  Queries get *credal* interval semantics ``[P_min, P_max]``.
+The paper's Theorem 5.5 recovers this as the special case of a finite
+universe, and generalizes the fixed λ to the summands of a convergent
+series (paper §5.1 closing remarks).
+"""
+
+from repro.openworld.openpdb import OpenPDB
+from repro.openworld.credal import CredalInterval, credal_query_probability
+
+__all__ = ["OpenPDB", "CredalInterval", "credal_query_probability"]

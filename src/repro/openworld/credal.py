@@ -1,0 +1,68 @@
+"""Credal (interval) query semantics for OpenPDBs.
+
+A query's probability under an OpenPDB is an interval
+``[P_min, P_max]`` over all completions of the credal set.  Because the
+query probability is multilinear in the individual fact probabilities,
+the extrema are attained at extreme completions (each open fact at 0 or
+λ); for *monotone* queries (UCQs — no negation) they are attained at the
+all-0 and all-λ completions directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple
+
+from repro.finite.evaluation import query_probability
+from repro.logic.analysis import is_positive
+from repro.logic.queries import BooleanQuery
+from repro.openworld.openpdb import OpenPDB
+
+
+class CredalInterval(NamedTuple):
+    """The interval ``[low, high]`` of attainable query probabilities."""
+
+    low: float
+    high: float
+
+    def contains(self, value: float) -> bool:
+        return self.low - 1e-12 <= value <= self.high + 1e-12
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+
+def credal_query_probability(
+    query: BooleanQuery,
+    open_pdb: OpenPDB,
+    strategy: str = "auto",
+    max_open_facts: int = 12,
+) -> CredalInterval:
+    """``[P_min(Q), P_max(Q)]`` over the OpenPDB's credal set.
+
+    Monotone (negation-free) queries use the two canonical extreme
+    completions; general queries enumerate all extreme completions.
+
+    >>> from repro.relational import Schema
+    >>> from repro.universe import FiniteUniverse
+    >>> from repro.finite.tuple_independent import TupleIndependentTable
+    >>> from repro.logic.parser import parse_formula
+    >>> schema = Schema.of(R=1)
+    >>> R = schema["R"]
+    >>> g = OpenPDB(TupleIndependentTable(schema, {R("a"): 0.8}),
+    ...             lambd=0.5, universe=FiniteUniverse(["a", "b"]))
+    >>> q = BooleanQuery(parse_formula("R('b')", schema), schema)
+    >>> credal_query_probability(q, g)
+    CredalInterval(low=0.0, high=0.5)
+    """
+    if is_positive(query.formula):
+        low = query_probability(query, open_pdb.lower_completion(), strategy=strategy)
+        high = query_probability(query, open_pdb.upper_completion(), strategy=strategy)
+        return CredalInterval(low, high)
+    low, high = math.inf, -math.inf
+    for completion in open_pdb.extreme_completions(max_open_facts=max_open_facts):
+        value = query_probability(query, completion, strategy=strategy)
+        low = min(low, value)
+        high = max(high, value)
+    return CredalInterval(low, high)

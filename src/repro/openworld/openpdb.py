@@ -1,0 +1,106 @@
+"""OpenPDBs: λ-completions of finite TI tables over a finite universe.
+
+Ceylan et al. define an OpenPDB ``G = (P, λ)`` as the *set* of all finite
+TI PDBs obtained from P by assigning each unlisted fact (over the fixed
+finite universe) any probability in ``[0, λ]``.  This module represents
+G and enumerates its extreme completions — each unlisted fact at 0 or at
+λ — which suffice to compute credal bounds for monotone queries.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ProbabilityError, SchemaError
+from repro.finite.tuple_independent import TupleIndependentTable
+from repro.relational.facts import Fact
+from repro.relational.schema import Schema
+from repro.universe.base import Universe
+from repro.universe.factspace import FactSpace
+from repro.utils.rationals import validate_probability
+
+
+class OpenPDB:
+    """An OpenPDB ``(P, λ)`` over a finite universe.
+
+    >>> from repro.universe import FiniteUniverse
+    >>> schema = Schema.of(R=1)
+    >>> R = schema["R"]
+    >>> g = OpenPDB(
+    ...     TupleIndependentTable(schema, {R("a"): 0.8}),
+    ...     lambd=0.1,
+    ...     universe=FiniteUniverse(["a", "b"]),
+    ... )
+    >>> [str(f) for f in g.open_facts()]
+    ["R('b')"]
+    """
+
+    def __init__(
+        self,
+        table: TupleIndependentTable,
+        lambd: float,
+        universe: Universe,
+        position_universes: Optional[Mapping[str, Sequence[Universe]]] = None,
+    ):
+        validate_probability(lambd, what="lambda threshold")
+        if not universe.finite and position_universes is None:
+            raise SchemaError(
+                "OpenPDBs require a finite universe; the infinite case is "
+                "exactly what the paper's Theorem 5.5 generalizes"
+            )
+        self.table = table
+        self.lambd = float(lambd)
+        self.universe = universe
+        self._fact_space = FactSpace(
+            table.schema, universe, position_universes=position_universes
+        )
+        if not self._fact_space.finite:
+            raise SchemaError("OpenPDB fact space must be finite")
+
+    def open_facts(self) -> List[Fact]:
+        """The unlisted facts — those free to take mass in ``[0, λ]``."""
+        listed = set(self.table.marginals)
+        return [
+            fact for fact in self._fact_space.enumerate() if fact not in listed
+        ]
+
+    def lower_completion(self) -> TupleIndependentTable:
+        """Every open fact at probability 0 — the closed-world member."""
+        return self.table
+
+    def upper_completion(self) -> TupleIndependentTable:
+        """Every open fact at probability λ."""
+        marginals: Dict[Fact, float] = dict(self.table.marginals)
+        for fact in self.open_facts():
+            marginals[fact] = self.lambd
+        return TupleIndependentTable(self.table.schema, marginals)
+
+    def extreme_completions(
+        self, max_open_facts: int = 16
+    ) -> Iterator[TupleIndependentTable]:
+        """All 2^m completions with each open fact at 0 or λ.
+
+        For monotone queries the credal bounds are attained at the two
+        completions above; for general queries the optimum is at *some*
+        extreme point of the credal set (linearity in each fact's
+        probability), which this enumeration covers.
+        """
+        open_facts = self.open_facts()
+        if len(open_facts) > max_open_facts:
+            raise ProbabilityError(
+                f"{len(open_facts)} open facts would give "
+                f"{2 ** len(open_facts)} extreme completions"
+            )
+        for assignment in itertools.product((0.0, self.lambd), repeat=len(open_facts)):
+            marginals = dict(self.table.marginals)
+            for fact, probability in zip(open_facts, assignment):
+                if probability > 0:
+                    marginals[fact] = probability
+            yield TupleIndependentTable(self.table.schema, marginals)
+
+    def __repr__(self) -> str:
+        return (
+            f"OpenPDB(listed={len(self.table.marginals)}, "
+            f"lambda={self.lambd}, universe={self.universe!r})"
+        )

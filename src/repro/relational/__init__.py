@@ -1,0 +1,40 @@
+"""Relational database substrate: schemas, facts, instances and a small
+relational algebra engine.
+
+This package implements the classical relational model of Section 2.1 of
+the paper: a schema ``τ`` of relation symbols with arities, facts
+``R(a₁, …, a_k)`` over a universe ``U``, and database instances as finite
+sets of facts (``D[τ, U]`` = finite subsets of ``F[τ, U]``).
+"""
+
+from repro.relational.schema import RelationSymbol, Schema
+from repro.relational.facts import Fact, parse_fact
+from repro.relational.instance import Instance
+from repro.relational.algebra import (
+    Relation,
+    difference,
+    join,
+    project,
+    rename,
+    select,
+    union,
+)
+from repro.relational.typed import AttributeType, TypedRelationSymbol, TypedSchema
+
+__all__ = [
+    "RelationSymbol",
+    "Schema",
+    "Fact",
+    "parse_fact",
+    "Instance",
+    "Relation",
+    "select",
+    "project",
+    "join",
+    "union",
+    "difference",
+    "rename",
+    "AttributeType",
+    "TypedRelationSymbol",
+    "TypedSchema",
+]

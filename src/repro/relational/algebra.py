@@ -1,0 +1,233 @@
+"""A small named relational algebra over in-memory relations.
+
+The logic layer compiles safe-range first-order formulas to these
+operators, and the lifted inference engine (``repro.finite.lifted``)
+mirrors them probabilistically.  Relations here are *named*: a relation
+is a set of rows, each row a mapping from column names to values.  This
+keeps joins and projections readable and mirrors how safe plans are
+described in the probabilistic-database literature.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import EvaluationError
+from repro.relational.facts import Value
+
+#: A row maps column names to values.
+Row = Tuple[Tuple[str, Value], ...]
+
+
+def _freeze(mapping: Mapping[str, Value]) -> Row:
+    return tuple(sorted(mapping.items()))
+
+
+def _thaw(row: Row) -> Dict[str, Value]:
+    return dict(row)
+
+
+class Relation:
+    """An immutable named relation: a header plus a set of rows.
+
+    >>> r = Relation(("x",), [{"x": 1}, {"x": 2}])
+    >>> len(r), r.columns
+    (2, ('x',))
+    """
+
+    __slots__ = ("columns", "_rows")
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        rows: Iterable[Mapping[str, Value]] = (),
+    ):
+        self.columns: Tuple[str, ...] = tuple(columns)
+        if len(set(self.columns)) != len(self.columns):
+            raise EvaluationError(f"duplicate columns: {self.columns}")
+        column_set = set(self.columns)
+        frozen: Set[Row] = set()
+        for row in rows:
+            if set(row) != column_set:
+                raise EvaluationError(
+                    f"row {dict(row)!r} does not match columns {self.columns}"
+                )
+            frozen.add(_freeze(row))
+        self._rows: FrozenSet[Row] = frozenset(frozen)
+
+    # ----------------------------------------------------------------- basics
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Dict[str, Value]]:
+        for row in sorted(self._rows):
+            yield _thaw(row)
+
+    def __contains__(self, row: Mapping[str, Value]) -> bool:
+        return _freeze(row) in self._rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return set(self.columns) == set(other.columns) and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self.columns), self._rows))
+
+    def __repr__(self) -> str:
+        return f"Relation(columns={self.columns}, rows={len(self)})"
+
+    def is_empty(self) -> bool:
+        return not self._rows
+
+    def tuples(self, order: Optional[Sequence[str]] = None) -> Set[Tuple[Value, ...]]:
+        """Rows as positional tuples in the given (or header) column order.
+
+        >>> Relation(("x", "y"), [{"x": 1, "y": 2}]).tuples(("y", "x"))
+        {(2, 1)}
+        """
+        order = tuple(order) if order is not None else self.columns
+        return {tuple(dict(row)[c] for c in order) for row in self._rows}
+
+    @classmethod
+    def from_tuples(
+        cls, columns: Sequence[str], tuples: Iterable[Tuple[Value, ...]]
+    ) -> "Relation":
+        """Build from positional tuples.
+
+        >>> len(Relation.from_tuples(("x",), [(1,), (2,)]))
+        2
+        """
+        columns = tuple(columns)
+        return cls(columns, (dict(zip(columns, t)) for t in tuples))
+
+    @classmethod
+    def nullary(cls, nonempty: bool) -> "Relation":
+        """The 0-ary relation: {()} for True, {} for False (paper §2.1)."""
+        return cls((), [{}] if nonempty else [])
+
+
+def select(
+    relation: Relation, predicate: Callable[[Dict[str, Value]], bool]
+) -> Relation:
+    """σ — keep rows satisfying ``predicate``.
+
+    >>> r = Relation.from_tuples(("x",), [(1,), (2,), (3,)])
+    >>> select(r, lambda row: row["x"] > 1).tuples()
+    {(2,), (3,)}
+    """
+    return Relation(relation.columns, (row for row in relation if predicate(row)))
+
+
+def project(relation: Relation, columns: Sequence[str]) -> Relation:
+    """π — restrict to the given columns (with duplicate elimination).
+
+    >>> r = Relation.from_tuples(("x", "y"), [(1, 2), (1, 3)])
+    >>> project(r, ("x",)).tuples()
+    {(1,)}
+    """
+    columns = tuple(columns)
+    missing = set(columns) - set(relation.columns)
+    if missing:
+        raise EvaluationError(f"cannot project onto unknown columns {missing}")
+    return Relation(columns, ({c: row[c] for c in columns} for row in relation))
+
+
+def join(left: Relation, right: Relation) -> Relation:
+    """⋈ — natural join on shared column names.
+
+    With disjoint headers this degenerates to a cartesian product; with
+    identical headers to an intersection.
+
+    >>> l = Relation.from_tuples(("x", "y"), [(1, 2), (2, 3)])
+    >>> r = Relation.from_tuples(("y", "z"), [(2, 9)])
+    >>> join(l, r).tuples(("x", "y", "z"))
+    {(1, 2, 9)}
+    """
+    shared = tuple(c for c in left.columns if c in right.columns)
+    out_columns = left.columns + tuple(
+        c for c in right.columns if c not in left.columns
+    )
+    # Hash join on the shared columns.
+    index: Dict[Tuple[Value, ...], list] = {}
+    for row in right:
+        key = tuple(row[c] for c in shared)
+        index.setdefault(key, []).append(row)
+
+    def rows() -> Iterator[Dict[str, Value]]:
+        for lrow in left:
+            key = tuple(lrow[c] for c in shared)
+            for rrow in index.get(key, ()):
+                merged = dict(lrow)
+                merged.update(rrow)
+                yield merged
+
+    return Relation(out_columns, rows())
+
+
+def union(left: Relation, right: Relation) -> Relation:
+    """∪ — set union; headers must contain the same columns.
+
+    >>> a = Relation.from_tuples(("x",), [(1,)])
+    >>> b = Relation.from_tuples(("x",), [(2,)])
+    >>> union(a, b).tuples()
+    {(1,), (2,)}
+    """
+    if set(left.columns) != set(right.columns):
+        raise EvaluationError(
+            f"union requires matching columns: {left.columns} vs {right.columns}"
+        )
+    return Relation(left.columns, list(left) + [dict(r) for r in right])
+
+
+def difference(left: Relation, right: Relation) -> Relation:
+    """− — set difference; headers must contain the same columns.
+
+    >>> a = Relation.from_tuples(("x",), [(1,), (2,)])
+    >>> b = Relation.from_tuples(("x",), [(2,)])
+    >>> difference(a, b).tuples()
+    {(1,)}
+    """
+    if set(left.columns) != set(right.columns):
+        raise EvaluationError(
+            f"difference requires matching columns: "
+            f"{left.columns} vs {right.columns}"
+        )
+    right_rows = {_freeze({c: row[c] for c in left.columns}) for row in right}
+    return Relation(
+        left.columns,
+        (row for row in left if _freeze(row) not in right_rows),
+    )
+
+
+def rename(relation: Relation, mapping: Mapping[str, str]) -> Relation:
+    """ρ — rename columns according to ``mapping`` (unmentioned kept).
+
+    >>> r = Relation.from_tuples(("x",), [(1,)])
+    >>> rename(r, {"x": "y"}).columns
+    ('y',)
+    """
+    new_columns = tuple(mapping.get(c, c) for c in relation.columns)
+    return Relation(
+        new_columns,
+        ({mapping.get(c, c): v for c, v in row.items()} for row in relation),
+    )
+
+
+def cartesian(left: Relation, right: Relation) -> Relation:
+    """× — cartesian product; requires disjoint headers."""
+    overlap = set(left.columns) & set(right.columns)
+    if overlap:
+        raise EvaluationError(f"cartesian product with shared columns {overlap}")
+    return join(left, right)

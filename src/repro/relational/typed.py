@@ -1,0 +1,133 @@
+"""Typed schemas: per-position domain constraints on relations.
+
+Example 5.7 of the paper restricts the binary relation ``R`` to hold
+between ``{A, B, C, D}`` and ``ℕ`` ("achievable by excluding facts of the
+wrong shape from ``F[τ, U]``").  A :class:`TypedRelationSymbol` carries
+one :class:`AttributeType` per position; the typed fact space then only
+enumerates facts of the right shape.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError, UniverseError
+from repro.relational.facts import Fact, Value
+from repro.relational.schema import RelationSymbol, Schema
+
+
+class AttributeType:
+    """A named value domain for one attribute position.
+
+    Wraps a membership predicate and (optionally) a deterministic
+    enumeration of the domain, so typed fact spaces stay enumerable.
+
+    >>> nat = AttributeType("nat", lambda v: isinstance(v, int) and v >= 1,
+    ...                     enumerate_values=lambda: iter(range(1, 10**9)))
+    >>> nat.contains(3), nat.contains("x")
+    (True, False)
+    """
+
+    __slots__ = ("name", "_contains", "_enumerate")
+
+    def __init__(
+        self,
+        name: str,
+        contains: Callable[[Value], bool],
+        enumerate_values: Optional[Callable[[], Iterator[Value]]] = None,
+    ):
+        self.name = name
+        self._contains = contains
+        self._enumerate = enumerate_values
+
+    def contains(self, value: Value) -> bool:
+        return bool(self._contains(value))
+
+    @property
+    def enumerable(self) -> bool:
+        return self._enumerate is not None
+
+    def enumerate(self) -> Iterator[Value]:
+        if self._enumerate is None:
+            raise UniverseError(f"attribute type {self.name!r} is not enumerable")
+        return self._enumerate()
+
+    def __repr__(self) -> str:
+        return f"AttributeType({self.name!r})"
+
+    @classmethod
+    def finite(cls, name: str, values: Sequence[Value]) -> "AttributeType":
+        """A finite domain listed explicitly.
+
+        >>> t = AttributeType.finite("letters", ["A", "B"])
+        >>> list(t.enumerate())
+        ['A', 'B']
+        """
+        values = tuple(values)
+        value_set = set(values)
+        return cls(name, value_set.__contains__, lambda: iter(values))
+
+
+class TypedRelationSymbol(RelationSymbol):
+    """A relation symbol with a type per argument position.
+
+    >>> letters = AttributeType.finite("letters", ["A", "B"])
+    >>> nat = AttributeType("nat", lambda v: isinstance(v, int) and v >= 1)
+    >>> R = TypedRelationSymbol("R", (letters, nat))
+    >>> R.admits(("A", 3)), R.admits((3, "A"))
+    (True, False)
+    """
+
+    __slots__ = ("types",)
+
+    def __init__(
+        self,
+        name: str,
+        types: Sequence[AttributeType],
+        attributes: Optional[Sequence[str]] = None,
+    ):
+        super().__init__(name, len(tuple(types)), attributes=attributes)
+        self.types: Tuple[AttributeType, ...] = tuple(types)
+
+    def admits(self, args: Sequence[Value]) -> bool:
+        """True iff the argument tuple matches every position's type."""
+        if len(args) != self.arity:
+            return False
+        return all(t.contains(a) for t, a in zip(self.types, args))
+
+    def check(self, args: Sequence[Value]) -> None:
+        """Raise :class:`SchemaError` unless :meth:`admits` holds."""
+        if not self.admits(args):
+            raise SchemaError(
+                f"arguments {tuple(args)!r} violate types of {self}: "
+                f"({', '.join(t.name for t in self.types)})"
+            )
+
+    def typed_fact(self, *args: Value) -> Fact:
+        """Build a fact after type-checking the arguments."""
+        self.check(args)
+        return Fact(self, args)
+
+
+class TypedSchema(Schema):
+    """A schema whose relations are all typed.
+
+    Provides :meth:`admits_fact` for filtering fact enumerations down to
+    well-shaped facts (the Example 5.7 mechanism).
+    """
+
+    def __init__(self, relations: Iterable[TypedRelationSymbol] = ()):
+        relations = list(relations)
+        for rel in relations:
+            if not isinstance(rel, TypedRelationSymbol):
+                raise SchemaError(f"TypedSchema requires typed relations, got {rel}")
+        super().__init__(relations)
+
+    def admits_fact(self, fact: Fact) -> bool:
+        """True iff the fact's relation is in the schema and its arguments
+        satisfy the per-position types."""
+        if fact.relation.name not in self:
+            return False
+        symbol = self[fact.relation.name]
+        assert isinstance(symbol, TypedRelationSymbol)
+        return symbol.arity == fact.relation.arity and symbol.admits(fact.args)

@@ -1,0 +1,26 @@
+"""Countable universes and fact spaces (paper §3).
+
+A universe U supplies the values that fact arguments range over.  The
+infinite-PDB constructions need U to be *computably enumerable* so that
+"an algorithm can generate all facts f ∈ F[τ, U]" (paper §6); every
+universe here provides a deterministic enumeration and, where possible,
+a rank (inverse enumeration) function.
+"""
+
+from repro.universe.base import Universe
+from repro.universe.naturals import Naturals, IntegerRange
+from repro.universe.strings import StringUniverse
+from repro.universe.union import TaggedUnion, FiniteUniverse
+from repro.universe.product import ProductUniverse
+from repro.universe.factspace import FactSpace
+
+__all__ = [
+    "Universe",
+    "Naturals",
+    "IntegerRange",
+    "StringUniverse",
+    "TaggedUnion",
+    "FiniteUniverse",
+    "ProductUniverse",
+    "FactSpace",
+]

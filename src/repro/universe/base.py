@@ -1,0 +1,67 @@
+"""The universe interface.
+
+A :class:`Universe` is a countable (finite or countably infinite) set
+with a fixed enumeration.  The enumeration induces a *rank*: the index of
+an element in the enumeration, which downstream fact-probability
+distributions use to assign decaying probabilities deterministically.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional
+
+from repro.errors import UniverseError
+from repro.relational.facts import Value
+
+
+class Universe:
+    """Base class of countable universes.
+
+    Subclasses implement :meth:`enumerate`, :meth:`__contains__` and
+    either :meth:`rank` or accept the default linear-scan rank.
+    """
+
+    #: True for finite universes; finite ones must implement __len__.
+    finite: bool = False
+
+    def enumerate(self) -> Iterator[Value]:
+        """A fresh iterator over all elements, fixed order, no repeats."""
+        raise NotImplementedError
+
+    def __contains__(self, value: object) -> bool:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[Value]:
+        return self.enumerate()
+
+    def rank(self, value: Value) -> int:
+        """The 0-based index of ``value`` in the enumeration.
+
+        Default implementation scans; subclasses override with closed
+        forms.  Raises :class:`UniverseError` for foreign values.
+        """
+        if value not in self:
+            raise UniverseError(f"{value!r} is not in {self!r}")
+        for index, element in enumerate(self.enumerate()):
+            if element == value:
+                return index
+        raise UniverseError(f"{value!r} not found by enumeration of {self!r}")
+
+    def unrank(self, index: int) -> Value:
+        """The element at position ``index`` of the enumeration."""
+        if index < 0:
+            raise UniverseError(f"rank must be non-negative, got {index}")
+        for i, element in enumerate(self.enumerate()):
+            if i == index:
+                return element
+        raise UniverseError(f"universe has fewer than {index + 1} elements")
+
+    def prefix(self, n: int) -> List[Value]:
+        """The first n elements of the enumeration."""
+        return list(itertools.islice(self.enumerate(), n))
+
+    def __len__(self) -> int:
+        if not self.finite:
+            raise UniverseError(f"{self!r} is infinite")
+        return sum(1 for _ in self.enumerate())

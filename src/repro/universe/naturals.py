@@ -1,0 +1,104 @@
+"""Integer universes: ℕ (the paper's positive integers) and finite ranges."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from repro.errors import UniverseError
+from repro.relational.facts import Value
+from repro.universe.base import Universe
+
+
+class Naturals(Universe):
+    """The positive integers ``ℕ = {1, 2, 3, …}`` (paper §2 convention).
+
+    >>> N = Naturals()
+    >>> N.prefix(3)
+    [1, 2, 3]
+    >>> N.rank(5)
+    4
+    >>> 0 in N
+    False
+    """
+
+    finite = False
+
+    def enumerate(self) -> Iterator[Value]:
+        return itertools.count(1)
+
+    def __contains__(self, value: object) -> bool:
+        return isinstance(value, int) and not isinstance(value, bool) and value >= 1
+
+    def rank(self, value: Value) -> int:
+        if value not in self:
+            raise UniverseError(f"{value!r} is not a positive integer")
+        return int(value) - 1
+
+    def unrank(self, index: int) -> Value:
+        if index < 0:
+            raise UniverseError(f"rank must be non-negative, got {index}")
+        return index + 1
+
+    def __repr__(self) -> str:
+        return "Naturals()"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Naturals)
+
+    def __hash__(self) -> int:
+        return hash("Naturals")
+
+
+class IntegerRange(Universe):
+    """A finite integer range ``[low, high]`` (inclusive).
+
+    >>> r = IntegerRange(3, 5)
+    >>> list(r.enumerate())
+    [3, 4, 5]
+    >>> len(r)
+    3
+    """
+
+    finite = True
+
+    def __init__(self, low: int, high: int):
+        if low > high:
+            raise UniverseError(f"empty range [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def enumerate(self) -> Iterator[Value]:
+        return iter(range(self.low, self.high + 1))
+
+    def __contains__(self, value: object) -> bool:
+        return (
+            isinstance(value, int)
+            and not isinstance(value, bool)
+            and self.low <= value <= self.high
+        )
+
+    def rank(self, value: Value) -> int:
+        if value not in self:
+            raise UniverseError(f"{value!r} not in [{self.low}, {self.high}]")
+        return int(value) - self.low
+
+    def unrank(self, index: int) -> Value:
+        if not 0 <= index < len(self):
+            raise UniverseError(f"rank {index} out of range")
+        return self.low + index
+
+    def __len__(self) -> int:
+        return self.high - self.low + 1
+
+    def __repr__(self) -> str:
+        return f"IntegerRange({self.low}, {self.high})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, IntegerRange)
+            and (self.low, self.high) == (other.low, other.high)
+        )
+
+    def __hash__(self) -> int:
+        return hash(("IntegerRange", self.low, self.high))

@@ -1,0 +1,69 @@
+"""Product universes ``U₁ × … × U_k``: the argument-tuple spaces of
+k-ary relations, enumerated diagonally so infinite factors work."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+from repro.errors import UniverseError
+from repro.relational.facts import Value
+from repro.universe.base import Universe
+from repro.utils.enumeration import cantor_pair, cantor_unpair, diagonal_product
+
+
+class ProductUniverse(Universe):
+    """The cartesian product of countably many (finitely listed)
+    universes, enumerated in diagonal (Cantor) order.
+
+    >>> from repro.universe.naturals import Naturals
+    >>> p = ProductUniverse([Naturals(), Naturals()])
+    >>> p.prefix(4)
+    [(1, 1), (1, 2), (2, 1), (1, 3)]
+    >>> (3, "x") in p
+    False
+    """
+
+    def __init__(self, factors: Sequence[Universe]):
+        factors = tuple(factors)
+        if not factors:
+            raise UniverseError("product of no universes")
+        self.factors: Tuple[Universe, ...] = factors
+        self.finite = all(factor.finite for factor in factors)
+
+    def enumerate(self) -> Iterator[Value]:
+        return diagonal_product(
+            *[factor.enumerate() for factor in self.factors]
+        )
+
+    def __contains__(self, value: object) -> bool:
+        if not isinstance(value, tuple) or len(value) != len(self.factors):
+            return False
+        return all(v in factor for v, factor in zip(value, self.factors))
+
+    def rank(self, value: Value) -> int:
+        """Closed-form rank for the 2-factor infinite case via Cantor
+        pairing; other shapes fall back to scanning."""
+        if value not in self:
+            raise UniverseError(f"{value!r} not in {self!r}")
+        if len(self.factors) == 1:
+            return self.factors[0].rank(value[0])
+        if len(self.factors) == 2 and not self.finite and all(
+            not factor.finite for factor in self.factors
+        ):
+            left = self.factors[0].rank(value[0])
+            right = self.factors[1].rank(value[1])
+            # diagonal_product order is by total, then by first index
+            # ascending, which is Cantor pairing with swapped roles.
+            return cantor_pair(right, left)
+        return super().rank(value)
+
+    def __len__(self) -> int:
+        if not self.finite:
+            raise UniverseError(f"{self!r} is infinite")
+        result = 1
+        for factor in self.factors:
+            result *= len(factor)
+        return result
+
+    def __repr__(self) -> str:
+        return f"ProductUniverse({list(self.factors)!r})"

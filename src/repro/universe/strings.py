@@ -1,0 +1,121 @@
+"""String universes: ``Σ*`` in shortlex order.
+
+This is the paper's canonical countable universe ("for example U = Σ*
+for some finite alphabet Σ, so that an algorithm can generate all
+facts", §6; it also appears in Example 2.4 and Example 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+from repro.errors import UniverseError
+from repro.relational.facts import Value
+from repro.universe.base import Universe
+from repro.utils.enumeration import kleene_star
+
+
+class StringUniverse(Universe):
+    """``Σ*`` over a finite alphabet, enumerated shortlex.
+
+    >>> u = StringUniverse("ab")
+    >>> u.prefix(5)
+    ['', 'a', 'b', 'aa', 'ab']
+    >>> u.rank('ba')
+    5
+    >>> u.unrank(5)
+    'ba'
+    """
+
+    finite = False
+
+    def __init__(self, alphabet: Sequence[str]):
+        alphabet = tuple(alphabet)
+        if not alphabet:
+            raise UniverseError("alphabet must be non-empty")
+        if any(len(symbol) != 1 for symbol in alphabet):
+            raise UniverseError("alphabet symbols must be single characters")
+        if len(set(alphabet)) != len(alphabet):
+            raise UniverseError("alphabet symbols must be distinct")
+        self.alphabet: Tuple[str, ...] = alphabet
+        self._index = {symbol: i for i, symbol in enumerate(alphabet)}
+
+    def enumerate(self) -> Iterator[Value]:
+        for word in kleene_star(self.alphabet):
+            yield "".join(word)
+
+    def __contains__(self, value: object) -> bool:
+        return isinstance(value, str) and all(ch in self._index for ch in value)
+
+    def rank(self, value: Value) -> int:
+        """Closed-form shortlex rank.
+
+        Words shorter than ``value`` contribute ``Σ_{l<n} |Σ|^l``; within
+        length n the word is read as a base-|Σ| numeral.
+        """
+        if value not in self:
+            raise UniverseError(f"{value!r} is not a word over {self.alphabet}")
+        word = str(value)
+        base = len(self.alphabet)
+        shorter = sum(base**length for length in range(len(word)))
+        within = 0
+        for ch in word:
+            within = within * base + self._index[ch]
+        return shorter + within
+
+    def unrank(self, index: int) -> Value:
+        if index < 0:
+            raise UniverseError(f"rank must be non-negative, got {index}")
+        base = len(self.alphabet)
+        length = 0
+        block = 1  # number of words of the current length
+        remaining = index
+        while remaining >= block:
+            remaining -= block
+            length += 1
+            block *= base
+        digits = []
+        for _ in range(length):
+            digits.append(remaining % base)
+            remaining //= base
+        return "".join(self.alphabet[d] for d in reversed(digits))
+
+    def __repr__(self) -> str:
+        return f"StringUniverse({''.join(self.alphabet)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StringUniverse) and self.alphabet == other.alphabet
+
+    def __hash__(self) -> int:
+        return hash(("StringUniverse", self.alphabet))
+
+
+class BinaryStrings(StringUniverse):
+    """``{0,1}*`` — the Σ of Proposition 6.2, with the paper's
+    identification of Σ* with ℕ: the string x represents the integer
+    with binary representation ``1x``.
+
+    >>> b = BinaryStrings()
+    >>> b.to_natural(''), b.to_natural('0'), b.to_natural('1')
+    (1, 2, 3)
+    >>> b.from_natural(6)
+    '10'
+    """
+
+    def __init__(self):
+        super().__init__("01")
+
+    @staticmethod
+    def to_natural(word: str) -> int:
+        """The positive integer with binary representation ``1·word``."""
+        return int("1" + word, 2)
+
+    @staticmethod
+    def from_natural(n: int) -> str:
+        """Inverse of :meth:`to_natural`."""
+        if n < 1:
+            raise UniverseError(f"expected a positive integer, got {n}")
+        return bin(n)[3:]  # strip '0b1'
+
+    def __repr__(self) -> str:
+        return "BinaryStrings()"

@@ -1,0 +1,34 @@
+"""Shared utilities: enumeration combinatorics, exact arithmetic helpers
+and generic iterator tools used across the library."""
+
+from repro.utils.enumeration import (
+    cantor_pair,
+    cantor_unpair,
+    diagonal_product,
+    interleave,
+    kleene_star,
+    paper_pair,
+)
+from repro.utils.iteration import take, merge_sorted, unique_everseen
+from repro.utils.rationals import (
+    as_fraction,
+    float_close,
+    is_probability,
+    validate_probability,
+)
+
+__all__ = [
+    "cantor_pair",
+    "cantor_unpair",
+    "diagonal_product",
+    "interleave",
+    "kleene_star",
+    "paper_pair",
+    "take",
+    "merge_sorted",
+    "unique_everseen",
+    "as_fraction",
+    "float_close",
+    "is_probability",
+    "validate_probability",
+]

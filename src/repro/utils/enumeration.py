@@ -1,0 +1,189 @@
+"""Enumeration combinatorics for countable sets.
+
+Countable universes, fact spaces and instance spaces throughout the
+library are represented as *deterministic enumerations*: generators that
+yield every element exactly once, in a fixed order.  This module collects
+the pairing functions and product/star enumerations those representations
+are built from.
+
+The pairing function :func:`paper_pair` is the one used in the proof of
+Proposition 6.2 of the paper,
+
+    ``⟨m, n⟩ = (m + n − 1)(m + n − 2) / 2 + m``
+
+(a bijection ``ℕ≥1 × ℕ≥1 → ℕ≥1``), while :func:`cantor_pair` is the
+standard Cantor pairing on ``ℕ≥0``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterable, Iterator, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def cantor_pair(x: int, y: int) -> int:
+    """Cantor pairing bijection ``ℕ₀² → ℕ₀``.
+
+    >>> cantor_pair(0, 0), cantor_pair(1, 0), cantor_pair(0, 1)
+    (0, 1, 2)
+    """
+    if x < 0 or y < 0:
+        raise ValueError("cantor_pair requires non-negative integers")
+    return (x + y) * (x + y + 1) // 2 + y
+
+
+def cantor_unpair(z: int) -> Tuple[int, int]:
+    """Inverse of :func:`cantor_pair`.
+
+    >>> all(cantor_unpair(cantor_pair(x, y)) == (x, y)
+    ...     for x in range(20) for y in range(20))
+    True
+    """
+    if z < 0:
+        raise ValueError("cantor_unpair requires a non-negative integer")
+    w = (math.isqrt(8 * z + 1) - 1) // 2
+    t = w * (w + 1) // 2
+    y = z - t
+    x = w - y
+    return x, y
+
+
+def paper_pair(m: int, n: int) -> int:
+    """The pairing function ``⟨m, n⟩`` from Proposition 6.2 of the paper.
+
+    A bijection from pairs of *positive* integers to positive integers:
+    ``⟨m, n⟩ = (m + n − 1)(m + n − 2)/2 + m``.
+
+    >>> paper_pair(1, 1)
+    1
+    >>> sorted(paper_pair(m, n) for m in range(1, 4) for n in range(1, 4))
+    [1, 2, 3, 4, 5, 6, 8, 9, 13]
+    """
+    if m < 1 or n < 1:
+        raise ValueError("paper_pair requires positive integers")
+    s = m + n
+    return (s - 1) * (s - 2) // 2 + m
+
+
+def paper_unpair(k: int) -> Tuple[int, int]:
+    """Inverse of :func:`paper_pair` on positive integers.
+
+    >>> all(paper_unpair(paper_pair(m, n)) == (m, n)
+    ...     for m in range(1, 15) for n in range(1, 15))
+    True
+    """
+    if k < 1:
+        raise ValueError("paper_unpair requires a positive integer")
+    # Find the diagonal s = m + n with (s-1)(s-2)/2 < k <= (s-1)(s-2)/2 + (s-1).
+    s = 2
+    while (s - 1) * (s - 2) // 2 + (s - 1) < k:
+        s += 1
+    m = k - (s - 1) * (s - 2) // 2
+    n = s - m
+    return m, n
+
+
+def diagonal_product(*iterables: Iterable[T]) -> Iterator[Tuple[T, ...]]:
+    """Enumerate the cartesian product of countably infinite iterables.
+
+    Unlike :func:`itertools.product`, this works when the inputs are
+    infinite: tuples are produced in order of increasing *total index sum*
+    (Cantor's diagonal argument), so every tuple appears after finitely
+    many steps.
+
+    >>> from itertools import count
+    >>> it = diagonal_product(count(), count())
+    >>> [next(it) for _ in range(6)]
+    [(0, 0), (0, 1), (1, 0), (0, 2), (1, 1), (2, 0)]
+    """
+    if not iterables:
+        yield ()
+        return
+    caches: List[List[T]] = [[] for _ in iterables]
+    iterators = [iter(it) for it in iterables]
+    exhausted = [False] * len(iterables)
+    k = len(iterables)
+
+    def ensure(i: int, n: int) -> bool:
+        """Grow cache i to at least n+1 elements; return True on success."""
+        while len(caches[i]) <= n and not exhausted[i]:
+            try:
+                caches[i].append(next(iterators[i]))
+            except StopIteration:
+                exhausted[i] = True
+        return len(caches[i]) > n
+
+    total = 0
+    while True:
+        produced = False
+        for split in _compositions(total, k):
+            if all(ensure(i, split[i]) for i in range(k)):
+                produced = True
+                yield tuple(caches[i][split[i]] for i in range(k))
+        if not produced:
+            # Learn exhaustion for every factor (ensure() above may have
+            # short-circuited before touching later ones).
+            for i in range(k):
+                ensure(i, total)
+            if any(exhausted[i] and not caches[i] for i in range(k)):
+                return  # an empty factor: the product is empty
+            if all(exhausted):
+                max_total = sum(len(c) - 1 for c in caches)
+                if total > max_total:
+                    return
+        total += 1
+
+
+def _compositions(total: int, k: int) -> Iterator[Tuple[int, ...]]:
+    """All k-tuples of non-negative integers summing to ``total``."""
+    if k == 1:
+        yield (total,)
+        return
+    for head in range(total + 1):
+        for rest in _compositions(total - head, k - 1):
+            yield (head,) + rest
+
+
+def interleave(*iterables: Iterable[T]) -> Iterator[T]:
+    """Fair round-robin interleaving of countably many (finitely listed)
+    iterables; exhausted inputs are dropped.
+
+    >>> list(interleave([1, 2, 3], 'ab'))
+    [1, 'a', 2, 'b', 3]
+    """
+    iterators = [iter(it) for it in iterables]
+    while iterators:
+        alive = []
+        for it in iterators:
+            try:
+                yield next(it)
+            except StopIteration:
+                continue
+            alive.append(it)
+        iterators = alive
+
+
+def kleene_star(alphabet: Sequence[T]) -> Iterator[Tuple[T, ...]]:
+    """Enumerate ``Σ*`` in length-lexicographic (shortlex) order.
+
+    Yields tuples of alphabet symbols: the empty word first, then all
+    length-1 words in alphabet order, then length-2 words, and so on.
+
+    >>> [''.join(w) for w in take(7, kleene_star('ab'))]
+    ['', 'a', 'b', 'aa', 'ab', 'ba', 'bb']
+    """
+    if not alphabet:
+        yield ()
+        return
+    for length in itertools.count(0):
+        for word in itertools.product(alphabet, repeat=length):
+            yield word
+
+
+# Re-exported here to keep doctests self-contained.
+def take(n: int, iterable: Iterable[T]) -> List[T]:
+    """Return the first ``n`` elements of ``iterable`` as a list."""
+    return list(itertools.islice(iterable, n))

@@ -1,0 +1,77 @@
+"""Generic iterator tools shared across the library."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Hashable, Iterable, Iterator, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+def take(n: int, iterable: Iterable[T]) -> List[T]:
+    """Return the first ``n`` elements of ``iterable`` as a list.
+
+    >>> take(3, iter(range(100)))
+    [0, 1, 2]
+    """
+    if n < 0:
+        raise ValueError("take requires n >= 0")
+    return list(itertools.islice(iterable, n))
+
+
+def merge_sorted(
+    iterables: Iterable[Iterable[T]],
+    key: Optional[Callable[[T], object]] = None,
+    reverse: bool = False,
+) -> Iterator[T]:
+    """Merge already-sorted iterables into one sorted stream.
+
+    A thin wrapper over :func:`heapq.merge`; exists so call sites read as
+    intent rather than as a stdlib reference.
+    """
+    return heapq.merge(*iterables, key=key, reverse=reverse)
+
+
+def unique_everseen(
+    iterable: Iterable[T], key: Optional[Callable[[T], Hashable]] = None
+) -> Iterator[T]:
+    """Yield elements of ``iterable``, skipping any already yielded.
+
+    >>> list(unique_everseen([1, 2, 1, 3, 2]))
+    [1, 2, 3]
+    """
+    seen = set()
+    for element in iterable:
+        marker = element if key is None else key(element)
+        if marker not in seen:
+            seen.add(marker)
+            yield element
+
+
+def pairwise_disjoint(sets: Iterable[frozenset]) -> bool:
+    """True iff the given finite collection of sets is pairwise disjoint.
+
+    >>> pairwise_disjoint([frozenset({1}), frozenset({2, 3})])
+    True
+    >>> pairwise_disjoint([frozenset({1, 2}), frozenset({2, 3})])
+    False
+    """
+    seen: set = set()
+    for s in sets:
+        if seen & s:
+            return False
+        seen |= s
+    return True
+
+
+def powerset(items: Iterable[T]) -> Iterator[frozenset]:
+    """All subsets of a finite collection, smallest first.
+
+    >>> sorted(len(s) for s in powerset([1, 2]))
+    [0, 1, 1, 2]
+    """
+    pool = list(items)
+    for r in range(len(pool) + 1):
+        for combo in itertools.combinations(pool, r):
+            yield frozenset(combo)

@@ -1,0 +1,94 @@
+"""Exact probability arithmetic helpers.
+
+The theorem-verification parts of the library (measure sums to 1,
+completion condition, independence identities) are computed with
+:class:`fractions.Fraction` so that equalities proven in the paper can be
+checked *exactly* rather than up to floating-point tolerance.  The hot
+paths (sampling, large benchmarks) use floats.  These helpers convert and
+validate between the two regimes.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from numbers import Rational
+from typing import Union
+
+from repro.errors import ProbabilityError
+
+Probability = Union[int, float, Fraction]
+
+#: Default tolerance for floating-point probability comparisons.
+DEFAULT_TOLERANCE = 1e-12
+
+
+def as_fraction(value: Probability) -> Fraction:
+    """Convert a number to an exact :class:`Fraction`.
+
+    Floats are converted via ``Fraction(value)`` (exact binary expansion),
+    which preserves the float's value precisely.
+
+    >>> as_fraction(Fraction(1, 3))
+    Fraction(1, 3)
+    >>> as_fraction(0.5)
+    Fraction(1, 2)
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, Rational):
+        return Fraction(value.numerator, value.denominator)
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            raise ProbabilityError(f"cannot convert non-finite float {value!r}")
+        return Fraction(value)
+    if isinstance(value, int):
+        return Fraction(value)
+    raise ProbabilityError(f"cannot interpret {value!r} as a probability value")
+
+
+def is_probability(value: Probability) -> bool:
+    """True iff ``value`` lies in the closed interval ``[0, 1]``.
+
+    >>> is_probability(0.3), is_probability(Fraction(7, 5)), is_probability(-0.0)
+    (True, False, True)
+    """
+    try:
+        frac = as_fraction(value)
+    except ProbabilityError:
+        return False
+    return 0 <= frac <= 1
+
+
+def validate_probability(value: Probability, what: str = "probability") -> Probability:
+    """Return ``value`` unchanged if it is a valid probability, else raise.
+
+    >>> validate_probability(0.25)
+    0.25
+    """
+    if not is_probability(value):
+        raise ProbabilityError(f"{what} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def float_close(a: float, b: float, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """Symmetric absolute/relative closeness test for probabilities.
+
+    >>> float_close(0.1 + 0.2, 0.3)
+    True
+    """
+    return math.isclose(a, b, rel_tol=tolerance, abs_tol=tolerance)
+
+
+def complement(value: Probability) -> Probability:
+    """``1 - value``, preserving exactness of Fractions.
+
+    >>> complement(Fraction(1, 3))
+    Fraction(2, 3)
+    >>> complement(0.25)
+    0.75
+    """
+    validate_probability(value)
+    if isinstance(value, Fraction):
+        return Fraction(1) - value
+    return 1 - value

@@ -1,0 +1,53 @@
+"""Empirical Borel–Cantelli tests (Lemma 2.5) — the dichotomy behind the
+necessity direction of Theorem 4.8."""
+
+import random
+
+from repro.analysis.borel_cantelli import (
+    borel_cantelli_frequency,
+    expected_count,
+    simulate_event_count,
+)
+
+
+class TestSimulation:
+    def test_certain_events_always_counted(self):
+        rng = random.Random(1)
+        counts = simulate_event_count([1.0, 1.0, 0.0], 10, rng)
+        assert counts == [2] * 10
+
+    def test_count_scales_with_probability(self):
+        rng = random.Random(2)
+        low = simulate_event_count([0.1] * 100, 200, rng)
+        rng = random.Random(2)
+        high = simulate_event_count([0.9] * 100, 200, rng)
+        assert sum(high) > sum(low)
+
+
+class TestDichotomy:
+    def test_divergent_sum_many_events(self):
+        """Σ 1/i = ∞: with high probability many events occur."""
+        frequency = borel_cantelli_frequency(
+            lambda i: 1.0 / i, horizon=3000, threshold=6, trials=150, seed=7)
+        assert frequency > 0.85
+
+    def test_convergent_sum_few_events(self):
+        """Σ 1/i² < ∞: the number of occurring events stays bounded."""
+        frequency = borel_cantelli_frequency(
+            lambda i: 1.0 / i**2, horizon=3000, threshold=6, trials=150, seed=7)
+        assert frequency < 0.1
+
+    def test_threshold_grows_with_horizon_divergent(self):
+        """Divergent case: even a higher threshold is eventually passed
+        once the horizon (and hence Σ P(A_i)) grows."""
+        short = borel_cantelli_frequency(
+            lambda i: 1.0 / i, horizon=50, threshold=7, trials=120, seed=3)
+        long = borel_cantelli_frequency(
+            lambda i: 1.0 / i, horizon=5000, threshold=7, trials=120, seed=3)
+        assert long > short
+
+    def test_expected_count_partial_sums(self):
+        harmonic = expected_count(lambda i: 1.0 / i, 1000)
+        basel = expected_count(lambda i: 1.0 / i**2, 1000)
+        assert harmonic > 7.0  # ~ln(1000) ≈ 6.9, diverging
+        assert basel < 1.7     # → π²/6 ≈ 1.645

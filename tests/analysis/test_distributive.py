@@ -1,0 +1,57 @@
+"""Tests for the infinite distributive law (Lemma 2.3) on truncations."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.distributive import (
+    distributive_law_convergence,
+    distributive_law_truncation,
+    product_expansion,
+    subset_sum_expansion,
+)
+
+
+class TestExactExpansions:
+    def test_two_terms(self):
+        terms = [Fraction(1, 2), Fraction(1, 3)]
+        # (1 + 1/2)(1 + 1/3) = 2 = 1 + 1/2 + 1/3 + 1/6
+        assert product_expansion(terms) == Fraction(2)
+        assert subset_sum_expansion(terms) == Fraction(2)
+
+    def test_law_holds_exactly_for_floats(self):
+        lhs, rhs, equal = distributive_law_truncation([0.5, 0.25, 0.125, 0.0625])
+        assert equal and lhs == rhs
+
+    def test_law_with_negative_terms(self):
+        """Lemma 2.3 needs only absolute convergence; signs are free.
+        (1 − p) factors are the Theorem 4.8 use case.)"""
+        lhs, rhs, equal = distributive_law_truncation(
+            [Fraction(-1, 2), Fraction(-1, 4), Fraction(1, 8)])
+        assert equal
+
+    def test_empty_truncation(self):
+        lhs, rhs, equal = distributive_law_truncation([])
+        assert equal and lhs == Fraction(1)
+
+    def test_subset_count_consistency(self):
+        """The RHS sums over all 2^n subsets — spot-check the count by
+        expanding with indicator terms."""
+        # With every a_i = 1, Σ_J Π a_j = 2^n.
+        assert subset_sum_expansion([1, 1, 1, 1]) == Fraction(16)
+
+
+class TestConvergence:
+    def test_growing_prefixes_converge(self):
+        terms = [Fraction(-1, 2**i) for i in range(1, 12)]
+        prefixes = [terms[:k] for k in (2, 4, 8, 11)]
+        values = distributive_law_convergence(prefixes)
+        # Successive truncation values approach a limit: differences shrink.
+        diffs = [
+            abs(values[i + 1][1] - values[i][1]) for i in range(len(values) - 1)
+        ]
+        assert diffs[0] > diffs[-1]
+
+    def test_reports_lengths(self):
+        values = distributive_law_convergence([[0.5], [0.5, 0.25]])
+        assert [length for length, _ in values] == [1, 2]

@@ -1,0 +1,84 @@
+"""Tests for infinite products (Fact 2.2 territory)."""
+
+import math
+
+import pytest
+
+from repro.analysis.products import (
+    converges_absolutely,
+    infinite_product_complement,
+    log_product_complement,
+    product_complement,
+    product_one_plus,
+)
+from repro.analysis.series import SeriesCertificate
+from repro.errors import ConvergenceError
+
+
+class TestProductComplement:
+    def test_basic(self):
+        assert abs(product_complement([0.5, 0.5]) - 0.25) < 1e-15
+
+    def test_empty_product_is_one(self):
+        assert product_complement([]) == 1.0
+
+    def test_probability_one_zeroes(self):
+        assert product_complement([0.3, 1.0]) == 0.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConvergenceError):
+            product_complement([1.5])
+
+    def test_long_product_no_underflow_blowup(self):
+        # 10^5 tiny factors: log-space evaluation stays accurate.
+        value = product_complement([1e-7] * 10**5)
+        assert abs(value - math.exp(-1e-2)) < 1e-6
+
+
+class TestProductOnePlus:
+    def test_mixed_signs(self):
+        assert abs(product_one_plus([0.5, -0.5]) - 0.75) < 1e-15
+
+    def test_zero_factor(self):
+        assert product_one_plus([0.5, -1.0]) == 0.0
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ConvergenceError):
+            product_one_plus([-1.5])
+
+
+class TestLogProductComplement:
+    def test_matches_direct(self):
+        ps = [0.1, 0.2, 0.3]
+        assert abs(
+            math.exp(log_product_complement(ps)) - product_complement(ps)
+        ) < 1e-12
+
+    def test_minus_infinity_at_one(self):
+        assert log_product_complement([0.5, 1.0]) == -math.inf
+
+
+class TestInfiniteProductComplement:
+    def test_geometric_value_bracket(self):
+        """Π (1 − 2^{-i-1}) for i ≥ 1 — compare against a long partial
+        product."""
+        cert = SeriesCertificate.geometric(0.25, 0.5)
+        value, error = infinite_product_complement(cert)
+        reference = product_complement([0.25 * 0.5**i for i in range(200)])
+        assert abs(value - reference) <= error + 1e-12
+
+    def test_error_bound_positive_and_small(self):
+        cert = SeriesCertificate.geometric(0.25, 0.5)
+        _, error = infinite_product_complement(cert, tolerance=1e-10)
+        assert 0 <= error < 1e-9
+
+    def test_value_in_unit_interval(self):
+        cert = SeriesCertificate.zeta(2.0, scale=0.4)
+        value, _ = infinite_product_complement(cert, tolerance=1e-6)
+        assert 0 < value < 1
+
+
+class TestConvergesAbsolutely:
+    def test_certificate_passes(self):
+        assert converges_absolutely(SeriesCertificate.geometric(0.5, 0.5))
+        assert converges_absolutely(SeriesCertificate.zeta(2.0))

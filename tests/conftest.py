@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.relational import Schema
+from repro.universe import FactSpace, Naturals
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG; reseed per test for reproducibility."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def unary_schema():
+    return Schema.of(R=1)
+
+
+@pytest.fixture
+def binary_schema():
+    return Schema.of(R=2)
+
+
+@pytest.fixture
+def rs_schema():
+    return Schema.of(R=1, S=2)
+
+
+@pytest.fixture
+def unary_fact_space(unary_schema):
+    return FactSpace(unary_schema, Naturals())

@@ -1,0 +1,82 @@
+"""Tests for expected answer counts over countable PDBs."""
+
+import pytest
+
+from repro.core.aggregates import (
+    ExpectedCount,
+    exact_relation_expected_count,
+    expected_answer_count,
+)
+from repro.core.fact_distribution import (
+    GeometricFactDistribution,
+    TableFactDistribution,
+)
+from repro.core.tuple_independent import CountableTIPDB
+from repro.errors import ApproximationError
+from repro.logic import Query, parse_formula
+from repro.relational import Schema
+from repro.universe import FactSpace, Naturals
+
+schema = Schema.of(R=1, S=2)
+R, S = schema["R"], schema["S"]
+
+
+class TestExactRelationCount:
+    def test_sums_relation_marginals(self):
+        pdb = CountableTIPDB(schema, TableFactDistribution({
+            R(1): 0.5, R(2): 0.25, S(1, 1): 0.9,
+        }))
+        assert exact_relation_expected_count("R", pdb) == pytest.approx(0.75)
+        assert exact_relation_expected_count("S", pdb) == pytest.approx(0.9)
+
+    def test_matches_size_for_single_relation(self):
+        single = Schema.of(R=1)
+        pdb = CountableTIPDB(
+            single,
+            GeometricFactDistribution(
+                FactSpace(single, Naturals()), first=0.5, ratio=0.5))
+        assert exact_relation_expected_count("R", pdb) == pytest.approx(
+            pdb.expected_size(), abs=1e-9)
+
+
+class TestExpectedAnswerCount:
+    def test_atomic_query(self):
+        pdb = CountableTIPDB(schema, TableFactDistribution({
+            R(1): 0.5, R(2): 0.25,
+        }))
+        query = Query(parse_formula("R(x)", schema), schema)
+        result = expected_answer_count(query, pdb, epsilon=0.001)
+        assert result.value == pytest.approx(0.75, abs=result.error)
+
+    def test_join_query(self):
+        pdb = CountableTIPDB(schema, TableFactDistribution({
+            R(1): 0.5, S(1, 2): 0.5, S(1, 3): 0.5,
+        }))
+        # Q(x, y) = R(x) ∧ S(x, y): answers (1,2) and (1,3), each 0.25.
+        query = Query(parse_formula("R(x) AND S(x, y)", schema), schema)
+        result = expected_answer_count(query, pdb, epsilon=0.001)
+        assert result.value == pytest.approx(0.5, abs=0.05)
+
+    def test_error_bound_reported(self):
+        pdb = CountableTIPDB(
+            schema,
+            GeometricFactDistribution(
+                FactSpace(schema, Naturals()), first=0.5, ratio=0.5))
+        query = Query(parse_formula("R(x)", schema), schema)
+        result = expected_answer_count(query, pdb, epsilon=0.01)
+        assert isinstance(result, ExpectedCount)
+        assert result.error > 0 and result.truncation > 0
+
+    def test_boolean_query_rejected(self):
+        pdb = CountableTIPDB(schema, TableFactDistribution({R(1): 0.5}))
+        query = Query(parse_formula("EXISTS x. R(x)", schema), schema)
+        with pytest.raises(ApproximationError):
+            expected_answer_count(query, pdb)
+
+    def test_unguarded_query_rejected(self):
+        pdb = CountableTIPDB(schema, TableFactDistribution({R(1): 0.5}))
+        # x and y never co-occur in one atom: tail facts could witness
+        # unboundedly many answers.
+        query = Query(parse_formula("R(x) AND R(y)", schema), schema)
+        with pytest.raises(ApproximationError):
+            expected_answer_count(query, pdb)

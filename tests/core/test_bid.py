@@ -1,0 +1,156 @@
+"""Tests for the Theorem 4.15 countable BID construction."""
+
+import itertools
+import math
+import random
+
+import pytest
+
+from repro.core.bid import BlockFamily, CountableBIDPDB
+from repro.errors import ConvergenceError
+from repro.finite.bid import Block
+from repro.relational import Instance, Schema
+
+schema = Schema.of(R=2)
+R = schema["R"]
+
+
+def key_block(i: int) -> Block:
+    """Block for key i: R(i, 1) or R(i, 2), total mass 2^{-i}."""
+    mass = 2.0 ** -i
+    return Block(f"k{i}", {R(i, 1): mass / 2, R(i, 2): mass / 2})
+
+
+def geometric_family():
+    return BlockFamily.geometric(
+        make_block=lambda i: key_block(i + 1),
+        block_mass=lambda i: 2.0 ** -(i + 1),
+        first=0.5,
+        ratio=0.5,
+    )
+
+
+def finite_family():
+    return BlockFamily.finite([
+        Block("a", {R(1, 1): 0.5, R(1, 2): 0.25}),
+        Block("b", {R(2, 1): 0.4}),
+    ])
+
+
+class TestBlockFamily:
+    def test_finite_tail(self):
+        family = finite_family()
+        assert family.tail(0) == pytest.approx(1.15)
+        assert family.tail(1) == pytest.approx(0.4)
+        assert family.tail(2) == 0.0
+
+    def test_geometric_tail_bounds_mass(self):
+        family = geometric_family()
+        for n in range(5):
+            actual = sum(
+                sum(b.alternatives.values()) for b in family.prefix(40)[n:])
+            assert family.tail(n) >= actual - 1e-12
+
+    def test_block_of(self):
+        family = finite_family()
+        assert family.block_of(R(1, 2)).name == "a"
+        assert family.block_of(R(9, 9), max_blocks=10) is None
+
+    def test_total_mass(self):
+        assert finite_family().total_mass() == pytest.approx(1.15)
+        assert geometric_family().total_mass() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestExistence:
+    """Theorem 4.15: exists iff Σ_B Σ_f p_f converges."""
+
+    def test_convergent_accepted(self):
+        assert CountableBIDPDB(schema, geometric_family()) is not None
+
+    def test_divergent_rejected(self):
+        def harmonic_block(i: int) -> Block:
+            return Block(f"h{i}", {R(i + 1, 1): min(1.0, 1.0 / (i + 1))})
+
+        divergent = BlockFamily(
+            lambda: (harmonic_block(i) for i in itertools.count()),
+            tail=lambda n: math.inf,
+            total_mass=math.inf,
+        )
+        with pytest.raises(ConvergenceError):
+            CountableBIDPDB(schema, divergent)
+
+
+class TestMeasure:
+    def test_good_instance_product(self):
+        pdb = CountableBIDPDB(schema, finite_family())
+        # P({R(1,1)}) = 0.5 · p_⊥(b) = 0.5 · 0.6
+        assert pdb.instance_probability(Instance([R(1, 1)])) == pytest.approx(0.3)
+
+    def test_bad_instance_zero(self):
+        pdb = CountableBIDPDB(schema, finite_family())
+        assert pdb.instance_probability(Instance([R(1, 1), R(1, 2)])) == 0.0
+
+    def test_unknown_fact_zero(self):
+        pdb = CountableBIDPDB(schema, finite_family())
+        assert pdb.instance_probability(Instance([R(9, 9)])) == 0.0
+
+    def test_marginals(self):
+        pdb = CountableBIDPDB(schema, geometric_family())
+        assert pdb.marginal(R(1, 1)) == pytest.approx(0.25)
+        assert pdb.marginal(R(2, 2)) == pytest.approx(0.125)
+
+    def test_measure_sums_to_one(self):
+        """The Proposition 4.13 analogue of Lemma 4.3."""
+        pdb = CountableBIDPDB(schema, finite_family())
+        total = sum(mass for _, mass in pdb.worlds())
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_infinite_family_mass_converges(self):
+        pdb = CountableBIDPDB(schema, geometric_family())
+        partial = sum(
+            mass for _, mass in itertools.islice(pdb.worlds(), 2000))
+        assert partial == pytest.approx(1.0, abs=0.02)
+
+    def test_expected_size(self):
+        pdb = CountableBIDPDB(schema, geometric_family())
+        assert pdb.expected_size() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestIndependenceStructure:
+    def test_within_block_exclusive(self):
+        """Definition 4.11 (1): block-mates never co-occur."""
+        pdb = CountableBIDPDB(schema, geometric_family())
+        joint = pdb.probability(
+            lambda D: R(1, 1) in D and R(1, 2) in D, tolerance=1e-3)
+        assert joint == 0.0
+
+    def test_across_blocks_independent(self):
+        """Definition 4.11 (2) via Lemma 4.12: facts from different
+        blocks multiply."""
+        pdb = CountableBIDPDB(schema, geometric_family())
+        joint = pdb.probability(
+            lambda D: R(1, 1) in D and R(2, 1) in D, tolerance=1e-3)
+        assert joint == pytest.approx(0.25 * 0.125, abs=3e-3)
+
+
+class TestTruncationAndSampling:
+    def test_truncate(self):
+        pdb = CountableBIDPDB(schema, geometric_family())
+        table = pdb.truncate(2)
+        assert table.marginal(R(1, 1)) == pytest.approx(0.25)
+        assert table.marginal(R(3, 1)) == 0.0
+
+    def test_sampled_marginals(self):
+        pdb = CountableBIDPDB(schema, geometric_family())
+        rng = random.Random(42)
+        samples = [pdb.sample(rng) for _ in range(4000)]
+        rate = sum(1 for s in samples if R(1, 1) in s) / len(samples)
+        assert abs(rate - 0.25) < 0.03
+
+    def test_samples_never_violate_blocks(self):
+        pdb = CountableBIDPDB(schema, geometric_family())
+        rng = random.Random(43)
+        for _ in range(300):
+            sample = pdb.sample(rng)
+            keys = [fact.args[0] for fact in sample]
+            assert len(keys) == len(set(keys))

@@ -1,0 +1,108 @@
+"""Additional edge-case tests for countable PDBs: error paths, boundary
+parameters, determinism, and cross-checks between closed forms and
+enumeration that earlier test modules don't cover."""
+
+import itertools
+import math
+import random
+
+import pytest
+
+from repro.core.fact_distribution import (
+    GeometricFactDistribution,
+    TableFactDistribution,
+)
+from repro.core.tuple_independent import CountableTIPDB
+from repro.errors import ConvergenceError, ProbabilityError
+from repro.relational import Instance, Schema
+from repro.universe import FactSpace, Naturals
+
+schema = Schema.of(R=1)
+R = schema["R"]
+space = FactSpace(schema, Naturals())
+
+
+class TestDeterminism:
+    def test_world_enumeration_is_reproducible(self):
+        pdb = CountableTIPDB(
+            schema, GeometricFactDistribution(space, first=0.5, ratio=0.5))
+        first = list(itertools.islice(pdb.worlds(), 50))
+        second = list(itertools.islice(pdb.worlds(), 50))
+        assert first == second
+
+    def test_sampling_reproducible_with_seed(self):
+        pdb = CountableTIPDB(
+            schema, GeometricFactDistribution(space, first=0.5, ratio=0.5))
+        a = [pdb.sample(random.Random(42)) for _ in range(20)]
+        b = [pdb.sample(random.Random(42)) for _ in range(20)]
+        assert a == b
+
+
+class TestBoundaryParameters:
+    def test_single_fact_pdb(self):
+        pdb = CountableTIPDB.from_marginals(schema, {R(1): 0.5})
+        worlds = dict(pdb.worlds())
+        assert worlds[Instance()] == pytest.approx(0.5)
+        assert worlds[Instance([R(1)])] == pytest.approx(0.5)
+        assert len(worlds) == 2
+
+    def test_empty_distribution(self):
+        pdb = CountableTIPDB.from_marginals(schema, {})
+        assert pdb.instance_probability(Instance()) == 1.0
+        assert pdb.expected_size() == 0.0
+
+    def test_near_one_probability(self):
+        pdb = CountableTIPDB.from_marginals(schema, {R(1): 0.999999})
+        assert pdb.empty_world_probability() == pytest.approx(1e-6, rel=1e-3)
+
+    def test_probability_one_fact(self):
+        """p_f = 1 is legal in Theorem 4.8 (the empty world just gets
+        probability 0)."""
+        pdb = CountableTIPDB.from_marginals(schema, {R(1): 1.0, R(2): 0.5})
+        assert pdb.instance_probability(Instance()) == 0.0
+        assert pdb.instance_probability(Instance([R(1)])) == pytest.approx(0.5)
+
+    def test_tiny_ratio_geometric(self):
+        pdb = CountableTIPDB(
+            schema, GeometricFactDistribution(space, first=0.5, ratio=0.001))
+        assert pdb.expected_size() == pytest.approx(0.5 / 0.999)
+
+
+class TestClosedFormVsEnumeration:
+    def test_empty_world_two_ways(self):
+        pdb = CountableTIPDB(
+            schema, GeometricFactDistribution(space, first=0.5, ratio=0.5))
+        closed = pdb.empty_world_probability()
+        enumerated = next(
+            mass for world, mass in pdb.worlds() if world == Instance())
+        assert closed == pytest.approx(enumerated, rel=1e-9)
+
+    def test_all_enumerated_masses_match_closed_form(self):
+        pdb = CountableTIPDB.from_marginals(
+            schema, {R(1): 0.3, R(2): 0.6, R(3): 0.9})
+        for world, mass in pdb.worlds():
+            assert mass == pytest.approx(
+                pdb.instance_probability(world), abs=1e-12)
+
+    def test_size_tail_vs_complement(self):
+        pdb = CountableTIPDB.from_marginals(schema, {R(1): 0.5, R(2): 0.5})
+        # P(S ≥ 1) = 1 − P(∅) = 0.75.
+        assert pdb.size_tail(1) == pytest.approx(0.75)
+
+
+class TestErrorPaths:
+    def test_divergence_error_mentions_sum(self):
+        from repro.core.fact_distribution import DivergentFactDistribution
+
+        with pytest.raises(ConvergenceError, match="divergent"):
+            CountableTIPDB(schema, DivergentFactDistribution(space))
+
+    def test_invalid_sample_tolerance(self):
+        pdb = CountableTIPDB.from_marginals(schema, {R(1): 0.5})
+        with pytest.raises(ConvergenceError):
+            pdb.sample(random.Random(0), tolerance=0.0)
+
+    def test_truncate_beyond_support(self):
+        pdb = CountableTIPDB.from_marginals(schema, {R(1): 0.5})
+        table = pdb.truncate(10)  # more than available: just everything
+        assert len(table.facts()) == 1

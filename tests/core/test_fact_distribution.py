@@ -1,0 +1,158 @@
+"""Tests for fact-probability families and their certificates."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.core.fact_distribution import (
+    DivergentFactDistribution,
+    FilteredFactDistribution,
+    GeometricFactDistribution,
+    ScaledFactDistribution,
+    TableFactDistribution,
+    UnionFactDistribution,
+    ZetaFactDistribution,
+)
+from repro.errors import ConvergenceError, ProbabilityError
+from repro.relational import Schema
+from repro.universe import FactSpace, Naturals
+
+schema = Schema.of(R=1)
+R = schema["R"]
+space = FactSpace(schema, Naturals())
+
+
+class TestTableDistribution:
+    def test_enumeration_by_decreasing_probability(self):
+        d = TableFactDistribution({R(1): 0.1, R(2): 0.9, R(3): 0.5})
+        assert [f for f, _ in d.prefix(3)] == [R(2), R(3), R(1)]
+
+    def test_tail_suffix_sums(self):
+        d = TableFactDistribution({R(1): 0.5, R(2): 0.25})
+        assert d.tail(0) == 0.75 and d.tail(1) == 0.25 and d.tail(9) == 0.0
+
+    def test_zero_probability_dropped(self):
+        d = TableFactDistribution({R(1): 0.0, R(2): 0.5})
+        assert len(d) == 1 and d.probability(R(1)) == 0.0
+
+    def test_convergent(self):
+        assert TableFactDistribution({R(1): 0.5}).convergent
+
+
+class TestGeometricDistribution:
+    def test_probabilities_follow_rank(self):
+        d = GeometricFactDistribution(space, first=0.5, ratio=0.5)
+        assert d.probability(R(1)) == 0.5
+        assert d.probability(R(2)) == 0.25
+        assert d.probability(R(3)) == 0.125
+
+    def test_foreign_fact_zero(self):
+        d = GeometricFactDistribution(space, first=0.5, ratio=0.5)
+        other = Schema.of(T=1)["T"]
+        assert d.probability(other(1)) == 0.0
+
+    def test_total_mass_closed_form(self):
+        d = GeometricFactDistribution(space, first=0.25, ratio=0.5)
+        assert d.total_mass() == pytest.approx(0.5)
+
+    def test_support_matches_fact_space(self):
+        d = GeometricFactDistribution(space, first=0.5, ratio=0.5)
+        assert [f for f, _ in d.prefix(3)] == space.prefix(3)
+
+    def test_prefix_for_tail_logarithmic(self):
+        d = GeometricFactDistribution(space, first=0.5, ratio=0.5)
+        assert d.prefix_for_tail(1e-6) < 30
+
+    def test_parameter_validation(self):
+        with pytest.raises(ProbabilityError):
+            GeometricFactDistribution(space, first=0.0, ratio=0.5)
+        with pytest.raises(ProbabilityError):
+            GeometricFactDistribution(space, first=0.5, ratio=1.0)
+
+
+class TestZetaDistribution:
+    def test_probabilities(self):
+        d = ZetaFactDistribution(space, exponent=2.0, scale=0.5)
+        assert d.probability(R(1)) == 0.5
+        assert d.probability(R(2)) == 0.125
+
+    def test_convergent_but_slow(self):
+        d = ZetaFactDistribution(space, exponent=2.0, scale=0.5)
+        geometric = GeometricFactDistribution(space, first=0.5, ratio=0.5)
+        assert d.convergent
+        assert d.prefix_for_tail(1e-4) > 100 * geometric.prefix_for_tail(1e-4)
+
+    def test_exponent_validated(self):
+        with pytest.raises(ConvergenceError):
+            ZetaFactDistribution(space, exponent=1.0)
+
+
+class TestDivergentDistribution:
+    def test_not_convergent(self):
+        d = DivergentFactDistribution(space)
+        assert not d.convergent
+        assert math.isinf(d.total_mass())
+        assert math.isinf(d.tail(10**6))
+
+    def test_individual_probabilities_fine(self):
+        """Each p_f is a perfectly good probability — only the sum
+        diverges (the Theorem 4.8 obstruction is global)."""
+        d = DivergentFactDistribution(space)
+        assert 0 < d.probability(R(5)) < 1
+
+
+class TestFilteredDistribution:
+    def test_filtering(self):
+        base = TableFactDistribution({R(1): 0.5, R(2): 0.25})
+        filtered = FilteredFactDistribution(base, lambda f: f != R(1))
+        assert filtered.probability(R(1)) == 0.0
+        assert filtered.probability(R(2)) == 0.25
+        assert [f for f, _ in filtered.prefix(10)] == [R(2)]
+
+    def test_tail_still_sound(self):
+        base = GeometricFactDistribution(space, first=0.5, ratio=0.5)
+        filtered = FilteredFactDistribution(
+            base, lambda f: space.rank(f) % 2 == 0)
+        n = 5
+        true_tail = sum(p for _, p in filtered.prefix(200)[n:])
+        assert filtered.tail(n) >= true_tail - 1e-12
+
+
+class TestUnionDistribution:
+    def test_disjoint_supports_combined(self):
+        left = TableFactDistribution({R(1): 0.5})
+        right = TableFactDistribution({R(2): 0.25})
+        union = UnionFactDistribution([left, right])
+        assert union.probability(R(1)) == 0.5
+        assert union.probability(R(2)) == 0.25
+        assert union.total_mass() == pytest.approx(0.75)
+
+    def test_interleaved_support(self):
+        left = TableFactDistribution({R(1): 0.5})
+        right = GeometricFactDistribution(
+            FactSpace(Schema.of(S=1), Naturals()), first=0.25, ratio=0.5)
+        union = UnionFactDistribution([left, right])
+        names = [f.relation.name for f, _ in union.prefix(4)]
+        assert names[0] == "R" and "S" in names
+
+    def test_tail_sound(self):
+        left = TableFactDistribution({R(1): 0.5, R(2): 0.25})
+        right = TableFactDistribution(
+            {Schema.of(S=1)["S"](i): 2.0**-i for i in range(1, 8)})
+        union = UnionFactDistribution([left, right])
+        for n in range(10):
+            true_tail = sum(p for _, p in union.prefix(100)[n:])
+            assert union.tail(n) >= true_tail - 1e-12
+
+
+class TestScaledDistribution:
+    def test_scaling(self):
+        base = TableFactDistribution({R(1): 0.5})
+        scaled = ScaledFactDistribution(base, 0.5)
+        assert scaled.probability(R(1)) == 0.25
+        assert scaled.total_mass() == pytest.approx(0.25)
+
+    def test_factor_validated(self):
+        with pytest.raises(ProbabilityError):
+            ScaledFactDistribution(TableFactDistribution({R(1): 0.5}), 0.0)

@@ -1,0 +1,93 @@
+"""Tests for TI size moments and conditional queries on completions."""
+
+import random
+
+import pytest
+
+from repro.core.completion import complete
+from repro.core.fact_distribution import (
+    GeometricFactDistribution,
+    TableFactDistribution,
+)
+from repro.core.tuple_independent import CountableTIPDB
+from repro.errors import ProbabilityError
+from repro.finite.tuple_independent import TupleIndependentTable
+from repro.logic import BooleanQuery, parse_formula
+from repro.relational import Schema
+from repro.universe import FactSpace, Naturals
+
+schema = Schema.of(R=1)
+R = schema["R"]
+space = FactSpace(schema, Naturals())
+
+
+class TestSizeMoments:
+    def test_variance_closed_form(self):
+        pdb = CountableTIPDB.from_marginals(schema, {R(1): 0.5, R(2): 0.2})
+        assert pdb.size_variance() == pytest.approx(0.5 * 0.5 + 0.2 * 0.8)
+
+    def test_variance_infinite_support(self):
+        pdb = CountableTIPDB(
+            schema, GeometricFactDistribution(space, first=0.5, ratio=0.5))
+        expected = sum(0.5**i * (1 - 0.5**i) for i in range(1, 60))
+        assert pdb.size_variance() == pytest.approx(expected, abs=1e-9)
+
+    def test_second_moment(self):
+        pdb = CountableTIPDB.from_marginals(schema, {R(1): 0.5})
+        # S ∈ {0, 1}: E(S²) = E(S) = 0.5.
+        assert pdb.size_moment(2) == pytest.approx(0.5)
+
+    def test_empirical_variance_matches(self):
+        pdb = CountableTIPDB(
+            schema, GeometricFactDistribution(space, first=0.9, ratio=0.5))
+        rng = random.Random(8)
+        sizes = [pdb.sample(rng).size for _ in range(6000)]
+        mean = sum(sizes) / len(sizes)
+        variance = sum((s - mean) ** 2 for s in sizes) / len(sizes)
+        assert variance == pytest.approx(pdb.size_variance(), abs=0.1)
+
+    def test_higher_moments_not_implemented(self):
+        pdb = CountableTIPDB.from_marginals(schema, {R(1): 0.5})
+        with pytest.raises(ProbabilityError):
+            pdb.size_moment(3)
+
+
+class TestConditionalQueries:
+    def make_completion(self):
+        known = TupleIndependentTable(schema, {R(1): 0.8})
+        return complete(
+            known, GeometricFactDistribution(space, first=0.25, ratio=0.5))
+
+    def test_conditional_on_certain_evidence(self):
+        completed = self.make_completion()
+        query = BooleanQuery(parse_formula("R(1)", schema), schema)
+        tautology = BooleanQuery(
+            parse_formula("R(1) OR NOT R(1)", schema), schema)
+        value = completed.approximate_conditional_probability(
+            query, tautology, epsilon=0.01)
+        assert value == pytest.approx(0.8, abs=0.03)
+
+    def test_conditional_flips_marginal(self):
+        completed = self.make_completion()
+        query = BooleanQuery(parse_formula("R(1)", schema), schema)
+        evidence = BooleanQuery(parse_formula("R(1)", schema), schema)
+        value = completed.approximate_conditional_probability(
+            query, evidence, epsilon=0.01)
+        assert value == pytest.approx(1.0, abs=0.05)
+
+    def test_independent_evidence_no_effect(self):
+        completed = self.make_completion()
+        query = BooleanQuery(parse_formula("R(1)", schema), schema)
+        evidence = BooleanQuery(parse_formula("R(2)", schema), schema)
+        value = completed.approximate_conditional_probability(
+            query, evidence, epsilon=0.005)
+        assert value == pytest.approx(0.8, abs=0.1)
+
+    def test_impossible_evidence_rejected(self):
+        completed = self.make_completion()
+        query = BooleanQuery(parse_formula("R(1)", schema), schema)
+        contradiction = BooleanQuery(
+            parse_formula("R(1) AND NOT R(1)", schema), schema)
+        with pytest.raises(ProbabilityError):
+            completed.approximate_conditional_probability(
+                query, contradiction, epsilon=0.01)

@@ -1,0 +1,65 @@
+"""Tests for the one-call open_world convenience API."""
+
+import pytest
+
+from repro import open_world
+from repro.core.completion import verify_completion_condition
+from repro.errors import CompletionError
+from repro.finite import TupleIndependentTable
+from repro.relational import Schema
+from repro.universe import FiniteUniverse
+
+schema = Schema.of(R=2)
+R = schema["R"]
+
+
+def base_table():
+    return TupleIndependentTable(schema, {R(1, 1): 0.9, R(2, 1): 0.3})
+
+
+class TestOpenWorld:
+    def test_completion_condition_holds(self):
+        completed = open_world(base_table())
+        assert verify_completion_condition(completed) < 1e-9
+
+    def test_total_open_mass_respected(self):
+        for budget in (0.1, 0.5, 1.5):
+            completed = open_world(base_table(), total_open_mass=budget)
+            assert completed.new_facts.expected_size() <= budget + 1e-9
+
+    def test_all_well_shaped_facts_possible(self):
+        completed = open_world(base_table(), total_open_mass=0.5)
+        assert completed.fact_marginal(R(5, 5)) > 0.0
+
+    def test_decay_controls_concentration(self):
+        concentrated = open_world(base_table(), decay=0.2)
+        spread = open_world(base_table(), decay=0.9)
+        # Same budget, different profiles: the concentrated family puts
+        # more mass on the first unseen fact.
+        first_unseen = next(
+            f for f, _ in concentrated.new_facts.distribution.prefix(1))
+        assert concentrated.fact_marginal(first_unseen) > \
+            spread.fact_marginal(first_unseen)
+
+    def test_typed_universe(self):
+        completed = open_world(
+            base_table(),
+            position_universes={
+                "R": (FiniteUniverse([1, 2, 3]), FiniteUniverse([1, 2, 3]))},
+            universe=FiniteUniverse([1, 2, 3]),
+        )
+        assert completed.fact_marginal(R(3, 3)) > 0.0
+        assert completed.fact_marginal(R(9, 9)) == 0.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(CompletionError):
+            open_world(base_table(), total_open_mass=0.0)
+        with pytest.raises(CompletionError):
+            open_world(base_table(), decay=1.0)
+        with pytest.raises(CompletionError):
+            open_world(base_table(), total_open_mass=100.0, decay=0.5)
+
+    def test_original_marginals_preserved(self):
+        completed = open_world(base_table())
+        assert completed.fact_marginal(R(1, 1)) == pytest.approx(0.9)
+        assert completed.fact_marginal(R(2, 1)) == pytest.approx(0.3)

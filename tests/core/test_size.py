@@ -1,0 +1,106 @@
+"""Tests for size distributions (§3.2), Example 3.3 and Remark 4.10."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.size import (
+    Example33PDB,
+    MomentGapPDB,
+    empirical_size_distribution,
+    example_3_3_partial_expected_size,
+    example_3_3_pdb,
+    size_tail_probabilities,
+)
+from repro.relational import Instance, RelationSymbol, Schema
+
+R = RelationSymbol("R", 1)
+
+
+class TestExample33:
+    def test_world_probabilities_sum_to_one(self):
+        pdb = example_3_3_pdb()
+        total = sum(pdb.world_probability(n) for n in range(1, 10**5))
+        assert total == pytest.approx(1.0, abs=1e-4)
+
+    def test_world_contents(self):
+        pdb = example_3_3_pdb()
+        world = pdb.world(2)
+        assert world.size == 4
+        assert R(1) in world and R(4) in world and R(5) not in world
+
+    def test_expected_size_infinite(self):
+        """E(S) = Σ 6·2^n/(π²n²) = ∞ — the Example 3.3 headline."""
+        assert math.isinf(example_3_3_pdb().expected_size())
+
+    def test_partial_sums_diverge(self):
+        values = [example_3_3_partial_expected_size(n) for n in (5, 10, 20, 40)]
+        assert values == sorted(values)
+        assert values[-1] > 1000 * values[0]
+
+    def test_size_tail_vanishes(self):
+        """Eq. (6): P(S ≥ n) → 0 despite E(S) = ∞."""
+        pdb = example_3_3_pdb()
+        tails = size_tail_probabilities(pdb, [4, 64, 4096, 2**20])
+        assert tails[4] > tails[64] > tails[4096] > tails[2**20] > 0.0
+        assert tails[2**20] < 0.04  # = Sigma_{m>=20} 6/(pi^2 m^2) ~ 0.031
+
+    def test_size_tail_closed_form_matches_definition(self):
+        pdb = example_3_3_pdb()
+        # P(S ≥ 5) = Σ_{2^m ≥ 5} p_m = 1 − p_1 − p_2.
+        expected = 1 - pdb.world_probability(1) - pdb.world_probability(2)
+        assert pdb.size_tail(5) == pytest.approx(expected)
+
+    def test_enumeration_matches_closed_form(self):
+        pdb = example_3_3_pdb()
+        import itertools
+
+        for n, (world, mass) in enumerate(
+                itertools.islice(pdb.worlds(), 6), start=1):
+            assert world.size == 2**n
+            assert mass == pytest.approx(pdb.world_probability(n))
+
+    def test_sampling_sizes(self):
+        pdb = example_3_3_pdb()
+        rng = random.Random(77)
+        sizes = [2 ** pdb.sample_index(rng) for _ in range(2000)]
+        # P(n = 1) = 6/π² ≈ 0.608 → size 2.
+        rate = sizes.count(2) / len(sizes)
+        assert abs(rate - 6 / math.pi**2) < 0.04
+
+    def test_huge_world_materialization_guarded(self):
+        with pytest.raises(ValueError):
+            example_3_3_pdb().world(40)
+
+
+class TestMomentGap:
+    """Remark 4.10: E(S^k) < ∞ but E(S^{k+1}) = ∞."""
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_gap_at_k(self, k):
+        pdb = MomentGapPDB(k)
+        assert math.isfinite(pdb.moment(k))
+        assert math.isinf(pdb.moment(k + 1))
+
+    def test_lower_moments_also_finite(self):
+        pdb = MomentGapPDB(3)
+        for j in range(1, 4):
+            assert math.isfinite(pdb.moment(j))
+
+    def test_expected_size_finite(self):
+        assert math.isfinite(MomentGapPDB(2).expected_size())
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            MomentGapPDB(0)
+
+
+class TestEmpiricalSizeDistribution:
+    def test_counts(self):
+        samples = [Instance(), Instance([R(1)]), Instance([R(1)])]
+        dist = empirical_size_distribution(samples)
+        assert dist == {0: pytest.approx(1 / 3), 1: pytest.approx(2 / 3)}
+
+    def test_empty(self):
+        assert empirical_size_distribution([]) == {}

@@ -1,0 +1,134 @@
+"""Tests for TM-represented PDBs and the Proposition 6.2 reduction."""
+
+import math
+
+import pytest
+
+from repro.core.tm_represented import (
+    TM_SCHEMA,
+    TMRepresentedDistribution,
+    TuringMachine,
+    exists_r_probability,
+    machine_accept_all,
+    machine_accept_slowly,
+    machine_empty_language,
+    multiplicative_gap_demonstration,
+)
+from repro.core.tuple_independent import CountableTIPDB
+from repro.utils.enumeration import paper_pair
+
+
+class TestTuringMachine:
+    def test_accept_all(self):
+        machine = machine_accept_all()
+        assert machine.accepts("", 1) and machine.accepts("0101", 1)
+
+    def test_empty_language_never_accepts(self):
+        machine = machine_empty_language()
+        assert not machine.accepts("", 1000)
+        assert not machine.accepts("11", 1000)
+
+    def test_still_running_is_none(self):
+        machine = machine_empty_language()
+        assert machine.run("0", 10) is None
+
+    def test_slow_acceptor_needs_budget(self):
+        machine = machine_accept_slowly(5)
+        assert not machine.accepts("0", 3)
+        assert machine.accepts("0", 10)
+
+    def test_explicit_machine(self):
+        """A machine accepting exactly words starting with 1."""
+        machine = TuringMachine(
+            {("q0", "1"): ("acc", "1", 0)},
+            start="q0",
+            accept_state="acc",
+        )
+        assert machine.accepts("10", 5)
+        assert not machine.accepts("01", 5)
+        assert not machine.accepts("", 5)
+
+    def test_invalid_move_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            TuringMachine({("q", "0"): ("q", "0", 2)}, "q", "acc")
+
+
+class TestReductionDistribution:
+    def test_weight_exactly_one(self):
+        d = TMRepresentedDistribution(machine_accept_all())
+        assert d.total_mass() == 1.0
+        prefix_mass = sum(p for _, p in d.prefix(30))
+        assert prefix_mass == pytest.approx(1.0, abs=1e-8)
+
+    def test_each_index_one_fact(self):
+        """Exactly one of R(k)/S(k) carries the 2^{-k} mass."""
+        d = TMRepresentedDistribution(machine_accept_all())
+        R, S = TM_SCHEMA["R"], TM_SCHEMA["S"]
+        for k in range(1, 15):
+            r_mass = d.probability(R(k))
+            s_mass = d.probability(S(k))
+            assert (r_mass, s_mass).count(0.0) == 1
+            assert r_mass + s_mass == pytest.approx(2.0**-k)
+
+    def test_empty_language_all_mass_on_s(self):
+        d = TMRepresentedDistribution(machine_empty_language())
+        R = TM_SCHEMA["R"]
+        assert all(d.probability(R(k)) == 0.0 for k in range(1, 40))
+
+    def test_accept_all_puts_mass_on_r_for_large_t(self):
+        d = TMRepresentedDistribution(machine_accept_all())
+        R = TM_SCHEMA["R"]
+        # k = ⟨1, 2⟩ has word rank 1 and budget 2: accepted instantly.
+        k = paper_pair(1, 2)
+        assert d.probability(R(k)) == 2.0**-k
+
+    def test_usable_as_countable_ti_pdb(self):
+        """The reduction output is a bona fide t.i. PDB (weight 1 < ∞)."""
+        pdb = CountableTIPDB(TM_SCHEMA, TMRepresentedDistribution(
+            machine_accept_all()))
+        assert pdb.expected_size() == 1.0
+
+
+class TestProposition62:
+    def test_zero_iff_empty_language(self):
+        """Pr(∃x R(x)) = 0 ⟺ L(N) = ∅ (evaluated on deep truncations)."""
+        empty = TMRepresentedDistribution(machine_empty_language())
+        nonempty = TMRepresentedDistribution(machine_accept_all())
+        assert exists_r_probability(empty, 128) == 0.0
+        assert exists_r_probability(nonempty, 128) > 0.0
+
+    def test_additive_approximation_fine(self):
+        """Prop 6.1 additive approximation works on these PDBs: the
+        answer 0 is within every ε of the truth for the empty machine."""
+        from repro.core.approx import approximate_query_probability
+        from repro.logic import BooleanQuery, parse_formula
+
+        pdb = CountableTIPDB(TM_SCHEMA, TMRepresentedDistribution(
+            machine_empty_language()))
+        q = BooleanQuery(
+            parse_formula("EXISTS x. R(x)", TM_SCHEMA), TM_SCHEMA)
+        result = approximate_query_probability(q, pdb, 0.01)
+        assert result.value == pytest.approx(0.0, abs=0.01)
+
+    def test_multiplicative_gap_unbounded(self):
+        """A budget-limited evaluator reports 0 while the truth is
+        positive once acceptance hides deep enough: the ratio is ∞, so
+        no constant c can bound it (Proposition 6.2)."""
+        gaps = multiplicative_gap_demonstration(
+            delays=[0, 30, 120], depth_budget=16)
+        # Fast acceptor: estimate positive (no gap).
+        estimate0, truth0 = gaps[0]
+        assert estimate0 > 0 and truth0 > 0
+        # Slow acceptors: estimate 0, truth > 0 — infinite ratio.
+        for delay in (30, 120):
+            estimate, truth = gaps[delay]
+            assert estimate == 0.0 and truth > 0.0
+
+    def test_upper_bound_from_inspection(self):
+        d = TMRepresentedDistribution(machine_empty_language())
+        # The unseen tail keeps the bound positive but shrinking.
+        bounds = [d.r_probability_upper_bound(depth) for depth in (1, 5, 20)]
+        assert bounds == sorted(bounds, reverse=True)
+        assert bounds[-1] < 1e-5

@@ -1,0 +1,197 @@
+"""Tests verifying the Theorem 4.8 construction (Lemmas 4.3, 4.4,
+Corollary 4.7, and the necessity direction)."""
+
+import itertools
+import math
+import random
+
+import pytest
+
+from repro.core.fact_distribution import (
+    DivergentFactDistribution,
+    GeometricFactDistribution,
+    TableFactDistribution,
+    ZetaFactDistribution,
+)
+from repro.core.tuple_independent import CountableTIPDB
+from repro.errors import ConvergenceError
+from repro.relational import Instance, Schema
+from repro.universe import FactSpace, Naturals
+
+schema = Schema.of(R=1)
+R = schema["R"]
+space = FactSpace(schema, Naturals())
+
+
+def geometric_pdb(first=0.5, ratio=0.5):
+    return CountableTIPDB(
+        schema, GeometricFactDistribution(space, first=first, ratio=ratio))
+
+
+class TestExistenceCharacterization:
+    """Theorem 4.8: a countable t.i. PDB exists iff Σ p_f converges."""
+
+    def test_convergent_family_accepted(self):
+        assert geometric_pdb() is not None
+
+    def test_divergent_family_rejected(self):
+        with pytest.raises(ConvergenceError):
+            CountableTIPDB(schema, DivergentFactDistribution(space))
+
+    def test_zeta_accepted(self):
+        pdb = CountableTIPDB(
+            schema, ZetaFactDistribution(space, exponent=2.0, scale=0.5))
+        assert pdb.expected_size() < math.inf
+
+
+class TestLemma43MeasureSumsToOne:
+    """Lemma 4.3: Σ_D P({D}) = 1."""
+
+    def test_finite_support_exact(self):
+        pdb = CountableTIPDB.from_marginals(
+            schema, {R(i): 0.1 * i for i in range(1, 5)})
+        total = sum(mass for _, mass in pdb.worlds())
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_infinite_support_converges_to_one(self):
+        pdb = geometric_pdb()
+        masses = [mass for _, mass in itertools.islice(pdb.worlds(), 2**10)]
+        assert sum(masses) == pytest.approx(1.0, abs=1e-2)
+        # More worlds → closer to 1 (monotone from below).
+        more = [mass for _, mass in itertools.islice(pdb.worlds(), 2**14)]
+        assert sum(more) > sum(masses)
+
+    def test_world_enumeration_has_no_duplicates(self):
+        pdb = geometric_pdb()
+        seen = [world for world, _ in itertools.islice(pdb.worlds(), 300)]
+        assert len(seen) == len(set(seen))
+
+
+class TestLemma44MarginalsAndIndependence:
+    """Lemma 4.4: P(E_f) = p_f and the events E_f are independent."""
+
+    def test_marginals_match_specification(self):
+        pdb = geometric_pdb()
+        for i in range(1, 6):
+            assert pdb.marginal(R(i)) == pytest.approx(0.5**i)
+
+    def test_marginal_via_world_enumeration(self):
+        """The closed-form marginal agrees with summing world masses."""
+        pdb = geometric_pdb()
+        enumerated = pdb.probability(lambda D: R(1) in D, tolerance=1e-4)
+        assert enumerated == pytest.approx(0.5, abs=1e-3)
+
+    def test_joint_equals_product(self):
+        """P(E_{f1} ∩ E_{f2}) = p_{f1} · p_{f2} by direct summation."""
+        pdb = geometric_pdb()
+        joint = pdb.probability(
+            lambda D: R(1) in D and R(2) in D, tolerance=1e-4)
+        assert joint == pytest.approx(0.5 * 0.25, abs=1e-3)
+
+    def test_triple_joint(self):
+        pdb = geometric_pdb()
+        joint = pdb.probability(
+            lambda D: R(1) in D and R(2) in D and R(3) in D, tolerance=1e-4)
+        assert joint == pytest.approx(0.5 * 0.25 * 0.125, abs=1e-3)
+
+    def test_complement_events_independent(self):
+        pdb = geometric_pdb()
+        joint = pdb.probability(
+            lambda D: R(1) not in D and R(2) in D, tolerance=1e-4)
+        assert joint == pytest.approx(0.5 * 0.25, abs=1e-3)
+
+
+class TestInstanceProbability:
+    def test_product_formula_certified_bounds(self):
+        pdb = geometric_pdb()
+        low, high = pdb.instance_probability_bounds(Instance([R(1)]))
+        # P({R(1)}) = 0.5 · Π_{i≥2}(1 − 2^{-i}).
+        reference = 0.5 * math.prod(1 - 0.5**i for i in range(2, 60))
+        assert low - 1e-12 <= reference <= high + 1e-12
+        assert high - low < 1e-9
+
+    def test_empty_world_positive(self):
+        """P({∅}) = Π(1 − p_f) > 0 whenever Σ p_f < ∞ and p_f < 1."""
+        pdb = geometric_pdb()
+        assert pdb.empty_world_probability() > 0.2
+
+    def test_impossible_fact_gives_zero(self):
+        pdb = CountableTIPDB.from_marginals(schema, {R(1): 0.5})
+        assert pdb.instance_probability(Instance([R(7)])) == 0.0
+
+
+class TestCorollary47FiniteExpectedSize:
+    def test_expected_size_is_sum(self):
+        pdb = geometric_pdb()
+        assert pdb.expected_size() == pytest.approx(1.0)
+
+    def test_empirical_expected_size(self):
+        pdb = geometric_pdb()
+        rng = random.Random(31)
+        sizes = [pdb.sample(rng).size for _ in range(4000)]
+        assert sum(sizes) / len(sizes) == pytest.approx(1.0, abs=0.08)
+
+    def test_always_finite(self):
+        heavy = CountableTIPDB(
+            schema, ZetaFactDistribution(space, exponent=1.5, scale=0.9))
+        assert math.isfinite(heavy.expected_size())
+
+
+class TestSampling:
+    def test_sampled_marginals(self):
+        pdb = geometric_pdb()
+        rng = random.Random(32)
+        samples = [pdb.sample(rng) for _ in range(4000)]
+        for i, expected in [(1, 0.5), (2, 0.25), (3, 0.125)]:
+            rate = sum(1 for s in samples if R(i) in s) / len(samples)
+            assert abs(rate - expected) < 0.03, i
+
+    def test_sampled_independence(self):
+        pdb = geometric_pdb()
+        rng = random.Random(33)
+        samples = [pdb.sample(rng) for _ in range(6000)]
+        both = sum(1 for s in samples if R(1) in s and R(2) in s) / len(samples)
+        assert abs(both - 0.125) < 0.02
+
+    def test_samples_are_finite_instances(self):
+        """Borel–Cantelli in action: every sample is a finite instance."""
+        pdb = geometric_pdb()
+        rng = random.Random(34)
+        assert all(pdb.sample(rng).size < 50 for _ in range(200))
+
+
+class TestTruncation:
+    def test_truncate_keeps_first_n_marginals(self):
+        pdb = geometric_pdb()
+        table = pdb.truncate(3)
+        assert table.marginal(R(1)) == 0.5
+        assert table.marginal(R(3)) == 0.125
+        assert table.marginal(R(4)) == 0.0
+
+    def test_truncation_is_conditional_distribution(self):
+        """P(· | Ω_n) equals the truncated table's product measure: check
+        on a concrete instance via the ratio of full-PDB quantities."""
+        pdb = geometric_pdb()
+        n = 4
+        table = pdb.truncate(n)
+        target = Instance([R(1), R(3)])
+        full = pdb.instance_probability(target)
+        omega_n = pdb.omega_n_probability(n)
+        assert full / omega_n == pytest.approx(
+            table.instance_probability(target), abs=1e-9)
+
+    def test_omega_n_probability_increases_with_n(self):
+        pdb = geometric_pdb()
+        values = [pdb.omega_n_probability(n) for n in (1, 3, 6, 12)]
+        assert values == sorted(values)
+        assert values[-1] < 1.0
+
+
+class TestWorldMassTail:
+    def test_certified_tail_bounds_actual_remainder(self):
+        pdb = geometric_pdb()
+        counts = [2**k for k in range(3, 8)]
+        for count in counts:
+            enumerated = sum(
+                mass for _, mass in itertools.islice(pdb.worlds(), count))
+            assert 1.0 - enumerated <= pdb._world_mass_tail(count) + 1e-9

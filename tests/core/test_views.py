@@ -1,0 +1,90 @@
+"""Tests for views on countable PDBs and the Proposition 4.9 gap."""
+
+import math
+
+import pytest
+
+from repro.core.size import example_3_3_pdb
+from repro.core.tuple_independent import CountableTIPDB
+from repro.core.views import apply_fo_view_countable, fo_view_size_bound
+from repro.core.fact_distribution import GeometricFactDistribution
+from repro.logic import FOView, parse_formula
+from repro.relational import Instance, Schema
+from repro.universe import FactSpace, Naturals
+
+source = Schema.of(R=2)
+R = source["R"]
+target = Schema.of(T=1)
+T = target["T"]
+
+
+def head_view():
+    return FOView(source, target,
+                  {"T": parse_formula("EXISTS y. R(x, y)", source)})
+
+
+class TestApplyView:
+    def test_finite_support_pushforward(self):
+        pdb = CountableTIPDB.from_marginals(
+            source, {R(1, 1): 0.5, R(1, 2): 0.5})
+        image = apply_fo_view_countable(head_view(), pdb)
+        assert image.fact_marginal(T(1), tolerance=1e-9) == pytest.approx(0.75)
+
+    def test_instance_probability_aggregates_preimages(self):
+        pdb = CountableTIPDB.from_marginals(
+            source, {R(1, 1): 0.5, R(1, 2): 0.5})
+        image = apply_fo_view_countable(head_view(), pdb)
+        # {T(1)} arises from three worlds: {R(1,1)}, {R(1,2)}, both.
+        assert image.instance_probability(Instance([T(1)])) == pytest.approx(0.75)
+
+    def test_infinite_support_pushforward(self):
+        space = FactSpace(source, Naturals())
+        pdb = CountableTIPDB(
+            source, GeometricFactDistribution(space, first=0.5, ratio=0.5))
+        image = apply_fo_view_countable(head_view(), pdb)
+        first_fact = space.prefix(1)[0]
+        marginal = image.probability(
+            lambda D: T(first_fact.args[0]) in D, tolerance=1e-4)
+        assert 0.4 < marginal < 0.75  # ≥ p of the first R-fact alone
+
+
+class TestProposition49:
+    """Not every countable PDB is FO-definable over a t.i. PDB: any
+    FO view of any t.i. PDB has finite expected size, while Example 3.3
+    has E(S) = ∞."""
+
+    def test_ti_view_bound_is_finite(self):
+        space = FactSpace(source, Naturals())
+        pdb = CountableTIPDB(
+            source, GeometricFactDistribution(space, first=0.5, ratio=0.5))
+        bound = fo_view_size_bound(head_view(), pdb)
+        assert math.isfinite(bound)
+
+    def test_bound_formula_unary_case(self):
+        """For a unary target, bound = k·E(S) + c exactly."""
+        pdb = CountableTIPDB.from_marginals(source, {R(1, 2): 0.5})
+        view = FOView(source, target,
+                      {"T": parse_formula("EXISTS y. R(x, y) AND R(x, 7)",
+                                          source)})
+        bound = fo_view_size_bound(view, pdb)
+        assert bound == pytest.approx(2 * 0.5 + 1)  # k=2, E(S)=0.5, c=1
+
+    def test_example_3_3_exceeds_every_ti_bound(self):
+        """The quantitative contradiction: partial sums of Example 3.3's
+        expected size eventually exceed the (finite) view bound of any
+        given t.i. PDB."""
+        space = FactSpace(source, Naturals())
+        pdb = CountableTIPDB(
+            source, GeometricFactDistribution(space, first=0.9, ratio=0.9))
+        bound = fo_view_size_bound(head_view(), pdb)
+        example = example_3_3_pdb()
+        partial = example.partial_expected_size(40)
+        assert partial > bound
+
+    def test_actual_view_size_respects_bound(self):
+        """E(‖V(C)‖) for the concrete view stays below the bound."""
+        pdb = CountableTIPDB.from_marginals(
+            source, {R(1, 1): 0.5, R(2, 1): 0.5, R(2, 2): 0.5})
+        image = apply_fo_view_countable(head_view(), pdb)
+        expected_image_size = image.expected_size(tolerance=1e-9)
+        assert expected_image_size <= fo_view_size_bound(head_view(), pdb)

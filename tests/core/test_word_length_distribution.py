@@ -1,0 +1,113 @@
+"""Tests for the word-length-decay fact distribution (Example 3.2's
+"decaying with increasing length" weights over Σ*)."""
+
+import math
+
+import pytest
+
+from repro.core.completion import complete, verify_completion_condition
+from repro.core.fact_distribution import WordLengthFactDistribution
+from repro.core.tuple_independent import CountableTIPDB
+from repro.errors import ConvergenceError, ProbabilityError
+from repro.finite.tuple_independent import TupleIndependentTable
+from repro.relational import Instance, Schema
+
+schema = Schema.of(R=1)
+R = schema["R"]
+
+
+def small_distribution(decay=0.2, scale=0.5):
+    return WordLengthFactDistribution(schema, "ab", decay=decay, scale=scale)
+
+
+class TestConstruction:
+    def test_divergence_guard(self):
+        """decay·|Σ| ≥ 1 would give infinite mass — rejected."""
+        with pytest.raises(ConvergenceError):
+            WordLengthFactDistribution(schema, "ab", decay=0.5)
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(ProbabilityError):
+            WordLengthFactDistribution(schema, "", decay=0.1)
+
+
+class TestProbabilities:
+    def test_length_determines_probability(self):
+        d = small_distribution()
+        assert d.probability(R("")) == 0.5
+        assert d.probability(R("a")) == pytest.approx(0.1)
+        assert d.probability(R("ab")) == pytest.approx(0.02)
+        assert d.probability(R("ba")) == d.probability(R("ab"))
+
+    def test_foreign_values_zero(self):
+        d = small_distribution()
+        assert d.probability(R("xyz")) == 0.0  # wrong alphabet
+        assert d.probability(R(3)) == 0.0       # not a string
+
+    def test_total_mass_closed_form(self):
+        d = small_distribution(decay=0.2, scale=0.5)
+        # Σ_w 0.5·0.2^|w| = 0.5/(1 − 0.4).
+        assert d.total_mass() == pytest.approx(0.5 / 0.6)
+
+    def test_binary_relation_mass(self):
+        binary = Schema.of(S=2)
+        d = WordLengthFactDistribution(binary, "ab", decay=0.2, scale=0.5)
+        assert d.total_mass() == pytest.approx(0.5 / 0.6**2)
+
+
+class TestEnumeration:
+    def test_support_ordered_by_length(self):
+        d = small_distribution()
+        lengths = [len(f.args[0]) for f, _ in d.prefix(7)]
+        assert lengths == sorted(lengths)
+
+    def test_support_complete_per_level(self):
+        d = small_distribution()
+        words = {f.args[0] for f, _ in d.prefix(1 + 2 + 4)}
+        assert words == {"", "a", "b", "aa", "ab", "ba", "bb"}
+
+    def test_tail_sound(self):
+        d = small_distribution()
+        enumerated = d.prefix(1 + 2 + 4 + 8)
+        for n in (0, 1, 3, 7):
+            actual_tail = d.total_mass() - sum(p for _, p in enumerated[:n])
+            assert d.tail(n) >= actual_tail - 1e-9
+
+
+class TestClosedFormComplementProduct:
+    def test_matches_direct_product_small_alphabet(self):
+        d = small_distribution()
+        closed = d.log_complement_product()
+        direct = sum(
+            math.log1p(-p) for _, p in d.prefix(2**14)
+        )
+        # The direct sum misses levels ≥ 14 (mass ≈ Σ 0.5·0.4^ℓ ≈ 2e-6).
+        assert closed == pytest.approx(direct, abs=1e-5)
+
+    def test_large_alphabet_no_overflow(self):
+        big = WordLengthFactDistribution(
+            Schema.of(T=2), "abcdefghijklmnopqrstuvwxyz",
+            decay=0.035, scale=0.3)
+        value = big.log_complement_product()
+        assert math.isfinite(value) and value < 0
+
+    def test_max_probability(self):
+        assert small_distribution(scale=0.4).max_probability() == 0.4
+
+
+class TestInTIPDB:
+    def test_instance_probability_exact(self):
+        pdb = CountableTIPDB(schema, small_distribution())
+        empty = pdb.instance_probability(Instance())
+        assert empty == pytest.approx(
+            math.exp(small_distribution().log_complement_product()), rel=1e-9)
+        single = pdb.instance_probability(Instance([R("a")]))
+        assert single == pytest.approx(empty * 0.1 / 0.9, rel=1e-9)
+
+    def test_completion_with_word_length_weights(self):
+        kb = TupleIndependentTable(schema, {R("ab"): 0.9})
+        completed = complete(
+            kb, WordLengthFactDistribution(schema, "ab", decay=0.2, scale=0.3))
+        assert verify_completion_condition(completed) < 1e-9
+        assert completed.fact_marginal(R("ab")) == pytest.approx(0.9)
+        assert completed.fact_marginal(R("ba")) == pytest.approx(0.3 * 0.04)

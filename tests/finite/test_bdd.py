@@ -1,0 +1,177 @@
+"""Tests for the ROBDD compiler and weighted model counting."""
+
+import itertools
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.finite.bdd import (
+    BDDManager,
+    ONE,
+    ZERO,
+    compile_lineage,
+    query_probability_by_bdd,
+)
+from repro.finite.lineage_eval import lineage_probability
+from repro.finite.tuple_independent import TupleIndependentTable
+from repro.finite.evaluation import query_probability_by_worlds
+from repro.logic import BooleanQuery, parse_formula
+from repro.logic.lineage import Lineage, lineage_of
+from repro.relational import Schema
+
+schema = Schema.of(R=1, S=2, T=1)
+R, S, T = schema["R"], schema["S"], schema["T"]
+
+
+class TestManagerBasics:
+    def test_variable_node(self):
+        manager = BDDManager([R(1)])
+        node = manager.variable(R(1))
+        assert node.low == ZERO and node.high == ONE
+
+    def test_hash_consing(self):
+        manager = BDDManager([R(1), R(2)])
+        a = manager.variable(R(1))
+        b = manager.variable(R(1))
+        assert a is b
+
+    def test_redundant_test_eliminated(self):
+        manager = BDDManager([R(1)])
+        assert manager.make(R(1), ONE, ONE) == ONE
+
+    def test_unknown_variable_rejected(self):
+        manager = BDDManager([R(1)])
+        with pytest.raises(EvaluationError):
+            manager.variable(R(9))
+
+    def test_duplicate_order_rejected(self):
+        with pytest.raises(EvaluationError):
+            BDDManager([R(1), R(1)])
+
+
+class TestBooleanOperations:
+    def setup_method(self):
+        self.manager = BDDManager([R(1), R(2), R(3)])
+        self.a = self.manager.variable(R(1))
+        self.b = self.manager.variable(R(2))
+
+    def test_conjoin_disjoin_terminals(self):
+        m = self.manager
+        assert m.conjoin(self.a, ZERO) == ZERO
+        assert m.conjoin(self.a, ONE) is self.a
+        assert m.disjoin(self.a, ONE) == ONE
+        assert m.disjoin(self.a, ZERO) is self.a
+
+    def test_negation_involutive(self):
+        m = self.manager
+        assert m.negate(m.negate(self.a)) is self.a
+
+    def test_excluded_middle(self):
+        m = self.manager
+        assert m.disjoin(self.a, m.negate(self.a)) == ONE
+        assert m.conjoin(self.a, m.negate(self.a)) == ZERO
+
+    def test_truth_table_via_evaluate(self):
+        m = self.manager
+        xor = m.disjoin(
+            m.conjoin(self.a, m.negate(self.b)),
+            m.conjoin(m.negate(self.a), self.b),
+        )
+        assert m.evaluate(xor, {R(1)})
+        assert m.evaluate(xor, {R(2)})
+        assert not m.evaluate(xor, {R(1), R(2)})
+        assert not m.evaluate(xor, set())
+
+    def test_restrict(self):
+        m = self.manager
+        conj = m.conjoin(self.a, self.b)
+        assert m.restrict(conj, R(1), True) is self.b
+        assert m.restrict(conj, R(1), False) == ZERO
+
+
+class TestProbability:
+    def test_simple_disjunction(self):
+        manager = BDDManager([R(1), R(2)])
+        node = manager.disjoin(manager.variable(R(1)), manager.variable(R(2)))
+        assert manager.probability(node, lambda f: 0.5) == pytest.approx(0.75)
+
+    def test_agrees_with_shannon_on_random_lineages(self):
+        facts = [R(1), R(2), S(1, 2), T(1)]
+        marginals = {R(1): 0.3, R(2): 0.6, S(1, 2): 0.8, T(1): 0.4}
+        expressions = [
+            Lineage.disj([Lineage.var(R(1)),
+                          Lineage.conj([Lineage.var(S(1, 2)),
+                                        Lineage.var(T(1))])]),
+            Lineage.conj([Lineage.negation(Lineage.var(R(1))),
+                          Lineage.disj([Lineage.var(R(2)),
+                                        Lineage.var(T(1))])]),
+            Lineage.negation(Lineage.disj(
+                [Lineage.var(f) for f in facts])),
+        ]
+        for expr in expressions:
+            manager, root = compile_lineage(expr)
+            assert manager.probability(
+                root, lambda f: marginals[f]) == pytest.approx(
+                lineage_probability(expr, lambda f: marginals[f]), abs=1e-12)
+
+    def test_query_probability_matches_worlds(self):
+        table = TupleIndependentTable(schema, {
+            R(1): 0.5, R(2): 0.3, S(1, 2): 0.7, T(2): 0.6,
+        })
+        for text in [
+            "EXISTS x. R(x)",
+            "EXISTS x, y. R(x) AND S(x, y) AND T(y)",
+            "FORALL x. R(x) -> T(x)",
+        ]:
+            query = BooleanQuery(parse_formula(text, schema), schema)
+            assert query_probability_by_bdd(query, table) == pytest.approx(
+                query_probability_by_worlds(query, table), abs=1e-10)
+
+
+class TestCompilation:
+    def test_constants(self):
+        _, root = compile_lineage(Lineage.true())
+        assert root == ONE
+        _, root = compile_lineage(Lineage.false())
+        assert root == ZERO
+
+    def test_contradiction_collapses(self):
+        x = Lineage.var(R(1))
+        _, root = compile_lineage(Lineage.conj([x, Lineage.negation(x)]))
+        assert root == ZERO
+
+    def test_order_affects_size_not_value(self):
+        """Different variable orders give different diagram sizes but the
+        same probability — the classic BDD lesson."""
+        facts = [R(1), R(2), R(3), T(1), T(2), T(3)]
+        # Interleaved "multiplexer"-ish function: (R1∧T1)∨(R2∧T2)∨(R3∧T3)
+        expr = Lineage.disj([
+            Lineage.conj([Lineage.var(R(i)), Lineage.var(T(i))])
+            for i in (1, 2, 3)
+        ])
+        good_order = [R(1), T(1), R(2), T(2), R(3), T(3)]
+        bad_order = [R(1), R(2), R(3), T(1), T(2), T(3)]
+        m1, root1 = compile_lineage(expr, order=good_order)
+        m2, root2 = compile_lineage(expr, order=bad_order)
+        assert m1.count_nodes(root1) < m2.count_nodes(root2)
+        assert m1.probability(root1, lambda f: 0.5) == pytest.approx(
+            m2.probability(root2, lambda f: 0.5))
+
+    def test_satisfying_worlds(self):
+        expr = Lineage.conj([Lineage.var(R(1)),
+                             Lineage.negation(Lineage.var(R(2)))])
+        manager, root = compile_lineage(expr)
+        worlds = list(manager.satisfying_worlds(root))
+        assert worlds == [frozenset({R(1)})]
+
+    def test_world_count_matches_truth_table(self):
+        expr = Lineage.disj([Lineage.var(R(1)), Lineage.var(R(2))])
+        manager, root = compile_lineage(expr)
+        worlds = set(manager.satisfying_worlds(root))
+        brute = {
+            frozenset(w)
+            for size in range(3)
+            for w in itertools.combinations([R(1), R(2)], size)
+            if w  # at least one present
+        }
+        assert worlds == brute

@@ -1,0 +1,116 @@
+"""Tests for the Karp–Luby DNF estimator."""
+
+import random
+
+import pytest
+
+from repro.finite import TupleIndependentTable, query_probability
+from repro.finite.karp_luby import (
+    DNFTerm,
+    karp_luby_probability,
+    lineage_to_dnf,
+    query_probability_karp_luby,
+)
+from repro.logic import BooleanQuery, parse_formula
+from repro.logic.lineage import Lineage
+from repro.relational import Schema
+
+schema = Schema.of(R=1, S=2, T=1)
+R, S, T = schema["R"], schema["S"], schema["T"]
+
+
+class TestDNFConversion:
+    def test_disjunction_of_atoms(self):
+        expr = Lineage.disj([Lineage.var(R(1)), Lineage.var(R(2))])
+        terms = lineage_to_dnf(expr)
+        assert len(terms) == 2
+        assert all(len(t.positive) == 1 and not t.negative for t in terms)
+
+    def test_negative_literals(self):
+        expr = Lineage.conj(
+            [Lineage.var(R(1)), Lineage.negation(Lineage.var(R(2)))])
+        terms = lineage_to_dnf(expr)
+        assert len(terms) == 1
+        assert terms[0].positive == frozenset({R(1)})
+        assert terms[0].negative == frozenset({R(2)})
+
+    def test_contradictory_terms_dropped(self):
+        x = Lineage.var(R(1))
+        expr = Lineage.conj([x, Lineage.negation(x)])
+        assert lineage_to_dnf(expr) == []
+
+    def test_de_morgan_push(self):
+        expr = Lineage.negation(
+            Lineage.conj([Lineage.var(R(1)), Lineage.var(R(2))]))
+        terms = lineage_to_dnf(expr)
+        # ¬(a ∧ b) = ¬a ∨ ¬b: two negative singleton terms.
+        assert len(terms) == 2
+        assert all(t.negative and not t.positive for t in terms)
+
+    def test_constants(self):
+        assert lineage_to_dnf(Lineage.false()) == []
+        terms = lineage_to_dnf(Lineage.true())
+        assert len(terms) == 1 and not terms[0].positive
+
+
+class TestTermProbability:
+    def test_term_probability_product(self):
+        table = TupleIndependentTable(schema, {R(1): 0.5, R(2): 0.4})
+        term = DNFTerm(frozenset({R(1)}), frozenset({R(2)}))
+        assert term.probability(table.marginal) == pytest.approx(0.3)
+
+    def test_satisfied_by(self):
+        term = DNFTerm(frozenset({R(1)}), frozenset({R(2)}))
+        assert term.satisfied_by({R(1)})
+        assert not term.satisfied_by({R(1), R(2)})
+        assert not term.satisfied_by(set())
+
+
+class TestEstimator:
+    def test_agrees_with_exact(self):
+        table = TupleIndependentTable(schema, {
+            R(1): 0.5, R(2): 0.3, S(1, 2): 0.7, T(2): 0.6,
+        })
+        query = BooleanQuery(parse_formula(
+            "(EXISTS x. R(x)) OR (EXISTS x, y. S(x, y) AND T(y))",
+            schema), schema)
+        truth = query_probability(query, table)
+        estimate = query_probability_karp_luby(
+            query, table, 6000, random.Random(2))
+        assert estimate.estimate == pytest.approx(truth, abs=0.03)
+
+    def test_small_probability_query(self):
+        """The Karp–Luby selling point: relative accuracy when P(Q) is
+        small (naive MC would see ~0 positives)."""
+        table = TupleIndependentTable(schema, {
+            R(i): 0.001 for i in range(1, 21)
+        })
+        query = BooleanQuery(
+            parse_formula("EXISTS x. R(x)", schema), schema)
+        truth = query_probability(query, table)   # ≈ 0.0198
+        estimate = query_probability_karp_luby(
+            query, table, 4000, random.Random(3))
+        assert estimate.estimate == pytest.approx(truth, rel=0.15)
+
+    def test_unsatisfiable_query(self):
+        table = TupleIndependentTable(schema, {R(1): 0.5})
+        query = BooleanQuery(
+            parse_formula("R(1) AND NOT R(1)", schema), schema)
+        estimate = query_probability_karp_luby(
+            query, table, 100, random.Random(4))
+        assert estimate.estimate == 0.0
+
+    def test_term_mass_is_union_bound(self):
+        table = TupleIndependentTable(schema, {R(1): 0.5, R(2): 0.5})
+        terms = [DNFTerm(frozenset({R(1)}), frozenset()),
+                 DNFTerm(frozenset({R(2)}), frozenset())]
+        estimate = karp_luby_probability(terms, table, 500, random.Random(5))
+        assert estimate.term_mass == pytest.approx(1.0)
+        assert estimate.estimate <= estimate.term_mass
+
+    def test_invalid_samples(self):
+        from repro.errors import EvaluationError
+
+        table = TupleIndependentTable(schema, {R(1): 0.5})
+        with pytest.raises(EvaluationError):
+            karp_luby_probability([], table, 0, random.Random(0))

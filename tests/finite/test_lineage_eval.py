@@ -1,0 +1,113 @@
+"""Tests for lineage-based exact evaluation (Shannon expansion)."""
+
+import pytest
+
+from repro.finite import BlockIndependentTable, Block, TupleIndependentTable
+from repro.finite.lineage_eval import (
+    lineage_probability,
+    query_probability_by_lineage,
+)
+from repro.finite.evaluation import query_probability_by_worlds
+from repro.logic import BooleanQuery, parse_formula
+from repro.logic.lineage import Lineage
+from repro.relational import Schema
+
+schema = Schema.of(R=1, S=2, T=1)
+R, S, T = schema["R"], schema["S"], schema["T"]
+
+
+def q(text):
+    return BooleanQuery(parse_formula(text, schema), schema)
+
+
+class TestLineageProbability:
+    def test_single_variable(self):
+        assert lineage_probability(Lineage.var(R(1)), lambda f: 0.3) == 0.3
+
+    def test_constants(self):
+        assert lineage_probability(Lineage.true(), lambda f: 0.0) == 1.0
+        assert lineage_probability(Lineage.false(), lambda f: 1.0) == 0.0
+
+    def test_disjunction_inclusion_exclusion(self):
+        expr = Lineage.disj([Lineage.var(R(1)), Lineage.var(R(2))])
+        assert lineage_probability(expr, lambda f: 0.5) == pytest.approx(0.75)
+
+    def test_negation(self):
+        expr = Lineage.negation(Lineage.var(R(1)))
+        assert lineage_probability(expr, lambda f: 0.3) == pytest.approx(0.7)
+
+    def test_shared_variable_correlation(self):
+        """x ∧ ¬x = ⊥ even though naive independence would give 0.25."""
+        x = Lineage.var(R(1))
+        expr = Lineage.conj([x, Lineage.negation(x)])
+        assert lineage_probability(expr, lambda f: 0.5) == 0.0
+
+    def test_xor_style_expression(self):
+        x, y = Lineage.var(R(1)), Lineage.var(R(2))
+        xor = Lineage.disj([
+            Lineage.conj([x, Lineage.negation(y)]),
+            Lineage.conj([Lineage.negation(x), y]),
+        ])
+        assert lineage_probability(xor, lambda f: 0.5) == pytest.approx(0.5)
+
+    def test_h0_shaped_lineage(self):
+        """A non-read-once lineage that forces genuine expansion."""
+        expr = Lineage.disj([
+            Lineage.conj([Lineage.var(R(1)), Lineage.var(S(1, 1)), Lineage.var(T(1))]),
+            Lineage.conj([Lineage.var(R(1)), Lineage.var(S(1, 2)), Lineage.var(T(2))]),
+            Lineage.conj([Lineage.var(R(2)), Lineage.var(S(2, 2)), Lineage.var(T(2))]),
+        ])
+        marginals = {
+            R(1): 0.5, R(2): 0.6, S(1, 1): 0.7, S(1, 2): 0.2,
+            S(2, 2): 0.9, T(1): 0.4, T(2): 0.3,
+        }
+        value = lineage_probability(expr, lambda f: marginals[f])
+        # Brute-force over the 7 facts.
+        import itertools
+
+        facts = list(marginals)
+        brute = 0.0
+        for mask in itertools.product([0, 1], repeat=len(facts)):
+            world = {f for f, bit in zip(facts, mask) if bit}
+            mass = 1.0
+            for f, bit in zip(facts, mask):
+                mass *= marginals[f] if bit else 1 - marginals[f]
+            if expr.evaluate(world):
+                brute += mass
+        assert value == pytest.approx(brute, abs=1e-12)
+
+
+class TestQueryByLineage:
+    def test_matches_worlds_on_ti(self):
+        table = TupleIndependentTable(schema, {
+            R(1): 0.4, S(1, 2): 0.5, T(2): 0.9,
+        })
+        for text in ["EXISTS x. R(x)", "EXISTS x, y. R(x) AND S(x, y) AND T(y)"]:
+            assert query_probability_by_lineage(q(text), table) == pytest.approx(
+                query_probability_by_worlds(q(text), table))
+
+    def test_matches_worlds_on_bid(self):
+        bid = BlockIndependentTable(schema, [
+            Block("k1", {S(1, 1): 0.5, S(1, 2): 0.3}),
+            Block("k2", {S(2, 1): 0.6}),
+            Block("r", {R(1): 0.8}),
+        ])
+        for text in [
+            "EXISTS x, y. S(x, y)",
+            "EXISTS y. S(1, y) AND S(2, 1)",
+            "R(1) AND S(1, 1)",
+            "NOT EXISTS y. S(1, y)",
+        ]:
+            assert query_probability_by_lineage(q(text), bid) == pytest.approx(
+                query_probability_by_worlds(q(text), bid)), text
+
+    def test_bid_exclusivity_respected(self):
+        bid = BlockIndependentTable(schema, [
+            Block("k", {R(1): 0.5, R(2): 0.5}),
+        ])
+        assert query_probability_by_lineage(q("R(1) AND R(2)"), bid) == 0.0
+
+    def test_tautology_and_contradiction(self):
+        table = TupleIndependentTable(schema, {R(1): 0.5})
+        assert query_probability_by_lineage(q("R(1) OR NOT R(1)"), table) == 1.0
+        assert query_probability_by_lineage(q("R(1) AND NOT R(1)"), table) == 0.0

@@ -1,0 +1,86 @@
+"""Tests for Monte-Carlo query evaluation."""
+
+import random
+
+import pytest
+
+from repro.finite import (
+    TupleIndependentTable,
+    query_probability,
+    query_probability_monte_carlo,
+)
+from repro.finite.montecarlo import event_probability_monte_carlo
+from repro.logic import BooleanQuery, parse_formula
+from repro.relational import Schema
+
+schema = Schema.of(R=1, S=2, T=1)
+R, S, T = schema["R"], schema["S"], schema["T"]
+
+
+def q(text):
+    return BooleanQuery(parse_formula(text, schema), schema)
+
+
+class TestEstimates:
+    def test_interval_contains_truth(self):
+        table = TupleIndependentTable(schema, {R(1): 0.5, R(2): 0.3})
+        query = q("EXISTS x. R(x)")
+        truth = query_probability(query, table)
+        rng = random.Random(17)
+        estimate = query_probability_monte_carlo(query, table, 3000, rng)
+        assert estimate.contains(truth)
+
+    def test_unsafe_query_estimated(self):
+        """MC handles H0 (the #P-hard query) without a safe plan."""
+        table = TupleIndependentTable(schema, {
+            R(1): 0.5, S(1, 2): 0.5, T(2): 0.5,
+        })
+        query = q("EXISTS x, y. R(x) AND S(x, y) AND T(y)")
+        truth = query_probability(query, table)  # via lineage
+        rng = random.Random(18)
+        estimate = query_probability_monte_carlo(query, table, 4000, rng)
+        assert abs(estimate.estimate - truth) < 0.03
+
+    def test_error_shrinks_with_samples(self):
+        table = TupleIndependentTable(schema, {R(1): 0.5})
+        query = q("R(1)")
+        rng = random.Random(19)
+        small = query_probability_monte_carlo(query, table, 100, rng)
+        large = query_probability_monte_carlo(query, table, 10000, rng)
+        assert large.half_width < small.half_width
+
+    def test_interval_clipped_to_unit(self):
+        table = TupleIndependentTable(schema, {R(1): 0.999})
+        rng = random.Random(20)
+        estimate = query_probability_monte_carlo(q("R(1)"), table, 100, rng)
+        assert 0.0 <= estimate.low <= estimate.high <= 1.0
+
+    def test_invalid_parameters(self):
+        table = TupleIndependentTable(schema, {R(1): 0.5})
+        rng = random.Random(21)
+        with pytest.raises(ValueError):
+            query_probability_monte_carlo(q("R(1)"), table, 0, rng)
+        with pytest.raises(ValueError):
+            query_probability_monte_carlo(q("R(1)"), table, 10, rng,
+                                          confidence=0.5)
+
+
+class TestEventEstimates:
+    def test_size_event(self):
+        table = TupleIndependentTable(schema, {R(1): 0.5, R(2): 0.5})
+        rng = random.Random(22)
+        estimate = event_probability_monte_carlo(
+            lambda D: D.size == 2, table, 4000, rng)
+        assert estimate.contains(0.25)
+
+    def test_coverage_calibration(self):
+        """~95% of 95% intervals should contain the truth."""
+        table = TupleIndependentTable(schema, {R(1): 0.37})
+        query = q("R(1)")
+        hits = 0
+        for trial in range(100):
+            rng = random.Random(1000 + trial)
+            estimate = query_probability_monte_carlo(query, table, 400, rng)
+            if estimate.contains(0.37):
+                hits += 1
+        assert hits >= 85

@@ -1,0 +1,75 @@
+"""Tests for the finite FO-definability construction (§4.3)."""
+
+import random
+
+import pytest
+
+from repro.errors import ProbabilityError
+from repro.finite import FinitePDB, TupleIndependentTable
+from repro.finite.representation import (
+    apply_representation,
+    represent_over_tuple_independent,
+    verify_representation,
+)
+from repro.relational import Instance, Schema
+
+schema = Schema.of(R=1, S=2)
+R, S = schema["R"], schema["S"]
+
+
+class TestSelectorEncoding:
+    def test_two_worlds(self):
+        pdb = FinitePDB(schema, {Instance([R(1)]): 0.3, Instance(): 0.7})
+        assert verify_representation(pdb) < 1e-9
+
+    def test_correlated_facts(self):
+        """A PDB that is NOT tuple-independent (perfect correlation) is
+        still FO-definable over a TI PDB — the §4.3 classical result."""
+        pdb = FinitePDB(schema, {
+            Instance([R(1), R(2)]): 0.5,
+            Instance(): 0.5,
+        })
+        table, view = represent_over_tuple_independent(pdb)
+        image = apply_representation(table, view)
+        # Perfect correlation preserved through the view:
+        both = image.probability(lambda D: R(1) in D and R(2) in D)
+        one = image.probability(lambda D: R(1) in D and R(2) not in D)
+        assert both == pytest.approx(0.5) and one == pytest.approx(0.0)
+
+    def test_many_worlds(self):
+        rng = random.Random(6)
+        worlds = {}
+        instances = [
+            Instance(),
+            Instance([R(1)]),
+            Instance([R(2), S(1, 2)]),
+            Instance([R(1), R(2)]),
+            Instance([S(2, 2)]),
+        ]
+        masses = [rng.random() for _ in instances]
+        total = sum(masses)
+        for instance, mass in zip(instances, masses):
+            worlds[instance] = mass / total
+        pdb = FinitePDB(schema, worlds)
+        assert verify_representation(pdb) < 1e-9
+
+    def test_single_world(self):
+        pdb = FinitePDB(schema, {Instance([S(1, 1)]): 1.0})
+        assert verify_representation(pdb) < 1e-9
+
+    def test_ti_source_is_tuple_independent(self):
+        pdb = FinitePDB(schema, {Instance([R(1)]): 0.25, Instance(): 0.75})
+        table, _ = represent_over_tuple_independent(pdb)
+        assert isinstance(table, TupleIndependentTable)
+        # One selector fact for m−1 = 1 world boundary.
+        assert len(table.facts()) == 1
+
+    def test_selector_name_collision(self):
+        pdb = FinitePDB(schema, {Instance([R(1)]): 1.0})
+        with pytest.raises(ProbabilityError):
+            represent_over_tuple_independent(pdb, selector_name="R")
+
+    def test_round_trip_of_ti_table(self):
+        """A TI table expanded then represented round-trips exactly."""
+        original = TupleIndependentTable(schema, {R(1): 0.6, S(1, 2): 0.4})
+        assert verify_representation(original.expand()) < 1e-9

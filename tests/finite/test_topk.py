@@ -1,0 +1,95 @@
+"""Tests for ranked world enumeration."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import ProbabilityError
+from repro.finite.topk import (
+    iter_worlds_by_probability,
+    most_probable_world,
+    top_k_worlds,
+)
+from repro.finite.tuple_independent import TupleIndependentTable
+from repro.relational import Instance, Schema
+
+schema = Schema.of(R=1)
+R = schema["R"]
+
+
+class TestMode:
+    def test_majority_choice(self):
+        table = TupleIndependentTable(schema, {R(1): 0.9, R(2): 0.2, R(3): 0.6})
+        world, probability = most_probable_world(table)
+        assert world == Instance([R(1), R(3)])
+        assert probability == pytest.approx(0.9 * 0.8 * 0.6)
+
+    def test_empty_table(self):
+        table = TupleIndependentTable(schema, {})
+        world, probability = most_probable_world(table)
+        assert world == Instance() and probability == 1.0
+
+
+class TestRankedEnumeration:
+    def test_order_is_non_increasing(self):
+        rng = random.Random(5)
+        table = TupleIndependentTable(
+            schema, {R(i): rng.uniform(0.05, 0.95) for i in range(1, 9)})
+        probabilities = [
+            p for _, p in iter_worlds_by_probability(table)]
+        assert len(probabilities) == 2**8
+        for a, b in zip(probabilities, probabilities[1:]):
+            assert a >= b - 1e-12
+
+    def test_complete_and_exact(self):
+        table = TupleIndependentTable(
+            schema, {R(1): 0.7, R(2): 0.4, R(3): 0.55})
+        worlds = list(iter_worlds_by_probability(table))
+        assert len(worlds) == 8
+        assert len({w for w, _ in worlds}) == 8
+        assert sum(p for _, p in worlds) == pytest.approx(1.0)
+        for world, probability in worlds:
+            assert probability == pytest.approx(
+                table.instance_probability(world), abs=1e-12)
+
+    def test_top_k_prefix_of_full_ranking(self):
+        rng = random.Random(6)
+        table = TupleIndependentTable(
+            schema, {R(i): rng.uniform(0.05, 0.95) for i in range(1, 7)})
+        full = list(iter_worlds_by_probability(table))
+        top = top_k_worlds(table, 5)
+        assert [p for _, p in top] == [p for _, p in full[:5]]
+
+    def test_k_larger_than_world_count(self):
+        table = TupleIndependentTable(schema, {R(1): 0.5})
+        assert len(top_k_worlds(table, 10)) == 2
+
+    def test_invalid_k(self):
+        table = TupleIndependentTable(schema, {R(1): 0.5})
+        with pytest.raises(ProbabilityError):
+            top_k_worlds(table, 0)
+
+    def test_certain_fact_handled(self):
+        table = TupleIndependentTable(schema, {R(1): 1.0, R(2): 0.5})
+        worlds = top_k_worlds(table, 4)
+        # Worlds without R(1) have probability 0 and rank last.
+        assert all(R(1) in w for w, p in worlds if p > 0)
+        assert worlds[0][1] == pytest.approx(0.5)
+
+    def test_matches_brute_force_sorting(self):
+        rng = random.Random(7)
+        table = TupleIndependentTable(
+            schema, {R(i): rng.uniform(0.1, 0.9) for i in range(1, 7)})
+        facts = table.facts()
+        brute = sorted(
+            (
+                table.instance_probability(Instance(combo))
+                for size in range(len(facts) + 1)
+                for combo in itertools.combinations(facts, size)
+            ),
+            reverse=True,
+        )
+        ranked = [p for _, p in iter_worlds_by_probability(table)]
+        for expected, actual in zip(brute, ranked):
+            assert actual == pytest.approx(expected, abs=1e-12)

@@ -1,0 +1,108 @@
+"""Tests for finite tuple-independent tables."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import ProbabilityError, SchemaError
+from repro.finite import TupleIndependentTable
+from repro.relational import Instance, RelationSymbol, Schema
+
+schema = Schema.of(R=1)
+R = schema["R"]
+
+
+class TestConstruction:
+    def test_out_of_range_marginal(self):
+        with pytest.raises(ProbabilityError):
+            TupleIndependentTable(schema, {R(1): 1.5})
+
+    def test_foreign_relation(self):
+        S = RelationSymbol("S", 1)
+        with pytest.raises(SchemaError):
+            TupleIndependentTable(schema, {S(1): 0.5})
+
+    def test_zero_probability_facts_dropped(self):
+        table = TupleIndependentTable(schema, {R(1): 0.0, R(2): 0.5})
+        assert table.facts() == [R(2)]
+
+
+class TestInstanceProbability:
+    def test_product_formula(self):
+        table = TupleIndependentTable(schema, {R(1): 0.8, R(2): 0.5})
+        assert table.instance_probability(Instance([R(1)])) == pytest.approx(0.4)
+        assert table.instance_probability(Instance([R(1), R(2)])) == pytest.approx(0.4)
+        assert table.instance_probability(Instance()) == pytest.approx(0.1)
+
+    def test_impossible_fact_zero(self):
+        table = TupleIndependentTable(schema, {R(1): 0.8})
+        assert table.instance_probability(Instance([R(9)])) == 0.0
+
+    def test_all_worlds_sum_to_one(self):
+        table = TupleIndependentTable(
+            schema, {R(i): 0.1 * i for i in range(1, 6)})
+        total = sum(
+            table.instance_probability(Instance(c))
+            for r in range(6)
+            for c in itertools.combinations(table.facts(), r)
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_empty_world_probability(self):
+        table = TupleIndependentTable(schema, {R(1): 0.5, R(2): 0.5})
+        assert table.empty_world_probability() == pytest.approx(0.25)
+
+
+class TestExpansion:
+    def test_expand_matches_products(self):
+        table = TupleIndependentTable(schema, {R(1): 0.3, R(2): 0.6})
+        pdb = table.expand()
+        assert len(pdb) == 4
+        for instance in pdb.instances():
+            assert pdb.probability_of(instance) == pytest.approx(
+                table.instance_probability(instance))
+
+    def test_expand_marginals_match(self):
+        table = TupleIndependentTable(schema, {R(1): 0.3, R(2): 0.6})
+        pdb = table.expand()
+        assert pdb.fact_marginal(R(1)) == pytest.approx(0.3)
+
+    def test_expand_size_guard(self):
+        table = TupleIndependentTable(
+            schema, {R(i): 0.5 for i in range(30)})
+        with pytest.raises(ProbabilityError):
+            table.expand()
+
+
+class TestDerivedTables:
+    def test_expected_size_is_sum(self):
+        table = TupleIndependentTable(schema, {R(1): 0.8, R(2): 0.5})
+        assert table.expected_size() == pytest.approx(1.3)
+
+    def test_top_picks_most_probable(self):
+        table = TupleIndependentTable(
+            schema, {R(1): 0.1, R(2): 0.9, R(3): 0.5})
+        assert table.top(2).facts() == [R(2), R(3)]
+
+    def test_restrict(self):
+        table = TupleIndependentTable(schema, {R(1): 0.5, R(2): 0.5})
+        assert table.restrict([R(1)]).facts() == [R(1)]
+
+
+class TestSampling:
+    def test_marginal_frequencies(self):
+        table = TupleIndependentTable(schema, {R(1): 0.25, R(2): 0.75})
+        rng = random.Random(3)
+        samples = table.sample_many(4000, rng)
+        rate1 = sum(1 for s in samples if R(1) in s) / len(samples)
+        rate2 = sum(1 for s in samples if R(2) in s) / len(samples)
+        assert abs(rate1 - 0.25) < 0.03 and abs(rate2 - 0.75) < 0.03
+
+    def test_sampled_independence(self):
+        """Empirical joint ≈ product of empirical marginals."""
+        table = TupleIndependentTable(schema, {R(1): 0.5, R(2): 0.5})
+        rng = random.Random(4)
+        samples = table.sample_many(6000, rng)
+        both = sum(1 for s in samples if R(1) in s and R(2) in s) / len(samples)
+        assert abs(both - 0.25) < 0.03

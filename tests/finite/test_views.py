@@ -1,0 +1,62 @@
+"""Tests for pushforward view semantics on finite PDBs (eq. (3))."""
+
+import pytest
+
+from repro.finite import FinitePDB, TupleIndependentTable, apply_query, apply_view
+from repro.logic import FOView, Query, parse_formula
+from repro.relational import Instance, Schema
+
+source = Schema.of(R=2)
+R = source["R"]
+target = Schema.of(T=1)
+T = target["T"]
+
+
+def head_view():
+    return FOView(source, target,
+                  {"T": parse_formula("EXISTS y. R(x, y)", source)})
+
+
+class TestApplyView:
+    def test_pushforward_masses(self):
+        pdb = TupleIndependentTable(source, {R(1, 1): 0.5, R(1, 2): 0.5})
+        image = apply_view(head_view(), pdb)
+        # T(1) holds unless both facts are absent: 1 − 0.25.
+        assert image.fact_marginal(T(1)) == pytest.approx(0.75)
+        assert image.probability_of(Instance()) == pytest.approx(0.25)
+
+    def test_image_collisions_accumulate(self):
+        """Distinct pre-images with equal image merge their mass."""
+        pdb = FinitePDB(source, {
+            Instance([R(1, 1)]): 0.5,
+            Instance([R(1, 2)]): 0.5,
+        })
+        image = apply_view(head_view(), pdb)
+        assert image.probability_of(Instance([T(1)])) == pytest.approx(1.0)
+        assert len(image) == 1
+
+    def test_mass_preserved(self):
+        pdb = TupleIndependentTable(source, {R(1, 2): 0.3, R(4, 5): 0.9})
+        image = apply_view(head_view(), pdb)
+        assert sum(image.worlds.values()) == pytest.approx(1.0)
+
+    def test_target_schema(self):
+        pdb = TupleIndependentTable(source, {R(1, 2): 0.5})
+        image = apply_view(head_view(), pdb)
+        assert image.schema == target
+
+
+class TestApplyQuery:
+    def test_query_as_pdb(self):
+        pdb = TupleIndependentTable(source, {R(1, 2): 0.4})
+        query = Query(parse_formula("EXISTS y. R(x, y)", source), source)
+        answers = apply_query(query, pdb)
+        answer_symbol = answers.schema["Answer"]
+        assert answers.fact_marginal(answer_symbol(1)) == pytest.approx(0.4)
+
+    def test_boolean_query_as_pdb(self):
+        pdb = TupleIndependentTable(source, {R(1, 2): 0.4})
+        query = Query(parse_formula("EXISTS x, y. R(x, y)", source), source)
+        answers = apply_query(query, pdb)
+        nonempty = answers.probability(lambda D: D.size > 0)
+        assert nonempty == pytest.approx(0.4)

@@ -1,0 +1,154 @@
+"""Tests for incomplete databases and their probabilistic completions
+(Example 3.2)."""
+
+import pytest
+
+from repro.errors import ProbabilityError, SchemaError
+from repro.incomplete import (
+    DiscreteValues,
+    DiscretizedContinuous,
+    IncompleteFact,
+    IncompleteInstance,
+    Null,
+    StringFrequencyValues,
+    complete_incomplete_instance,
+)
+from repro.relational import RelationSymbol, Schema
+from repro.universe import StringUniverse
+
+schema = Schema.of(Person=3)
+Person = schema["Person"]
+
+
+class TestNulls:
+    def test_labelled_nulls_corefer(self):
+        assert Null("h") == Null("h") and Null("h") != Null("g")
+
+    def test_incomplete_fact_nulls(self):
+        fact = IncompleteFact(Person, ("Grohe", Null("h"), Null("y")))
+        assert {n.label for n in fact.nulls()} == {"h", "y"}
+
+    def test_substitution_full(self):
+        fact = IncompleteFact(Person, ("Grohe", Null("h"), 1970))
+        ground = fact.substitute({Null("h"): 183})
+        assert ground == Person("Grohe", 183, 1970)
+
+    def test_substitution_partial(self):
+        fact = IncompleteFact(Person, ("Grohe", Null("h"), Null("y")))
+        partial = fact.substitute({Null("h"): 183})
+        assert isinstance(partial, IncompleteFact)
+        assert {n.label for n in partial.nulls()} == {"y"}
+
+    def test_instance_nulls_union(self):
+        db = IncompleteInstance([
+            IncompleteFact(Person, ("A", Null("x"), 1)),
+            IncompleteFact(Person, ("B", 2, Null("y"))),
+        ])
+        assert {n.label for n in db.nulls()} == {"x", "y"}
+
+    def test_to_instance_requires_ground(self):
+        db = IncompleteInstance([IncompleteFact(Person, ("A", Null("x"), 1))])
+        with pytest.raises(SchemaError):
+            db.to_instance()
+
+    def test_complete_facts_normalized(self):
+        db = IncompleteInstance([IncompleteFact(Person, ("A", 1, 2))])
+        assert db.to_instance().size == 1
+
+
+class TestValueDistributions:
+    def test_discrete_values_sum_checked(self):
+        with pytest.raises(ProbabilityError):
+            DiscreteValues({1: 0.5})
+
+    def test_discretized_normal_mass_one(self):
+        d = DiscretizedContinuous.normal(180, 7, 150, 210, bins=30)
+        assert sum(m for _, m in d.masses()) == pytest.approx(1.0)
+
+    def test_discretized_normal_peak_at_mean(self):
+        d = DiscretizedContinuous.normal(180, 7, 150, 210, bins=60)
+        best = max(d.masses(), key=lambda vm: vm[1])
+        assert abs(best[0] - 180) < 2
+
+    def test_string_frequency_decay(self):
+        d = StringFrequencyValues(
+            {"Peter": 0.6, "Martin": 0.3}, unseen_mass=0.1,
+            universe=StringUniverse("ab"))
+        masses = list(__import__("itertools").islice(d.masses(), 10))
+        known = dict(masses[:2])
+        assert known == {"Peter": 0.6, "Martin": 0.3}
+        unseen = [m for _, m in masses[2:]]
+        assert all(a > b for a, b in zip(unseen, unseen[1:]))  # decaying
+
+    def test_string_frequency_total_mass(self):
+        d = StringFrequencyValues(
+            {"Peter": 0.5}, unseen_mass=0.5, universe=StringUniverse("ab"))
+        total = sum(m for _, m in
+                    __import__("itertools").islice(d.masses(), 200))
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_frequency_mass_checked(self):
+        with pytest.raises(ProbabilityError):
+            StringFrequencyValues({"A": 0.5}, unseen_mass=0.2,
+                                  universe=StringUniverse("ab"))
+
+
+class TestCompletion:
+    def test_single_null_discrete(self):
+        db = IncompleteInstance([
+            IncompleteFact(Person, ("Lindner", Null("h"), 1990))])
+        pdb = complete_incomplete_instance(
+            db, {Null("h"): DiscreteValues({178: 0.25, 179: 0.75})}, schema)
+        assert pdb.fact_marginal(
+            Person("Lindner", 178, 1990)) == pytest.approx(0.25)
+
+    def test_independent_nulls_product(self):
+        """Example 3.2's independence assumption across nulls."""
+        db = IncompleteInstance([
+            IncompleteFact(Person, ("A", Null("x"), 1)),
+            IncompleteFact(Person, ("B", Null("y"), 2)),
+        ])
+        pdb = complete_incomplete_instance(db, {
+            Null("x"): DiscreteValues({10: 0.5, 11: 0.5}),
+            Null("y"): DiscreteValues({20: 0.25, 21: 0.75}),
+        }, schema)
+        joint = pdb.probability(
+            lambda D: Person("A", 10, 1) in D and Person("B", 21, 2) in D)
+        assert joint == pytest.approx(0.5 * 0.75)
+
+    def test_coreferring_nulls_share_value(self):
+        db = IncompleteInstance([
+            IncompleteFact(Person, ("A", Null("x"), 1)),
+            IncompleteFact(Person, ("B", Null("x"), 2)),
+        ])
+        pdb = complete_incomplete_instance(
+            db, {Null("x"): DiscreteValues({10: 0.5, 11: 0.5})}, schema)
+        mismatch = pdb.probability(
+            lambda D: Person("A", 10, 1) in D and Person("B", 11, 2) in D)
+        assert mismatch == 0.0
+
+    def test_missing_distribution_rejected(self):
+        db = IncompleteInstance([IncompleteFact(Person, ("A", Null("x"), 1))])
+        with pytest.raises(ProbabilityError):
+            complete_incomplete_instance(db, {}, schema)
+
+    def test_no_nulls_degenerate(self):
+        db = IncompleteInstance([IncompleteFact(Person, ("A", 1, 2))])
+        pdb = complete_incomplete_instance(db, {}, schema)
+        assert pdb.fact_marginal(Person("A", 1, 2)) == pytest.approx(1.0)
+
+    def test_countably_infinite_completion(self):
+        """A string null with open-world tail gives a countable PDB
+        (the paper's 'this time a countable one')."""
+        name_schema = Schema.of(P=1)
+        P = name_schema["P"]
+        db = IncompleteInstance([IncompleteFact(P, (Null("n"),))])
+        pdb = complete_incomplete_instance(db, {
+            Null("n"): StringFrequencyValues(
+                {"ab": 0.9}, unseen_mass=0.1, universe=StringUniverse("ab")),
+        }, name_schema)
+        assert not pdb.exhaustive
+        assert pdb.fact_marginal(P("ab"), tolerance=1e-6) == pytest.approx(
+            0.9, abs=1e-6)
+        # An unlisted string still has positive probability.
+        assert pdb.fact_marginal(P("ba"), tolerance=1e-8) > 0.0

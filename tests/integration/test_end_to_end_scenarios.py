@@ -1,0 +1,139 @@
+"""End-to-end scenario tests mirroring the example scripts, so the
+shipped examples are guaranteed to stay runnable and truthful."""
+
+import math
+import random
+
+import pytest
+
+from repro import (
+    BooleanQuery,
+    CountableTIPDB,
+    FactSpace,
+    GeometricFactDistribution,
+    Naturals,
+    Schema,
+    StringUniverse,
+    TupleIndependentTable,
+    WordLengthFactDistribution,
+    complete,
+    parse_formula,
+    query_probability,
+)
+from repro.core.fact_distribution import TableFactDistribution
+from repro.incomplete import (
+    DiscretizedContinuous,
+    IncompleteFact,
+    IncompleteInstance,
+    Null,
+    StringFrequencyValues,
+    complete_incomplete_instance,
+)
+
+
+class TestTemperatureScenario:
+    """The introduction example: graded implausibility of unseen
+    readings vs flat-zero CWA."""
+
+    def setup_method(self):
+        schema = Schema.of(Temp=2)
+        self.schema = schema
+        self.temp = schema["Temp"]
+        self.recorded = TupleIndependentTable(schema, {
+            self.temp("o1", 20.0): 0.6,
+            self.temp("o1", 20.2): 0.4,
+        })
+        open_weights = {}
+        for i in range(40):
+            celsius = round(18.0 + 0.1 * i, 1)
+            fact = self.temp("o1", celsius)
+            if fact not in self.recorded.marginals:
+                distance = min(abs(celsius - 20.0), abs(celsius - 20.2))
+                open_weights[fact] = 0.05 * 2.0 ** (-10 * distance)
+        self.completed = complete(
+            self.recorded, TableFactDistribution(open_weights))
+
+    def test_gap_reading_positive(self):
+        assert self.completed.fact_marginal(self.temp("o1", 20.1)) > 0
+
+    def test_graded_by_distance(self):
+        near = self.completed.fact_marginal(self.temp("o1", 20.3))
+        far = self.completed.fact_marginal(self.temp("o1", 21.5))
+        assert near > far > 0
+
+    def test_cwa_flat_zero(self):
+        q_near = BooleanQuery(
+            parse_formula("Temp('o1', 20.3)", self.schema), self.schema)
+        q_far = BooleanQuery(
+            parse_formula("Temp('o1', 21.5)", self.schema), self.schema)
+        assert query_probability(q_near, self.recorded) == 0.0
+        assert query_probability(q_far, self.recorded) == 0.0
+
+
+class TestStringKnowledgeBase:
+    """Part 2 of the KB example: three semantics in one pipeline."""
+
+    def test_word_length_completion_pipeline(self):
+        schema = Schema.of(CityIn=2)
+        city_in = schema["CityIn"]
+        kb = TupleIndependentTable(schema, {
+            city_in("aachen", "germany"): 0.95,
+        })
+        completed = complete(
+            kb, WordLengthFactDistribution(schema, "abcdefghij",
+                                           decay=0.05, scale=0.3))
+        known = completed.fact_marginal(city_in("aachen", "germany"))
+        unseen = completed.fact_marginal(city_in("bgd", "dea"))
+        assert known == pytest.approx(0.95)
+        assert 0 < unseen < 1e-3
+        # Shorter entity names are more plausible than longer ones.
+        shorter = completed.fact_marginal(city_in("ab", "cd"))
+        assert shorter > unseen
+
+
+class TestNullCompletionScenario:
+    def test_height_and_name_jointly(self):
+        schema = Schema.of(Person=2)
+        person = schema["Person"]
+        db = IncompleteInstance([
+            IncompleteFact(person, (Null("n"), Null("h"))),
+        ])
+        pdb = complete_incomplete_instance(db, {
+            Null("h"): DiscretizedContinuous.normal(180, 5, 160, 200, 40),
+            Null("n"): StringFrequencyValues(
+                {"ada": 0.8}, unseen_mass=0.2,
+                universe=StringUniverse("ad")),
+        }, schema)
+        # Joint factorizes (independent nulls).
+        p_ada = pdb.probability(
+            lambda D: any(f.args[0] == "ada" for f in D), tolerance=1e-6)
+        assert p_ada == pytest.approx(0.8, abs=1e-6)
+
+    def test_tall_person_probability(self):
+        schema = Schema.of(Person=2)
+        person = schema["Person"]
+        db = IncompleteInstance([
+            IncompleteFact(person, ("ada", Null("h"))),
+        ])
+        pdb = complete_incomplete_instance(db, {
+            Null("h"): DiscretizedContinuous.normal(180, 5, 160, 200, 80),
+        }, schema)
+        p_tall = pdb.probability(
+            lambda D: any(f.args[1] > 185 for f in D))
+        # P(N(180, 5) > 185) ≈ 0.159.
+        assert p_tall == pytest.approx(0.159, abs=0.03)
+
+
+class TestErdosRenyiContrast:
+    def test_expected_edges_finite_and_samples_small(self):
+        schema = Schema.of(Edge=2)
+        pdb = CountableTIPDB(
+            schema,
+            GeometricFactDistribution(
+                FactSpace(schema, Naturals()), first=0.5, ratio=0.75))
+        assert math.isfinite(pdb.expected_size())
+        rng = random.Random(1)
+        sizes = [pdb.sample(rng).size for _ in range(500)]
+        assert max(sizes) < 30
+        assert sum(sizes) / len(sizes) == pytest.approx(
+            pdb.expected_size(), abs=0.3)

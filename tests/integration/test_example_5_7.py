@@ -1,0 +1,136 @@
+"""End-to-end reproduction of Example 5.7 from the paper.
+
+The finite t.i. PDB:
+
+    R | A 1 | 0.8
+      | B 1 | 0.4
+      | B 2 | 0.5
+      | C 3 | 0.9
+
+with R typed as {A,B,C,D} × ℕ, completed with open-world weights 2^{-i}
+("there are up to 4 facts f with probability 2^{-i} for every i").
+"""
+
+import pytest
+
+from repro.core.completion import complete, closed_world_completion
+from repro.core.fact_distribution import (
+    FactDistribution,
+    GeometricFactDistribution,
+)
+from repro.finite.tuple_independent import TupleIndependentTable
+from repro.logic import BooleanQuery, parse_formula
+from repro.relational import Instance, Schema
+from repro.universe import FactSpace, FiniteUniverse, Naturals
+
+schema = Schema.of(R=2)
+R = schema["R"]
+
+LETTERS = FiniteUniverse(["A", "B", "C", "D"])
+
+
+def example_table():
+    return TupleIndependentTable(schema, {
+        R("A", 1): 0.8,
+        R("B", 1): 0.4,
+        R("B", 2): 0.5,
+        R("C", 3): 0.9,
+    })
+
+
+def typed_fact_space():
+    """F[τ, U] restricted to the {A,B,C,D} × ℕ shape (Example 5.7:
+    "excluding facts of the wrong shape")."""
+    return FactSpace(
+        schema, Naturals(),
+        position_universes={"R": (LETTERS, Naturals())},
+    )
+
+
+def open_world_weights() -> FactDistribution:
+    """Per the example: up to 4 facts with probability 2^{-i} per level.
+
+    Our fact space enumerates the 4-letter column diagonally, so the
+    geometric family over its rank realizes exactly that budget."""
+    return GeometricFactDistribution(
+        typed_fact_space(), first=0.5, ratio=2.0 ** -0.25)
+
+
+def completed_example():
+    return complete(example_table(), open_world_weights())
+
+
+class TestClosedWorldReading:
+    def test_unlisted_facts_impossible(self):
+        cwa = closed_world_completion(example_table())
+        assert cwa.fact_marginal(R("A", 2)) == 0.0
+        assert cwa.fact_marginal(R("D", 1)) == 0.0
+
+    def test_d_never_occurs(self):
+        """Under CWA "the object D would not occur whatsoever"."""
+        cwa = closed_world_completion(example_table())
+        p = cwa.probability(
+            lambda D: any(f.args[0] == "D" for f in D), tolerance=1e-9)
+        assert p == 0.0
+
+    def test_two_a_facts_impossible(self):
+        cwa = closed_world_completion(example_table())
+        p = cwa.probability(
+            lambda D: sum(1 for f in D if f.args[0] == "A") >= 2,
+            tolerance=1e-9)
+        assert p == 0.0
+
+
+class TestOpenWorldCompletion:
+    def test_sum_of_weights_converges(self):
+        assert open_world_weights().convergent
+
+    def test_original_probabilities_preserved(self):
+        completed = completed_example()
+        assert completed.fact_marginal(R("A", 1)) == pytest.approx(0.8)
+        assert completed.fact_marginal(R("B", 2)) == pytest.approx(0.5)
+        assert completed.fact_marginal(R("C", 3)) == pytest.approx(0.9)
+
+    def test_completion_condition(self):
+        from repro.core.completion import verify_completion_condition
+
+        assert verify_completion_condition(completed_example()) < 1e-9
+
+    def test_d_facts_now_possible(self):
+        completed = completed_example()
+        assert completed.fact_marginal(R("D", 1)) > 0.0
+
+    def test_two_a_facts_now_possible(self):
+        completed = completed_example()
+        target = Instance([R("A", 1), R("A", 2)])
+        assert completed.instance_probability(target) > 0.0
+
+    def test_boolean_combinations_positive(self):
+        """'In D′, all finite Boolean combinations of distinct facts
+        have probability > 0.'"""
+        completed = completed_example()
+        finite = completed.truncate(8)
+        q = BooleanQuery(parse_formula(
+            "R('D', 1) AND NOT R('A', 2)", schema), schema)
+        from repro.finite import query_probability
+
+        value = query_probability(q, finite)
+        assert 0.0 < value < 1.0
+
+    def test_wrong_shape_facts_stay_impossible(self):
+        """Facts outside {A,B,C,D} × ℕ are excluded from F[τ, U]."""
+        completed = completed_example()
+        assert completed.fact_marginal(R(1, "A")) == 0.0
+        assert completed.fact_marginal(R("E", 1)) == 0.0
+
+    def test_open_weights_decay(self):
+        completed = completed_example()
+        space = typed_fact_space()
+        new_facts = [
+            f for f in space.prefix(40)
+            if f not in example_table().marginals
+        ]
+        probabilities = [completed.fact_marginal(f) for f in new_facts]
+        assert all(p > 0 for p in probabilities)
+        # Decaying along the enumeration:
+        assert probabilities[0] > probabilities[-1]

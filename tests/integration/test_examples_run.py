@@ -1,0 +1,56 @@
+"""Smoke tests: every shipped example script must run to completion and
+print its headline output.  Keeps examples/ from rotting."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamplesRun:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Completion condition" in out
+        assert "open world" in out
+
+    def test_temperatures(self):
+        out = run_example("open_world_temperatures.py")
+        assert "closed world: P = 0.0" in out
+        assert "more plausible" in out
+
+    def test_knowledge_base(self):
+        out = run_example("knowledge_base_completion.py")
+        assert "Example 5.7" in out
+        assert "OpenPDB" in out and "Infinite" in out
+
+    def test_incomplete_database(self):
+        out = run_example("incomplete_database_completion.py")
+        assert "Marginal height completions" in out
+        assert "martin" in out
+
+    def test_erdos_renyi(self):
+        out = run_example("erdos_renyi_contrast.py")
+        assert "Theorem 4.8" in out
+
+    def test_approximation_tradeoffs(self):
+        out = run_example("approximation_tradeoffs.py")
+        assert "Truncation size" in out
+        assert "lifted safe plan" in out
+
+    def test_most_probable_worlds(self):
+        out = run_example("most_probable_worlds.py")
+        assert "Top 5 worlds" in out

@@ -1,0 +1,152 @@
+"""Cross-module integration tests: one test class per paper result,
+exercising the full pipeline (universes → distributions → constructions
+→ query engines)."""
+
+import itertools
+import math
+import random
+
+import pytest
+
+from repro import (
+    BooleanQuery,
+    ConvergenceError,
+    CountableTIPDB,
+    DivergentFactDistribution,
+    FactSpace,
+    GeometricFactDistribution,
+    Instance,
+    Naturals,
+    Schema,
+    StringUniverse,
+    approximate_query_probability,
+    complete,
+    parse_formula,
+    query_probability,
+    verify_completion_condition,
+)
+from repro.core.fact_distribution import TableFactDistribution
+from repro.measure.events import Event
+from repro.measure.independence import are_independent
+
+
+class TestProposition34:
+    """The set of positive-probability facts is countable — effectively
+    enumerable from any of our countable PDBs."""
+
+    def test_string_universe_pdb(self):
+        schema = Schema.of(Word=1)
+        space = FactSpace(schema, StringUniverse("ab"))
+        pdb = CountableTIPDB(
+            schema, GeometricFactDistribution(space, first=0.5, ratio=0.5))
+        facts = pdb.positive_probability_facts(limit=10)
+        assert len(facts) == 10
+        assert all(pdb.marginal(f) > 0 for f in facts)
+
+
+class TestTheorem48EndToEnd:
+    def test_string_fact_space_construction(self):
+        """The full pipeline over Σ*: enumeration, construction,
+        sampling, independence."""
+        schema = Schema.of(Word=1)
+        space = FactSpace(schema, StringUniverse("ab"))
+        pdb = CountableTIPDB(
+            schema, GeometricFactDistribution(space, first=0.5, ratio=0.5))
+        Word = schema["Word"]
+        assert pdb.marginal(Word("")) == 0.5
+        assert pdb.marginal(Word("a")) == 0.25
+        rng = random.Random(7)
+        samples = [pdb.sample(rng) for _ in range(2000)]
+        rate = sum(1 for s in samples if Word("") in s) / len(samples)
+        assert abs(rate - 0.5) < 0.04
+
+    def test_independence_via_measure_layer(self):
+        """Verify Definition 4.1 through the generic independence checker
+        on the world space."""
+        schema = Schema.of(R=1)
+        R = schema["R"]
+        pdb = CountableTIPDB.from_marginals(
+            schema, {R(1): 0.5, R(2): 0.3, R(3): 0.8})
+        space = pdb.as_space()
+        events = [Event(lambda D, f=R(i): f in D) for i in (1, 2, 3)]
+        assert are_independent(space, events, tolerance=1e-7)
+
+    def test_divergent_rejection_message(self):
+        schema = Schema.of(R=1)
+        space = FactSpace(schema, Naturals())
+        with pytest.raises(ConvergenceError, match="Theorem 4.8"):
+            CountableTIPDB(schema, DivergentFactDistribution(space))
+
+
+class TestTheorem55EndToEnd:
+    def test_complete_then_query(self):
+        """Finite KB → infinite completion → approximate query, with the
+        answer movement CWA 0 → OWA positive."""
+        schema = Schema.of(Likes=2)
+        Likes = schema["Likes"]
+        from repro.finite import TupleIndependentTable
+
+        known = TupleIndependentTable(schema, {Likes(1, 2): 0.9})
+        space = FactSpace(schema, Naturals())
+        completed = complete(
+            known, GeometricFactDistribution(space, first=0.25, ratio=0.5))
+        assert verify_completion_condition(completed) < 1e-9
+        new_fact_query = BooleanQuery(
+            parse_formula("Likes(3, 3)", schema), schema)
+        # CWA answer is 0:
+        assert query_probability(new_fact_query, known) == 0.0
+        # OWA answer is small but positive:
+        result = completed.approximate_query_probability(
+            new_fact_query, epsilon=0.01)
+        open_probability = completed.fact_marginal(Likes(3, 3))
+        assert open_probability > 0
+        assert abs(result.value - open_probability) <= 0.01
+
+
+class TestProposition61EndToEnd:
+    def test_guarantee_against_exact_reference(self):
+        """A two-relation PDB where P(Q) is computable in closed form."""
+        schema = Schema.of(R=1, S=1)
+        space = FactSpace(schema, Naturals())
+        pdb = CountableTIPDB(
+            schema, GeometricFactDistribution(space, first=0.5, ratio=0.5))
+        # Q = ∃x R(x) ∨ ∃x S(x) = "instance nonempty";
+        # P(Q) = 1 − P(∅) = 1 − Π(1 − p_i).
+        truth = 1.0 - pdb.empty_world_probability()
+        q = BooleanQuery(parse_formula(
+            "(EXISTS x. R(x)) OR (EXISTS x. S(x))", schema), schema)
+        for epsilon in (0.1, 0.01, 0.001):
+            result = approximate_query_probability(q, pdb, epsilon)
+            assert abs(result.value - truth) <= epsilon
+
+    def test_table_distribution_exactness(self):
+        """With a finite support, choosing ε below the least fact
+        probability makes the approximation exact."""
+        schema = Schema.of(R=1)
+        R = schema["R"]
+        pdb = CountableTIPDB(
+            schema, TableFactDistribution({R(1): 0.5, R(2): 0.125}))
+        q = BooleanQuery(parse_formula("EXISTS x. R(x)", schema), schema)
+        result = approximate_query_probability(q, pdb, 0.01)
+        assert result.value == pytest.approx(1 - 0.5 * 0.875)
+
+
+class TestSizeSection32:
+    def test_eq5_expected_size_is_marginal_sum(self):
+        """E(S_D) = Σ_f P(E_f) — checked through two independent paths."""
+        schema = Schema.of(R=1)
+        space = FactSpace(schema, Naturals())
+        pdb = CountableTIPDB(
+            schema, GeometricFactDistribution(space, first=0.25, ratio=0.75))
+        closed_form = pdb.expected_size()
+        marginal_sum = sum(p for _, p in pdb.distribution.prefix(200))
+        assert closed_form == pytest.approx(marginal_sum, abs=1e-9)
+
+    def test_eq6_size_tail_vanishes_for_ti(self):
+        schema = Schema.of(R=1)
+        space = FactSpace(schema, Naturals())
+        pdb = CountableTIPDB(
+            schema, GeometricFactDistribution(space, first=0.5, ratio=0.5))
+        tails = [pdb.size_tail(n, tolerance=1e-4) for n in (1, 2, 4)]
+        assert tails == sorted(tails, reverse=True)
+        assert tails[-1] < 0.05

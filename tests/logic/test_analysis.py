@@ -1,0 +1,119 @@
+"""Tests for formula static analysis: free variables, quantifier rank,
+constants, safe-range."""
+
+from repro.logic import parse_formula
+from repro.logic.analysis import (
+    atoms_of,
+    constants_of,
+    free_variables,
+    is_positive,
+    is_quantifier_free,
+    is_safe_range,
+    is_sentence,
+    quantifier_rank,
+    relations_of,
+)
+from repro.relational import Schema
+
+schema = Schema.of(R=1, S=2)
+
+
+def fv(text):
+    return {v.name for v in free_variables(parse_formula(text, schema))}
+
+
+class TestFreeVariables:
+    def test_atom(self):
+        assert fv("S(x, y)") == {"x", "y"}
+
+    def test_quantifier_binds(self):
+        assert fv("EXISTS x. S(x, y)") == {"y"}
+
+    def test_shadowing(self):
+        assert fv("R(x) AND EXISTS x. R(x)") == {"x"}
+
+    def test_sentence(self):
+        assert fv("EXISTS x, y. S(x, y)") == set()
+
+    def test_equality_variables(self):
+        assert fv("x = y") == {"x", "y"}
+
+
+class TestQuantifierRank:
+    def test_quantifier_free(self):
+        assert quantifier_rank(parse_formula("R(1) AND R(2)", schema)) == 0
+
+    def test_nesting_counts(self):
+        assert quantifier_rank(
+            parse_formula("EXISTS x. FORALL y. S(x, y)", schema)) == 2
+
+    def test_parallel_does_not_add(self):
+        formula = parse_formula(
+            "(EXISTS x. R(x)) AND (EXISTS y. R(y))", schema)
+        assert quantifier_rank(formula) == 1
+
+    def test_negation_transparent(self):
+        assert quantifier_rank(parse_formula("NOT EXISTS x. R(x)", schema)) == 1
+
+
+class TestConstants:
+    def test_atom_constants(self):
+        assert constants_of(parse_formula("S(x, 3) AND R(5)", schema)) == {3, 5}
+
+    def test_equality_constants(self):
+        assert constants_of(parse_formula("x = 7", schema)) == {7}
+
+    def test_none(self):
+        assert constants_of(parse_formula("EXISTS x. R(x)", schema)) == frozenset()
+
+    def test_string_constants(self):
+        assert constants_of(parse_formula("R('a')", schema)) == {"a"}
+
+
+class TestClassification:
+    def test_is_sentence(self):
+        assert is_sentence(parse_formula("EXISTS x. R(x)", schema))
+        assert not is_sentence(parse_formula("R(x)", schema))
+
+    def test_is_quantifier_free(self):
+        assert is_quantifier_free(parse_formula("R(1) OR R(2)", schema))
+        assert not is_quantifier_free(parse_formula("EXISTS x. R(x)", schema))
+
+    def test_is_positive(self):
+        assert is_positive(parse_formula("R(x) AND S(x, y)", schema))
+        assert not is_positive(parse_formula("NOT R(x)", schema))
+        assert not is_positive(parse_formula("R(x) -> R(y)", schema))
+
+    def test_atoms_and_relations(self):
+        formula = parse_formula("R(x) AND S(x, y) AND R(y)", schema)
+        assert len(atoms_of(formula)) == 3
+        assert {r.name for r in relations_of(formula)} == {"R", "S"}
+
+
+class TestSafeRange:
+    def test_positive_existential_safe(self):
+        assert is_safe_range(parse_formula("EXISTS x. R(x)", schema))
+
+    def test_negated_existential_unsafe(self):
+        assert not is_safe_range(parse_formula("EXISTS x. NOT R(x)", schema))
+
+    def test_guarded_negation_safe(self):
+        assert is_safe_range(
+            parse_formula("EXISTS x. R(x) AND NOT S(x, x)", schema))
+
+    def test_free_variable_must_be_guarded(self):
+        assert is_safe_range(parse_formula("R(x)", schema))
+        assert not is_safe_range(parse_formula("NOT R(x)", schema))
+        assert not is_safe_range(parse_formula("x = x", schema))
+
+    def test_disjunction_requires_both_branches(self):
+        assert is_safe_range(parse_formula("R(x) OR S(x, x)", schema))
+        assert not is_safe_range(parse_formula("R(x) OR x = 1", schema))
+
+    def test_forall_with_guard(self):
+        # ∀x. R(x) → S(x, x): x restricted in the negation of the body.
+        assert is_safe_range(
+            parse_formula("FORALL x. R(x) -> S(x, x)", schema))
+
+    def test_bare_forall_unsafe(self):
+        assert not is_safe_range(parse_formula("FORALL x. R(x)", schema))

@@ -1,0 +1,129 @@
+"""Tests for the safe-range FO → relational algebra compiler, including
+randomized equivalence against model checking."""
+
+import random
+
+import pytest
+
+from repro.errors import UnsafeQueryError
+from repro.logic import answer_tuples, parse_formula
+from repro.logic.compile_ra import compile_and_evaluate
+from repro.relational import Instance, Schema
+
+schema = Schema.of(R=1, S=2, T=1)
+R, S, T = schema["R"], schema["S"], schema["T"]
+
+
+def answers_via_ra(text, instance):
+    relation = compile_and_evaluate(parse_formula(text, schema), instance)
+    return relation.tuples(tuple(sorted(relation.columns)))
+
+
+def answers_via_mc(text, instance):
+    return answer_tuples(parse_formula(text, schema), instance)
+
+
+class TestBasicShapes:
+    D = Instance([R(1), R(2), S(1, 2), S(2, 3), S(3, 3), T(3)])
+
+    def test_atom(self):
+        assert answers_via_ra("R(x)", self.D) == {(1,), (2,)}
+
+    def test_atom_with_constant(self):
+        assert answers_via_ra("S(x, 3)", self.D) == {(2,), (3,)}
+
+    def test_atom_with_repeated_variable(self):
+        assert answers_via_ra("S(x, x)", self.D) == {(3,)}
+
+    def test_join(self):
+        assert answers_via_ra("R(x) AND S(x, y)", self.D) == {(1, 2), (2, 3)}
+
+    def test_union(self):
+        assert answers_via_ra("R(x) OR T(x)", self.D) == {(1,), (2,), (3,)}
+
+    def test_projection(self):
+        assert answers_via_ra("EXISTS y. S(x, y)", self.D) == {(1,), (2,), (3,)}
+
+    def test_guarded_negation(self):
+        assert answers_via_ra("R(x) AND NOT S(x, x)", self.D) == {(1,), (2,)}
+        assert answers_via_ra(
+            "EXISTS y. S(x, y) AND NOT R(x)", self.D) == {(3,)}
+
+    def test_equality_with_constant(self):
+        assert answers_via_ra("R(x) AND x = 2", self.D) == {(2,)}
+
+    def test_variable_equality(self):
+        assert answers_via_ra("S(x, y) AND x = y", self.D) == {(3, 3)}
+
+    def test_boolean_sentence(self):
+        assert len(compile_and_evaluate(
+            parse_formula("EXISTS x. R(x)", schema), self.D)) == 1
+        assert compile_and_evaluate(
+            parse_formula("EXISTS x. T(x) AND R(x)", schema),
+            self.D).is_empty()
+
+    def test_negated_sentence_guard(self):
+        # R(x) ∧ ¬(∃y T(y) ∧ S(x, y)): guard is Boolean after projection.
+        result = answers_via_ra(
+            "R(x) AND NOT (EXISTS y. S(x, y) AND T(y))", self.D)
+        assert result == {(1,)}
+
+
+class TestUnsafeRejected:
+    def test_bare_negation(self):
+        with pytest.raises(UnsafeQueryError):
+            compile_and_evaluate(parse_formula("NOT R(x)", schema), Instance())
+
+    def test_bare_equality(self):
+        with pytest.raises(UnsafeQueryError):
+            compile_and_evaluate(parse_formula("x = 1", schema), Instance())
+
+    def test_bare_forall(self):
+        with pytest.raises(UnsafeQueryError):
+            compile_and_evaluate(
+                parse_formula("FORALL x. R(x)", schema), Instance())
+
+    def test_mismatched_union(self):
+        with pytest.raises(UnsafeQueryError):
+            compile_and_evaluate(
+                parse_formula("R(x) OR S(x, y)", schema), Instance())
+
+    def test_unguarded_negation_variable(self):
+        with pytest.raises(UnsafeQueryError):
+            compile_and_evaluate(
+                parse_formula("R(x) AND NOT S(x, y)", schema), Instance())
+
+
+SAFE_POOL = [
+    "R(x)",
+    "S(x, y)",
+    "S(x, x)",
+    "R(x) AND S(x, y)",
+    "EXISTS y. S(x, y)",
+    "R(x) AND NOT T(x)",
+    "(R(x) AND NOT S(x, x)) OR T(x)",
+    "EXISTS x. R(x) AND S(x, y)",
+    "S(x, y) AND x = y",
+    "R(x) AND x = 1",
+    "EXISTS y. S(x, y) AND NOT (EXISTS z. S(y, z))",
+]
+
+
+class TestEquivalenceWithModelChecking:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_instances(self, seed):
+        rng = random.Random(seed)
+        facts = []
+        for _ in range(rng.randint(0, 12)):
+            kind = rng.choice(["R", "S", "T"])
+            if kind == "R":
+                facts.append(R(rng.randint(1, 4)))
+            elif kind == "T":
+                facts.append(T(rng.randint(1, 4)))
+            else:
+                facts.append(S(rng.randint(1, 4), rng.randint(1, 4)))
+        instance = Instance(facts)
+        for text in SAFE_POOL:
+            via_ra = answers_via_ra(text, instance)
+            via_mc = answers_via_mc(text, instance)
+            assert via_ra == via_mc, (seed, text, sorted(map(str, instance)))

@@ -1,0 +1,123 @@
+"""Tests for the hierarchy test and safe-plan compilation."""
+
+import pytest
+
+from repro.errors import UnsafeQueryError
+from repro.logic.hierarchy import (
+    FactLeaf,
+    IndependentJoin,
+    IndependentProject,
+    IndependentUnion,
+    is_hierarchical,
+    is_self_join_free,
+    safe_plan,
+    safe_plan_ucq,
+)
+from repro.logic.normalform import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.logic.syntax import Atom, Constant, Variable
+from repro.relational import RelationSymbol
+
+R = RelationSymbol("R", 1)
+S = RelationSymbol("S", 2)
+T = RelationSymbol("T", 1)
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestSelfJoinFree:
+    def test_distinct_relations(self):
+        assert is_self_join_free(ConjunctiveQuery([Atom(R, (x,)), Atom(S, (x, y))]))
+
+    def test_repeated_relation(self):
+        assert not is_self_join_free(
+            ConjunctiveQuery([Atom(R, (x,)), Atom(R, (y,))]))
+
+
+class TestHierarchy:
+    def test_single_atom(self):
+        assert is_hierarchical(ConjunctiveQuery([Atom(R, (x,))]))
+
+    def test_nested_variables(self):
+        # at(x) = {R, S} ⊇ at(y) = {S}: hierarchical.
+        assert is_hierarchical(
+            ConjunctiveQuery([Atom(R, (x,)), Atom(S, (x, y))]))
+
+    def test_disjoint_variables(self):
+        assert is_hierarchical(
+            ConjunctiveQuery([Atom(R, (x,)), Atom(T, (y,))]))
+
+    def test_h0_not_hierarchical(self):
+        """The classic hard query H₀ = R(x), S(x,y), T(y)."""
+        h0 = ConjunctiveQuery(
+            [Atom(R, (x,)), Atom(S, (x, y)), Atom(T, (y,))])
+        assert not is_hierarchical(h0)
+
+    def test_head_variables_ignored(self):
+        # With x as head variable, only y is existential: hierarchical.
+        cq = ConjunctiveQuery(
+            [Atom(R, (x,)), Atom(S, (x, y)), Atom(T, (y,))],
+            head_variables=(x,),
+        )
+        assert is_hierarchical(cq)
+
+
+class TestSafePlan:
+    def test_single_existential_atom(self):
+        plan = safe_plan(ConjunctiveQuery([Atom(R, (x,))]))
+        assert isinstance(plan, IndependentProject)
+        assert plan.variable == x
+
+    def test_ground_atoms_join(self):
+        plan = safe_plan(ConjunctiveQuery(
+            [Atom(R, (Constant(1),)), Atom(T, (Constant(2),))]))
+        assert isinstance(plan, IndependentJoin)
+        assert all(isinstance(c, FactLeaf) for c in plan.children)
+
+    def test_independent_components(self):
+        plan = safe_plan(ConjunctiveQuery([Atom(R, (x,)), Atom(T, (y,))]))
+        assert isinstance(plan, IndependentJoin)
+        assert len(plan.children) == 2
+
+    def test_root_variable_project(self):
+        plan = safe_plan(ConjunctiveQuery([Atom(R, (x,)), Atom(S, (x, y))]))
+        assert isinstance(plan, IndependentProject)
+        assert plan.variable == x  # x occurs in all atoms
+
+    def test_h0_rejected(self):
+        with pytest.raises(UnsafeQueryError):
+            safe_plan(ConjunctiveQuery(
+                [Atom(R, (x,)), Atom(S, (x, y)), Atom(T, (y,))]))
+
+    def test_self_join_rejected(self):
+        with pytest.raises(UnsafeQueryError):
+            safe_plan(ConjunctiveQuery(
+                [Atom(R, (x,)), Atom(R, (Constant(1),))]))
+
+    def test_head_variables_rejected(self):
+        with pytest.raises(UnsafeQueryError):
+            safe_plan(ConjunctiveQuery([Atom(S, (x, y))], head_variables=(x,)))
+
+    def test_ground_single_leaf(self):
+        plan = safe_plan(ConjunctiveQuery([Atom(R, (Constant(3),))]))
+        assert isinstance(plan, FactLeaf)
+
+
+class TestSafePlanUCQ:
+    def test_symbol_disjoint_union(self):
+        ucq = UnionOfConjunctiveQueries([
+            ConjunctiveQuery([Atom(R, (x,))]),
+            ConjunctiveQuery([Atom(T, (y,))]),
+        ])
+        plan = safe_plan_ucq(ucq)
+        assert isinstance(plan, IndependentUnion)
+
+    def test_shared_symbols_rejected(self):
+        ucq = UnionOfConjunctiveQueries([
+            ConjunctiveQuery([Atom(R, (x,))]),
+            ConjunctiveQuery([Atom(R, (Constant(1),))]),
+        ])
+        with pytest.raises(UnsafeQueryError):
+            safe_plan_ucq(ucq)
+
+    def test_singleton_union_unwrapped(self):
+        ucq = UnionOfConjunctiveQueries([ConjunctiveQuery([Atom(R, (x,))])])
+        assert isinstance(safe_plan_ucq(ucq), IndependentProject)

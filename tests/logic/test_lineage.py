@@ -1,0 +1,101 @@
+"""Tests for Boolean lineage construction and manipulation."""
+
+import itertools
+
+import pytest
+
+from repro.logic import parse_formula
+from repro.logic.lineage import Lineage, lineage_of
+from repro.logic.semantics import evaluate
+from repro.relational import Instance, Schema
+
+schema = Schema.of(R=1, S=2)
+R, S = schema["R"], schema["S"]
+
+
+class TestLineageAlgebra:
+    def test_disjunction_simplification(self):
+        expr = Lineage.disj([Lineage.false(), Lineage.var(R(1))])
+        assert expr == Lineage.var(R(1))
+
+    def test_true_absorbs_disjunction(self):
+        assert Lineage.disj([Lineage.var(R(1)), Lineage.true()]).is_constant()
+
+    def test_false_absorbs_conjunction(self):
+        assert Lineage.conj([Lineage.var(R(1)), Lineage.false()]).is_constant() is False
+
+    def test_empty_connectives(self):
+        assert Lineage.conj([]).is_constant() is True
+        assert Lineage.disj([]).is_constant() is False
+
+    def test_double_negation(self):
+        var = Lineage.var(R(1))
+        assert Lineage.negation(Lineage.negation(var)) == var
+
+    def test_flattening_and_dedup(self):
+        a, b = Lineage.var(R(1)), Lineage.var(R(2))
+        nested = Lineage.disj([a, Lineage.disj([a, b])])
+        assert nested == Lineage.disj([a, b])
+
+    def test_structural_equality_order_independent(self):
+        a, b = Lineage.var(R(1)), Lineage.var(R(2))
+        assert Lineage.conj([a, b]) == Lineage.conj([b, a])
+
+    def test_facts_collection(self):
+        expr = Lineage.conj(
+            [Lineage.var(R(1)), Lineage.negation(Lineage.var(R(2)))])
+        assert expr.facts() == frozenset({R(1), R(2)})
+
+    def test_evaluate(self):
+        expr = Lineage.conj(
+            [Lineage.var(R(1)), Lineage.negation(Lineage.var(R(2)))])
+        assert expr.evaluate({R(1)})
+        assert not expr.evaluate({R(1), R(2)})
+        assert not expr.evaluate(set())
+
+    def test_condition_cofactors(self):
+        expr = Lineage.disj([Lineage.var(R(1)), Lineage.var(R(2))])
+        assert expr.condition(R(1), True).is_constant() is True
+        assert expr.condition(R(1), False) == Lineage.var(R(2))
+
+
+class TestLineageOfFormula:
+    def test_exists_becomes_disjunction(self):
+        expr = lineage_of(parse_formula("EXISTS x. R(x)", schema),
+                          {R(1), R(2)})
+        assert expr.facts() == frozenset({R(1), R(2)})
+        assert expr.evaluate({R(2)}) and not expr.evaluate(set())
+
+    def test_impossible_atom_is_false(self):
+        expr = lineage_of(parse_formula("R(99)", schema), {R(1)})
+        assert expr.is_constant() is False
+
+    def test_agrees_with_model_checking(self):
+        """Lineage truth on every world == model checking on that world."""
+        possible = [R(1), R(2), S(1, 2), S(2, 1)]
+        formulas = [
+            "EXISTS x. R(x)",
+            "EXISTS x, y. R(x) AND S(x, y)",
+            "FORALL x. R(x) -> EXISTS y. S(x, y)",
+            "NOT EXISTS x. S(x, x)",
+            "R(1) -> R(2)",
+        ]
+        domain = {1, 2}
+        for text in formulas:
+            formula = parse_formula(text, schema)
+            expr = lineage_of(formula, set(possible), domain=domain)
+            for mask in range(16):
+                world = {f for i, f in enumerate(possible) if mask >> i & 1}
+                expected = evaluate(formula, Instance(world), domain=domain)
+                assert expr.evaluate(world) == expected, (text, world)
+
+    def test_equality_resolved_statically(self):
+        expr = lineage_of(parse_formula("EXISTS x. (x = 1) AND R(x)", schema),
+                          {R(1), R(2)})
+        assert expr == Lineage.var(R(1))
+
+    def test_quantifier_over_explicit_domain(self):
+        expr = lineage_of(parse_formula("FORALL x. R(x)", schema),
+                          {R(1), R(2)}, domain={1, 2, 3})
+        # R(3) is impossible, so the conjunction contains ⊥.
+        assert expr.is_constant() is False

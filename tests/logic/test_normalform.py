@@ -1,0 +1,164 @@
+"""Tests for normal forms and UCQ extraction.
+
+Semantic-preservation tests compare truth values on a battery of
+instances before and after each transformation.
+"""
+
+import itertools
+
+from repro.logic import evaluate, parse_formula
+from repro.logic.normalform import (
+    ConjunctiveQuery,
+    extract_ucq,
+    substitute,
+    to_nnf,
+    to_prenex,
+)
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Exists,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    Variable,
+    walk,
+)
+from repro.relational import Instance, Schema
+
+schema = Schema.of(R=1, S=2)
+R, S = schema["R"], schema["S"]
+
+
+def all_small_instances():
+    """All instances over facts {R(1), R(2), S(1,2), S(2,1)}."""
+    facts = [R(1), R(2), S(1, 2), S(2, 1)]
+    for mask in range(16):
+        yield Instance(f for i, f in enumerate(facts) if mask >> i & 1)
+
+
+FORMULAS = [
+    "EXISTS x. R(x)",
+    "NOT EXISTS x. R(x)",
+    "FORALL x. R(x) -> EXISTS y. S(x, y)",
+    "(EXISTS x. R(x)) AND NOT (EXISTS y. S(y, y))",
+    "NOT (R(1) OR NOT R(2))",
+    "R(1) -> (R(2) -> S(1, 2))",
+]
+
+
+class TestNNF:
+    def test_preserves_semantics(self):
+        for text in FORMULAS:
+            formula = parse_formula(text, schema)
+            nnf = to_nnf(formula)
+            for D in all_small_instances():
+                assert evaluate(formula, D) == evaluate(nnf, D), (text, D)
+
+    def test_no_implications_and_negations_atomic(self):
+        for text in FORMULAS:
+            nnf = to_nnf(parse_formula(text, schema))
+            for node in walk(nnf):
+                assert not isinstance(node, Implies)
+                if isinstance(node, Not):
+                    assert not node.operand.children()
+
+    def test_double_negation_eliminated(self):
+        formula = parse_formula("NOT NOT R(1)", schema)
+        assert to_nnf(formula) == parse_formula("R(1)", schema)
+
+    def test_quantifier_duality(self):
+        nnf = to_nnf(parse_formula("NOT FORALL x. R(x)", schema))
+        assert isinstance(nnf, Exists)
+        assert isinstance(nnf.body, Not)
+
+
+class TestPrenex:
+    def test_preserves_semantics(self):
+        for text in FORMULAS:
+            formula = parse_formula(text, schema)
+            pnf = to_prenex(formula)
+            for D in all_small_instances():
+                assert evaluate(formula, D) == evaluate(pnf, D), (text, D)
+
+    def test_prefix_shape(self):
+        pnf = to_prenex(parse_formula(
+            "(EXISTS x. R(x)) AND (FORALL y. R(y))", schema))
+        # All quantifiers must precede the matrix.
+        node = pnf
+        while isinstance(node, (Exists, Forall)):
+            node = node.body
+        for inner in walk(node):
+            assert not isinstance(inner, (Exists, Forall))
+
+    def test_capture_avoided(self):
+        # Both conjuncts use variable x; prenexing must not merge them.
+        formula = parse_formula("(EXISTS x. R(x)) AND (EXISTS x. S(x, x))", schema)
+        pnf = to_prenex(formula)
+        for D in all_small_instances():
+            assert evaluate(formula, D) == evaluate(pnf, D)
+
+
+class TestSubstitute:
+    def test_grounding(self):
+        formula = parse_formula("S(x, y)", schema)
+        grounded = substitute(
+            formula, {Variable("x"): 1, Variable("y"): 2})
+        assert evaluate(grounded, Instance([S(1, 2)]))
+        assert not evaluate(grounded, Instance([S(2, 1)]))
+
+    def test_bound_variables_untouched(self):
+        formula = parse_formula("EXISTS x. S(x, y)", schema)
+        grounded = substitute(formula, {Variable("x"): 9, Variable("y"): 2})
+        # x is bound — only y must be replaced.
+        assert evaluate(grounded, Instance([S(1, 2)]))
+
+
+class TestUCQExtraction:
+    def test_single_cq(self):
+        ucq = extract_ucq(parse_formula("EXISTS x. R(x) AND S(x, x)", schema))
+        assert ucq is not None and len(ucq.disjuncts) == 1
+        assert len(ucq.disjuncts[0].atoms) == 2
+
+    def test_union(self):
+        ucq = extract_ucq(parse_formula(
+            "(EXISTS x. R(x)) OR (EXISTS x, y. S(x, y))", schema))
+        assert ucq is not None and len(ucq.disjuncts) == 2
+
+    def test_distribution_of_and_over_or(self):
+        ucq = extract_ucq(parse_formula(
+            "(R(1) OR R(2)) AND S(1, 2)", schema))
+        assert ucq is not None and len(ucq.disjuncts) == 2
+
+    def test_negation_rejected(self):
+        assert extract_ucq(parse_formula("NOT R(1)", schema)) is None
+
+    def test_forall_rejected(self):
+        assert extract_ucq(parse_formula("FORALL x. R(x)", schema)) is None
+
+    def test_round_trip_semantics(self):
+        text = "(EXISTS x. R(x) AND S(x, x)) OR R(2)"
+        formula = parse_formula(text, schema)
+        ucq = extract_ucq(formula)
+        rebuilt = ucq.to_formula()
+        for D in all_small_instances():
+            assert evaluate(formula, D) == evaluate(rebuilt, D)
+
+    def test_head_variables_recorded(self):
+        ucq = extract_ucq(parse_formula("EXISTS y. S(x, y)", schema))
+        assert [v.name for v in ucq.disjuncts[0].head_variables] == ["x"]
+
+
+class TestConjunctiveQuery:
+    def test_existential_variables(self):
+        x, y = Variable("x"), Variable("y")
+        cq = ConjunctiveQuery([Atom(S, (x, y))], head_variables=(x,))
+        assert cq.existential_variables == frozenset({y})
+
+    def test_to_formula_semantics(self):
+        x = Variable("x")
+        cq = ConjunctiveQuery([Atom(R, (x,)), Atom(S, (x, x))])
+        formula = cq.to_formula()
+        assert evaluate(formula, Instance([R(1), S(1, 1)]))
+        assert not evaluate(formula, Instance([R(1), S(2, 2)]))

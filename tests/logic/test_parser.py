@@ -1,0 +1,138 @@
+"""Tests for the FO formula parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.logic import parse_formula
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Constant,
+    Equals,
+    Exists,
+    FALSE,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    TRUE,
+    Variable,
+)
+from repro.relational import Schema
+
+schema = Schema.of(R=1, S=2)
+
+
+class TestAtoms:
+    def test_relational_atom(self):
+        formula = parse_formula("R(x)", schema)
+        assert isinstance(formula, Atom)
+        assert formula.terms == (Variable("x"),)
+
+    def test_integer_constant(self):
+        formula = parse_formula("R(3)", schema)
+        assert formula.terms == (Constant(3),)
+
+    def test_float_constant(self):
+        assert parse_formula("R(2.5)", schema).terms == (Constant(2.5),)
+
+    def test_quoted_string_constant(self):
+        assert parse_formula("R('abc')", schema).terms == (Constant("abc"),)
+
+    def test_uppercase_identifier_is_constant(self):
+        assert parse_formula("R(Alice)", schema).terms == (Constant("Alice"),)
+
+    def test_lowercase_identifier_is_variable(self):
+        assert parse_formula("R(alice)", schema).terms == (Variable("alice"),)
+
+    def test_equality(self):
+        formula = parse_formula("x = 3", schema)
+        assert isinstance(formula, Equals)
+
+    def test_unknown_relation(self):
+        with pytest.raises(ParseError):
+            parse_formula("T(x)", schema)
+
+
+class TestConnectives:
+    def test_and_or_not(self):
+        formula = parse_formula("R(x) AND NOT R(y) OR S(x, y)", schema)
+        assert isinstance(formula, Or)  # AND binds tighter than OR
+        assert isinstance(formula.left, And)
+        assert isinstance(formula.left.right, Not)
+
+    def test_implication_right_associative(self):
+        formula = parse_formula("R(x) -> R(y) -> R(z)", schema)
+        assert isinstance(formula, Implies)
+        assert isinstance(formula.right, Implies)
+
+    def test_symbol_aliases(self):
+        assert parse_formula("R(x) & ~R(y)", schema) == parse_formula(
+            "R(x) AND NOT R(y)", schema
+        )
+        assert parse_formula("R(x) | R(y)", schema) == parse_formula(
+            "R(x) OR R(y)", schema
+        )
+
+    def test_truth_constants(self):
+        assert parse_formula("TRUE", schema) is TRUE
+        assert parse_formula("FALSE", schema) is FALSE
+
+    def test_keywords_case_insensitive(self):
+        assert parse_formula("exists x. R(x)", schema) == parse_formula(
+            "EXISTS x. R(x)", schema
+        )
+
+    def test_parentheses_override(self):
+        formula = parse_formula("R(x) AND (R(y) OR R(z))", schema)
+        assert isinstance(formula, And)
+        assert isinstance(formula.right, Or)
+
+
+class TestQuantifiers:
+    def test_exists(self):
+        formula = parse_formula("EXISTS x. R(x)", schema)
+        assert isinstance(formula, Exists)
+
+    def test_forall(self):
+        assert isinstance(parse_formula("FORALL x. R(x)", schema), Forall)
+
+    def test_multi_variable_block(self):
+        formula = parse_formula("EXISTS x, y. S(x, y)", schema)
+        assert isinstance(formula, Exists)
+        assert isinstance(formula.body, Exists)
+
+    def test_bound_uppercase_name_is_variable(self):
+        # X is bound by the quantifier, so inside it parses as a variable.
+        formula = parse_formula("EXISTS X. R(X)", schema)
+        assert formula.body.terms == (Variable("X"),)
+
+    def test_nested_scopes(self):
+        formula = parse_formula("EXISTS x. (R(x) AND FORALL y. S(x, y))", schema)
+        assert isinstance(formula.body.right, Forall)
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_formula("R(x) R(y)", schema)
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ParseError):
+            parse_formula("(R(x)", schema)
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse_formula("R(x) ? R(y)", schema)
+
+    def test_missing_dot(self):
+        with pytest.raises(ParseError):
+            parse_formula("EXISTS x R(x)", schema)
+
+    def test_position_reported(self):
+        try:
+            parse_formula("R(x) %%", schema)
+        except ParseError as err:
+            assert err.position >= 0
+        else:
+            pytest.fail("expected ParseError")

@@ -1,0 +1,114 @@
+"""Tests for Query / BooleanQuery / View / FOView."""
+
+import pytest
+
+from repro.errors import EvaluationError, SchemaError
+from repro.logic import BooleanQuery, FOView, Query, View, parse_formula
+from repro.logic.syntax import Variable
+from repro.relational import Instance, Schema
+
+schema = Schema.of(R=1, S=2)
+R, S = schema["R"], schema["S"]
+
+
+class TestQuery:
+    def test_unary_answers(self):
+        q = Query(parse_formula("EXISTS y. S(x, y)", schema), schema)
+        assert q(Instance([S(1, 2), S(3, 1)])) == {(1,), (3,)}
+
+    def test_boolean_identification(self):
+        q = Query(parse_formula("EXISTS x. R(x)", schema), schema)
+        assert q.is_boolean
+        assert q(Instance([R(1)])) is True
+        assert q(Instance()) is False
+
+    def test_variable_order(self):
+        q = Query(
+            parse_formula("S(x, y)", schema),
+            schema,
+            variables=(Variable("y"), Variable("x")),
+        )
+        assert q(Instance([S(1, 2)])) == {(2, 1)}
+
+    def test_wrong_variables_rejected(self):
+        with pytest.raises(EvaluationError):
+            Query(parse_formula("S(x, y)", schema), schema,
+                  variables=(Variable("x"),))
+
+    def test_holds_in_requires_boolean(self):
+        q = Query(parse_formula("R(x)", schema), schema)
+        with pytest.raises(EvaluationError):
+            q.holds_in(Instance())
+
+    def test_as_view(self):
+        q = Query(parse_formula("EXISTS y. S(x, y)", schema), schema)
+        view = q.as_view("Heads")
+        image = view(Instance([S(1, 2)]))
+        assert image.relation(view.target["Heads"]) == {(1,)}
+
+
+class TestBooleanQuery:
+    def test_rejects_free_variables(self):
+        with pytest.raises(EvaluationError):
+            BooleanQuery(parse_formula("R(x)", schema), schema)
+
+    def test_holds(self):
+        q = BooleanQuery(parse_formula("EXISTS x. R(x)", schema), schema)
+        assert q.holds_in(Instance([R(4)]))
+        assert not q.holds_in(Instance())
+
+
+class TestView:
+    def test_functional_view(self):
+        target = Schema.of(T=1)
+        T = target["T"]
+        double = View(
+            schema, target,
+            lambda D: Instance(T(a * 2) for (a,) in D.relation(R)),
+        )
+        assert double(Instance([R(3)])).relation(T) == {(6,)}
+
+    def test_image_schema_validated(self):
+        target = Schema.of(T=1)
+        bad = View(schema, target, lambda D: Instance([R(1)]))
+        with pytest.raises(SchemaError):
+            bad(Instance())
+
+
+class TestFOView:
+    def test_projection_view(self):
+        target = Schema.of(T=1)
+        view = FOView(schema, target,
+                      {"T": parse_formula("EXISTS y. S(x, y)", schema)})
+        image = view(Instance([S(1, 2), S(1, 3), S(4, 4)]))
+        assert image.relation(target["T"]) == {(1,), (4,)}
+
+    def test_multi_relation_view(self):
+        target = Schema.of(Heads=1, Tails=1)
+        view = FOView(schema, target, {
+            "Heads": parse_formula("EXISTS y. S(x, y)", schema),
+            "Tails": (parse_formula("EXISTS x. S(x, y)", schema),
+                      (Variable("y"),)),
+        })
+        image = view(Instance([S(1, 2)]))
+        assert image.relation(target["Heads"]) == {(1,)}
+        assert image.relation(target["Tails"]) == {(2,)}
+
+    def test_arity_mismatch_rejected(self):
+        target = Schema.of(T=2)
+        with pytest.raises(SchemaError):
+            FOView(schema, target,
+                   {"T": parse_formula("EXISTS y. S(x, y)", schema)})
+
+    def test_missing_relation_rejected(self):
+        target = Schema.of(T=1, U=1)
+        with pytest.raises(SchemaError):
+            FOView(schema, target,
+                   {"T": parse_formula("R(x)", schema)})
+
+    def test_boolean_view_relation(self):
+        target = Schema.of(NonEmpty=0)
+        view = FOView(schema, target,
+                      {"NonEmpty": parse_formula("EXISTS x. R(x)", schema)})
+        assert view(Instance([R(1)])).relation(target["NonEmpty"]) == {()}
+        assert view(Instance()).relation(target["NonEmpty"]) == set()

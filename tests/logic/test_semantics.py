@@ -1,0 +1,144 @@
+"""Tests for FO model checking with active-domain semantics."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.logic import answer_tuples, evaluate, parse_formula
+from repro.logic.syntax import Variable
+from repro.relational import Instance, Schema
+
+schema = Schema.of(R=1, S=2)
+R, S = schema["R"], schema["S"]
+
+
+class TestGroundFormulas:
+    def test_atom_lookup(self):
+        D = Instance([R(1)])
+        assert evaluate(parse_formula("R(1)", schema), D)
+        assert not evaluate(parse_formula("R(2)", schema), D)
+
+    def test_equality(self):
+        assert evaluate(parse_formula("1 = 1", schema), Instance())
+        assert not evaluate(parse_formula("1 = 2", schema), Instance())
+
+    def test_connectives(self):
+        D = Instance([R(1)])
+        assert evaluate(parse_formula("R(1) AND NOT R(2)", schema), D)
+        assert evaluate(parse_formula("R(2) OR R(1)", schema), D)
+        assert evaluate(parse_formula("R(2) -> R(9)", schema), D)
+        assert not evaluate(parse_formula("R(1) -> R(2)", schema), D)
+
+    def test_truth_constants(self):
+        assert evaluate(parse_formula("TRUE", schema), Instance())
+        assert not evaluate(parse_formula("FALSE", schema), Instance())
+
+
+class TestQuantifiers:
+    def test_exists_over_active_domain(self):
+        D = Instance([R(1), R(5)])
+        assert evaluate(parse_formula("EXISTS x. R(x)", schema), D)
+        assert not evaluate(parse_formula("EXISTS x. R(x)", schema), Instance())
+
+    def test_forall_over_active_domain(self):
+        D = Instance([R(1), R(2)])
+        assert evaluate(parse_formula("FORALL x. R(x)", schema), D)
+        # Adding an S-fact enlarges the domain; R no longer covers it.
+        D2 = D | Instance([S(3, 3)])
+        assert not evaluate(parse_formula("FORALL x. R(x)", schema), D2)
+
+    def test_formula_constants_extend_domain(self):
+        """Fact 2.1: quantifiers range over adom(D) ∪ adom(φ)."""
+        D = Instance([R(1)])
+        # 9 appears only in the formula, yet the ∃ must consider it.
+        formula = parse_formula("EXISTS x. (x = 9) AND NOT R(x)", schema)
+        assert evaluate(formula, D)
+
+    def test_explicit_domain_parameter(self):
+        D = Instance([R(1)])
+        formula = parse_formula("EXISTS x. NOT R(x)", schema)
+        assert not evaluate(formula, D)  # active domain is just {1}
+        assert evaluate(formula, D, domain=[1, 2])
+
+    def test_nested_quantifiers(self):
+        D = Instance([S(1, 2), S(2, 1)])
+        symmetric = parse_formula("FORALL x, y. S(x, y) -> S(y, x)", schema)
+        assert evaluate(symmetric, D)
+        assert not evaluate(symmetric, D | Instance([S(1, 3)]))
+
+    def test_empty_instance_forall_vacuous(self):
+        # adom = ∅ and no constants: ∀ is vacuously true.
+        assert evaluate(parse_formula("FORALL x. R(x)", schema), Instance())
+
+
+class TestShadowing:
+    def test_inner_quantifier_does_not_unbind_outer(self):
+        """Regression: ∃x. ((∃x. R(x)) ∧ S(x, x)) — evaluating the inner
+        ∃x must restore the outer binding of x, not delete it."""
+        D = Instance([R(1), S(2, 2)])
+        formula = parse_formula(
+            "EXISTS x. (EXISTS x. R(x)) AND S(x, x)", schema)
+        assert evaluate(formula, D)
+        without_witness = Instance([R(1), S(2, 3)])
+        assert not evaluate(formula, without_witness)
+
+    def test_shadowing_in_forall(self):
+        D = Instance([R(1), R(2), S(1, 1), S(2, 2)])
+        formula = parse_formula(
+            "FORALL x. R(x) -> ((EXISTS x. S(x, x)) AND S(x, x))", schema)
+        assert evaluate(formula, D)
+        assert not evaluate(formula, D | Instance([R(3)]))
+
+    def test_shadowing_in_lineage(self):
+        from repro.logic.lineage import lineage_of
+
+        formula = parse_formula(
+            "EXISTS x. (EXISTS x. R(x)) AND S(x, x)", schema)
+        possible = {R(1), S(2, 2)}
+        expr = lineage_of(formula, possible, domain={1, 2})
+        assert expr.evaluate({R(1), S(2, 2)})
+        assert not expr.evaluate({S(2, 2)})
+
+
+class TestAssignments:
+    def test_free_variable_needs_assignment(self):
+        formula = parse_formula("R(x)", schema)
+        with pytest.raises(EvaluationError):
+            evaluate(formula, Instance([R(1)]))
+
+    def test_assignment_supplied(self):
+        formula = parse_formula("R(x)", schema)
+        assert evaluate(formula, Instance([R(1)]), {Variable("x"): 1})
+        assert not evaluate(formula, Instance([R(1)]), {Variable("x"): 2})
+
+
+class TestAnswerTuples:
+    def test_simple_selection(self):
+        D = Instance([S(1, 2), S(3, 2), S(4, 5)])
+        answers = answer_tuples(parse_formula("S(x, 2)", schema), D)
+        assert answers == {(1,), (3,)}
+
+    def test_join_query(self):
+        D = Instance([R(1), S(1, 2), S(9, 2)])
+        formula = parse_formula("R(x) AND S(x, y)", schema)
+        assert answer_tuples(formula, D) == {(1, 2)}
+
+    def test_variable_order_respected(self):
+        D = Instance([S(1, 2)])
+        formula = parse_formula("S(x, y)", schema)
+        xy = answer_tuples(formula, D, (Variable("x"), Variable("y")))
+        yx = answer_tuples(formula, D, (Variable("y"), Variable("x")))
+        assert xy == {(1, 2)} and yx == {(2, 1)}
+
+    def test_boolean_query_unit_answer(self):
+        D = Instance([R(1)])
+        assert answer_tuples(parse_formula("EXISTS x. R(x)", schema), D) == {()}
+        assert answer_tuples(parse_formula("EXISTS x. R(x)", schema), Instance()) == set()
+
+    def test_missing_variable_listed(self):
+        with pytest.raises(EvaluationError):
+            answer_tuples(parse_formula("S(x, y)", schema), Instance(), (Variable("x"),))
+
+    def test_negation_within_active_domain(self):
+        D = Instance([R(1), S(1, 2), S(2, 2)])
+        formula = parse_formula("S(x, 2) AND NOT R(x)", schema)
+        assert answer_tuples(formula, D) == {(2,)}

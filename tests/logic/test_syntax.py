@@ -1,0 +1,141 @@
+"""Direct tests of the FO AST: value semantics, builders, traversal."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.logic.normalform import standardize_apart
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Constant,
+    Equals,
+    Exists,
+    FALSE,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    TRUE,
+    Variable,
+    as_term,
+    conjoin,
+    disjoin,
+    exists_all,
+    walk,
+)
+from repro.relational import RelationSymbol
+
+R = RelationSymbol("R", 2)
+S = RelationSymbol("S", 1)
+x, y = Variable("x"), Variable("y")
+
+
+class TestTerms:
+    def test_variable_value_semantics(self):
+        assert Variable("x") == Variable("x")
+        assert hash(Variable("x")) == hash(Variable("x"))
+        assert Variable("x") != Variable("y")
+
+    def test_constant_value_semantics(self):
+        assert Constant(1) == Constant(1)
+        assert Constant(1) != Constant("1")
+
+    def test_as_term_coercion(self):
+        assert as_term(5) == Constant(5)
+        assert as_term(x) is x
+
+
+class TestAtoms:
+    def test_arity_checked(self):
+        with pytest.raises(SchemaError):
+            Atom(R, (x,))
+
+    def test_raw_values_coerced(self):
+        atom = Atom(R, (x, 3))
+        assert atom.terms == (x, Constant(3))
+
+    def test_is_ground(self):
+        assert Atom(R, (1, 2)).is_ground()
+        assert not Atom(R, (x, 2)).is_ground()
+
+    def test_value_semantics(self):
+        assert Atom(R, (x, 1)) == Atom(R, (x, 1))
+        assert Atom(R, (x, 1)) != Atom(R, (y, 1))
+
+
+class TestConnectiveOperators:
+    def test_and_or_invert_sugar(self):
+        a, b = Atom(S, (x,)), Atom(S, (y,))
+        assert isinstance(a & b, And)
+        assert isinstance(a | b, Or)
+        assert isinstance(~a, Not)
+
+    def test_equality_across_types(self):
+        a, b = Atom(S, (x,)), Atom(S, (y,))
+        assert And(a, b) != Or(a, b)
+        assert And(a, b) == And(a, b)
+        assert Implies(a, b) != Implies(b, a)
+
+    def test_quantifier_string_variable(self):
+        formula = Exists("z", Atom(S, (Variable("z"),)))
+        assert formula.variable == Variable("z")
+
+
+class TestBuilders:
+    def test_exists_all_order(self):
+        formula = exists_all(["a", "b"], Atom(R, (Variable("a"), Variable("b"))))
+        assert isinstance(formula, Exists) and formula.variable.name == "a"
+        assert isinstance(formula.body, Exists)
+
+    def test_conjoin_empty_is_true(self):
+        assert conjoin([]) is TRUE
+
+    def test_disjoin_empty_is_false(self):
+        assert disjoin([]) is FALSE
+
+    def test_conjoin_single_passthrough(self):
+        atom = Atom(S, (x,))
+        assert conjoin([atom]) is atom
+
+    def test_conjoin_multiple(self):
+        a, b, c = (Atom(S, (Constant(i),)) for i in range(3))
+        formula = conjoin([a, b, c])
+        assert isinstance(formula, And)
+
+
+class TestWalk:
+    def test_visits_all_nodes(self):
+        formula = Exists(x, And(Atom(S, (x,)), Not(Atom(S, (y,)))))
+        kinds = [type(node).__name__ for node in walk(formula)]
+        assert kinds.count("Atom") == 2
+        assert "Exists" in kinds and "Not" in kinds and "And" in kinds
+
+    def test_includes_root(self):
+        atom = Atom(S, (x,))
+        assert list(walk(atom)) == [atom]
+
+
+class TestStandardizeApart:
+    def test_distinct_scopes_get_distinct_variables(self):
+        formula = And(
+            Exists(x, Atom(S, (x,))),
+            Exists(x, Atom(S, (x,))),
+        )
+        renamed = standardize_apart(formula)
+        assert renamed.left.variable != renamed.right.variable
+
+    def test_free_variables_untouched(self):
+        from repro.logic.analysis import free_variables
+
+        formula = And(Atom(S, (y,)), Exists(x, Atom(R, (x, y))))
+        renamed = standardize_apart(formula)
+        assert free_variables(renamed) == frozenset({y})
+
+    def test_semantics_preserved(self):
+        from repro.logic.semantics import evaluate
+        from repro.relational import Instance
+
+        formula = And(Exists(x, Atom(S, (x,))), Exists(x, Atom(S, (x,))))
+        renamed = standardize_apart(formula)
+        for D in (Instance(), Instance([S(1)])):
+            assert evaluate(formula, D) == evaluate(renamed, D)

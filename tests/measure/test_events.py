@@ -1,0 +1,48 @@
+"""Tests for the event algebra."""
+
+from repro.measure.events import Event
+
+
+even = Event(lambda n: n % 2 == 0, name="even")
+big = Event(lambda n: n > 10, name="big")
+
+
+class TestAlgebra:
+    def test_complement(self):
+        assert (~even)(3) and not (~even)(4)
+
+    def test_intersection(self):
+        e = even & big
+        assert e(12) and not e(4) and not e(13)
+
+    def test_union(self):
+        e = even | big
+        assert e(4) and e(13) and not e(3)
+
+    def test_difference(self):
+        e = even - big
+        assert e(4) and not e(12)
+
+    def test_always_never(self):
+        assert Event.always()(object()) and not Event.never()(object())
+
+    def test_names_compose(self):
+        assert "even" in (even & big).name
+
+
+class TestCountableOperations:
+    def test_union_of(self):
+        events = [Event(lambda n, k=k: n == k) for k in range(5)]
+        union = Event.union_of(events)
+        assert union(3) and not union(7)
+
+    def test_intersection_of(self):
+        events = [Event(lambda n, k=k: n >= k) for k in range(5)]
+        intersection = Event.intersection_of(events)
+        assert intersection(4) and not intersection(3)
+
+    def test_de_morgan(self):
+        for n in range(20):
+            lhs = (~(even | big))(n)
+            rhs = ((~even) & (~big))(n)
+            assert lhs == rhs

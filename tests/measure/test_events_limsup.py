@@ -1,0 +1,20 @@
+"""Tests for the limsup event helper (Borel–Cantelli shape)."""
+
+from repro.measure.events import Event
+
+
+class TestLimsup:
+    def test_requires_last_window(self):
+        events = [Event(lambda n, k=k: n >= k) for k in range(5)]
+        limsup = Event.limsup(events)
+        # n = 10 satisfies every event including the last: in limsup.
+        assert limsup(10)
+        # n = 2 satisfies only the early events: not "infinitely often".
+        assert not limsup(2)
+
+    def test_no_occurrence(self):
+        events = [Event(lambda n: False) for _ in range(3)]
+        assert not Event.limsup(events)(0)
+
+    def test_named(self):
+        assert Event.limsup([Event(lambda n: True)], name="io").name == "io"

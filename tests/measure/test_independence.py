@@ -1,0 +1,69 @@
+"""Tests for independence checking (Definition 4.1's finite engine)."""
+
+from repro.measure.events import Event
+from repro.measure.independence import (
+    are_independent,
+    are_pairwise_independent,
+    independence_defect,
+    mutually_exclusive,
+)
+from repro.measure.space import DiscreteProbabilitySpace
+
+
+def product_space_two_coins():
+    return DiscreteProbabilitySpace.from_dict({
+        (0, 0): 0.25, (0, 1): 0.25, (1, 0): 0.25, (1, 1): 0.25,
+    })
+
+
+first = Event(lambda o: o[0] == 1, name="first")
+second = Event(lambda o: o[1] == 1, name="second")
+
+
+class TestIndependence:
+    def test_product_coins_independent(self):
+        space = product_space_two_coins()
+        assert are_independent(space, [first, second])
+        assert independence_defect(space, [first, second]) < 1e-12
+
+    def test_event_dependent_on_itself(self):
+        space = product_space_two_coins()
+        assert not are_independent(space, [first, first])
+
+    def test_correlated_events_detected(self):
+        space = DiscreteProbabilitySpace.from_dict({
+            (0, 0): 0.5, (1, 1): 0.5,
+        })
+        assert not are_independent(space, [first, second])
+        assert independence_defect(space, [first, second]) > 0.2
+
+    def test_pairwise_but_not_mutually_independent(self):
+        """The classic XOR example: pairwise independence does not imply
+        mutual independence — and our two checks tell them apart."""
+        space = DiscreteProbabilitySpace.from_dict({
+            (0, 0, 0): 0.25, (0, 1, 1): 0.25,
+            (1, 0, 1): 0.25, (1, 1, 0): 0.25,
+        })
+        events = [Event(lambda o, i=i: o[i] == 1) for i in range(3)]
+        assert are_pairwise_independent(space, events)
+        assert not are_independent(space, events)
+
+    def test_three_way_independence(self):
+        space = DiscreteProbabilitySpace.from_dict({
+            (a, b, c): 0.125
+            for a in (0, 1) for b in (0, 1) for c in (0, 1)
+        })
+        events = [Event(lambda o, i=i: o[i] == 1) for i in range(3)]
+        assert are_independent(space, events)
+
+
+class TestMutualExclusion:
+    def test_disjoint_outcomes(self):
+        space = DiscreteProbabilitySpace.from_dict({"a": 0.5, "b": 0.5})
+        events = [Event(lambda o: o == "a"), Event(lambda o: o == "b")]
+        assert mutually_exclusive(space, events)
+
+    def test_overlap_detected(self):
+        space = DiscreteProbabilitySpace.from_dict({"a": 1.0})
+        events = [Event(lambda o: True), Event(lambda o: o == "a")]
+        assert not mutually_exclusive(space, events)

@@ -1,0 +1,106 @@
+"""Tests for measure mixtures — the Example 2.4 construction."""
+
+import itertools
+
+import pytest
+
+from repro.errors import ProbabilityError
+from repro.measure.space import DiscreteProbabilitySpace
+
+
+class TestFiniteMixtures:
+    def test_weighted_masses(self):
+        left = DiscreteProbabilitySpace.from_dict({"a": 1.0})
+        right = DiscreteProbabilitySpace.from_dict({"b": 0.5, "c": 0.5})
+        mixed = DiscreteProbabilitySpace.mixture([(0.25, left), (0.75, right)])
+        assert mixed.probability_of("a") == pytest.approx(0.25)
+        assert mixed.probability_of("b") == pytest.approx(0.375)
+        assert mixed.total_mass() == pytest.approx(1.0)
+
+    def test_overlapping_supports_add(self):
+        left = DiscreteProbabilitySpace.from_dict({"x": 1.0})
+        right = DiscreteProbabilitySpace.from_dict({"x": 0.5, "y": 0.5})
+        mixed = DiscreteProbabilitySpace.mixture([(0.5, left), (0.5, right)])
+        assert mixed.probability_of("x") == pytest.approx(0.75)
+
+    def test_weights_validated(self):
+        space = DiscreteProbabilitySpace.from_dict({"a": 1.0})
+        with pytest.raises(ProbabilityError):
+            DiscreteProbabilitySpace.mixture([(0.5, space)])
+        with pytest.raises(ProbabilityError):
+            DiscreteProbabilitySpace.mixture(
+                [(-0.5, space), (1.5, space)])
+
+
+class TestExample24:
+    """Example 2.4: U = Σ* ∪ ℝ with P = ½·P₁ + ½·P₂."""
+
+    @staticmethod
+    def word_distribution():
+        """P₁({w}) = (6/π²)·(n+1)^{-2}·|Σ|^{-n} over Σ = {0, 1}.
+
+        (The paper's normalization; the n-th length level gets total
+        mass (6/π²)/(n+1)².)
+        """
+        import math
+
+        def masses():
+            from repro.utils.enumeration import kleene_star
+
+            for word in kleene_star("01"):
+                n = len(word)
+                yield "".join(word), (6 / math.pi**2) / ((n + 1) ** 2 * 2**n)
+
+        return DiscreteProbabilitySpace(
+            masses, exhaustive=False,
+            mass_tail=lambda k: 1.0,  # coarse; tests use small tolerances
+        )
+
+    @staticmethod
+    def real_distribution():
+        """A discretized standard normal (the library's substitution for
+        N(0, 1); see DESIGN.md)."""
+        import math
+
+        grid = [round(-4 + 0.1 * i, 1) for i in range(81)]
+        weights = [math.exp(-0.5 * x * x) for x in grid]
+        total = sum(weights)
+        return DiscreteProbabilitySpace.from_dict(
+            {x: w / total for x, w in zip(grid, weights)})
+
+    def test_mixture_is_a_probability_space(self):
+        mixed = DiscreteProbabilitySpace.mixture([
+            (0.5, self.word_distribution()),
+            (0.5, self.real_distribution()),
+        ])
+        mass = sum(
+            p.mass for p in itertools.islice(mixed.point_masses(), 5000))
+        # The word half spreads each level's Θ(1/n²) mass over 2^n
+        # words, so 5 000 points only reach length ~11; the un-seen
+        # word tail is ≈ 0.5 · 0.6/11 ≈ 0.03.
+        assert mass == pytest.approx(1.0, abs=0.05)
+
+    def test_word_part_mass(self):
+        """P(Σ*) = ½ — the word half of the universe."""
+        mixed = DiscreteProbabilitySpace.mixture([
+            (0.5, self.word_distribution()),
+            (0.5, self.real_distribution()),
+        ])
+        word_mass = sum(
+            p.mass
+            for p in itertools.islice(mixed.point_masses(), 5000)
+            if isinstance(p.outcome, str)
+        )
+        assert word_mass == pytest.approx(0.5, abs=0.05)
+
+    def test_empty_word_probability(self):
+        """P({ε}) = ½ · 6/π² (n = 0 level, single word)."""
+        import math
+
+        mixed = DiscreteProbabilitySpace.mixture([
+            (0.5, self.word_distribution()),
+            (0.5, self.real_distribution()),
+        ])
+        assert mixed.probability(
+            lambda o: o == "", tolerance=0.05, max_outcomes=10**4
+        ) == pytest.approx(0.5 * 6 / math.pi**2, abs=0.01)

@@ -1,0 +1,62 @@
+"""Tests for product spaces — the Theorem 5.5 glue."""
+
+import itertools
+
+import pytest
+
+from repro.measure.product import product_space
+from repro.measure.space import DiscreteProbabilitySpace
+
+
+def coin(p=0.5):
+    return DiscreteProbabilitySpace.from_dict({"H": p, "T": 1 - p})
+
+
+class TestFiniteProducts:
+    def test_masses_multiply(self):
+        two = product_space(coin(0.25), coin(0.5))
+        assert two.probability_of(("H", "H")) == pytest.approx(0.125)
+        assert two.probability_of(("T", "T")) == pytest.approx(0.375)
+
+    def test_total_mass_one(self):
+        two = product_space(coin(0.3), coin(0.9))
+        assert two.total_mass() == pytest.approx(1.0)
+
+    def test_custom_combine(self):
+        left = DiscreteProbabilitySpace.from_dict({1: 0.5, 2: 0.5})
+        right = DiscreteProbabilitySpace.from_dict({10: 1.0})
+        summed = product_space(left, right, combine=lambda a, b: a + b)
+        assert summed.probability_of(11) == pytest.approx(0.5)
+
+    def test_marginals_preserved(self):
+        two = product_space(coin(0.25), coin(0.5))
+        left_heads = two.probability(lambda o: o[0] == "H")
+        assert left_heads == pytest.approx(0.25)
+
+    def test_independence_of_coordinates(self):
+        two = product_space(coin(0.3), coin(0.8))
+        joint = two.probability(lambda o: o == ("H", "H"))
+        assert joint == pytest.approx(0.3 * 0.8)
+
+
+class TestInfiniteProducts:
+    @staticmethod
+    def geometric():
+        def masses():
+            for i in itertools.count(1):
+                yield i, 2.0**-i
+
+        return DiscreteProbabilitySpace(
+            masses, exhaustive=False, mass_tail=lambda n: 2.0**-n)
+
+    def test_finite_times_infinite(self):
+        product = product_space(coin(0.5), self.geometric())
+        value = product.probability(
+            lambda o: o[0] == "H" and o[1] == 1, tolerance=1e-8)
+        assert value == pytest.approx(0.25, abs=1e-6)
+
+    def test_infinite_times_infinite_enumerates_all_pairs(self):
+        product = product_space(self.geometric(), self.geometric())
+        value = product.probability(
+            lambda o: o == (1, 1), tolerance=1e-7)
+        assert value == pytest.approx(0.25, abs=1e-5)

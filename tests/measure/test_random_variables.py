@@ -1,0 +1,100 @@
+"""Tests for random variables, expectation and moments (§3.2 machinery)."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.errors import ProbabilityError
+from repro.measure.random_variables import (
+    RandomVariable,
+    empirical_expectation,
+    expectation,
+    moment,
+    variance,
+)
+from repro.measure.space import DiscreteProbabilitySpace
+
+identity = RandomVariable(float, name="id")
+
+
+class TestRandomVariable:
+    def test_arithmetic(self):
+        X = RandomVariable(lambda o: o + 1.0)
+        Y = RandomVariable(lambda o: o * 2.0)
+        assert (X + Y)(3) == 10.0
+        assert (2 * X)(3) == 8.0
+
+    def test_power(self):
+        assert identity.power(3)(2) == 8.0
+
+    def test_indicator(self):
+        one = RandomVariable.indicator(lambda o: o > 0)
+        assert one(1) == 1.0 and one(-1) == 0.0
+
+
+class TestExpectation:
+    def test_finite(self):
+        space = DiscreteProbabilitySpace.from_dict({0: 0.5, 10: 0.5})
+        assert expectation(space, identity) == 5.0
+
+    def test_indicator_equals_probability(self):
+        space = DiscreteProbabilitySpace.from_dict({1: 0.3, 2: 0.7})
+        one = RandomVariable.indicator(lambda o: o == 2)
+        assert expectation(space, one) == pytest.approx(0.7)
+
+    def test_linearity(self):
+        space = DiscreteProbabilitySpace.from_dict({1: 0.4, 3: 0.6})
+        X = RandomVariable(lambda o: o * 1.0)
+        Y = RandomVariable(lambda o: o * o * 1.0)
+        assert expectation(space, X + Y) == pytest.approx(
+            expectation(space, X) + expectation(space, Y))
+
+    def test_infinite_space_geometric(self):
+        def masses():
+            for i in itertools.count(1):
+                yield i, 2.0**-i
+
+        space = DiscreteProbabilitySpace(
+            masses, exhaustive=False, mass_tail=lambda n: 2.0**-n)
+        # E[i] for geometric(1/2) starting at 1 is 2.
+        assert expectation(space, identity, tolerance=1e-10) == pytest.approx(
+            2.0, abs=1e-6)
+
+    def test_divergent_expectation_grows_without_bound(self):
+        """St. Petersburg-flavoured: value 2^i with mass 2^-i.
+
+        Tail-truncated expectation of an unbounded RV is only a partial
+        sum; divergence shows as the estimate growing without bound as
+        the tolerance shrinks (each halving of the tolerance adds ≈ 1).
+        """
+        def make_space():
+            def masses():
+                for i in itertools.count(1):
+                    yield 2**i, 2.0**-i
+
+            return DiscreteProbabilitySpace(
+                masses, exhaustive=False, mass_tail=lambda n: 2.0**-n)
+
+        coarse = expectation(make_space(), identity, tolerance=1e-3)
+        fine = expectation(make_space(), identity, tolerance=1e-12)
+        assert fine > coarse + 20  # ≈ 30 extra doublings seen
+
+
+class TestMoments:
+    def test_second_moment(self):
+        space = DiscreteProbabilitySpace.from_dict({1: 0.5, 3: 0.5})
+        assert moment(space, identity, 2) == pytest.approx(5.0)
+
+    def test_variance(self):
+        space = DiscreteProbabilitySpace.from_dict({0: 0.5, 2: 0.5})
+        assert variance(space, identity) == pytest.approx(1.0)
+
+
+class TestEmpirical:
+    def test_empirical_expectation(self):
+        assert empirical_expectation([1, 2, 3], identity) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProbabilityError):
+            empirical_expectation([], identity)

@@ -1,0 +1,125 @@
+"""Tests for discrete probability spaces."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import ProbabilityError
+from repro.measure.space import DiscreteProbabilitySpace
+
+
+class TestFiniteSpaces:
+    def test_point_masses(self):
+        space = DiscreteProbabilitySpace.from_dict({"a": 0.3, "b": 0.7})
+        assert space.probability_of("a") == 0.3
+        assert space.probability_of("missing") == 0.0
+
+    def test_mass_must_sum_to_one(self):
+        with pytest.raises(ProbabilityError):
+            DiscreteProbabilitySpace.from_dict({"a": 0.5})
+
+    def test_negative_mass_rejected(self):
+        with pytest.raises(ProbabilityError):
+            DiscreteProbabilitySpace.from_dict({"a": -0.5, "b": 1.5})
+
+    def test_event_probability(self):
+        space = DiscreteProbabilitySpace.from_dict({1: 0.2, 2: 0.3, 3: 0.5})
+        assert space.probability(lambda o: o >= 2) == pytest.approx(0.8)
+
+    def test_uniform(self):
+        space = DiscreteProbabilitySpace.uniform(range(4))
+        assert space.probability_of(2) == 0.25
+
+    def test_uniform_empty_rejected(self):
+        with pytest.raises(ProbabilityError):
+            DiscreteProbabilitySpace.uniform([])
+
+    def test_degenerate(self):
+        space = DiscreteProbabilitySpace.degenerate("x")
+        assert space.probability_of("x") == 1.0
+
+    def test_support(self):
+        space = DiscreteProbabilitySpace.from_dict({"a": 1.0, "b": 0.0})
+        assert space.support() == ["a"]
+
+
+class TestInfiniteSpaces:
+    @staticmethod
+    def geometric_space():
+        def masses():
+            for i in itertools.count(1):
+                yield i, 2.0**-i
+
+        return DiscreteProbabilitySpace(
+            masses, exhaustive=False, mass_tail=lambda n: 2.0**-n)
+
+    def test_event_probability_with_tolerance(self):
+        space = self.geometric_space()
+        p_even = space.probability(lambda o: o % 2 == 0, tolerance=1e-9)
+        # Σ 2^-2k = 1/3.
+        assert p_even == pytest.approx(1.0 / 3.0, abs=1e-8)
+
+    def test_probability_of_scans(self):
+        assert self.geometric_space().probability_of(3) == 0.125
+
+    def test_stops_without_tail_when_mass_known(self):
+        def masses():
+            yield "a", 0.5
+            yield "b", 0.5
+            # An infinite trail of zero-mass outcomes follows.
+            for i in itertools.count():
+                yield ("z", i), 0.0
+
+        space = DiscreteProbabilitySpace(masses, exhaustive=False)
+        assert space.probability(lambda o: o == "a", tolerance=1e-9) == 0.5
+
+    def test_budget_exhaustion_raises(self):
+        def masses():
+            for i in itertools.count(1):
+                yield i, 0.0  # mass never accumulates
+
+        space = DiscreteProbabilitySpace(masses, exhaustive=False)
+        with pytest.raises(ProbabilityError):
+            space.probability(lambda o: True, max_outcomes=100)
+
+
+class TestSampling:
+    def test_finite_sampling_frequencies(self):
+        space = DiscreteProbabilitySpace.from_dict({"a": 0.25, "b": 0.75})
+        rng = random.Random(5)
+        samples = space.sample_many(4000, rng)
+        frequency = samples.count("b") / len(samples)
+        assert abs(frequency - 0.75) < 0.03
+
+    def test_infinite_sampling(self):
+        space = TestInfiniteSpaces.geometric_space()
+        rng = random.Random(6)
+        samples = [space.sample(rng) for _ in range(2000)]
+        assert abs(samples.count(1) / 2000 - 0.5) < 0.04
+
+
+class TestCombinators:
+    def test_map_pushforward(self):
+        space = DiscreteProbabilitySpace.from_dict({-1: 0.4, 1: 0.6})
+        image = space.map(abs)
+        assert image.probability_of(1) == pytest.approx(1.0)
+
+    def test_map_lazy_aggregates(self):
+        space = TestInfiniteSpaces.geometric_space()
+        image = space.map(lambda o: o % 2)
+        assert image.probability_of(0) == pytest.approx(1.0 / 3.0, abs=1e-8)
+
+    def test_condition(self):
+        space = DiscreteProbabilitySpace.from_dict({1: 0.2, 2: 0.8})
+        conditioned = space.condition(lambda o: o == 2)
+        assert conditioned.probability_of(2) == pytest.approx(1.0)
+
+    def test_condition_null_event(self):
+        space = DiscreteProbabilitySpace.from_dict({1: 1.0})
+        with pytest.raises(ProbabilityError):
+            space.condition(lambda o: o == 99)
+
+    def test_condition_infinite_unsupported(self):
+        with pytest.raises(ProbabilityError):
+            TestInfiniteSpaces.geometric_space().condition(lambda o: True)

@@ -1,0 +1,116 @@
+"""Tests for the OpenPDB baseline (Ceylan et al.) and credal semantics."""
+
+import pytest
+
+from repro.errors import ProbabilityError, SchemaError
+from repro.finite import TupleIndependentTable, query_probability
+from repro.logic import BooleanQuery, parse_formula
+from repro.openworld import OpenPDB, credal_query_probability
+from repro.relational import Schema
+from repro.universe import FiniteUniverse, Naturals
+
+schema = Schema.of(R=1, S=2)
+R, S = schema["R"], schema["S"]
+universe = FiniteUniverse(["a", "b", "c"])
+
+
+def q(text):
+    return BooleanQuery(parse_formula(text, schema), schema)
+
+
+def base_table():
+    return TupleIndependentTable(schema, {R("a"): 0.8, S("a", "b"): 0.5})
+
+
+class TestOpenPDB:
+    def test_open_facts_complement_listed(self):
+        g = OpenPDB(base_table(), lambd=0.1, universe=universe)
+        open_facts = set(g.open_facts())
+        assert R("b") in open_facts and R("c") in open_facts
+        assert R("a") not in open_facts and S("a", "b") not in open_facts
+        # 3 R-facts + 9 S-facts − 2 listed.
+        assert len(open_facts) == 10
+
+    def test_infinite_universe_rejected(self):
+        with pytest.raises(SchemaError):
+            OpenPDB(base_table(), lambd=0.1, universe=Naturals())
+
+    def test_lambda_validated(self):
+        with pytest.raises(ProbabilityError):
+            OpenPDB(base_table(), lambd=1.5, universe=universe)
+
+    def test_completions(self):
+        g = OpenPDB(base_table(), lambd=0.2, universe=universe)
+        assert g.lower_completion().marginal(R("b")) == 0.0
+        assert g.upper_completion().marginal(R("b")) == 0.2
+        assert g.upper_completion().marginal(R("a")) == 0.8
+
+    def test_extreme_completions_count(self):
+        small = OpenPDB(
+            TupleIndependentTable(Schema.of(R=1), {}),
+            lambd=0.1,
+            universe=FiniteUniverse(["a", "b"]),
+        )
+        assert len(list(small.extreme_completions())) == 4
+
+    def test_extreme_completion_guard(self):
+        g = OpenPDB(base_table(), lambd=0.1, universe=universe)
+        with pytest.raises(ProbabilityError):
+            list(g.extreme_completions(max_open_facts=3))
+
+
+class TestCredalSemantics:
+    def test_new_entity_query_interval(self):
+        """The OpenPDB answer to 'is b in R?': [0, λ] instead of CWA's 0."""
+        g = OpenPDB(base_table(), lambd=0.3, universe=universe)
+        interval = credal_query_probability(q("R('b')"), g)
+        assert interval.low == 0.0
+        assert interval.high == pytest.approx(0.3)
+
+    def test_listed_fact_point_interval(self):
+        g = OpenPDB(base_table(), lambd=0.3, universe=universe)
+        interval = credal_query_probability(q("R('a')"), g)
+        assert interval.low == interval.high == pytest.approx(0.8)
+
+    def test_monotone_query_bounds(self):
+        g = OpenPDB(base_table(), lambd=0.1, universe=universe)
+        interval = credal_query_probability(q("EXISTS x. R(x)"), g)
+        assert interval.low == pytest.approx(0.8)
+        # Upper: 1 − 0.2·0.9².
+        assert interval.high == pytest.approx(1 - 0.2 * 0.81)
+
+    def test_interval_contains_all_extremes(self):
+        small_schema = Schema.of(R=1)
+        Rs = small_schema["R"]
+        g = OpenPDB(
+            TupleIndependentTable(small_schema, {Rs("a"): 0.5}),
+            lambd=0.2,
+            universe=FiniteUniverse(["a", "b", "c"]),
+        )
+        query = BooleanQuery(
+            parse_formula("EXISTS x. R(x)", small_schema), small_schema)
+        interval = credal_query_probability(query, g)
+        for completion in g.extreme_completions():
+            assert interval.contains(query_probability(query, completion))
+
+    def test_negated_query_uses_extremes(self):
+        small_schema = Schema.of(R=1)
+        Rs = small_schema["R"]
+        g = OpenPDB(
+            TupleIndependentTable(small_schema, {Rs("a"): 0.5}),
+            lambd=0.2,
+            universe=FiniteUniverse(["a", "b"]),
+        )
+        query = BooleanQuery(
+            parse_formula("NOT R('b')", small_schema), small_schema)
+        interval = credal_query_probability(query, g)
+        assert interval.low == pytest.approx(0.8)
+        assert interval.high == pytest.approx(1.0)
+
+    def test_width_grows_with_lambda(self):
+        widths = []
+        for lambd in (0.05, 0.2, 0.4):
+            g = OpenPDB(base_table(), lambd=lambd, universe=universe)
+            widths.append(
+                credal_query_probability(q("R('c')"), g).width)
+        assert widths == sorted(widths)

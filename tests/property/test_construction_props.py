@@ -1,0 +1,136 @@
+"""Hypothesis property tests on the Theorem 4.8 / 4.15 constructions."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.core.bid import BlockFamily, CountableBIDPDB
+from repro.core.tuple_independent import CountableTIPDB, _weighted_subsets
+from repro.finite.bid import Block, BlockIndependentTable
+from repro.finite.tuple_independent import TupleIndependentTable
+from repro.relational import Instance, RelationSymbol, Schema
+from repro.utils.iteration import powerset
+
+schema = Schema.of(R=1)
+R = schema["R"]
+
+probabilities = st.floats(min_value=0.01, max_value=0.99)
+marginal_dicts = st.lists(probabilities, min_size=1, max_size=7).map(
+    lambda ps: {R(i + 1): p for i, p in enumerate(ps)}
+)
+
+
+class TestTupleIndependentProperties:
+    @given(marginal_dicts)
+    @settings(max_examples=40, deadline=None)
+    def test_measure_sums_to_one(self, marginals):
+        table = TupleIndependentTable(schema, marginals)
+        total = sum(
+            table.instance_probability(Instance(subset))
+            for subset in powerset(marginals)
+        )
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    @given(marginal_dicts)
+    @settings(max_examples=40, deadline=None)
+    def test_marginals_recovered_from_worlds(self, marginals):
+        table = TupleIndependentTable(schema, marginals)
+        for fact, p in marginals.items():
+            recovered = sum(
+                table.instance_probability(Instance(subset))
+                for subset in powerset(marginals)
+                if fact in subset
+            )
+            assert recovered == pytest.approx(p, abs=1e-9)
+
+    @given(marginal_dicts)
+    @settings(max_examples=40, deadline=None)
+    def test_pairwise_independence_from_worlds(self, marginals):
+        table = TupleIndependentTable(schema, marginals)
+        facts = list(marginals)
+        if len(facts) < 2:
+            return
+        f, g = facts[0], facts[1]
+        joint = sum(
+            table.instance_probability(Instance(subset))
+            for subset in powerset(marginals)
+            if f in subset and g in subset
+        )
+        assert joint == pytest.approx(marginals[f] * marginals[g], abs=1e-9)
+
+    @given(marginal_dicts)
+    @settings(max_examples=30, deadline=None)
+    def test_countable_agrees_with_finite_table(self, marginals):
+        pdb = CountableTIPDB.from_marginals(schema, marginals)
+        table = TupleIndependentTable(schema, marginals)
+        for subset in powerset(marginals):
+            instance = Instance(subset)
+            assert pdb.instance_probability(instance) == pytest.approx(
+                table.instance_probability(instance), abs=1e-9)
+
+    @given(st.lists(probabilities, min_size=0, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_weighted_subsets_total_one(self, ps):
+        pairs = [(R(i + 1), p) for i, p in enumerate(ps)]
+        total = sum(w for _, w in _weighted_subsets(pairs))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    @given(st.lists(probabilities, min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_weighted_subsets_bijective(self, ps):
+        pairs = [(R(i + 1), p) for i, p in enumerate(ps)]
+        seen = [frozenset(facts) for facts, _ in _weighted_subsets(pairs)]
+        assert len(seen) == 2 ** len(ps)
+        assert len(set(seen)) == len(seen)
+
+
+block_specs = st.lists(
+    st.lists(probabilities, min_size=1, max_size=3),
+    min_size=1,
+    max_size=4,
+)
+
+
+def _blocks_from_spec(spec):
+    blocks = []
+    fact_id = 1
+    for b, block_ps in enumerate(spec):
+        total = sum(block_ps)
+        alternatives = {}
+        for p in block_ps:
+            alternatives[R(fact_id)] = p / max(total, 1.0) * 0.9
+            fact_id += 1
+        blocks.append(Block(f"b{b}", alternatives))
+    return blocks
+
+
+class TestBIDProperties:
+    @given(block_specs)
+    @settings(max_examples=30, deadline=None)
+    def test_expansion_sums_to_one(self, spec):
+        table = BlockIndependentTable(schema, _blocks_from_spec(spec))
+        pdb = table.expand()
+        assert sum(pdb.worlds.values()) == pytest.approx(1.0, abs=1e-9)
+
+    @given(block_specs)
+    @settings(max_examples=30, deadline=None)
+    def test_countable_matches_finite(self, spec):
+        blocks = _blocks_from_spec(spec)
+        finite = BlockIndependentTable(schema, blocks)
+        countable = CountableBIDPDB(schema, BlockFamily.finite(blocks))
+        for instance in finite.expand().instances():
+            assert countable.instance_probability(instance) == pytest.approx(
+                finite.instance_probability(instance), abs=1e-9)
+
+    @given(block_specs)
+    @settings(max_examples=30, deadline=None)
+    def test_block_exclusivity_always(self, spec):
+        blocks = _blocks_from_spec(spec)
+        table = BlockIndependentTable(schema, blocks)
+        for block in blocks:
+            facts = block.facts()
+            if len(facts) >= 2:
+                bad = Instance(facts[:2])
+                assert table.instance_probability(bad) == 0.0

@@ -1,0 +1,72 @@
+"""Hypothesis property tests on enumeration combinatorics and universes."""
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.relational import Schema
+from repro.universe import FactSpace, Naturals, StringUniverse
+from repro.utils.enumeration import (
+    cantor_pair,
+    cantor_unpair,
+    paper_pair,
+    paper_unpair,
+)
+
+
+class TestPairingProperties:
+    @given(st.integers(min_value=0, max_value=10**9),
+           st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=100, deadline=None)
+    def test_cantor_round_trip(self, x, y):
+        assert cantor_unpair(cantor_pair(x, y)) == (x, y)
+
+    @given(st.integers(min_value=0, max_value=10**12))
+    @settings(max_examples=100, deadline=None)
+    def test_cantor_unpair_total(self, z):
+        x, y = cantor_unpair(z)
+        assert cantor_pair(x, y) == z
+
+    @given(st.integers(min_value=1, max_value=10**4),
+           st.integers(min_value=1, max_value=10**4))
+    @settings(max_examples=100, deadline=None)
+    def test_paper_round_trip(self, m, n):
+        assert paper_unpair(paper_pair(m, n)) == (m, n)
+
+
+class TestStringRankProperties:
+    @given(st.text(alphabet="ab", max_size=12))
+    @settings(max_examples=100, deadline=None)
+    def test_rank_unrank_inverse(self, word):
+        u = StringUniverse("ab")
+        assert u.unrank(u.rank(word)) == word
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=100, deadline=None)
+    def test_unrank_rank_inverse(self, index):
+        u = StringUniverse("abc")
+        assert u.rank(u.unrank(index)) == index
+
+    @given(st.text(alphabet="ab", max_size=8),
+           st.text(alphabet="ab", max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_shortlex_order_preserved(self, left, right):
+        u = StringUniverse("ab")
+        shortlex = (len(left), left) < (len(right), right)
+        assert (u.rank(left) < u.rank(right)) == shortlex or left == right
+
+
+class TestFactSpaceProperties:
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=50, deadline=None)
+    def test_rank_is_enumeration_index(self, index):
+        space = FactSpace(Schema.of(R=1, S=2), Naturals())
+        fact = space.unrank(index)
+        assert space.rank(fact) == index
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=50, deadline=None)
+    def test_prefix_has_no_duplicates(self, n):
+        space = FactSpace(Schema.of(R=2), Naturals())
+        prefix = space.prefix(n)
+        assert len(set(prefix)) == n

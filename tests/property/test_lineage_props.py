@@ -1,0 +1,107 @@
+"""Hypothesis property tests: lineage probability == brute force on
+random Boolean expressions; lineage truth == model checking on random
+formulas and worlds."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.finite.lineage_eval import lineage_probability
+from repro.logic.lineage import Lineage, lineage_of
+from repro.logic.parser import parse_formula
+from repro.logic.semantics import evaluate
+from repro.relational import Instance, RelationSymbol, Schema
+
+schema = Schema.of(R=1, S=2)
+R, S = schema["R"], schema["S"]
+
+FACTS = [R(1), R(2), R(3), S(1, 2), S(2, 1)]
+
+
+@st.composite
+def lineage_exprs(draw, depth=0):
+    """Random lineage expressions over FACTS."""
+    if depth >= 3:
+        return Lineage.var(draw(st.sampled_from(FACTS)))
+    kind = draw(st.sampled_from(["var", "not", "and", "or", "true", "false"]))
+    if kind == "var":
+        return Lineage.var(draw(st.sampled_from(FACTS)))
+    if kind == "true":
+        return Lineage.true()
+    if kind == "false":
+        return Lineage.false()
+    if kind == "not":
+        return Lineage.negation(draw(lineage_exprs(depth=depth + 1)))
+    children = draw(
+        st.lists(lineage_exprs(depth=depth + 1), min_size=1, max_size=3))
+    if kind == "and":
+        return Lineage.conj(children)
+    return Lineage.disj(children)
+
+
+def brute_force_probability(expr, marginals):
+    total = 0.0
+    facts = sorted(marginals)
+    for mask in itertools.product([0, 1], repeat=len(facts)):
+        world = {f for f, bit in zip(facts, mask) if bit}
+        mass = 1.0
+        for f, bit in zip(facts, mask):
+            mass *= marginals[f] if bit else 1 - marginals[f]
+        if expr.evaluate(world):
+            total += mass
+    return total
+
+
+class TestLineageProbabilityProperties:
+    @given(lineage_exprs(), st.lists(
+        st.floats(min_value=0.05, max_value=0.95),
+        min_size=len(FACTS), max_size=len(FACTS)))
+    @settings(max_examples=60, deadline=None)
+    def test_shannon_equals_brute_force(self, expr, ps):
+        marginals = dict(zip(FACTS, ps))
+        exact = lineage_probability(expr, lambda f: marginals[f])
+        brute = brute_force_probability(expr, marginals)
+        assert exact == pytest.approx(brute, abs=1e-9)
+
+    @given(lineage_exprs())
+    @settings(max_examples=60, deadline=None)
+    def test_negation_complements(self, expr):
+        p = lineage_probability(expr, lambda f: 0.5)
+        q = lineage_probability(Lineage.negation(expr), lambda f: 0.5)
+        assert p + q == pytest.approx(1.0, abs=1e-9)
+
+    @given(lineage_exprs(), st.sampled_from(FACTS))
+    @settings(max_examples=60, deadline=None)
+    def test_shannon_identity(self, expr, fact):
+        """P(λ) = p·P(λ|f) + (1−p)·P(λ|¬f) for any pivot."""
+        p_fact = 0.3
+        whole = lineage_probability(expr, lambda f: p_fact)
+        high = lineage_probability(expr.condition(fact, True), lambda f: p_fact)
+        low = lineage_probability(expr.condition(fact, False), lambda f: p_fact)
+        assert whole == pytest.approx(
+            p_fact * high + (1 - p_fact) * low, abs=1e-9)
+
+
+FORMULA_POOL = [
+    "EXISTS x. R(x)",
+    "EXISTS x, y. S(x, y) AND R(x)",
+    "FORALL x. R(x) -> EXISTS y. S(x, y)",
+    "NOT EXISTS x. S(x, x)",
+    "(EXISTS x. R(x)) AND (EXISTS x, y. S(x, y))",
+]
+
+
+class TestLineageVsModelChecking:
+    @given(
+        st.sampled_from(FORMULA_POOL),
+        st.sets(st.sampled_from(FACTS)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_lineage_truth_equals_model_checking(self, text, world):
+        formula = parse_formula(text, schema)
+        domain = {1, 2, 3}
+        expr = lineage_of(formula, set(FACTS), domain=domain)
+        expected = evaluate(formula, Instance(world), domain=domain)
+        assert expr.evaluate(world) == expected

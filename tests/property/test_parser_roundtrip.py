@@ -1,0 +1,89 @@
+"""Hypothesis round-trip: ``parse(str(formula)) == formula`` for random
+formulas, and semantic invariance of the printer."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import evaluate, parse_formula
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Constant,
+    Equals,
+    Exists,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    Variable,
+)
+from repro.relational import Instance, Schema
+
+schema = Schema.of(R=1, S=2)
+R, S = schema["R"], schema["S"]
+
+variables = st.sampled_from([Variable("x"), Variable("y"), Variable("z")])
+constants = st.sampled_from([Constant(1), Constant(2), Constant("abc")])
+terms = st.one_of(variables, constants)
+
+
+@st.composite
+def formulas(draw, depth=0, bound=()):
+    """Random formulas whose free variables are drawn from ``bound`` —
+    generated closed (sentences) at the top level so evaluation needs no
+    assignment."""
+    if depth >= 3:
+        choices = ["atom", "equals"] if bound else ["ground_atom"]
+    else:
+        choices = ["atom", "equals", "not", "and", "or", "implies",
+                   "exists", "forall"]
+        if not bound:
+            choices = [c for c in choices if c not in ("atom", "equals")]
+            choices.append("ground_atom")
+    kind = draw(st.sampled_from(choices))
+    if kind == "ground_atom":
+        relation = draw(st.sampled_from([R, S]))
+        args = [draw(constants) for _ in range(relation.arity)]
+        return Atom(relation, args)
+    if kind == "atom":
+        relation = draw(st.sampled_from([R, S]))
+        pool = st.one_of(st.sampled_from(list(bound)), constants)
+        return Atom(relation, [draw(pool) for _ in range(relation.arity)])
+    if kind == "equals":
+        pool = st.one_of(st.sampled_from(list(bound)), constants)
+        return Equals(draw(pool), draw(pool))
+    if kind == "not":
+        return Not(draw(formulas(depth=depth + 1, bound=bound)))
+    if kind in ("and", "or", "implies"):
+        builder = {"and": And, "or": Or, "implies": Implies}[kind]
+        return builder(
+            draw(formulas(depth=depth + 1, bound=bound)),
+            draw(formulas(depth=depth + 1, bound=bound)),
+        )
+    variable = draw(variables)
+    builder = Exists if kind == "exists" else Forall
+    return builder(
+        variable,
+        draw(formulas(depth=depth + 1, bound=tuple(set(bound) | {variable}))),
+    )
+
+
+WORLDS = [
+    Instance(),
+    Instance([R(1)]),
+    Instance([R(1), S(1, 2)]),
+    Instance([S(2, 1), S(1, 1), R(2)]),
+]
+
+
+class TestRoundTrip:
+    @given(formulas())
+    @settings(max_examples=120, deadline=None)
+    def test_parse_of_str_is_identity(self, formula):
+        assert parse_formula(str(formula), schema) == formula
+
+    @given(formulas())
+    @settings(max_examples=80, deadline=None)
+    def test_printed_formula_semantics(self, formula):
+        reparsed = parse_formula(str(formula), schema)
+        for world in WORLDS:
+            assert evaluate(formula, world) == evaluate(reparsed, world)

@@ -1,0 +1,84 @@
+"""Hypothesis property tests on series, products and analytic bounds."""
+
+import math
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.analysis.bounds import complement_product_lower_bound
+from repro.analysis.distributive import distributive_law_truncation
+from repro.analysis.products import product_complement, product_one_plus
+from repro.analysis.series import SeriesCertificate
+
+small_probs = st.lists(
+    st.floats(min_value=0.0, max_value=0.4999), min_size=0, max_size=30)
+unit_probs = st.lists(
+    st.floats(min_value=0.0, max_value=1.0), min_size=0, max_size=30)
+
+
+class TestProductProperties:
+    @given(unit_probs)
+    @settings(max_examples=80, deadline=None)
+    def test_complement_in_unit_interval(self, ps):
+        assert 0.0 <= product_complement(ps) <= 1.0
+
+    @given(unit_probs)
+    @settings(max_examples=80, deadline=None)
+    def test_union_bound(self, ps):
+        """1 − Π(1 − p_i) ≤ Σ p_i."""
+        assert 1 - product_complement(ps) <= sum(ps) + 1e-9
+
+    @given(small_probs)
+    @settings(max_examples=80, deadline=None)
+    def test_star_bound_universal(self, ps):
+        """Claim (∗) holds for every sequence with p_i < 1/2."""
+        assert product_complement(ps) >= (
+            complement_product_lower_bound(ps) - 1e-12)
+
+    @given(unit_probs, unit_probs)
+    @settings(max_examples=50, deadline=None)
+    def test_multiplicativity(self, a, b):
+        assert product_complement(a + b) == pytest.approx(
+            product_complement(a) * product_complement(b), abs=1e-9)
+
+
+class TestDistributiveLawProperties:
+    @given(st.lists(
+        st.fractions(min_value=-1, max_value=1), min_size=0, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_lemma_2_3_exact(self, terms):
+        _, _, equal = distributive_law_truncation(terms)
+        assert equal
+
+
+class TestCertificateProperties:
+    @given(st.floats(min_value=0.01, max_value=0.9),
+           st.floats(min_value=0.0, max_value=0.95))
+    @settings(max_examples=60, deadline=None)
+    def test_geometric_tail_sound(self, first, ratio):
+        cert = SeriesCertificate.geometric(first, ratio)
+        terms = cert.prefix(300)
+        for n in (0, 1, 5, 20):
+            actual_tail = sum(terms[n:])
+            assert cert.tail(n) >= actual_tail - 1e-9
+
+    @given(st.floats(min_value=1.1, max_value=4.0),
+           st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_zeta_tail_sound(self, exponent, scale):
+        cert = SeriesCertificate.zeta(exponent, scale)
+        terms = cert.prefix(2000)
+        for n in (1, 10, 100):
+            actual_tail = sum(terms[n:])
+            assert cert.tail(n) >= actual_tail - 1e-9
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0),
+                    min_size=0, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_finite_certificate_exact(self, values):
+        cert = SeriesCertificate.finite(values)
+        assert cert.sum() == pytest.approx(sum(values), abs=1e-9)
+        for n in range(len(values) + 2):
+            assert cert.tail(n) == pytest.approx(sum(values[n:]), abs=1e-9)

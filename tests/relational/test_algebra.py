@@ -1,0 +1,118 @@
+"""Tests for the named relational algebra."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.relational.algebra import (
+    Relation,
+    cartesian,
+    difference,
+    join,
+    project,
+    rename,
+    select,
+    union,
+)
+
+
+def rel(columns, *tuples):
+    return Relation.from_tuples(columns, tuples)
+
+
+class TestRelation:
+    def test_duplicate_rows_collapse(self):
+        assert len(rel(("x",), (1,), (1,))) == 1
+
+    def test_row_schema_checked(self):
+        with pytest.raises(EvaluationError):
+            Relation(("x",), [{"y": 1}])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(EvaluationError):
+            Relation(("x", "x"), [])
+
+    def test_nullary_true_false(self):
+        assert len(Relation.nullary(True)) == 1
+        assert Relation.nullary(False).is_empty()
+
+    def test_tuples_ordering(self):
+        r = rel(("x", "y"), (1, 2))
+        assert r.tuples(("y", "x")) == {(2, 1)}
+
+    def test_equality_ignores_column_order(self):
+        a = Relation(("x", "y"), [{"x": 1, "y": 2}])
+        b = Relation(("y", "x"), [{"x": 1, "y": 2}])
+        assert a == b
+
+
+class TestSelect:
+    def test_predicate(self):
+        r = rel(("x",), (1,), (2,), (3,))
+        assert select(r, lambda row: row["x"] % 2 == 1).tuples() == {(1,), (3,)}
+
+    def test_empty_result(self):
+        assert select(rel(("x",), (1,)), lambda row: False).is_empty()
+
+
+class TestProject:
+    def test_duplicate_elimination(self):
+        r = rel(("x", "y"), (1, 2), (1, 3))
+        assert project(r, ("x",)).tuples() == {(1,)}
+
+    def test_unknown_column(self):
+        with pytest.raises(EvaluationError):
+            project(rel(("x",), (1,)), ("z",))
+
+    def test_project_to_nullary(self):
+        r = rel(("x",), (1,))
+        assert len(project(r, ())) == 1  # nonempty → {()}
+
+
+class TestJoin:
+    def test_natural_join(self):
+        left = rel(("x", "y"), (1, 2), (2, 3))
+        right = rel(("y", "z"), (2, 9), (3, 8))
+        assert join(left, right).tuples(("x", "y", "z")) == {(1, 2, 9), (2, 3, 8)}
+
+    def test_disjoint_headers_cartesian(self):
+        left, right = rel(("x",), (1,), (2,)), rel(("y",), (5,))
+        assert join(left, right).tuples(("x", "y")) == {(1, 5), (2, 5)}
+
+    def test_identical_headers_intersection(self):
+        a, b = rel(("x",), (1,), (2,)), rel(("x",), (2,), (3,))
+        assert join(a, b).tuples() == {(2,)}
+
+    def test_no_matches(self):
+        assert join(rel(("x",), (1,)), rel(("x",), (2,))).is_empty()
+
+
+class TestUnionDifference:
+    def test_union(self):
+        assert union(rel(("x",), (1,)), rel(("x",), (2,))).tuples() == {(1,), (2,)}
+
+    def test_union_header_mismatch(self):
+        with pytest.raises(EvaluationError):
+            union(rel(("x",), (1,)), rel(("y",), (1,)))
+
+    def test_difference(self):
+        a = rel(("x",), (1,), (2,))
+        assert difference(a, rel(("x",), (2,))).tuples() == {(1,)}
+
+    def test_difference_header_mismatch(self):
+        with pytest.raises(EvaluationError):
+            difference(rel(("x",), (1,)), rel(("y",), (1,)))
+
+
+class TestRenameCartesian:
+    def test_rename(self):
+        r = rename(rel(("x", "y"), (1, 2)), {"x": "a"})
+        assert r.columns == ("a", "y")
+        assert r.tuples(("a", "y")) == {(1, 2)}
+
+    def test_cartesian_requires_disjoint(self):
+        with pytest.raises(EvaluationError):
+            cartesian(rel(("x",), (1,)), rel(("x",), (2,)))
+
+    def test_cartesian_product_size(self):
+        product = cartesian(rel(("x",), (1,), (2,)), rel(("y",), (3,), (4,)))
+        assert len(product) == 4

@@ -1,0 +1,85 @@
+"""Tests for facts: value semantics, ordering, parsing."""
+
+import pytest
+
+from repro.errors import ParseError, SchemaError
+from repro.relational import Fact, RelationSymbol, Schema, parse_fact
+
+
+class TestFact:
+    def test_value_semantics(self):
+        R = RelationSymbol("R", 2)
+        assert Fact(R, (1, 2)) == Fact(R, (1, 2))
+        assert hash(Fact(R, (1, 2))) == hash(Fact(R, (1, 2)))
+
+    def test_arity_checked(self):
+        R = RelationSymbol("R", 2)
+        with pytest.raises(SchemaError):
+            Fact(R, (1,))
+
+    def test_distinct_relations_distinct_facts(self):
+        assert RelationSymbol("R", 1)(1) != RelationSymbol("S", 1)(1)
+
+    def test_total_order_heterogeneous_args(self):
+        R = RelationSymbol("R", 1)
+        facts = [R("b"), R(2), R("a"), R(1)]
+        ordered = sorted(facts)
+        # ints sort before strings under the type-tagged key
+        assert ordered == [R(1), R(2), R("a"), R("b")]
+
+    def test_order_by_relation_name_first(self):
+        A, B = RelationSymbol("A", 1), RelationSymbol("B", 1)
+        assert sorted([B(1), A(9)]) == [A(9), B(1)]
+
+    def test_str_format(self):
+        R = RelationSymbol("R", 2)
+        assert str(R(1, "x")) == "R(1, 'x')"
+
+    def test_nullary_fact(self):
+        P = RelationSymbol("P", 0)
+        assert str(P()) == "P()"
+
+    def test_sort_key_deterministic_for_tuples(self):
+        R = RelationSymbol("R", 1)
+        assert sorted([R((2, 1)), R((1, 2))]) == [R((1, 2)), R((2, 1))]
+
+
+class TestParseFact:
+    def test_ints_and_identifiers(self):
+        schema = Schema.of(R=2)
+        fact = parse_fact("R(1, abc)", schema)
+        assert fact.args == (1, "abc")
+
+    def test_quoted_strings(self):
+        schema = Schema.of(R=1)
+        assert parse_fact("R('hello world')", schema).args == ("hello world",)
+
+    def test_floats(self):
+        schema = Schema.of(Temp=2)
+        fact = parse_fact("Temp(office1, 20.5)", schema)
+        assert fact.args == ("office1", 20.5)
+
+    def test_negative_numbers(self):
+        schema = Schema.of(R=1)
+        assert parse_fact("R(-3)", schema).args == (-3,)
+
+    def test_nullary(self):
+        schema = Schema.of(P=0)
+        assert parse_fact("P()", schema).args == ()
+
+    def test_unknown_relation(self):
+        with pytest.raises(SchemaError):
+            parse_fact("T(1)", Schema.of(R=1))
+
+    def test_malformed(self):
+        with pytest.raises(ParseError):
+            parse_fact("not a fact", Schema.of(R=1))
+
+    def test_arity_mismatch(self):
+        with pytest.raises(SchemaError):
+            parse_fact("R(1, 2)", Schema.of(R=1))
+
+    def test_round_trip_via_str(self):
+        schema = Schema.of(R=2)
+        original = schema["R"](7, "x y")
+        assert parse_fact(str(original), schema) == original

@@ -1,0 +1,84 @@
+"""Tests for database instances."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import Instance, RelationSymbol, Schema
+
+R = RelationSymbol("R", 1)
+S = RelationSymbol("S", 2)
+
+
+class TestBasics:
+    def test_size_is_fact_count(self):
+        assert Instance([R(1), S(1, 2)]).size == 2
+
+    def test_deduplication(self):
+        assert Instance([R(1), R(1)]).size == 1
+
+    def test_empty_instance(self):
+        assert Instance.EMPTY.size == 0
+
+    def test_membership(self):
+        D = Instance([R(1)])
+        assert R(1) in D and R(2) not in D
+
+    def test_value_semantics(self):
+        assert Instance([R(1), R(2)]) == Instance([R(2), R(1)])
+        assert hash(Instance([R(1)])) == hash(Instance([R(1)]))
+
+    def test_iteration_is_sorted(self):
+        D = Instance([R(3), R(1), R(2)])
+        assert list(D) == [R(1), R(2), R(3)]
+
+    def test_total_order_by_size_then_content(self):
+        assert Instance() < Instance([R(1)]) < Instance([R(2)]) < Instance([R(1), R(2)])
+
+
+class TestSetOperations:
+    def test_union_intersection_difference(self):
+        A, B = Instance([R(1), R(2)]), Instance([R(2), R(3)])
+        assert (A | B).size == 3
+        assert (A & B) == Instance([R(2)])
+        assert (A - B) == Instance([R(1)])
+
+    def test_with_without_fact(self):
+        D = Instance([R(1)])
+        assert D.with_fact(R(2)).size == 2
+        assert D.without_fact(R(1)) == Instance.EMPTY
+        assert D.with_fact(R(2)) is not D  # immutability
+
+    def test_issubset_isdisjoint(self):
+        assert Instance([R(1)]).issubset(Instance([R(1), R(2)]))
+        assert Instance([R(1)]).isdisjoint(Instance([R(2)]))
+
+    def test_intersects_event_semantics(self):
+        """intersects implements membership in E_F of Definition 3.1."""
+        D = Instance([R(1), R(5)])
+        assert D.intersects({R(5), R(9)})
+        assert not D.intersects({R(2), R(3)})
+        assert not D.intersects(set())
+
+
+class TestQueriesOnInstance:
+    def test_relation_extraction(self):
+        D = Instance([R(1), S(1, 2), S(3, 4)])
+        assert D.relation(R) == {(1,)}
+        assert D.relation(S) == {(1, 2), (3, 4)}
+
+    def test_active_domain(self):
+        D = Instance([S(1, 2), R(7)])
+        assert D.active_domain() == {1, 2, 7}
+
+    def test_restrict(self):
+        D = Instance([R(1), S(1, 2)])
+        assert D.restrict([R]) == Instance([R(1)])
+
+    def test_relations(self):
+        assert Instance([R(1), S(1, 2)]).relations() == {R, S}
+
+    def test_validate_schema(self):
+        schema = Schema.of(R=1)
+        Instance([R(1)]).validate_schema(schema)  # no raise
+        with pytest.raises(SchemaError):
+            Instance([S(1, 2)]).validate_schema(schema)

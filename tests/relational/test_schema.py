@@ -1,0 +1,94 @@
+"""Tests for relation symbols and schemas."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import RelationSymbol, Schema
+
+
+class TestRelationSymbol:
+    def test_value_semantics(self):
+        assert RelationSymbol("R", 2) == RelationSymbol("R", 2)
+        assert hash(RelationSymbol("R", 2)) == hash(RelationSymbol("R", 2))
+
+    def test_distinct_arity_distinct_symbol(self):
+        assert RelationSymbol("R", 1) != RelationSymbol("R", 2)
+
+    def test_invalid_name(self):
+        with pytest.raises(SchemaError):
+            RelationSymbol("1bad", 1)
+        with pytest.raises(SchemaError):
+            RelationSymbol("has space", 1)
+
+    def test_negative_arity(self):
+        with pytest.raises(SchemaError):
+            RelationSymbol("R", -1)
+
+    def test_zero_arity_allowed(self):
+        assert RelationSymbol("P", 0).arity == 0
+
+    def test_attribute_names(self):
+        symbol = RelationSymbol("Temp", 2, attributes=("office", "celsius"))
+        assert symbol.attributes == ("office", "celsius")
+
+    def test_attribute_count_mismatch(self):
+        with pytest.raises(SchemaError):
+            RelationSymbol("R", 2, attributes=("only_one",))
+
+    def test_duplicate_attributes(self):
+        with pytest.raises(SchemaError):
+            RelationSymbol("R", 2, attributes=("a", "a"))
+
+    def test_call_builds_fact(self):
+        R = RelationSymbol("R", 2)
+        fact = R(1, "x")
+        assert fact.relation == R and fact.args == (1, "x")
+
+
+class TestSchema:
+    def test_of_shorthand(self):
+        schema = Schema.of(R=1, S=2)
+        assert schema["R"].arity == 1 and schema["S"].arity == 2
+
+    def test_lookup_unknown(self):
+        with pytest.raises(SchemaError):
+            Schema.of(R=1)["T"]
+
+    def test_conflicting_declarations(self):
+        with pytest.raises(SchemaError):
+            Schema([RelationSymbol("R", 1), RelationSymbol("R", 2)])
+
+    def test_duplicate_identical_ok(self):
+        schema = Schema([RelationSymbol("R", 1), RelationSymbol("R", 1)])
+        assert len(schema) == 1
+
+    def test_contains_symbol_and_name(self):
+        schema = Schema.of(R=1)
+        assert "R" in schema
+        assert RelationSymbol("R", 1) in schema
+        assert RelationSymbol("R", 2) not in schema
+
+    def test_max_arity(self):
+        assert Schema.of(R=1, S=3).max_arity() == 3
+        assert Schema().max_arity() == 0
+
+    def test_union(self):
+        merged = Schema.of(R=1).union(Schema.of(S=2))
+        assert "R" in merged and "S" in merged
+
+    def test_union_conflict(self):
+        with pytest.raises(SchemaError):
+            Schema.of(R=1).union(Schema.of(R=2))
+
+    def test_restrict(self):
+        schema = Schema.of(R=1, S=2, T=3)
+        restricted = schema.restrict(["R", "T"])
+        assert "R" in restricted and "T" in restricted and "S" not in restricted
+
+    def test_equality_and_hash(self):
+        assert Schema.of(R=1, S=2) == Schema.of(S=2, R=1)
+        assert hash(Schema.of(R=1)) == hash(Schema.of(R=1))
+
+    def test_iteration_order_is_insertion(self):
+        schema = Schema([RelationSymbol("Z", 1), RelationSymbol("A", 1)])
+        assert [r.name for r in schema] == ["Z", "A"]

@@ -1,0 +1,70 @@
+"""Tests for typed schemas — the Example 5.7 shape-restriction mechanism."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import Fact, RelationSymbol
+from repro.relational.typed import AttributeType, TypedRelationSymbol, TypedSchema
+
+letters = AttributeType.finite("letters", ["A", "B", "C", "D"])
+naturals = AttributeType(
+    "naturals", lambda v: isinstance(v, int) and not isinstance(v, bool) and v >= 1
+)
+
+
+class TestAttributeType:
+    def test_finite_enumeration(self):
+        assert list(letters.enumerate()) == ["A", "B", "C", "D"]
+
+    def test_membership(self):
+        assert letters.contains("A") and not letters.contains("Z")
+        assert naturals.contains(3) and not naturals.contains(0)
+
+    def test_not_enumerable(self):
+        from repro.errors import UniverseError
+
+        assert not naturals.enumerable
+        with pytest.raises(UniverseError):
+            naturals.enumerate()
+
+
+class TestTypedRelationSymbol:
+    def test_example_5_7_shape(self):
+        """R is a relation between {A,B,C,D} and ℕ."""
+        R = TypedRelationSymbol("R", (letters, naturals))
+        assert R.admits(("A", 1))
+        assert not R.admits((1, "A"))
+        assert not R.admits(("A", "B"))
+
+    def test_arity_from_types(self):
+        assert TypedRelationSymbol("R", (letters,)).arity == 1
+
+    def test_check_raises(self):
+        R = TypedRelationSymbol("R", (letters, naturals))
+        with pytest.raises(SchemaError):
+            R.check(("Z", 1))
+
+    def test_typed_fact(self):
+        R = TypedRelationSymbol("R", (letters, naturals))
+        assert R.typed_fact("B", 2) == Fact(R, ("B", 2))
+
+    def test_wrong_arg_count(self):
+        R = TypedRelationSymbol("R", (letters,))
+        assert not R.admits(("A", "B"))
+
+
+class TestTypedSchema:
+    def test_admits_fact(self):
+        R = TypedRelationSymbol("R", (letters, naturals))
+        schema = TypedSchema([R])
+        assert schema.admits_fact(Fact(R, ("A", 5)))
+        assert not schema.admits_fact(Fact(R, (5, "A")))
+
+    def test_foreign_relation_not_admitted(self):
+        schema = TypedSchema([TypedRelationSymbol("R", (letters,))])
+        other = RelationSymbol("S", 1)
+        assert not schema.admits_fact(Fact(other, ("A",)))
+
+    def test_untyped_relations_rejected(self):
+        with pytest.raises(SchemaError):
+            TypedSchema([RelationSymbol("R", 1)])  # type: ignore[list-item]

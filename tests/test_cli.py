@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.finite import TupleIndependentTable
+from repro.io import tuple_independent_to_json
+from repro.relational import Schema
+
+schema = Schema.of(R=1, S=2)
+R, S = schema["R"], schema["S"]
+
+
+@pytest.fixture
+def table_file(tmp_path):
+    table = TupleIndependentTable(schema, {
+        R(1): 0.5, R(2): 0.25, S(1, 2): 0.8,
+    })
+    path = tmp_path / "table.json"
+    path.write_text(tuple_independent_to_json(table))
+    return str(path)
+
+
+class TestInfo:
+    def test_describes_table(self, table_file, capsys):
+        assert main(["info", table_file]) == 0
+        out = capsys.readouterr().out
+        assert "TupleIndependentTable" in out
+        assert "facts         : 3" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["info", "/nonexistent.json"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_exact_query(self, table_file, capsys):
+        assert main(["query", table_file, "EXISTS x. R(x)"]) == 0
+        out = capsys.readouterr().out
+        assert "P(Q) = 0.625" in out  # 1 − 0.5·0.75
+
+    def test_strategy_flag(self, table_file, capsys):
+        assert main([
+            "query", table_file, "R(1) AND S(1, 2)",
+            "--strategy", "lineage",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0.4" in out
+
+    def test_open_world_query(self, table_file, capsys):
+        assert main([
+            "query", table_file, "R(3)",
+            "--open-world", "0.25,0.5", "--epsilon", "0.01",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "P(Q) = 0.0" in out  # small but formatted
+        assert "truncated" in out
+
+    def test_bad_open_world_spec(self, table_file):
+        with pytest.raises(SystemExit):
+            main(["query", table_file, "R(1)", "--open-world", "bogus"])
+
+
+class TestMarginals:
+    def test_per_tuple(self, table_file, capsys):
+        assert main(["marginals", table_file, "R(x)"]) == 0
+        out = capsys.readouterr().out
+        assert "(1,) : 0.5" in out
+        assert "(2,) : 0.25" in out
+
+    def test_boolean_rejected(self, table_file):
+        with pytest.raises(SystemExit):
+            main(["marginals", table_file, "EXISTS x. R(x)"])

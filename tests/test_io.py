@@ -1,0 +1,112 @@
+"""Tests for table serialization (fact lines and JSON)."""
+
+import io as stdio
+
+import pytest
+
+from repro.errors import ParseError
+from repro.finite import Block, BlockIndependentTable, TupleIndependentTable
+from repro.io import (
+    block_independent_from_json,
+    block_independent_to_json,
+    dump_tuple_independent,
+    load,
+    load_tuple_independent,
+    parse_fact_lines,
+    save,
+    tuple_independent_from_json,
+    tuple_independent_to_json,
+)
+from repro.relational import Schema
+
+schema = Schema.of(R=1, S=2)
+R, S = schema["R"], schema["S"]
+
+
+class TestFactLines:
+    def test_basic_parse(self):
+        marginals = parse_fact_lines(
+            "R(1): 0.5\nS(1, 'x y'): 0.25", schema)
+        assert marginals[R(1)] == 0.5
+        assert marginals[S(1, "x y")] == 0.25
+
+    def test_comments_and_blanks(self):
+        marginals = parse_fact_lines(
+            "# header\n\nR(1): 0.5\n  # trailing\n", schema)
+        assert len(marginals) == 1
+
+    def test_duplicate_fact_rejected(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse_fact_lines("R(1): 0.5\nR(1): 0.4", schema)
+
+    def test_malformed_line(self):
+        with pytest.raises(ParseError, match="line 1"):
+            parse_fact_lines("R(1) 0.5", schema)
+
+    def test_bad_probability(self):
+        with pytest.raises(ParseError):
+            parse_fact_lines("R(1): not_a_number", schema)
+
+    def test_round_trip(self):
+        table = TupleIndependentTable(schema, {R(1): 0.5, S(2, 3): 0.125})
+        restored = load_tuple_independent(
+            dump_tuple_independent(table), schema)
+        for fact in table.facts():
+            assert restored.marginal(fact) == table.marginal(fact)
+
+
+class TestJSON:
+    def test_ti_round_trip(self):
+        table = TupleIndependentTable(
+            schema, {R(1): 0.5, S(1, "abc"): 0.3, S(2, 2): 0.9})
+        restored = tuple_independent_from_json(
+            tuple_independent_to_json(table))
+        assert restored.schema == table.schema
+        for fact in table.facts():
+            assert restored.marginal(fact) == table.marginal(fact)
+
+    def test_bid_round_trip(self):
+        table = BlockIndependentTable(schema, [
+            Block("k1", {S(1, 1): 0.5, S(1, 2): 0.3}),
+            Block("k2", {S(2, 1): 0.8}),
+        ])
+        restored = block_independent_from_json(
+            block_independent_to_json(table))
+        assert restored.marginal(S(1, 2)) == 0.3
+        assert restored.block_of(S(1, 1)).name == "k1"
+
+    def test_kind_mismatch(self):
+        table = TupleIndependentTable(schema, {R(1): 0.5})
+        with pytest.raises(ParseError):
+            block_independent_from_json(tuple_independent_to_json(table))
+
+    def test_tuple_arguments_survive(self):
+        nested = Schema.of(N=1)
+        N = nested["N"]
+        table = TupleIndependentTable(nested, {N((1, 2)): 0.5})
+        restored = tuple_independent_from_json(
+            tuple_independent_to_json(table))
+        assert restored.marginal(N((1, 2))) == 0.5
+
+
+class TestStreams:
+    def test_save_load_ti(self):
+        table = TupleIndependentTable(schema, {R(1): 0.5})
+        buffer = stdio.StringIO()
+        save(table, buffer)
+        buffer.seek(0)
+        restored = load(buffer)
+        assert isinstance(restored, TupleIndependentTable)
+        assert restored.marginal(R(1)) == 0.5
+
+    def test_save_load_bid(self):
+        table = BlockIndependentTable(schema, [Block("b", {R(1): 0.5})])
+        buffer = stdio.StringIO()
+        save(table, buffer)
+        buffer.seek(0)
+        restored = load(buffer)
+        assert isinstance(restored, BlockIndependentTable)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ParseError):
+            load(stdio.StringIO('{"kind": "mystery"}'))

@@ -1,0 +1,97 @@
+"""Tests for the fact space F[τ, U] enumeration."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import Schema
+from repro.universe import FactSpace, FiniteUniverse, Naturals
+
+
+class TestEnumeration:
+    def test_interleaves_relations(self):
+        space = FactSpace(Schema.of(R=1, S=1), Naturals())
+        assert [str(f) for f in space.prefix(4)] == [
+            "R(1)", "S(1)", "R(2)", "S(2)"]
+
+    def test_every_fact_appears_once(self):
+        space = FactSpace(Schema.of(R=1, S=2), Naturals())
+        prefix = space.prefix(100)
+        assert len(set(prefix)) == 100
+
+    def test_binary_relation_diagonal(self):
+        schema = Schema.of(S=2)
+        space = FactSpace(schema, Naturals())
+        S = schema["S"]
+        assert S(2, 2) in set(space.prefix(20))
+
+    def test_nullary_relation(self):
+        schema = Schema.of(P=0, R=1)
+        space = FactSpace(schema, Naturals())
+        P = schema["P"]
+        assert P() in set(space.prefix(3))
+
+    def test_finite_space(self):
+        space = FactSpace(Schema.of(R=1), FiniteUniverse(["a", "b"]))
+        assert space.finite and len(space) == 2
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            FactSpace(Schema(), Naturals())
+
+
+class TestRank:
+    def test_rank_matches_enumeration(self):
+        space = FactSpace(Schema.of(R=1, S=2), Naturals())
+        for index, fact in enumerate(space.prefix(60)):
+            assert space.rank(fact) == index
+
+    def test_unrank_inverse(self):
+        space = FactSpace(Schema.of(R=2), Naturals())
+        for index in range(30):
+            assert space.rank(space.unrank(index)) == index
+
+    def test_membership(self):
+        schema = Schema.of(R=1)
+        space = FactSpace(schema, Naturals())
+        R = schema["R"]
+        assert R(5) in space
+        assert R(0) not in space  # 0 ∉ ℕ
+        other = Schema.of(T=1)["T"]
+        assert other(1) not in space
+
+
+class TestPositionUniverses:
+    def test_example_5_7_typing(self):
+        """R between {A,B,C,D} and ℕ (Example 5.7)."""
+        schema = Schema.of(R=2)
+        space = FactSpace(
+            schema,
+            Naturals(),
+            position_universes={
+                "R": (FiniteUniverse(["A", "B", "C", "D"]), Naturals())
+            },
+        )
+        R = schema["R"]
+        assert R("A", 3) in space
+        assert R(3, "A") not in space
+        assert R(1, 2) not in space
+
+    def test_typed_enumeration_covers_grid(self):
+        schema = Schema.of(R=2)
+        space = FactSpace(
+            schema,
+            Naturals(),
+            position_universes={
+                "R": (FiniteUniverse(["A", "B"]), Naturals())
+            },
+        )
+        R = schema["R"]
+        prefix = set(space.prefix(20))
+        assert {R("A", 1), R("B", 1), R("A", 2)} <= prefix
+
+    def test_relation_facts_subspace(self):
+        space = FactSpace(Schema.of(R=1, S=1), Naturals())
+        sub = space.relation_facts("R")
+        assert all(f.relation.name == "R" for f in sub.prefix(5))
+        with pytest.raises(SchemaError):
+            space.relation_facts("Z")

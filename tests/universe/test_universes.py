@@ -1,0 +1,171 @@
+"""Tests for countable universes: naturals, ranges, strings, unions,
+products."""
+
+import itertools
+
+import pytest
+
+from repro.errors import UniverseError
+from repro.universe import (
+    FiniteUniverse,
+    IntegerRange,
+    Naturals,
+    ProductUniverse,
+    StringUniverse,
+    TaggedUnion,
+)
+from repro.universe.strings import BinaryStrings
+from repro.utils import take
+
+
+class TestNaturals:
+    def test_enumeration_starts_at_one(self):
+        assert Naturals().prefix(3) == [1, 2, 3]
+
+    def test_rank_unrank_round_trip(self):
+        N = Naturals()
+        for value in (1, 7, 1000):
+            assert N.unrank(N.rank(value)) == value
+
+    def test_membership(self):
+        N = Naturals()
+        assert 5 in N and 0 not in N and -1 not in N and "x" not in N
+        assert True not in N  # bools are not naturals
+
+    def test_infinite(self):
+        with pytest.raises(UniverseError):
+            len(Naturals())
+
+    def test_foreign_value_rank(self):
+        with pytest.raises(UniverseError):
+            Naturals().rank(0)
+
+
+class TestIntegerRange:
+    def test_enumeration(self):
+        assert list(IntegerRange(3, 5)) == [3, 4, 5]
+
+    def test_rank(self):
+        assert IntegerRange(10, 20).rank(15) == 5
+
+    def test_len(self):
+        assert len(IntegerRange(0, 9)) == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(UniverseError):
+            IntegerRange(5, 4)
+
+
+class TestStringUniverse:
+    def test_shortlex(self):
+        assert StringUniverse("ab").prefix(5) == ["", "a", "b", "aa", "ab"]
+
+    def test_rank_closed_form_matches_enumeration(self):
+        u = StringUniverse("abc")
+        for index, word in enumerate(take(50, u.enumerate())):
+            assert u.rank(word) == index
+
+    def test_unrank_inverse(self):
+        u = StringUniverse("ab")
+        for index in range(40):
+            assert u.rank(u.unrank(index)) == index
+
+    def test_membership(self):
+        u = StringUniverse("ab")
+        assert "abba" in u and "abc" not in u and 5 not in u
+
+    def test_invalid_alphabets(self):
+        with pytest.raises(UniverseError):
+            StringUniverse("")
+        with pytest.raises(UniverseError):
+            StringUniverse(["ab"])  # multi-char symbol
+        with pytest.raises(UniverseError):
+            StringUniverse("aa")
+
+
+class TestBinaryStrings:
+    def test_natural_identification(self):
+        """The Proposition 6.2 identification: x ↦ int('1' + x, 2)."""
+        b = BinaryStrings()
+        assert b.to_natural("") == 1
+        assert b.to_natural("0") == 2
+        assert b.to_natural("1") == 3
+        assert b.to_natural("10") == 6
+
+    def test_round_trip(self):
+        for n in range(1, 100):
+            assert BinaryStrings.to_natural(BinaryStrings.from_natural(n)) == n
+
+    def test_bijection_onto_positive_integers(self):
+        images = {BinaryStrings.to_natural(w)
+                  for w in BinaryStrings().prefix(63)}
+        assert images == set(range(1, 64))
+
+
+class TestFiniteUniverse:
+    def test_basics(self):
+        u = FiniteUniverse(["A", "B"])
+        assert u.rank("B") == 1 and len(u) == 2 and "C" not in u
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(UniverseError):
+            FiniteUniverse(["A", "A"])
+
+    def test_unhashable_membership(self):
+        assert [1] not in FiniteUniverse(["A"])
+
+
+class TestTaggedUnion:
+    def test_interleaving(self):
+        u = TaggedUnion([FiniteUniverse(["A", "B"]), Naturals()])
+        assert u.prefix(6) == ["A", 1, "B", 2, 3, 4]
+
+    def test_rank_matches_enumeration(self):
+        u = TaggedUnion([FiniteUniverse(["A", "B"]), Naturals()])
+        for index, value in enumerate(u.prefix(30)):
+            assert u.rank(value) == index
+
+    def test_rank_two_infinite_parts(self):
+        u = TaggedUnion([Naturals(), StringUniverse("a")])
+        for index, value in enumerate(u.prefix(30)):
+            assert u.rank(value) == index
+
+    def test_membership_across_parts(self):
+        u = TaggedUnion([FiniteUniverse(["A"]), Naturals()])
+        assert "A" in u and 3 in u and "B" not in u
+
+    def test_finite_union_finite(self):
+        u = TaggedUnion([FiniteUniverse(["A"]), FiniteUniverse(["B"])])
+        assert u.finite and list(u) == ["A", "B"]
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(UniverseError):
+            TaggedUnion([])
+
+
+class TestProductUniverse:
+    def test_diagonal_enumeration(self):
+        p = ProductUniverse([Naturals(), Naturals()])
+        prefix = p.prefix(10)
+        assert prefix[0] == (1, 1)
+        assert len(set(prefix)) == 10
+
+    def test_rank_matches_enumeration_infinite_pair(self):
+        p = ProductUniverse([Naturals(), Naturals()])
+        for index, value in enumerate(p.prefix(40)):
+            assert p.rank(value) == index
+
+    def test_rank_finite_product(self):
+        p = ProductUniverse([FiniteUniverse(["A", "B"]), IntegerRange(1, 2)])
+        for index, value in enumerate(p.prefix(4)):
+            assert p.rank(value) == index
+        assert len(p) == 4
+
+    def test_membership(self):
+        p = ProductUniverse([Naturals(), FiniteUniverse(["A"])])
+        assert (3, "A") in p and ("A", 3) not in p and (1,) not in p
+
+    def test_covers_all_pairs_eventually(self):
+        p = ProductUniverse([Naturals(), Naturals()])
+        prefix = set(p.prefix(210))
+        assert {(i, j) for i in range(1, 6) for j in range(1, 6)} <= prefix

@@ -1,0 +1,67 @@
+"""Tests for generic iterator tools."""
+
+import pytest
+
+from repro.utils.iteration import (
+    merge_sorted,
+    pairwise_disjoint,
+    powerset,
+    take,
+    unique_everseen,
+)
+
+
+class TestTake:
+    def test_prefix(self):
+        assert take(3, iter(range(100))) == [0, 1, 2]
+
+    def test_shorter_input(self):
+        assert take(5, [1]) == [1]
+
+    def test_zero(self):
+        assert take(0, [1, 2]) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            take(-1, [1])
+
+
+class TestMergeSorted:
+    def test_merge(self):
+        assert list(merge_sorted([[1, 4], [2, 3]])) == [1, 2, 3, 4]
+
+    def test_with_key(self):
+        merged = list(merge_sorted([["bb", "dddd"], ["a", "ccc"]], key=len))
+        assert [len(x) for x in merged] == [1, 2, 3, 4]
+
+
+class TestUniqueEverseen:
+    def test_dedupes_preserving_order(self):
+        assert list(unique_everseen([3, 1, 3, 2, 1])) == [3, 1, 2]
+
+    def test_key_function(self):
+        assert list(unique_everseen(["a", "A", "b"], key=str.lower)) == ["a", "b"]
+
+
+class TestPairwiseDisjoint:
+    def test_disjoint(self):
+        assert pairwise_disjoint([frozenset({1}), frozenset({2})])
+
+    def test_overlapping(self):
+        assert not pairwise_disjoint([frozenset({1, 2}), frozenset({2})])
+
+    def test_empty_collection(self):
+        assert pairwise_disjoint([])
+
+
+class TestPowerset:
+    def test_counts(self):
+        assert len(list(powerset(range(4)))) == 16
+
+    def test_smallest_first(self):
+        sizes = [len(s) for s in powerset(range(3))]
+        assert sizes == sorted(sizes)
+
+    def test_contains_extremes(self):
+        subsets = list(powerset([1, 2]))
+        assert frozenset() in subsets and frozenset({1, 2}) in subsets

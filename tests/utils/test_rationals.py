@@ -1,0 +1,78 @@
+"""Tests for exact probability arithmetic helpers."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ProbabilityError
+from repro.utils.rationals import (
+    as_fraction,
+    complement,
+    float_close,
+    is_probability,
+    validate_probability,
+)
+
+
+class TestAsFraction:
+    def test_fraction_passthrough(self):
+        assert as_fraction(Fraction(1, 3)) == Fraction(1, 3)
+
+    def test_float_exact_binary(self):
+        assert as_fraction(0.5) == Fraction(1, 2)
+        assert as_fraction(0.1) == Fraction(0.1)  # exact binary expansion
+
+    def test_int(self):
+        assert as_fraction(1) == Fraction(1)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ProbabilityError):
+            as_fraction(float("nan"))
+
+    def test_inf_rejected(self):
+        with pytest.raises(ProbabilityError):
+            as_fraction(math.inf)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ProbabilityError):
+            as_fraction("0.5")  # type: ignore[arg-type]
+
+
+class TestIsProbability:
+    @pytest.mark.parametrize("value", [0, 1, 0.5, Fraction(1, 7), -0.0])
+    def test_valid(self, value):
+        assert is_probability(value)
+
+    @pytest.mark.parametrize("value", [-0.1, 1.0001, Fraction(9, 8), 2])
+    def test_invalid(self, value):
+        assert not is_probability(value)
+
+
+class TestValidateProbability:
+    def test_returns_value(self):
+        assert validate_probability(0.25) == 0.25
+
+    def test_raises_with_label(self):
+        with pytest.raises(ProbabilityError, match="marginal"):
+            validate_probability(1.5, what="marginal")
+
+
+class TestComplement:
+    def test_fraction_exact(self):
+        assert complement(Fraction(1, 3)) == Fraction(2, 3)
+
+    def test_float(self):
+        assert complement(0.25) == 0.75
+
+    def test_out_of_range(self):
+        with pytest.raises(ProbabilityError):
+            complement(1.5)
+
+
+class TestFloatClose:
+    def test_accumulated_error(self):
+        assert float_close(0.1 + 0.2, 0.3)
+
+    def test_distinguishes(self):
+        assert not float_close(0.1, 0.2)
