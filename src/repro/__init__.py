@@ -101,6 +101,12 @@ from repro.core import (
     verify_completion_condition,
 )
 from repro.openworld import CredalInterval, OpenPDB, credal_query_probability
+from repro.sampling import (
+    SampleStream,
+    available_backends,
+    get_kernel,
+    numpy_available,
+)
 
 __version__ = "1.0.0"
 
@@ -147,6 +153,11 @@ __all__ = [
     "marginal_answer_probabilities",
     "query_probability_monte_carlo",
     "MonteCarloEstimate",
+    # sampling kernels
+    "SampleStream",
+    "available_backends",
+    "get_kernel",
+    "numpy_available",
     # core (the paper)
     "FactDistribution",
     "GeometricFactDistribution",

@@ -93,6 +93,14 @@ def approximate_query_probability(
 ) -> ApproximationResult:
     """Additive ε-approximation of ``P(Q)`` (Proposition 6.1).
 
+    ``strategy`` is forwarded to the finite evaluator run on the
+    truncation Ω_n.  ``strategy="sampled"`` is the sampled fallback for
+    truncations too large for exact evaluation: the conditional
+    ``P(Q | Ω_n)`` is itself estimated by seeded batched Monte Carlo on
+    the :mod:`repro.sampling` kernels, so the returned value carries the
+    truncation error ε *plus* the (reported-separately) sampling error
+    of :data:`repro.finite.evaluation.SAMPLED_STRATEGY_SAMPLES` worlds.
+
     >>> from repro.relational import Schema
     >>> from repro.universe import Naturals, FactSpace
     >>> from repro.core.fact_distribution import GeometricFactDistribution

@@ -18,7 +18,12 @@ from repro.finite.evaluation import (
 )
 from repro.finite.lineage_eval import lineage_probability, query_probability_by_lineage
 from repro.finite.lifted import evaluate_plan, query_probability_lifted
-from repro.finite.montecarlo import query_probability_monte_carlo, MonteCarloEstimate
+from repro.finite.montecarlo import (
+    MonteCarloEstimate,
+    event_probability_monte_carlo,
+    query_probability_monte_carlo,
+    z_quantile,
+)
 from repro.finite.karp_luby import (
     DNFTerm,
     KarpLubyEstimate,
@@ -50,7 +55,9 @@ __all__ = [
     "evaluate_plan",
     "query_probability_lifted",
     "query_probability_monte_carlo",
+    "event_probability_monte_carlo",
     "MonteCarloEstimate",
+    "z_quantile",
     "DNFTerm",
     "KarpLubyEstimate",
     "karp_luby_probability",

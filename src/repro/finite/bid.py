@@ -203,6 +203,33 @@ class BlockIndependentTable:
                 facts.append(fact)
         return Instance(facts)
 
+    def sample_batch(
+        self,
+        n: int,
+        rng: Optional[random.Random] = None,
+        seed: Optional[int] = None,
+        backend: str = "auto",
+        batch_index: int = 0,
+    ) -> List[Instance]:
+        """Draw ``n`` worlds at once with a :mod:`repro.sampling` kernel.
+
+        The batched path pre-materialises each block's cumulative
+        weights once instead of re-sorting alternatives per draw;
+        ``backend="scalar"`` keeps the per-block :meth:`sample` loop.
+        """
+        if backend == "scalar":
+            if rng is None:
+                if seed is None:
+                    raise ValueError("provide rng= or seed=")
+                rng = random.Random(seed)
+            return [self.sample(rng) for _ in range(n)]
+        from repro.sampling import sample_instances
+
+        return sample_instances(
+            self, n, rng=rng, seed=seed, backend=backend,
+            batch_index=batch_index,
+        )
+
     def __repr__(self) -> str:
         return (
             f"BlockIndependentTable(blocks={len(self.blocks)}, "

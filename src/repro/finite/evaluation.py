@@ -26,6 +26,11 @@ from repro.relational.instance import Instance
 
 PDBLike = Union[FinitePDB, TupleIndependentTable, BlockIndependentTable]
 
+#: Defaults for the ``"sampled"`` strategy: enough worlds for a ~±0.01
+#: normal-approximation half-width, seeded so repeated runs agree.
+SAMPLED_STRATEGY_SAMPLES = 20_000
+SAMPLED_STRATEGY_SEED = 0
+
 
 def _as_finite_pdb(pdb: PDBLike) -> FinitePDB:
     if isinstance(pdb, FinitePDB):
@@ -64,9 +69,21 @@ def query_probability(
     * ``"auto"`` — lifted safe plan if the query compiles to one and the
       PDB is tuple-independent, else lineage, else world enumeration.
     * ``"worlds"`` / ``"lineage"`` / ``"lifted"`` — force one strategy.
+    * ``"sampled"`` — seeded batched Monte Carlo on the
+      :mod:`repro.sampling` kernels (:data:`SAMPLED_STRATEGY_SAMPLES`
+      worlds): the only non-exact strategy, for queries whose exact
+      evaluation is out of reach on large truncations.
 
-    All strategies agree exactly; the E8 benchmark measures their costs.
+    The exact strategies agree exactly; the E8 benchmark measures their
+    costs.
     """
+    if strategy == "sampled":
+        from repro.finite.montecarlo import query_probability_monte_carlo
+
+        return query_probability_monte_carlo(
+            query, pdb, SAMPLED_STRATEGY_SAMPLES,
+            seed=SAMPLED_STRATEGY_SEED, backend="auto",
+        ).estimate
     if strategy == "worlds":
         return query_probability_by_worlds(query, pdb)
     if strategy == "lineage":

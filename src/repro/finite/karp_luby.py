@@ -15,13 +15,14 @@ the CQs of a UCQ grounded against a TI table.
 from __future__ import annotations
 
 import random
-from typing import Callable, List, NamedTuple, Sequence, Set, Tuple
+from typing import Callable, List, NamedTuple, Optional, Sequence, Set, Tuple
 
 from repro.errors import EvaluationError
 from repro.finite.tuple_independent import TupleIndependentTable
 from repro.logic.lineage import Lineage, lineage_of
 from repro.logic.queries import BooleanQuery
 from repro.relational.facts import Fact
+from repro.sampling import DEFAULT_BATCH_SIZE, batch_rngs, get_kernel
 
 
 class DNFTerm(NamedTuple):
@@ -121,9 +122,18 @@ def karp_luby_probability(
     terms: Sequence[DNFTerm],
     table: TupleIndependentTable,
     samples: int,
-    rng: random.Random,
+    rng: Optional[random.Random] = None,
+    backend: str = "auto",
+    seed: Optional[int] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> KarpLubyEstimate:
     """Unbiased DNF probability estimate via the Karp–Luby scheme.
+
+    ``backend="scalar"`` runs the original fact-by-fact conditional
+    sampler; the batched backends draw term choices and base worlds
+    ``batch_size`` at a time from a :mod:`repro.sampling` kernel and
+    apply the term's forced facts afterwards (equivalent in
+    distribution, since facts are independent).
 
     >>> from repro.relational import Schema
     >>> schema = Schema.of(R=1)
@@ -149,6 +159,22 @@ def karp_luby_probability(
         acc += w
         cumulative.append(acc)
     all_facts = table.facts()
+    if backend == "scalar":
+        if rng is None:
+            if seed is None:
+                raise EvaluationError("provide rng= or seed=")
+            rng = random.Random(seed)
+        hits = _scalar_hits(terms, table, samples, rng, cumulative,
+                            term_mass, all_facts)
+    else:
+        hits = _batched_hits(terms, table, samples, rng, seed, backend,
+                             batch_size, cumulative, term_mass, all_facts)
+    return KarpLubyEstimate(term_mass * hits / samples, samples, term_mass)
+
+
+def _scalar_hits(terms, table, samples, rng, cumulative, term_mass,
+                 all_facts) -> int:
+    """The original one-draw-at-a-time reference implementation."""
     hits = 0
     for _ in range(samples):
         # 1. Pick a term ∝ its probability.
@@ -168,7 +194,43 @@ def karp_luby_probability(
         )
         if first == index:
             hits += 1
-    return KarpLubyEstimate(term_mass * hits / samples, samples, term_mass)
+    return hits
+
+
+def _batched_hits(terms, table, samples, rng, seed, backend, batch_size,
+                  cumulative, term_mass, all_facts) -> int:
+    kernel = get_kernel(backend)
+    rng_for = batch_rngs(kernel, rng=rng, seed=seed)
+    probs = [table.marginals[fact] for fact in all_facts]
+    last_term = len(terms) - 1
+    hits = 0
+    done = 0
+    batch_index = 0
+    while done < samples:
+        k = min(batch_size, samples - done)
+        backend_rng = rng_for(batch_index)
+        # 1. Batch of term picks ∝ term probability (clamped against the
+        # measure-zero float edge u == term_mass).
+        indices = kernel.categorical(cumulative, k, backend_rng,
+                                     scale=term_mass)
+        # 2. Batch of unconditioned worlds; conditioning on the chosen
+        # term just overrides its positive/negative facts.
+        rows = kernel.bernoulli_rows(probs, k, backend_rng)
+        for index, row in zip(indices, rows):
+            index = min(index, last_term)
+            term = terms[index]
+            world = {all_facts[i] for i in row}
+            world -= term.negative
+            world |= term.positive
+            # 3. Count iff the chosen term is the *first* satisfied one.
+            first = next(
+                i for i, t in enumerate(terms) if t.satisfied_by(world)
+            )
+            if first == index:
+                hits += 1
+        done += k
+        batch_index += 1
+    return hits
 
 
 def _bisect(cumulative: List[float], value: float) -> int:
@@ -186,7 +248,10 @@ def query_probability_karp_luby(
     query: BooleanQuery,
     table: TupleIndependentTable,
     samples: int,
-    rng: random.Random,
+    rng: Optional[random.Random] = None,
+    backend: str = "auto",
+    seed: Optional[int] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> KarpLubyEstimate:
     """Karp–Luby estimate for a Boolean query via its lineage DNF.
 
@@ -202,4 +267,7 @@ def query_probability_karp_luby(
     """
     expr = lineage_of(query.formula, set(table.marginals))
     terms = lineage_to_dnf(expr)
-    return karp_luby_probability(terms, table, samples, rng)
+    return karp_luby_probability(
+        terms, table, samples, rng,
+        backend=backend, seed=seed, batch_size=batch_size,
+    )

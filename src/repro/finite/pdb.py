@@ -109,6 +109,33 @@ class FinitePDB:
             raise ProbabilityError("empty PDB")
         return last
 
+    def sample_batch(
+        self,
+        n: int,
+        rng: Optional[random.Random] = None,
+        seed: Optional[int] = None,
+        backend: str = "auto",
+        batch_index: int = 0,
+    ) -> List[Instance]:
+        """Draw ``n`` worlds at once with a :mod:`repro.sampling` kernel.
+
+        The batched path builds the sorted cumulative world table once
+        instead of re-sorting per draw; ``backend="scalar"`` keeps the
+        per-draw :meth:`sample` loop.
+        """
+        if backend == "scalar":
+            if rng is None:
+                if seed is None:
+                    raise ValueError("provide rng= or seed=")
+                rng = random.Random(seed)
+            return [self.sample(rng) for _ in range(n)]
+        from repro.sampling import sample_instances
+
+        return sample_instances(
+            self, n, rng=rng, seed=seed, backend=backend,
+            batch_index=batch_index,
+        )
+
     # ------------------------------------------------------------ conditioning
     def condition(self, event: Callable[[Instance], bool]) -> "FinitePDB":
         """``P(· | event)`` — used to verify the completion condition."""

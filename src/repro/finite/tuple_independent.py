@@ -125,6 +125,32 @@ class TupleIndependentTable:
     def sample_many(self, n: int, rng: random.Random) -> List[Instance]:
         return [self.sample(rng) for _ in range(n)]
 
+    def sample_batch(
+        self,
+        n: int,
+        rng: Optional[random.Random] = None,
+        seed: Optional[int] = None,
+        backend: str = "auto",
+        batch_index: int = 0,
+    ) -> List[Instance]:
+        """Draw ``n`` worlds at once with a :mod:`repro.sampling` kernel.
+
+        Reproducible from ``(seed, batch_index)``; ``backend="scalar"``
+        falls back to the per-fact :meth:`sample` loop.
+        """
+        if backend == "scalar":
+            if rng is None:
+                if seed is None:
+                    raise ValueError("provide rng= or seed=")
+                rng = random.Random(seed)
+            return self.sample_many(n, rng)
+        from repro.sampling import sample_instances
+
+        return sample_instances(
+            self, n, rng=rng, seed=seed, backend=backend,
+            batch_index=batch_index,
+        )
+
     def __repr__(self) -> str:
         return (
             f"TupleIndependentTable(facts={len(self.marginals)}, "

@@ -1,0 +1,45 @@
+"""Vectorised NumPy sampling kernel (the optional ``[fast]`` extra).
+
+Importing this module requires NumPy; everything else in
+:mod:`repro.sampling` only touches it through the lazily-importing
+registry in :mod:`repro.sampling.kernels`, so the library works with
+NumPy absent.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+
+class NumpyKernel:
+    """Batched draws via ``numpy.random.Generator`` (PCG64)."""
+
+    name = "numpy"
+
+    def make_rng(self, seed: int) -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+    def adapt_rng(self, rng) -> np.random.Generator:
+        if isinstance(rng, np.random.Generator):
+            return rng
+        if isinstance(rng, random.Random):
+            # Deterministic bridge: derive the generator seed from the
+            # caller's stream so repeated runs with the same Random state
+            # reproduce exactly.
+            return np.random.default_rng(rng.getrandbits(64))
+        raise TypeError(
+            f"numpy kernel needs numpy Generator or random.Random, got {type(rng)!r}"
+        )
+
+    def bernoulli_rows(self, probs, k, rng):
+        p = np.asarray(probs, dtype=np.float64)
+        matrix = rng.random((k, p.size)) < p
+        return [tuple(np.flatnonzero(row).tolist()) for row in matrix]
+
+    def categorical(self, cumulative, k, rng, scale=None):
+        cum = np.asarray(cumulative, dtype=np.float64)
+        top = float(cum[-1]) if scale is None else float(scale)
+        draws = rng.random(k) * top
+        return np.searchsorted(cum, draws, side="right").tolist()

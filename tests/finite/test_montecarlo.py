@@ -9,7 +9,7 @@ from repro.finite import (
     query_probability,
     query_probability_monte_carlo,
 )
-from repro.finite.montecarlo import event_probability_monte_carlo
+from repro.finite.montecarlo import event_probability_monte_carlo, z_quantile
 from repro.logic import BooleanQuery, parse_formula
 from repro.relational import Schema
 
@@ -60,9 +60,56 @@ class TestEstimates:
         rng = random.Random(21)
         with pytest.raises(ValueError):
             query_probability_monte_carlo(q("R(1)"), table, 0, rng)
+        for confidence in (0.0, 1.0, 1.5, -0.2):
+            with pytest.raises(ValueError):
+                query_probability_monte_carlo(q("R(1)"), table, 10, rng,
+                                              confidence=confidence)
+        with pytest.raises(ValueError):
+            # No randomness source at all.
+            query_probability_monte_carlo(q("R(1)"), table, 10)
         with pytest.raises(ValueError):
             query_probability_monte_carlo(q("R(1)"), table, 10, rng,
-                                          confidence=0.5)
+                                          backend="fortran")
+
+
+class TestZQuantile:
+    """Regression: any confidence in (0, 1) is accepted (was KeyError →
+    ValueError for everything outside the three tabulated levels)."""
+
+    def test_untabulated_confidence_accepted(self):
+        table = TupleIndependentTable(schema, {R(1): 0.5})
+        estimate = query_probability_monte_carlo(
+            q("R(1)"), table, 500, seed=23, confidence=0.975)
+        assert estimate.half_width > 0
+
+    def test_inverse_cdf_matches_known_quantiles(self):
+        # Tabulated levels keep their historical rounded values...
+        assert z_quantile(0.95) == 1.9600
+        assert z_quantile(0.90) == 1.6449
+        assert z_quantile(0.99) == 2.5758
+        # ...and arbitrary levels go through the inverse normal CDF.
+        assert z_quantile(0.975) == pytest.approx(2.2414, abs=1e-4)
+        assert z_quantile(0.5) == pytest.approx(0.6745, abs=1e-4)
+        assert z_quantile(0.999) == pytest.approx(3.2905, abs=1e-4)
+
+    def test_monotone_in_confidence(self):
+        levels = [0.05 * i for i in range(1, 20)]
+        quantiles = [z_quantile(level) for level in levels]
+        assert quantiles == sorted(quantiles)
+
+    def test_half_width_widens_with_confidence(self):
+        table = TupleIndependentTable(schema, {R(1): 0.5})
+        narrow = query_probability_monte_carlo(
+            q("R(1)"), table, 400, seed=31, confidence=0.8)
+        wide = query_probability_monte_carlo(
+            q("R(1)"), table, 400, seed=31, confidence=0.998)
+        assert narrow.estimate == wide.estimate
+        assert narrow.half_width < wide.half_width
+
+    def test_out_of_range_rejected(self):
+        for level in (0.0, 1.0, -1.0, 2.0):
+            with pytest.raises(ValueError):
+                z_quantile(level)
 
 
 class TestEventEstimates:

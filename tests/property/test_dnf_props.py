@@ -1,0 +1,90 @@
+"""Hypothesis property tests for the Karp–Luby DNF expansion:
+``lineage_to_dnf`` is semantically equivalent to the original lineage
+on every world over the mentioned facts."""
+
+from itertools import chain, combinations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.finite.karp_luby import DNFTerm, lineage_to_dnf
+from repro.logic.lineage import Lineage
+from repro.relational import Schema
+
+schema = Schema.of(R=1, S=2)
+R, S = schema["R"], schema["S"]
+
+FACTS = [R(1), R(2), S(1, 2), S(2, 1)]
+
+
+@st.composite
+def lineage_exprs(draw, depth=0):
+    """Random lineage expressions over FACTS (bounded depth so the DNF
+    expansion stays polynomial-sized)."""
+    if depth >= 3:
+        return Lineage.var(draw(st.sampled_from(FACTS)))
+    kind = draw(st.sampled_from(["var", "not", "and", "or", "true", "false"]))
+    if kind == "var":
+        return Lineage.var(draw(st.sampled_from(FACTS)))
+    if kind == "true":
+        return Lineage.true()
+    if kind == "false":
+        return Lineage.false()
+    if kind == "not":
+        return Lineage.negation(draw(lineage_exprs(depth=depth + 1)))
+    children = draw(
+        st.lists(lineage_exprs(depth=depth + 1), min_size=1, max_size=3))
+    if kind == "and":
+        return Lineage.conj(children)
+    return Lineage.disj(children)
+
+
+def dnf_evaluate(terms, world):
+    return any(term.satisfied_by(world) for term in terms)
+
+
+def all_worlds():
+    return [
+        set(subset)
+        for subset in chain.from_iterable(
+            combinations(FACTS, size) for size in range(len(FACTS) + 1)
+        )
+    ]
+
+
+WORLDS = all_worlds()
+
+
+class TestDNFEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(lineage_exprs())
+    def test_dnf_equivalent_on_every_world(self, expr):
+        terms = lineage_to_dnf(expr)
+        for world in WORLDS:
+            assert dnf_evaluate(terms, world) == expr.evaluate(world), (
+                f"{expr!r} disagrees with its DNF on {world}"
+            )
+
+    @settings(max_examples=150, deadline=None)
+    @given(lineage_exprs())
+    def test_terms_are_consistent(self, expr):
+        """No term forces a fact both present and absent (such terms are
+        unsatisfiable and must be pruned during distribution)."""
+        for term in lineage_to_dnf(expr):
+            assert not (term.positive & term.negative)
+
+    @settings(max_examples=100, deadline=None)
+    @given(lineage_exprs())
+    def test_double_negation_preserved(self, expr):
+        double = Lineage.negation(Lineage.negation(expr))
+        terms = lineage_to_dnf(expr)
+        double_terms = lineage_to_dnf(double)
+        for world in WORLDS:
+            assert dnf_evaluate(terms, world) == dnf_evaluate(
+                double_terms, world)
+
+    def test_term_satisfaction_matches_probability_support(self):
+        """A term with positive probability is satisfiable by the world
+        of exactly its positive facts."""
+        term = DNFTerm(frozenset({R(1)}), frozenset({R(2)}))
+        assert term.satisfied_by({R(1)})
+        assert not term.satisfied_by({R(1), R(2)})

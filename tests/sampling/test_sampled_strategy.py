@@ -1,0 +1,56 @@
+"""The ``strategy="sampled"`` fallback: kernels behind the dispatcher
+and behind Proposition 6.1's truncation algorithm."""
+
+import pytest
+
+from repro.core.approx import approximate_query_probability
+from repro.core.fact_distribution import GeometricFactDistribution
+from repro.core.tuple_independent import CountableTIPDB
+from repro.errors import EvaluationError
+from repro.finite import TupleIndependentTable, query_probability
+from repro.logic import BooleanQuery, parse_formula
+from repro.relational import Schema
+from repro.universe import FactSpace, Naturals
+
+schema = Schema.of(R=1)
+R = schema["R"]
+
+
+def q(text):
+    return BooleanQuery(parse_formula(text, schema), schema)
+
+
+def test_sampled_strategy_approximates_exact():
+    table = TupleIndependentTable(schema, {R(1): 0.5, R(2): 0.3})
+    query = q("EXISTS x. R(x)")
+    exact = query_probability(query, table)
+    sampled = query_probability(query, table, strategy="sampled")
+    assert sampled == pytest.approx(exact, abs=0.02)
+
+
+def test_sampled_strategy_is_deterministic():
+    table = TupleIndependentTable(schema, {R(1): 0.5, R(2): 0.3})
+    query = q("EXISTS x. R(x)")
+    first = query_probability(query, table, strategy="sampled")
+    second = query_probability(query, table, strategy="sampled")
+    assert first == second
+
+
+def test_unknown_strategy_still_rejected():
+    table = TupleIndependentTable(schema, {R(1): 0.5})
+    with pytest.raises(EvaluationError):
+        query_probability(q("R(1)"), table, strategy="sample")
+
+
+def test_proposition_6_1_with_sampled_fallback():
+    """ε-truncation + Monte-Carlo conditional: the combined error stays
+    within ε plus a generous sampling allowance."""
+    space = FactSpace(schema, Naturals())
+    pdb = CountableTIPDB(
+        schema, GeometricFactDistribution(space, first=0.25, ratio=0.5))
+    query = q("EXISTS x. R(x)")
+    exact = approximate_query_probability(query, pdb, epsilon=0.01)
+    sampled = approximate_query_probability(
+        query, pdb, epsilon=0.01, strategy="sampled")
+    assert sampled.truncation == exact.truncation
+    assert sampled.value == pytest.approx(exact.value, abs=0.03)
