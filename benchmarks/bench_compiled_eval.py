@@ -1,0 +1,207 @@
+"""A-4 — compiled-lineage evaluation: shannon vs bdd vs cached-bdd.
+
+Regenerates: the headline artifact of the compiled-evaluation layer —
+wall-clock comparison of the raw Shannon-expansion path against ROBDD
+compilation (cold per call) and the compilation cache
+(:mod:`repro.finite.compile_cache`) on the two workloads Proposition 6.1
+actually repeats:
+
+* **truncation sweep** — one unsafe (self-join) query re-evaluated over
+  growing truncations Ω_n across several passes, as ``truncation_profile``
+  and repeated ε-calls do; the cache compiles each Ω_n once (extending
+  one manager) and re-scores linearly afterwards;
+* **k = 2 answer-marginal fan-out** — every answer tuple of a binary
+  query grounded and scored: per-answer Shannon recompilation vs the
+  shared-manager/shared-memo grounding, plus the opt-in process pool.
+
+Shape to hold: cached-BDD ≥ 3× the Shannon path on at least one of the
+two repeated-evaluation workloads, with all values in exact agreement.
+Machine-readable results land in ``BENCH_compiled_eval.json`` at the
+repo root so future PRs can track the perf trajectory.
+
+Smoke mode (``BENCH_SMOKE=1``): tiny sizes, no speedup assertion — used
+by CI to exercise the compiled path on every Python version.
+"""
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from benchmarks.conftest import report
+from repro.finite import (
+    CompileCache,
+    TupleIndependentTable,
+    marginal_answer_probabilities,
+    query_probability,
+    query_probability_by_bdd_cached,
+)
+from repro.logic import BooleanQuery, Query, parse_formula
+from repro.relational import Schema
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+schema = Schema.of(E=2)
+E = schema["E"]
+
+TRUNCATION_SIZES = [6, 8] if SMOKE else [10, 14, 18, 22]
+PASSES = 2 if SMOKE else 5
+FANOUT_FACTS = 8 if SMOKE else 16
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_compiled_eval.json"
+
+_RESULTS = {}
+
+
+def geometric_edges(n):
+    """The first n facts of a geometric edge distribution: a layered
+    graph whose two-hop lineage is non-hierarchical (self-join)."""
+    facts = {}
+    i = 0
+    while len(facts) < n:
+        src, dst = i % 7, (i % 7) + (i % 5) + 1
+        facts[E(src, dst)] = 0.3 + 0.45 * (0.83 ** i)
+        i += 1
+    return TupleIndependentTable(schema, facts)
+
+
+def two_hop():
+    return BooleanQuery(
+        parse_formula("EXISTS x, y, z. E(x, y) AND E(y, z)", schema), schema)
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def truncation_rows():
+    query = two_hop()
+    tables = [geometric_edges(n) for n in TRUNCATION_SIZES]
+    cache = CompileCache()
+    rows = []
+    totals = {"shannon": 0.0, "bdd_cold": 0.0, "bdd_cached": 0.0}
+    for n, table in zip(TRUNCATION_SIZES, tables):
+        shannon = cold = cached = 0.0
+        values = set()
+        for _ in range(PASSES):
+            value, elapsed = timed(
+                lambda: query_probability(query, table, strategy="lineage"))
+            shannon += elapsed
+            values.add(value)
+            value, elapsed = timed(
+                lambda: query_probability_by_bdd_cached(
+                    query, table, CompileCache()))
+            cold += elapsed
+            values.add(value)
+            value, elapsed = timed(
+                lambda: query_probability_by_bdd_cached(query, table, cache))
+            cached += elapsed
+            values.add(value)
+        # Non-dyadic marginals: Shannon and WMC sum in different orders,
+        # so agreement here is to float tolerance (bit-exactness is the
+        # differential suite's job, on dyadic inputs).
+        spread = max(values) - min(values)
+        assert spread <= 1e-12 * max(values), \
+            f"strategies disagree at n={n}: {values}"
+        totals["shannon"] += shannon
+        totals["bdd_cold"] += cold
+        totals["bdd_cached"] += cached
+        rows.append((n, PASSES, shannon, cold, cached, shannon / cached))
+    speedup = totals["shannon"] / totals["bdd_cached"]
+    _RESULTS["truncation_workload"] = {
+        "sizes": TRUNCATION_SIZES,
+        "passes": PASSES,
+        "rows": [
+            {"n": r[0], "shannon_s": r[2], "bdd_cold_s": r[3],
+             "bdd_cached_s": r[4], "cached_speedup": r[5]}
+            for r in rows
+        ],
+        "total_shannon_s": totals["shannon"],
+        "total_bdd_cold_s": totals["bdd_cold"],
+        "total_bdd_cached_s": totals["bdd_cached"],
+        "cached_speedup": speedup,
+        "cache_stats": {
+            "hits": cache.stats.hits,
+            "misses": cache.stats.misses,
+            "extensions": cache.stats.extensions,
+        },
+    }
+    return rows, speedup
+
+
+def fanout_rows():
+    table = geometric_edges(FANOUT_FACTS)
+    query = Query(
+        parse_formula("E(x, y) AND (EXISTS z. E(y, z))", schema), schema)
+    baseline, shannon_s = timed(
+        lambda: marginal_answer_probabilities(query, table, strategy="lineage"))
+    shared, shared_s = timed(
+        lambda: marginal_answer_probabilities(query, table, strategy="bdd"))
+    pooled, pooled_s = timed(
+        lambda: marginal_answer_probabilities(
+            query, table, strategy="bdd", workers=2))
+    assert shared == pooled
+    assert set(baseline) == set(shared)
+    for answer, value in baseline.items():
+        assert abs(value - shared[answer]) < 1e-12
+    speedup = shannon_s / shared_s
+    rows = [
+        ("per-answer shannon", len(baseline), shannon_s, 1.0),
+        ("shared bdd", len(shared), shared_s, speedup),
+        ("shared bdd + pool(2)", len(pooled), pooled_s, shannon_s / pooled_s),
+    ]
+    _RESULTS["fanout_workload"] = {
+        "facts": FANOUT_FACTS,
+        "arity": 2,
+        "answers": len(baseline),
+        "per_answer_shannon_s": shannon_s,
+        "shared_bdd_s": shared_s,
+        "shared_bdd_pool2_s": pooled_s,
+        "shared_speedup": speedup,
+    }
+    return rows, speedup
+
+
+def _write_json():
+    if SMOKE:
+        # CI smoke runs exercise the code path but must not clobber the
+        # committed full-mode perf record.
+        return
+    _RESULTS.update({
+        "benchmark": "compiled_eval",
+        "smoke": SMOKE,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "generated_unix": int(time.time()),
+        "headline_speedup": max(
+            _RESULTS.get("truncation_workload", {}).get("cached_speedup", 0.0),
+            _RESULTS.get("fanout_workload", {}).get("shared_speedup", 0.0),
+        ),
+    })
+    JSON_PATH.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
+
+
+def test_a4_truncation_sweep(benchmark):
+    (rows, speedup), _ = timed(
+        lambda: benchmark.pedantic(truncation_rows, rounds=1, iterations=1))
+    report("A4a: repeated evaluation on growing truncations "
+           f"({PASSES} passes)",
+           ("n", "passes", "shannon_s", "bdd_cold_s", "bdd_cached_s",
+            "speedup"),
+           rows)
+    if not SMOKE:
+        # The acceptance bar: cached-BDD ≥ 3× the Shannon path.
+        assert speedup >= 3.0, f"cached speedup {speedup:.2f}x < 3x"
+
+
+def test_a4_answer_fanout(benchmark):
+    rows, speedup = benchmark.pedantic(fanout_rows, rounds=1, iterations=1)
+    report("A4b: k=2 answer-marginal fan-out",
+           ("path", "answers", "seconds", "speedup"), rows)
+    _write_json()
+    if not SMOKE:
+        assert speedup >= 1.0, f"shared grounding slower: {speedup:.2f}x"

@@ -39,21 +39,36 @@ def product_one_plus(terms: Iterable[float]) -> float:
 def product_complement(probabilities: Iterable[float]) -> float:
     """Finite product ``Π (1 − p_i)`` for probabilities ``p_i ∈ [0, 1]``.
 
-    Uses ``log1p(−p)`` for accuracy near 0.
+    Multiplies directly — one rounding per factor, so dyadic marginals
+    stay *bit-exact* (which lets the exact query-evaluation strategies
+    agree to the last ulp) and the hot path of world expansion skips a
+    ``log1p``/``exp`` round-trip per fact.  Probabilities below one ulp
+    of 1.0 (where ``1 − p`` would round to 1) and products at the edge
+    of underflow are accumulated in log space as before.
 
-    >>> round(product_complement([0.5, 0.5]), 10)
+    >>> product_complement([0.5, 0.5])
     0.25
     >>> product_complement([1.0, 0.3])
     0.0
     """
-    log_sum = 0.0
+    product = 1.0
+    residual_log = 0.0
     for p in probabilities:
         if not 0 <= p <= 1:
             raise ConvergenceError(f"probability {p} outside [0, 1]")
         if p == 1.0:
             return 0.0
-        log_sum += math.log1p(-p)
-    return math.exp(log_sum)
+        if p < 1e-16:
+            # 1 − p rounds to 1.0; log1p(−p) is −p to double precision.
+            residual_log -= p
+            continue
+        product *= 1.0 - p
+        if product < 1e-300:
+            residual_log += math.log(product)
+            product = 1.0
+    if residual_log == 0.0:
+        return product
+    return product * math.exp(residual_log)
 
 
 def converges_absolutely(certificate: SeriesCertificate) -> bool:

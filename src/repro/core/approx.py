@@ -27,11 +27,27 @@ from repro.analysis.bounds import alpha_from_tail, required_alpha
 from repro.core.fact_distribution import FactDistribution
 from repro.core.tuple_independent import CountableTIPDB
 from repro.errors import ApproximationError
-from repro.finite.evaluation import query_probability
+from repro.finite.evaluation import (
+    marginal_answer_probabilities,
+    query_probability,
+)
 from repro.logic.queries import BooleanQuery, Query
-from repro.logic.analysis import constants_of, quantifier_rank
-from repro.logic.normalform import substitute
 from repro.relational.facts import Value
+
+
+def _require_valid_epsilon(epsilon: float) -> None:
+    """The shared Proposition 6.1 hypothesis ``0 < ε < 1/2``."""
+    if not 0 < epsilon < 0.5:
+        raise ApproximationError(
+            f"Proposition 6.1 requires 0 < epsilon < 1/2, got {epsilon}"
+        )
+
+
+def _truncation_target_tail(epsilon: float) -> float:
+    """The tail-mass bound that makes Ω_n an ε-truncation: the first
+    term yields both ε-conditions on ``e^{±α_n}``, the 0.49 cap forces
+    every tail fact below 1/2 (hypothesis of claim (∗))."""
+    return min(required_alpha(epsilon) / 1.5, 0.49)
 
 
 class ApproximationResult(NamedTuple):
@@ -76,12 +92,9 @@ def choose_truncation(
     >>> choose_truncation(d, 0.1)
     1
     """
-    if not 0 < epsilon < 0.5:
-        raise ApproximationError(
-            f"Proposition 6.1 requires 0 < epsilon < 1/2, got {epsilon}"
-        )
-    target_tail = min(required_alpha(epsilon) / 1.5, 0.49)
-    return distribution.prefix_for_tail(target_tail, max_facts=max_facts)
+    _require_valid_epsilon(epsilon)
+    return distribution.prefix_for_tail(
+        _truncation_target_tail(epsilon), max_facts=max_facts)
 
 
 def approximate_query_probability(
@@ -125,6 +138,8 @@ def approximate_query_probability_completed(
     query: BooleanQuery,
     completed,
     epsilon: float,
+    strategy: str = "auto",
+    max_facts: int = 10**7,
 ) -> ApproximationResult:
     """Proposition 6.1 extended to Theorem 5.5 completions.
 
@@ -132,17 +147,16 @@ def approximate_query_probability_completed(
     countable TI PDB on new facts; conditioning on Ω_n (no new fact
     beyond the first n) again factorizes, so the proof's error analysis
     applies verbatim — only the finite evaluation now runs on the
-    (original × truncated-new) finite PDB.
+    (original × truncated-new) finite PDB.  ``strategy`` and
+    ``max_facts`` are forwarded exactly as in
+    :func:`approximate_query_probability`.
     """
-    if not 0 < epsilon < 0.5:
-        raise ApproximationError(
-            f"requires 0 < epsilon < 1/2, got {epsilon}"
-        )
+    _require_valid_epsilon(epsilon)
     distribution = completed.new_facts.distribution
-    target_tail = min(required_alpha(epsilon) / 1.5, 0.49)
-    n = distribution.prefix_for_tail(target_tail)
+    n = distribution.prefix_for_tail(
+        _truncation_target_tail(epsilon), max_facts=max_facts)
     finite = completed.truncate(n)
-    value = query_probability(query, finite, strategy="auto")
+    value = query_probability(query, finite, strategy=strategy)
     alpha = alpha_from_tail(distribution.tail(n))
     return ApproximationResult(value, epsilon, n, alpha)
 
@@ -182,12 +196,9 @@ def approximate_query_probability_bid(
     >>> 0.5 < result.value < 0.75
     True
     """
-    if not 0 < epsilon < 0.5:
-        raise ApproximationError(
-            f"requires 0 < epsilon < 1/2, got {epsilon}"
-        )
-    target_tail = min(required_alpha(epsilon) / 1.5, 0.49)
-    n = pdb.family.prefix_for_tail(target_tail, max_blocks=max_blocks)
+    _require_valid_epsilon(epsilon)
+    n = pdb.family.prefix_for_tail(
+        _truncation_target_tail(epsilon), max_blocks=max_blocks)
     table = pdb.truncate(n)
     value = query_probability(query, table, strategy="auto")
     alpha = alpha_from_tail(pdb.family.tail(n))
@@ -200,6 +211,7 @@ def approximate_answer_marginals(
     epsilon: float,
     strategy: str = "auto",
     max_facts: int = 10**7,
+    workers: Optional[int] = None,
 ) -> Dict[Tuple[Value, ...], ApproximationResult]:
     """The non-Boolean extension of Proposition 6.1 (paper §6).
 
@@ -207,6 +219,12 @@ def approximate_answer_marginals(
     query's own constants) and approximates each sentence ``Q(ā)``.
     Tuples outside ``adom(Ω_n)^k`` have approximate probability 0 — the
     paper notes "this approximation only contains facts from Ω_n".
+
+    The grounding loop is
+    :func:`repro.finite.evaluation.marginal_answer_probabilities` on the
+    truncation: compiled strategies share one lineage/BDD across every
+    answer tuple, and ``workers=k`` fans the answer tuples out over a
+    process pool.
 
     >>> from repro.relational import Schema
     >>> from repro.universe import Naturals, FactSpace
@@ -230,25 +248,13 @@ def approximate_answer_marginals(
         }
     n = choose_truncation(pdb.distribution, epsilon, max_facts=max_facts)
     table = pdb.truncate(n)
-    domain = set(constants_of(query.formula))
-    for fact in table.facts():
-        domain.update(fact.args)
-    candidates = sorted(domain, key=repr)
     alpha = alpha_from_tail(pdb.distribution.tail(n))
-    answers: Dict[Tuple[Value, ...], ApproximationResult] = {}
-    assignments = [()]
-    for _ in query.variables:
-        assignments = [a + (v,) for a in assignments for v in candidates]
-    for answer in assignments:
-        binding = dict(zip(query.variables, answer))
-        grounded = substitute(query.formula, binding)
-        sentence = BooleanQuery(
-            grounded, query.schema, name=f"{query.name}{answer}"
-        )
-        value = query_probability(sentence, table, strategy=strategy)
-        if value > 0:
-            answers[answer] = ApproximationResult(value, epsilon, n, alpha)
-    return answers
+    values = marginal_answer_probabilities(
+        query, table, strategy=strategy, workers=workers)
+    return {
+        answer: ApproximationResult(value, epsilon, n, alpha)
+        for answer, value in values.items()
+    }
 
 
 def truncation_profile(

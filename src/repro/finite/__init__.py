@@ -35,6 +35,14 @@ from repro.finite.representation import (
     verify_representation,
 )
 from repro.finite.bdd import BDDManager, compile_lineage, query_probability_by_bdd
+from repro.finite.compile_cache import (
+    DEFAULT_COMPILE_CACHE,
+    CompileCache,
+    CompiledQuery,
+    SharedGrounding,
+    bid_bdd_probability,
+    query_probability_by_bdd_cached,
+)
 from repro.finite.topk import (
     iter_worlds_by_probability,
     most_probable_world,
@@ -67,6 +75,12 @@ __all__ = [
     "BDDManager",
     "compile_lineage",
     "query_probability_by_bdd",
+    "DEFAULT_COMPILE_CACHE",
+    "CompileCache",
+    "CompiledQuery",
+    "SharedGrounding",
+    "bid_bdd_probability",
+    "query_probability_by_bdd_cached",
     "top_k_worlds",
     "most_probable_world",
     "iter_worlds_by_probability",

@@ -19,7 +19,7 @@ caller-supplied order (the classic lever benchmarked in A-3).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import EvaluationError
 from repro.logic.lineage import Lineage
@@ -104,6 +104,34 @@ class BDDManager:
         """Number of live internal nodes."""
         return len(self._unique)
 
+    def extend_order(self, facts: Iterable[Fact]) -> int:
+        """Append new facts *below* the existing variable order.
+
+        Existing nodes keep their levels, so every previously compiled
+        diagram (and the apply/unique caches backing it) stays valid —
+        this is what lets a compilation cache *extend* a manager when a
+        growing truncation Ω_n introduces fresh facts, instead of
+        recompiling from scratch.  Returns the number of facts added.
+        """
+        added = 0
+        for fact in facts:
+            if fact not in self._level:
+                self._level[fact] = len(self.order)
+                self.order.append(fact)
+                added += 1
+        return added
+
+    def build(self, expr: Lineage) -> BDDRef:
+        """Compile a lineage expression into this manager.
+
+        Facts not yet in the variable order are appended first (see
+        :meth:`extend_order`); structurally shared sub-expressions land
+        on the same hash-consed nodes, and repeated builds reuse the
+        manager's apply cache.
+        """
+        self.extend_order(sorted(expr.facts() - set(self.order)))
+        return _build(self, expr.node)
+
     # ------------------------------------------------------------------ apply
     def _apply(self, op: str, combine, left: BDDRef, right: BDDRef) -> BDDRef:
         terminal = combine(left, right)
@@ -174,10 +202,19 @@ class BDDManager:
 
     # --------------------------------------------------------------- queries
     def probability(
-        self, node: BDDRef, marginal: Callable[[Fact], float]
+        self,
+        node: BDDRef,
+        marginal: Callable[[Fact], float],
+        cache: Optional[Dict[int, float]] = None,
     ) -> float:
-        """Weighted model count: one pass, memoized per node."""
-        cache: Dict[int, float] = {}
+        """Weighted model count: one pass, memoized per node.
+
+        Pass an external ``cache`` dict to share the memo across many
+        roots in the same manager (e.g. the per-answer restrictions of a
+        marginal fan-out) — valid as long as the marginals are fixed.
+        """
+        if cache is None:
+            cache = {}
 
         def recurse(n: BDDRef) -> float:
             if n == ZERO:
@@ -282,7 +319,7 @@ def compile_lineage(
     if order is None:
         order = sorted(expr.facts())
     manager = BDDManager(order)
-    root = _build(manager, expr.node)
+    root = manager.build(expr)
     return manager, root
 
 

@@ -1,0 +1,313 @@
+"""Compiled-lineage evaluation: ROBDD compilation shared across calls.
+
+Proposition 6.1's cost is dominated by the finite evaluations
+``P(Q | Ω_n)`` it runs on truncations — and those evaluations repeat:
+``truncation_profile`` sweeps ε over the same query, repeated calls at
+shrinking ε grow the truncation monotonically, and answer-marginal
+fan-outs ground one formula over many answer tuples.  Knowledge
+compilation turns each of these into *compile once, score linearly*:
+
+* :class:`CompileCache` memoizes compiled diagrams keyed by
+  ``(query fingerprint, possible-fact-set fingerprint)``.  Each query
+  owns one :class:`~repro.finite.bdd.BDDManager`; a new fact set
+  (e.g. a larger truncation Ω_m ⊇ Ω_n) *extends* the manager's variable
+  order and recompiles against the already hash-consed node store and
+  apply cache instead of starting cold.  Re-scoring a cached diagram
+  under new marginals is a single linear weighted-model-counting pass.
+* :class:`SharedGrounding` serves non-Boolean fan-outs: every answer
+  tuple's grounded sentence compiles into the *same* manager, so
+  sub-diagrams shared between answers exist once, and one shared
+  probability memo scores them all (valid because the marginals are
+  fixed within a fan-out).
+* :func:`bid_bdd_probability` scores a compiled diagram under a BID
+  table by branching over blocks with :meth:`BDDManager.restrict` —
+  the diagram-space analogue of the block-aware Shannon expansion.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import (
+    AbstractSet,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Optional,
+    Tuple,
+)
+
+from repro.errors import EvaluationError
+from repro.finite.bdd import BDDManager, BDDRef, ONE, ZERO
+from repro.finite.bid import BlockIndependentTable
+from repro.finite.tuple_independent import TupleIndependentTable
+from repro.logic.lineage import Lineage, lineage_of
+from repro.logic.syntax import Formula, Variable
+from repro.relational.facts import Fact, Value
+
+
+class CompiledQuery:
+    """A compiled lineage: a root in a (possibly shared) manager.
+
+    Probability under any independent marginals is one linear pass; the
+    diagram itself depends only on the query and the possible-fact set,
+    never on the marginals — which is exactly what makes it reusable
+    across ε-calls and truncation sweeps.
+    """
+
+    __slots__ = ("manager", "root")
+
+    def __init__(self, manager: BDDManager, root: BDDRef):
+        self.manager = manager
+        self.root = root
+
+    def probability(
+        self,
+        marginal: Callable[[Fact], float],
+        cache: Optional[Dict[int, float]] = None,
+    ) -> float:
+        return self.manager.probability(self.root, marginal, cache)
+
+    def restrict(self, fact: Fact, value: bool) -> "CompiledQuery":
+        return CompiledQuery(
+            self.manager, self.manager.restrict(self.root, fact, value))
+
+    def size(self) -> int:
+        """Nodes reachable from the root."""
+        return self.manager.count_nodes(self.root)
+
+    def __repr__(self) -> str:
+        return f"CompiledQuery(size={self.size()})"
+
+
+class _Family:
+    """All diagrams compiled for one query: a manager plus one root per
+    possible-fact-set fingerprint."""
+
+    __slots__ = ("manager", "roots")
+
+    def __init__(self) -> None:
+        self.manager = BDDManager([])
+        self.roots: "OrderedDict[FrozenSet[Fact], BDDRef]" = OrderedDict()
+
+
+class CompileCache:
+    """LRU cache of compiled query diagrams.
+
+    Keys are ``(formula, frozenset(possible facts))`` — both hashable by
+    structure, so syntactically equal queries over equal truncations hit
+    the same diagram.  Within a query family, a later superset fact set
+    (a grown truncation) compiles into the same manager: the variable
+    order is extended *below* the existing one, and the manager's unique
+    table and apply cache carry over, so shared substructure is reused
+    rather than rebuilt.
+
+    >>> from repro.relational import Schema
+    >>> from repro.logic import parse_formula
+    >>> schema = Schema.of(R=1)
+    >>> R = schema["R"]
+    >>> cache = CompileCache()
+    >>> formula = parse_formula("EXISTS x. R(x)", schema)
+    >>> small = cache.compiled(formula, frozenset({R(1)}))
+    >>> large = cache.compiled(formula, frozenset({R(1), R(2)}))
+    >>> small.manager is large.manager
+    True
+    >>> cache.stats.misses, cache.stats.hits
+    (2, 0)
+    >>> _ = cache.compiled(formula, frozenset({R(1), R(2)}))
+    >>> cache.stats.hits
+    1
+    """
+
+    def __init__(self, max_queries: int = 64, max_roots_per_query: int = 64):
+        self._families: "OrderedDict[Formula, _Family]" = OrderedDict()
+        self.max_queries = max_queries
+        self.max_roots_per_query = max_roots_per_query
+        self.stats = CacheStats()
+
+    def compiled(
+        self, formula: Formula, possible_facts: AbstractSet[Fact]
+    ) -> CompiledQuery:
+        """The compiled diagram of ``formula`` over ``possible_facts``."""
+        facts_key = frozenset(possible_facts)
+        family = self._families.get(formula)
+        if family is None:
+            family = _Family()
+            self._families[formula] = family
+            while len(self._families) > self.max_queries:
+                self._families.popitem(last=False)
+        self._families.move_to_end(formula)
+        root = family.roots.get(facts_key)
+        if root is not None or facts_key in family.roots:
+            family.roots.move_to_end(facts_key)
+            self.stats.hits += 1
+            return CompiledQuery(family.manager, family.roots[facts_key])
+        self.stats.misses += 1
+        if family.roots:
+            self.stats.extensions += 1
+        expr = lineage_of(formula, facts_key)
+        root = family.manager.build(expr)
+        family.roots[facts_key] = root
+        while len(family.roots) > self.max_roots_per_query:
+            family.roots.popitem(last=False)
+        return CompiledQuery(family.manager, root)
+
+    def clear(self) -> None:
+        self._families.clear()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return sum(len(family.roots) for family in self._families.values())
+
+
+class CacheStats:
+    """Hit/miss/extension counters of one :class:`CompileCache`."""
+
+    __slots__ = ("hits", "misses", "extensions")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.extensions = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"extensions={self.extensions})"
+        )
+
+
+#: The process-wide cache the ``strategy="bdd"`` dispatcher path uses.
+DEFAULT_COMPILE_CACHE = CompileCache()
+
+
+def bid_bdd_probability(
+    manager: BDDManager,
+    root: BDDRef,
+    table: BlockIndependentTable,
+    cache: Optional[Dict[int, float]] = None,
+) -> float:
+    """Probability of a compiled diagram under a BID table.
+
+    Branches over the block of the diagram's top variable — each
+    alternative plus ⊥ — restricting the whole block away per branch,
+    exactly like the lineage-space block expansion but with linear-time
+    ``restrict`` on the shared node store.  Memoized per node id: a node
+    reached twice denotes the same Boolean function, whose probability
+    under the remaining (untouched) blocks is well-defined.
+    """
+    if cache is None:
+        cache = {}
+
+    def recurse(node: BDDRef) -> float:
+        if node == ZERO:
+            return 0.0
+        if node == ONE:
+            return 1.0
+        cached = cache.get(node.id)
+        if cached is not None:
+            return cached
+        pivot = node.fact
+        block = table.block_of(pivot)
+        if block is None:
+            # Fact impossible under the table: simply absent.
+            value = recurse(manager.restrict(node, pivot, False))
+        else:
+            block_facts = block.facts()
+            value = 0.0
+            for chosen in block_facts + [None]:
+                probability = block.probability(chosen)
+                if probability == 0.0:
+                    continue
+                conditioned = node
+                for fact in block_facts:
+                    conditioned = manager.restrict(
+                        conditioned, fact, fact == chosen)
+                value += probability * recurse(conditioned)
+        cache[node.id] = value
+        return value
+
+    return recurse(root)
+
+
+def query_probability_by_bdd_cached(
+    query,
+    pdb,
+    cache: Optional[CompileCache] = None,
+) -> float:
+    """Exact ``P(Q)`` via the compilation cache — the ``strategy="bdd"``
+    entry point of :func:`repro.finite.evaluation.query_probability`.
+
+    TI tables score by one weighted-model-counting pass; BID tables by
+    block-aware branching over the same compiled diagram.
+
+    >>> from repro.relational import Schema
+    >>> from repro.logic import BooleanQuery, parse_formula
+    >>> schema = Schema.of(R=1)
+    >>> R = schema["R"]
+    >>> table = TupleIndependentTable(schema, {R(1): 0.5, R(2): 0.5})
+    >>> q = BooleanQuery(parse_formula("EXISTS x. R(x)", schema), schema)
+    >>> query_probability_by_bdd_cached(q, table, CompileCache())
+    0.75
+    """
+    if cache is None:
+        cache = DEFAULT_COMPILE_CACHE
+    if isinstance(pdb, TupleIndependentTable):
+        compiled = cache.compiled(query.formula, frozenset(pdb.marginals))
+        return compiled.probability(pdb.marginal)
+    if isinstance(pdb, BlockIndependentTable):
+        compiled = cache.compiled(query.formula, frozenset(pdb.facts()))
+        return bid_bdd_probability(compiled.manager, compiled.root, pdb)
+    raise EvaluationError(
+        "bdd evaluation needs a TI or BID table; explicit FinitePDBs "
+        "carry correlations lineage cannot factor"
+    )
+
+
+class SharedGrounding:
+    """Shared compilation context for a non-Boolean answer fan-out.
+
+    One manager, one hash-consed node store, one weighted-model-counting
+    memo (TI) or block-branching memo (BID) serve every answer tuple:
+    grounding ``Q(ā)`` and ``Q(b̄)`` typically yields heavily overlapping
+    lineages, and their shared sub-diagrams are compiled and scored once.
+    """
+
+    def __init__(
+        self,
+        formula: Formula,
+        pdb,
+        base_domain: Iterable[Value],
+    ):
+        if not isinstance(
+            pdb, (TupleIndependentTable, BlockIndependentTable)
+        ):
+            raise EvaluationError("shared grounding needs a TI or BID table")
+        self.formula = formula
+        self.pdb = pdb
+        self.possible: FrozenSet[Fact] = frozenset(pdb.facts())
+        #: Quantifier domain shared by every answer: the active domain
+        #: plus the formula's own constants.  Each answer adds its own
+        #: values — matching what per-answer grounding would use.
+        self.base_domain: FrozenSet[Value] = frozenset(base_domain)
+        self.manager = BDDManager([])
+        self._score_cache: Dict[int, float] = {}
+
+    def answer_probability(
+        self,
+        variables: Tuple[Variable, ...],
+        answer: Tuple[Value, ...],
+    ) -> float:
+        """``Pr(ā ∈ Q)`` for one answer tuple, via the shared manager."""
+        expr = lineage_of(
+            self.formula,
+            self.possible,
+            domain=self.base_domain.union(answer),
+            assignment=dict(zip(variables, answer)),
+        )
+        root = self.manager.build(expr)
+        if isinstance(self.pdb, TupleIndependentTable):
+            return self.manager.probability(
+                root, self.pdb.marginal, self._score_cache)
+        return bid_bdd_probability(
+            self.manager, root, self.pdb, self._score_cache)

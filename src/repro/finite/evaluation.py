@@ -3,12 +3,14 @@ the strategy dispatcher.
 
 ``query_probability`` is the evaluator Proposition 6.1's algorithm calls
 on truncations: it picks the cheapest applicable exact strategy (lifted
-safe plan → lineage/Shannon → world enumeration).
+safe plan → compiled ROBDD past a size threshold → lineage/Shannon →
+world enumeration).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple, Union
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import EvaluationError, UnsafeQueryError
 from repro.finite.bid import BlockIndependentTable
@@ -30,6 +32,12 @@ PDBLike = Union[FinitePDB, TupleIndependentTable, BlockIndependentTable]
 #: normal-approximation half-width, seeded so repeated runs agree.
 SAMPLED_STRATEGY_SAMPLES = 20_000
 SAMPLED_STRATEGY_SEED = 0
+
+#: ``"auto"`` prefers the compile-once ROBDD path over raw Shannon
+#: expansion for unsafe queries on TI tables at least this many facts —
+#: below it, compilation overhead rivals the expansion itself (see
+#: ``benchmarks/bench_compiled_eval.py``).
+BDD_AUTO_THRESHOLD = 12
 
 
 def _as_finite_pdb(pdb: PDBLike) -> FinitePDB:
@@ -67,8 +75,14 @@ def query_probability(
     ``strategy``:
 
     * ``"auto"`` — lifted safe plan if the query compiles to one and the
-      PDB is tuple-independent, else lineage, else world enumeration.
+      PDB is tuple-independent; otherwise compiled ROBDD evaluation for
+      TI tables with at least :data:`BDD_AUTO_THRESHOLD` facts, else
+      lineage/Shannon, else world enumeration.
     * ``"worlds"`` / ``"lineage"`` / ``"lifted"`` — force one strategy.
+    * ``"bdd"`` — compile the lineage once into a cached ROBDD
+      (:mod:`repro.finite.compile_cache`) and score it by one linear
+      weighted-model-counting pass; repeated calls on the same query
+      (ε-sweeps, growing truncations) reuse and extend the diagram.
     * ``"sampled"`` — seeded batched Monte Carlo on the
       :mod:`repro.sampling` kernels (:data:`SAMPLED_STRATEGY_SAMPLES`
       worlds): the only non-exact strategy, for queries whose exact
@@ -88,6 +102,13 @@ def query_probability(
         return query_probability_by_worlds(query, pdb)
     if strategy == "lineage":
         return query_probability_by_lineage(query, pdb)
+    if strategy == "bdd":
+        if isinstance(pdb, FinitePDB):
+            # Explicit worlds carry correlations lineage cannot factor.
+            return query_probability_by_worlds(query, pdb)
+        from repro.finite.compile_cache import query_probability_by_bdd_cached
+
+        return query_probability_by_bdd_cached(query, pdb)
     if strategy == "lifted":
         if not isinstance(pdb, TupleIndependentTable):
             raise EvaluationError("lifted evaluation needs a TI table")
@@ -99,9 +120,136 @@ def query_probability(
             return query_probability_lifted(query, pdb)
         except UnsafeQueryError:
             pass
+        if len(pdb) >= BDD_AUTO_THRESHOLD:
+            from repro.finite.compile_cache import (
+                query_probability_by_bdd_cached,
+            )
+
+            return query_probability_by_bdd_cached(query, pdb)
     if isinstance(pdb, (TupleIndependentTable, BlockIndependentTable)):
         return query_probability_by_lineage(query, pdb)
     return query_probability_by_worlds(query, pdb)
+
+
+# --------------------------------------------------------------- fan-out
+def _candidate_values(
+    query: Query,
+    pdb: PDBLike,
+    domain: Optional[Iterable[Value]],
+) -> List[Value]:
+    """Candidate answer values: the PDB's active domain plus the query's
+    constants (Fact 2.1), or an explicit ``domain``."""
+    if domain is not None:
+        return sorted(set(domain), key=repr)
+    values = set(constants_of(query.formula))
+    if isinstance(pdb, FinitePDB):
+        for instance in pdb.instances():
+            values |= instance.active_domain()
+    else:
+        for fact in pdb.facts():
+            values.update(fact.args)
+    return sorted(values, key=repr)
+
+
+def _iter_answers(
+    candidates: List[Value],
+    arity: int,
+    offset: int = 0,
+    stride: int = 1,
+) -> Iterator[Tuple[Value, ...]]:
+    """Lazily enumerate ``candidates^arity`` (optionally a strided slice
+    for process-pool sharding) — never materialized up front."""
+    product = itertools.product(candidates, repeat=arity)
+    if offset or stride != 1:
+        return itertools.islice(product, offset, None, stride)
+    return product
+
+
+def _grounding_is_safe(query: Query, candidates: List[Value]) -> bool:
+    """Whether grounded instances of ``query`` admit a lifted safe plan.
+
+    Grounding substitutes constants uniformly, so safety is the same for
+    every answer tuple — probe once with a representative binding.
+    """
+    if not candidates:
+        return False
+    from repro.logic.hierarchy import safe_plan_ucq
+    from repro.logic.normalform import extract_ucq
+
+    binding = {v: candidates[0] for v in query.variables}
+    grounded = substitute(query.formula, binding)
+    ucq = extract_ucq(grounded)
+    if ucq is None:
+        return False
+    try:
+        safe_plan_ucq(ucq)
+        return True
+    except UnsafeQueryError:
+        return False
+
+
+def _shared_grounding(query: Query, pdb: PDBLike):
+    """A :class:`~repro.finite.compile_cache.SharedGrounding` covering
+    the whole fan-out.  The base quantifier domain is the active domain
+    plus the formula's constants; each answer tuple contributes its own
+    values on top — identical to what per-answer grounding would use."""
+    from repro.finite.compile_cache import SharedGrounding
+
+    base = set(constants_of(query.formula))
+    for fact in pdb.facts():
+        base.update(fact.args)
+    return SharedGrounding(query.formula, pdb, base)
+
+
+def _evaluate_answers(
+    query: Query,
+    pdb: PDBLike,
+    candidates: List[Value],
+    answers: Iterable[Tuple[Value, ...]],
+    strategy: str,
+) -> Dict[Tuple[Value, ...], float]:
+    """Evaluate ``Pr(ā ∈ Q)`` for the given answer tuples.
+
+    For the compiled strategies ("bdd" always; "auto" on TI/BID tables
+    whose grounded instances have no safe plan) every answer shares one
+    lineage/BDD context: one hash-consed node store and one scoring memo
+    serve the whole fan-out instead of recompiling per answer.
+    """
+    shared = None
+    if isinstance(pdb, (TupleIndependentTable, BlockIndependentTable)):
+        if strategy == "bdd":
+            shared = _shared_grounding(query, pdb)
+        elif strategy == "auto" and (
+            isinstance(pdb, BlockIndependentTable)
+            or not _grounding_is_safe(query, candidates)
+        ):
+            # No per-answer safe plan (lifted needs TI + hierarchical):
+            # compile once, restrict per answer.
+            shared = _shared_grounding(query, pdb)
+    results: Dict[Tuple[Value, ...], float] = {}
+    for answer in answers:
+        if shared is not None:
+            probability = shared.answer_probability(query.variables, answer)
+        else:
+            binding = dict(zip(query.variables, answer))
+            grounded = substitute(query.formula, binding)
+            boolean = BooleanQuery(
+                grounded, query.schema, name=f"{query.name}{answer}")
+            probability = query_probability(boolean, pdb, strategy=strategy)
+        if probability > 0:
+            results[answer] = probability
+    return results
+
+
+def _answer_chunk_worker(payload) -> Dict[Tuple[Value, ...], float]:
+    """Process-pool entry point: evaluate one strided shard of the
+    answer space.  Module-level (picklable); each worker builds its own
+    shared grounding, so diagrams never cross process boundaries."""
+    (formula, schema, variables, name, pdb, candidates, offset, stride,
+     strategy) = payload
+    query = Query(formula, schema, variables=variables, name=name)
+    answers = _iter_answers(candidates, query.arity, offset, stride)
+    return _evaluate_answers(query, pdb, candidates, answers, strategy)
 
 
 def marginal_answer_probabilities(
@@ -109,37 +257,44 @@ def marginal_answer_probabilities(
     pdb: PDBLike,
     domain: Optional[Iterable[Value]] = None,
     strategy: str = "auto",
+    workers: Optional[int] = None,
 ) -> Dict[Tuple[Value, ...], float]:
     """Per-tuple marginals ``Pr(ā ∈ Q(D))`` for a non-Boolean query
     (paper §3.1 relaxed semantics; §6 extension of Prop. 6.1).
 
     Candidate tuples are built from the PDB's active domain plus the
-    query's constants (Fact 2.1), or from an explicit ``domain``.
-    Tuples with probability 0 are omitted.
+    query's constants (Fact 2.1), or from an explicit ``domain``; the
+    candidate tuple space is streamed, never materialized.  Tuples with
+    probability 0 are omitted.
+
+    Answers share one compiled lineage/BDD whenever the strategy
+    compiles (``"bdd"``, or ``"auto"`` without a safe plan).  Pass
+    ``workers=k > 1`` to fan the answer tuples out over a
+    ``concurrent.futures`` process pool — sound because distinct answer
+    tuples are scored independently; each worker keeps its own shared
+    diagram for its shard.
     """
     if query.is_boolean:
         boolean = BooleanQuery(query.formula, query.schema, name=query.name)
         return {(): query_probability(boolean, pdb, strategy=strategy)}
-    if domain is None:
-        values = set(constants_of(query.formula))
-        if isinstance(pdb, FinitePDB):
-            for instance in pdb.instances():
-                values |= instance.active_domain()
-        else:
-            for fact in pdb.facts():
-                values.update(fact.args)
-        candidates = sorted(values, key=repr)
-    else:
-        candidates = sorted(set(domain), key=repr)
-    results: Dict[Tuple[Value, ...], float] = {}
-    assignments = [()]
-    for _ in query.variables:
-        assignments = [a + (v,) for a in assignments for v in candidates]
-    for answer in assignments:
-        binding = dict(zip(query.variables, answer))
-        grounded = substitute(query.formula, binding)
-        boolean = BooleanQuery(grounded, query.schema, name=f"{query.name}{answer}")
-        probability = query_probability(boolean, pdb, strategy=strategy)
-        if probability > 0:
-            results[answer] = probability
-    return results
+    candidates = _candidate_values(query, pdb, domain)
+    if not candidates:
+        return {}
+    if workers is not None and workers > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        payloads = [
+            (query.formula, query.schema, query.variables, query.name,
+             pdb, candidates, offset, workers, strategy)
+            for offset in range(workers)
+        ]
+        results: Dict[Tuple[Value, ...], float] = {}
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for shard in pool.map(_answer_chunk_worker, payloads):
+                results.update(shard)
+        # Candidate order is deterministic; merge shards back into the
+        # sequential enumeration order so callers see identical dicts.
+        ordered = _iter_answers(candidates, query.arity)
+        return {a: results[a] for a in ordered if a in results}
+    answers = _iter_answers(candidates, query.arity)
+    return _evaluate_answers(query, pdb, candidates, answers, strategy)

@@ -17,7 +17,7 @@ plus ⊥), which accounts for the within-block disjointness.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, FrozenSet, List, Optional, Union
 
 from repro.errors import EvaluationError
 from repro.finite.bid import BlockIndependentTable
@@ -41,6 +41,7 @@ def lineage_probability(
     0.75
     """
     cache: Dict[tuple, float] = {}
+    pivot = _make_pivot(lineage)
 
     def recurse(expr: Lineage) -> float:
         constant = expr.is_constant()
@@ -50,7 +51,7 @@ def lineage_probability(
         cached = cache.get(key)
         if cached is not None:
             return cached
-        fact = _pivot(expr)
+        fact = pivot(expr)
         p = marginal(fact)
         high = recurse(expr.condition(fact, True))
         low = recurse(expr.condition(fact, False))
@@ -61,11 +62,18 @@ def lineage_probability(
     return recurse(lineage)
 
 
-def _pivot(expr: Lineage) -> Fact:
-    """Pick the expansion variable: the most frequently occurring fact
-    (reduces expansion depth on typical CNF/DNF shapes)."""
+def _make_pivot(root: Lineage) -> Callable[[Lineage], Fact]:
+    """Build the pivot chooser for one expansion.
+
+    The old per-call ``_pivot`` re-walked the whole lineage tree at every
+    recursion step (O(size) per node, O(size²) per expansion).  Instead,
+    occurrence counts are taken *once* on the root, and the facts present
+    in each sub-lineage are maintained in a memo keyed by (shared,
+    hash-consed) node tuples, so conditioned expressions reuse the fact
+    sets of every untouched subtree.
+    """
     counts: Dict[Fact, int] = {}
-    stack = [expr.node]
+    stack = [root.node]
     while stack:
         node = stack.pop()
         tag = node[0]
@@ -75,9 +83,56 @@ def _pivot(expr: Lineage) -> Fact:
             stack.append(node[1])
         elif tag in ("and", "or"):
             stack.extend(node[1])
-    if not counts:
-        raise EvaluationError("no variables in non-constant lineage")
-    return max(counts, key=lambda f: (counts[f], f.sort_key()))
+    facts_memo: Dict[tuple, FrozenSet[Fact]] = {}
+
+    def pivot(expr: Lineage) -> Fact:
+        present = _facts_of(expr.node, facts_memo)
+        if not present:
+            raise EvaluationError("no variables in non-constant lineage")
+        return max(present, key=lambda f: (counts.get(f, 0), f.sort_key()))
+
+    return pivot
+
+
+_NO_FACTS: FrozenSet[Fact] = frozenset()
+
+
+def _facts_of(
+    node: tuple, memo: Dict[tuple, FrozenSet[Fact]]
+) -> FrozenSet[Fact]:
+    """Facts mentioned in a lineage node, memoized across shared subtrees."""
+    known = memo.get(node)
+    if known is not None:
+        return known
+    stack = [node]
+    while stack:
+        current = stack[-1]
+        if current in memo:
+            stack.pop()
+            continue
+        tag = current[0]
+        if tag == "var":
+            memo[current] = frozenset((current[1],))
+            stack.pop()
+        elif tag in ("true", "false"):
+            memo[current] = _NO_FACTS
+            stack.pop()
+        elif tag == "not":
+            child = memo.get(current[1])
+            if child is not None:
+                memo[current] = child
+                stack.pop()
+            else:
+                stack.append(current[1])
+        else:  # and / or
+            pending = [c for c in current[1] if c not in memo]
+            if pending:
+                stack.extend(pending)
+            else:
+                memo[current] = frozenset().union(
+                    *(memo[c] for c in current[1]))
+                stack.pop()
+    return memo[node]
 
 
 def _bid_lineage_probability(
@@ -89,6 +144,7 @@ def _bid_lineage_probability(
     lineage on the chosen fact being present and its block-mates absent.
     """
     cache: Dict[tuple, float] = {}
+    pivot = _make_pivot(lineage)
 
     def recurse(expr: Lineage) -> float:
         constant = expr.is_constant()
@@ -98,7 +154,7 @@ def _bid_lineage_probability(
         cached = cache.get(key)
         if cached is not None:
             return cached
-        pivot_fact = _pivot(expr)
+        pivot_fact = pivot(expr)
         block = table.block_of(pivot_fact)
         if block is None:
             # Fact impossible: it is simply absent.
@@ -112,9 +168,8 @@ def _bid_lineage_probability(
             probability = block.probability(chosen)
             if probability == 0.0:
                 continue
-            conditioned = expr
-            for fact in block_facts:
-                conditioned = conditioned.condition(fact, fact == chosen)
+            conditioned = expr.condition_many(
+                {fact: fact == chosen for fact in block_facts})
             total += probability * recurse(conditioned)
         cache[key] = total
         return total

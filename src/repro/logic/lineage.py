@@ -11,7 +11,17 @@ memoization (a poor man's ROBDD, adequate at bench scales).
 
 from __future__ import annotations
 
-from typing import AbstractSet, Dict, FrozenSet, Iterable, Optional, Sequence, Set, Tuple
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.errors import EvaluationError
 from repro.logic.analysis import constants_of
@@ -141,7 +151,24 @@ class Lineage:
 
         This is the Shannon-expansion step used by exact evaluation.
         """
-        return Lineage(_condition(self.node, fact, present))
+        return Lineage(_condition_many(self.node, {fact: present}))
+
+    def condition_many(self, assignment: Mapping[Fact, bool]) -> "Lineage":
+        """Condition on several fact variables in one pass.
+
+        Equivalent to chaining :meth:`condition` per fact but walks the
+        expression once — the block-expansion step of BID evaluation
+        conditions on every alternative of a block at a time.
+
+        >>> from repro.relational import RelationSymbol
+        >>> R = RelationSymbol("R", 1)
+        >>> expr = Lineage.disj([Lineage.var(R(1)), Lineage.var(R(2))])
+        >>> expr.condition_many({R(1): False, R(2): False}).is_constant()
+        False
+        """
+        if not assignment:
+            return self
+        return Lineage(_condition_many(self.node, assignment))
 
     def is_constant(self) -> Optional[bool]:
         """True/False if the expression is the constant ⊤/⊥, else None."""
@@ -192,22 +219,23 @@ def _eval_node(node: tuple, world: AbstractSet[Fact]) -> bool:
     raise EvaluationError(f"unknown lineage node {node!r}")
 
 
-def _condition(node: tuple, fact: Fact, present: bool) -> tuple:
+def _condition_many(node: tuple, assignment: Mapping[Fact, bool]) -> tuple:
     tag = node[0]
     if tag in ("true", "false"):
         return node
     if tag == "var":
-        if node[1] == fact:
-            return ("true",) if present else ("false",)
-        return node
+        present = assignment.get(node[1])
+        if present is None:
+            return node
+        return ("true",) if present else ("false",)
     if tag == "not":
-        inner = Lineage.negation(Lineage(_condition(node[1], fact, present)))
+        inner = Lineage.negation(Lineage(_condition_many(node[1], assignment)))
         return inner.node
     if tag == "and":
-        children = [Lineage(_condition(c, fact, present)) for c in node[1]]
+        children = [Lineage(_condition_many(c, assignment)) for c in node[1]]
         return Lineage.conj(children).node
     if tag == "or":
-        children = [Lineage(_condition(c, fact, present)) for c in node[1]]
+        children = [Lineage(_condition_many(c, assignment)) for c in node[1]]
         return Lineage.disj(children).node
     raise EvaluationError(f"unknown lineage node {node!r}")
 

@@ -1,0 +1,152 @@
+"""Cross-strategy differential suite: the exact strategies (worlds,
+lineage, bdd, auto) must agree — *bit-exactly* on dyadic marginals,
+where every intermediate product and sum is representable, so any
+disagreement is an algorithmic bug rather than float noise.
+
+Includes the non-hierarchical H₀ query (no safe plan: the worst case
+that forces the Shannon/BDD machinery) and BID tables (block-aware
+branching on both the lineage and the diagram side).
+"""
+
+import pytest
+
+from repro.finite import (
+    Block,
+    BlockIndependentTable,
+    TupleIndependentTable,
+    marginal_answer_probabilities,
+    query_probability,
+)
+from repro.finite.evaluation import BDD_AUTO_THRESHOLD
+from repro.logic import BooleanQuery, Query, parse_formula
+from repro.relational import Schema
+
+schema = Schema.of(R=1, S=2, T=1)
+R, S, T = schema["R"], schema["S"], schema["T"]
+
+EXACT_STRATEGIES = ("worlds", "lineage", "bdd", "auto")
+
+#: Dyadic marginals: exactly representable, products/sums stay exact.
+DYADIC = (0.5, 0.25, 0.125, 0.75, 0.375)
+
+
+def dyadic_ti(n_r=3, n_t=3):
+    marginals = {R(i): DYADIC[i % len(DYADIC)] for i in range(1, n_r + 1)}
+    marginals.update({
+        S(i, j): DYADIC[(i + j) % len(DYADIC)]
+        for i in range(1, n_r + 1) for j in range(1, n_t + 1)
+    })
+    marginals.update({T(j): 0.5 for j in range(1, n_t + 1)})
+    return TupleIndependentTable(schema, marginals)
+
+
+def dyadic_bid():
+    return BlockIndependentTable(schema, [
+        Block("a", {R(1): 0.5, R(2): 0.25}),
+        Block("b", {T(1): 0.5, T(2): 0.125}),
+        Block("c", {S(1, 1): 0.5, S(2, 1): 0.25}),
+        Block("d", {S(1, 2): 0.375}),
+    ])
+
+
+def q(text):
+    return BooleanQuery(parse_formula(text, schema), schema)
+
+
+QUERIES = [
+    # H₀: the canonical non-hierarchical (#P-hard) query — no safe plan.
+    "EXISTS x, y. R(x) AND S(x, y) AND T(y)",
+    "EXISTS x. R(x)",
+    "EXISTS x, y. S(x, y)",
+    "R(1) OR (EXISTS x. T(x) AND NOT R(x))",
+    "FORALL x. R(x) -> (EXISTS y. S(x, y))",
+    "NOT EXISTS x. R(x) AND T(x)",
+]
+
+
+class TestExactAgreementTI:
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_all_strategies_bit_equal(self, text):
+        table = dyadic_ti()
+        values = {
+            s: query_probability(q(text), table, strategy=s)
+            for s in EXACT_STRATEGIES
+        }
+        assert len(set(values.values())) == 1, values
+
+    def test_h0_value_nontrivial(self):
+        """Guard against vacuous agreement (all strategies returning 0/1)."""
+        value = query_probability(q(QUERIES[0]), dyadic_ti(), strategy="bdd")
+        assert 0.0 < value < 1.0
+
+
+class TestExactAgreementBID:
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_all_strategies_bit_equal(self, text):
+        table = dyadic_bid()
+        values = {
+            s: query_probability(q(text), table, strategy=s)
+            for s in ("worlds", "lineage", "bdd")
+        }
+        assert len(set(values.values())) == 1, values
+
+
+class TestAutoUsesBDDPastThreshold:
+    def test_unsafe_query_on_large_table_is_exact(self):
+        """Above the threshold auto routes unsafe TI queries through the
+        compiled path; the result must still match lineage exactly."""
+        table = dyadic_ti(n_r=4, n_t=4)  # 4 + 16 + 4 facts ≥ threshold
+        assert len(table) >= BDD_AUTO_THRESHOLD
+        query = q(QUERIES[0])
+        assert query_probability(query, table, strategy="auto") == \
+            query_probability(query, table, strategy="lineage")
+
+
+class TestAnswerMarginalDifferential:
+    def answer_query(self):
+        return Query(
+            parse_formula("EXISTS y. R(x) AND S(x, y) AND T(y)", schema),
+            schema)
+
+    def test_shared_bdd_matches_per_answer_lineage(self):
+        table = dyadic_ti()
+        per_answer = marginal_answer_probabilities(
+            self.answer_query(), table, strategy="lineage")
+        shared = marginal_answer_probabilities(
+            self.answer_query(), table, strategy="bdd")
+        assert per_answer == shared
+        assert per_answer  # nontrivial
+
+    def test_auto_matches_lineage(self):
+        table = dyadic_ti()
+        assert marginal_answer_probabilities(
+            self.answer_query(), table, strategy="auto"
+        ) == marginal_answer_probabilities(
+            self.answer_query(), table, strategy="lineage")
+
+    def test_bid_shared_matches_per_answer(self):
+        table = dyadic_bid()
+        per_answer = marginal_answer_probabilities(
+            self.answer_query(), table, strategy="lineage")
+        shared = marginal_answer_probabilities(
+            self.answer_query(), table, strategy="bdd")
+        assert per_answer == shared
+
+    def test_k2_fanout_streams_lazily(self):
+        """A binary query's candidate² space is enumerated lazily and
+        agrees across strategies."""
+        table = dyadic_ti()
+        query = Query(
+            parse_formula("R(x) AND (EXISTS z. S(x, z)) AND T(y)", schema),
+            schema)
+        assert marginal_answer_probabilities(query, table, strategy="bdd") \
+            == marginal_answer_probabilities(query, table, strategy="lineage")
+
+    def test_process_pool_fanout_matches_sequential(self):
+        table = dyadic_ti()
+        sequential = marginal_answer_probabilities(
+            self.answer_query(), table, strategy="bdd")
+        parallel = marginal_answer_probabilities(
+            self.answer_query(), table, strategy="bdd", workers=2)
+        assert sequential == parallel
+        assert list(sequential) == list(parallel)  # enumeration order kept

@@ -58,6 +58,47 @@ class TestBDDProperties:
         via_shannon = lineage_probability(conditioned, lambda f: 0.5)
         assert via_bdd == pytest.approx(via_shannon, abs=1e-10)
 
+    @given(lineage_exprs(), st.sampled_from(FACTS), st.booleans(),
+           st.lists(st.floats(min_value=0.05, max_value=0.95),
+                    min_size=len(FACTS), max_size=len(FACTS)))
+    @settings(max_examples=60, deadline=None)
+    def test_restrict_matches_condition_any_marginals(
+            self, expr, fact, value, ps):
+        """The restrict/condition agreement must hold pointwise, not
+        just at the symmetric p = 1/2."""
+        marginals = dict(zip(FACTS, ps))
+        manager, root = compile_lineage(expr)
+        via_bdd = manager.probability(
+            manager.restrict(root, fact, value), lambda f: marginals[f])
+        via_shannon = lineage_probability(
+            expr.condition(fact, value), lambda f: marginals[f])
+        assert via_bdd == pytest.approx(via_shannon, abs=1e-10)
+
+    @given(lineage_exprs(),
+           st.dictionaries(st.sampled_from(FACTS), st.booleans(),
+                           min_size=1, max_size=len(FACTS)))
+    @settings(max_examples=60, deadline=None)
+    def test_condition_many_matches_chained_condition(self, expr, assignment):
+        chained = expr
+        for fact, value in assignment.items():
+            chained = chained.condition(fact, value)
+        assert expr.condition_many(assignment) == chained
+
+    @given(lineage_exprs(), lineage_exprs())
+    @settings(max_examples=40, deadline=None)
+    def test_extended_manager_preserves_prior_roots(self, first, second):
+        """Building a second expression into the same manager (the
+        compile-cache extension move) must not perturb the first
+        diagram's semantics."""
+        from repro.finite.bdd import BDDManager
+
+        manager = BDDManager([])
+        root = manager.build(first)
+        before = manager.probability(root, lambda f: 0.3)
+        manager.build(second)
+        after = manager.probability(root, lambda f: 0.3)
+        assert before == after
+
     @given(lineage_exprs())
     @settings(max_examples=60, deadline=None)
     def test_negation_complements_probability(self, expr):
