@@ -31,6 +31,7 @@ import time
 from pathlib import Path
 
 from benchmarks.conftest import report
+from repro import obs
 from repro.finite import (
     CompileCache,
     TupleIndependentTable,
@@ -84,6 +85,7 @@ def truncation_rows():
     cache = CompileCache()
     rows = []
     totals = {"shannon": 0.0, "bdd_cold": 0.0, "bdd_cached": 0.0}
+    sweep_counters = {}
     for n, table in zip(TRUNCATION_SIZES, tables):
         shannon = cold = cached = 0.0
         values = set()
@@ -97,8 +99,12 @@ def truncation_rows():
                     query, table, CompileCache()))
             cold += elapsed
             values.add(value)
-            value, elapsed = timed(
-                lambda: query_probability_by_bdd_cached(query, table, cache))
+            with obs.trace() as call_trace:
+                value, elapsed = timed(
+                    lambda: query_probability_by_bdd_cached(
+                        query, table, cache))
+            for key, count in call_trace.counters.items():
+                sweep_counters[key] = sweep_counters.get(key, 0) + count
             cached += elapsed
             values.add(value)
         # Non-dyadic marginals: Shannon and WMC sum in different orders,
@@ -129,6 +135,9 @@ def truncation_rows():
             "misses": cache.stats.misses,
             "extensions": cache.stats.extensions,
         },
+        # obs-layer view of the same sweep: cache.hit / cache.miss /
+        # cache.extension counters summed over the warm-cache calls.
+        "telemetry": sweep_counters,
     }
     return rows, speedup
 
@@ -162,8 +171,47 @@ def fanout_rows():
         "shared_bdd_s": shared_s,
         "shared_bdd_pool2_s": pooled_s,
         "shared_speedup": speedup,
+        # EvalReports attached to the fan-out results themselves.
+        "telemetry": {
+            "shared": shared.report.to_dict(),
+            "pool2": pooled.report.to_dict(),
+        },
     }
     return rows, speedup
+
+
+def overhead_probe(calls=200):
+    """Instrumentation cost of a *live* trace vs the idle fast path.
+
+    Times the same warm-cache evaluation loop twice — once with no
+    active trace (every obs hook early-returns on a thread-local read)
+    and once under ``obs.trace()`` — and reports the ratio.  Budget:
+    ≤ 2% (min-of-3 to shed scheduler noise).
+    """
+    table = geometric_edges(TRUNCATION_SIZES[-1])
+    query = two_hop()
+    cache = CompileCache()
+    query_probability_by_bdd_cached(query, table, cache)  # warm the cache
+
+    def loop():
+        for _ in range(calls):
+            query_probability_by_bdd_cached(query, table, cache)
+
+    idle = traced = float("inf")
+    for _ in range(3):
+        _, elapsed = timed(loop)
+        idle = min(idle, elapsed)
+        with obs.trace():
+            _, elapsed = timed(loop)
+        traced = min(traced, elapsed)
+    ratio = traced / idle
+    _RESULTS["instrumentation_overhead"] = {
+        "calls": calls,
+        "idle_s": idle,
+        "traced_s": traced,
+        "overhead_ratio": ratio,
+    }
+    return [(calls, idle, traced, ratio)], ratio
 
 
 def _write_json():
@@ -202,6 +250,16 @@ def test_a4_answer_fanout(benchmark):
     rows, speedup = benchmark.pedantic(fanout_rows, rounds=1, iterations=1)
     report("A4b: k=2 answer-marginal fan-out",
            ("path", "answers", "seconds", "speedup"), rows)
-    _write_json()
     if not SMOKE:
         assert speedup >= 1.0, f"shared grounding slower: {speedup:.2f}x"
+
+
+def test_a4_instrumentation_overhead(benchmark):
+    calls = 20 if SMOKE else 200
+    rows, ratio = benchmark.pedantic(
+        overhead_probe, kwargs={"calls": calls}, rounds=1, iterations=1)
+    report("A4c: obs tracing overhead on warm-cache evaluation",
+           ("calls", "idle_s", "traced_s", "ratio"), rows)
+    _write_json()
+    if not SMOKE:
+        assert ratio <= 1.02, f"tracing overhead {ratio:.4f} > 2% budget"

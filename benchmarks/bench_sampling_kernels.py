@@ -8,9 +8,20 @@ Shape to hold: the pure-Python batched backend is ≥ 3× faster than the
 scalar reference path on end-to-end estimation (plan pre-materialisation
 + lineage compilation + per-distinct-world memoised model checking);
 all backends return estimates that agree with the exact probability.
+
+Machine-readable results (including the :class:`repro.obs.EvalReport`
+telemetry attached to each estimate) land in
+``BENCH_sampling_kernels.json`` at the repo root.
+
+Smoke mode (``BENCH_SMOKE=1``): does not clobber the committed record.
 """
 
+import json
+import os
+import platform
+import sys
 import time
+from pathlib import Path
 
 from benchmarks.conftest import report
 from repro.finite import (
@@ -31,6 +42,27 @@ R, S, T = schema["R"], schema["S"], schema["T"]
 SAMPLES = 10_000
 SEED = 11
 BACKENDS = ("scalar",) + available_backends()
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+JSON_PATH = (Path(__file__).resolve().parent.parent
+             / "BENCH_sampling_kernels.json")
+
+_RESULTS = {}
+
+
+def _write_json():
+    if SMOKE:
+        return
+    _RESULTS.update({
+        "benchmark": "sampling_kernels",
+        "samples": SAMPLES,
+        "seed": SEED,
+        "backends": list(BACKENDS),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "generated_unix": int(time.time()),
+    })
+    JSON_PATH.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
 
 
 def join_table():
@@ -70,15 +102,22 @@ def end_to_end_rows():
     truth = query_probability(query, table)
     rows = []
     timings = {}
+    telemetry = {}
     for backend in BACKENDS:
         estimate, elapsed = timed(
             lambda b=backend: query_probability_monte_carlo(
                 query, table, SAMPLES, seed=SEED, backend=b))
         timings[backend] = elapsed
+        telemetry[backend] = estimate.report.to_dict()
         rows.append((
             backend, SAMPLES, elapsed, timings["scalar"] / elapsed,
             estimate.estimate, abs(estimate.estimate - truth),
         ))
+    _RESULTS["end_to_end"] = {
+        "truth": truth,
+        "timings_s": dict(timings),
+        "telemetry": telemetry,
+    }
     return rows
 
 
@@ -104,15 +143,22 @@ def karp_luby_rows():
     truth = query_probability(query, table)
     rows = []
     timings = {}
+    telemetry = {}
     for backend in BACKENDS:
         estimate, elapsed = timed(
             lambda b=backend: query_probability_karp_luby(
                 query, table, SAMPLES, seed=SEED, backend=b))
         timings[backend] = elapsed
+        telemetry[backend] = estimate.report.to_dict()
         rows.append((
             backend, elapsed, timings["scalar"] / elapsed,
             abs(estimate.estimate - truth),
         ))
+    _RESULTS["karp_luby"] = {
+        "truth": truth,
+        "timings_s": dict(timings),
+        "telemetry": telemetry,
+    }
     return rows
 
 
@@ -147,4 +193,5 @@ def test_k1_karp_luby(benchmark):
     rows = benchmark.pedantic(karp_luby_rows, rounds=1, iterations=1)
     report("K1c: Karp–Luby FPRAS, 10k samples",
            ("backend", "seconds", "speedup", "|err|"), rows)
+    _write_json()
     assert all(err < 0.03 for *_, err in rows)

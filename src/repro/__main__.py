@@ -4,7 +4,8 @@ Usage::
 
     python -m repro query TABLE.json "EXISTS x. R(x)" [--epsilon 0.01]
            [--open-world first,ratio] [--strategy auto|worlds|lineage|lifted]
-    python -m repro marginals TABLE.json "R(x)"
+           [--stats [human|json]]
+    python -m repro marginals TABLE.json "R(x)" [--stats [human|json]]
     python -m repro info TABLE.json
 
 ``TABLE.json`` is the JSON format of :mod:`repro.io` (kind
@@ -12,6 +13,12 @@ Usage::
 ``--open-world`` the table is first completed (Theorem 5.5) with a
 geometric family over its fact space and the query is evaluated by the
 Proposition 6.1 truncation algorithm.
+
+``--stats`` prints the :class:`repro.obs.EvalReport` attached to the
+result — chosen strategy, truncation/α, cache and sampling telemetry,
+per-phase wall clock — on **stderr**, so stdout stays the bare answer.
+``--stats`` alone renders the human layout; ``--stats json`` emits the
+machine-readable schema (see ``repro.obs.REPORT_SCHEMA``).
 """
 
 from __future__ import annotations
@@ -37,6 +44,28 @@ from repro.universe import FactSpace, Naturals
 def _load_table(path: str):
     with open(path) as handle:
         return load(handle)
+
+
+def _emit_stats(result, mode) -> None:
+    """Print the EvalReport attached to ``result`` on stderr."""
+    if not mode:
+        return
+    report = getattr(result, "report", None)
+    if report is None:
+        print("stats: no evaluation report attached", file=sys.stderr)
+        return
+    if mode == "json":
+        print(report.to_json(indent=2), file=sys.stderr)
+    else:
+        print(report.render(), file=sys.stderr)
+
+
+def _add_stats_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--stats", nargs="?", const="human", default=None,
+        choices=["human", "json"], metavar="FORMAT",
+        help="print evaluation telemetry on stderr "
+             "(FORMAT: human [default] or json)")
 
 
 def _parse_open_world(spec: str):
@@ -79,9 +108,11 @@ def command_query(args: argparse.Namespace) -> int:
             query, epsilon=args.epsilon)
         print(f"P(Q) = {result.value:.6f}  (±{result.epsilon}, "
               f"truncated at n = {result.truncation} open-world facts)")
+        _emit_stats(result, args.stats)
     else:
         value = query_probability(query, table, strategy=args.strategy)
         print(f"P(Q) = {value:.6f}  (exact, closed world)")
+        _emit_stats(value, args.stats)
     return 0
 
 
@@ -98,6 +129,7 @@ def command_marginals(args: argparse.Namespace) -> int:
         print(f"{answer} : {answers[answer]:.6f}")
     if not answers:
         print("(no answers with positive probability)")
+    _emit_stats(answers, args.stats)
     return 0
 
 
@@ -122,6 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "before querying (Theorem 5.5)")
     query.add_argument("--epsilon", type=float, default=0.01,
                        help="additive guarantee for open-world queries")
+    _add_stats_flag(query)
     query.set_defaults(handler=command_query)
 
     marginals = commands.add_parser(
@@ -130,6 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
     marginals.add_argument("query")
     marginals.add_argument("--strategy", default="auto",
                            choices=["auto", "worlds", "lineage", "lifted"])
+    _add_stats_flag(marginals)
     marginals.set_defaults(handler=command_marginals)
     return parser
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 import math
 from typing import Dict, NamedTuple, Optional, Tuple
 
+from repro import obs
 from repro.analysis.bounds import alpha_from_tail, required_alpha
 from repro.core.fact_distribution import FactDistribution
 from repro.core.tuple_independent import CountableTIPDB
@@ -51,7 +52,16 @@ def _truncation_target_tail(epsilon: float) -> float:
 
 
 class ApproximationResult(NamedTuple):
-    """The output of the Proposition 6.1 algorithm."""
+    """The output of the Proposition 6.1 algorithm.
+
+    When the finite conditional was itself *estimated*
+    (``strategy="sampled"``), the truncation guarantee ε no longer
+    covers the whole error: the Monte-Carlo confidence bound on the
+    conditional is carried in ``sampling_error`` and the enclosure
+    ``[low, high]`` is widened by it, so the interval stays honest —
+    ``value ± ε`` alone would claim a certified enclosure the sampled
+    conditional cannot provide.
+    """
 
     #: The approximate answer ``p = P(Q | Ω_n)``.
     value: float
@@ -61,14 +71,19 @@ class ApproximationResult(NamedTuple):
     truncation: int
     #: ``α_n = (3/2) · tail(n)`` actually achieved.
     alpha: float
-    #: The certified enclosure ``[value − ε, value + ε] ∩ [0, 1]``.
+    #: Confidence bound on the Monte-Carlo error of the finite
+    #: conditional (0 when it was computed exactly).
+    sampling_error: float = 0.0
+
+    #: The enclosure ``[value − ε − s, value + ε + s] ∩ [0, 1]`` where s
+    #: is the sampling-error allowance.
     @property
     def low(self) -> float:
-        return max(0.0, self.value - self.epsilon)
+        return max(0.0, self.value - self.epsilon - self.sampling_error)
 
     @property
     def high(self) -> float:
-        return min(1.0, self.value + self.epsilon)
+        return min(1.0, self.value + self.epsilon + self.sampling_error)
 
     def contains(self, true_probability: float) -> bool:
         return self.low <= true_probability <= self.high
@@ -95,6 +110,26 @@ def choose_truncation(
     _require_valid_epsilon(epsilon)
     return distribution.prefix_for_tail(
         _truncation_target_tail(epsilon), max_facts=max_facts)
+
+
+def _finish_approximation(
+    trace: "obs.EvalTrace",
+    value: float,
+    epsilon: float,
+    truncation: int,
+    alpha: float,
+) -> ApproximationResult:
+    """Assemble an :class:`ApproximationResult` from a finished entry
+    point: fold the trace's Monte-Carlo confidence bound (if the finite
+    conditional was sampled) into the enclosure, record the truncation
+    gauges, and attach the :class:`~repro.obs.EvalReport`."""
+    sampling_error = trace.gauges.get("sampling.half_width", 0.0)
+    obs.gauge("truncation.n", truncation)
+    obs.gauge("truncation.alpha", alpha)
+    obs.gauge("truncation.epsilon", epsilon)
+    result = ApproximationResult(
+        float(value), epsilon, truncation, alpha, sampling_error)
+    return obs.attach_report(result, obs.EvalReport.from_trace(trace))
 
 
 def approximate_query_probability(
@@ -127,11 +162,15 @@ def approximate_query_probability(
     >>> 0.3 < result.value < 0.45 and result.truncation >= 4
     True
     """
-    n = choose_truncation(pdb.distribution, epsilon, max_facts=max_facts)
-    table = pdb.truncate(n)
-    value = query_probability(query, table, strategy=strategy)
-    alpha = alpha_from_tail(pdb.distribution.tail(n))
-    return ApproximationResult(value, epsilon, n, alpha)
+    with obs.trace() as t:
+        with obs.phase("choose_truncation"):
+            n = choose_truncation(
+                pdb.distribution, epsilon, max_facts=max_facts)
+        with obs.phase("truncate"):
+            table = pdb.truncate(n)
+        value = query_probability(query, table, strategy=strategy)
+        alpha = alpha_from_tail(pdb.distribution.tail(n))
+        return _finish_approximation(t, value, epsilon, n, alpha)
 
 
 def approximate_query_probability_completed(
@@ -152,13 +191,16 @@ def approximate_query_probability_completed(
     :func:`approximate_query_probability`.
     """
     _require_valid_epsilon(epsilon)
-    distribution = completed.new_facts.distribution
-    n = distribution.prefix_for_tail(
-        _truncation_target_tail(epsilon), max_facts=max_facts)
-    finite = completed.truncate(n)
-    value = query_probability(query, finite, strategy=strategy)
-    alpha = alpha_from_tail(distribution.tail(n))
-    return ApproximationResult(value, epsilon, n, alpha)
+    with obs.trace() as t:
+        distribution = completed.new_facts.distribution
+        with obs.phase("choose_truncation"):
+            n = distribution.prefix_for_tail(
+                _truncation_target_tail(epsilon), max_facts=max_facts)
+        with obs.phase("truncate"):
+            finite = completed.truncate(n)
+        value = query_probability(query, finite, strategy=strategy)
+        alpha = alpha_from_tail(distribution.tail(n))
+        return _finish_approximation(t, value, epsilon, n, alpha)
 
 
 def approximate_query_probability_bid(
@@ -197,12 +239,15 @@ def approximate_query_probability_bid(
     True
     """
     _require_valid_epsilon(epsilon)
-    n = pdb.family.prefix_for_tail(
-        _truncation_target_tail(epsilon), max_blocks=max_blocks)
-    table = pdb.truncate(n)
-    value = query_probability(query, table, strategy="auto")
-    alpha = alpha_from_tail(pdb.family.tail(n))
-    return ApproximationResult(value, epsilon, n, alpha)
+    with obs.trace() as t:
+        with obs.phase("choose_truncation"):
+            n = pdb.family.prefix_for_tail(
+                _truncation_target_tail(epsilon), max_blocks=max_blocks)
+        with obs.phase("truncate"):
+            table = pdb.truncate(n)
+        value = query_probability(query, table, strategy="auto")
+        alpha = alpha_from_tail(pdb.family.tail(n))
+        return _finish_approximation(t, value, epsilon, n, alpha)
 
 
 def approximate_answer_marginals(
@@ -246,13 +291,27 @@ def approximate_answer_marginals(
                 boolean, pdb, epsilon, strategy=strategy, max_facts=max_facts
             )
         }
-    n = choose_truncation(pdb.distribution, epsilon, max_facts=max_facts)
-    table = pdb.truncate(n)
-    alpha = alpha_from_tail(pdb.distribution.tail(n))
-    values = marginal_answer_probabilities(
-        query, table, strategy=strategy, workers=workers)
+    with obs.trace() as t:
+        with obs.phase("choose_truncation"):
+            n = choose_truncation(
+                pdb.distribution, epsilon, max_facts=max_facts)
+        with obs.phase("truncate"):
+            table = pdb.truncate(n)
+        alpha = alpha_from_tail(pdb.distribution.tail(n))
+        values = marginal_answer_probabilities(
+            query, table, strategy=strategy, workers=workers)
+        obs.gauge("truncation.n", n)
+        obs.gauge("truncation.alpha", alpha)
+        obs.gauge("truncation.epsilon", epsilon)
+        # One shared report: the fan-out's telemetry (cache counters,
+        # worst-case sampling error) applies to every answer's result.
+        sampling_error = t.gauges.get("sampling.half_width", 0.0)
+        report = obs.EvalReport.from_trace(t)
     return {
-        answer: ApproximationResult(value, epsilon, n, alpha)
+        answer: obs.attach_report(
+            ApproximationResult(
+                float(value), epsilon, n, alpha, sampling_error),
+            report)
         for answer, value in values.items()
     }
 

@@ -21,7 +21,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.analysis.products import product_complement
 from repro.core.pdb import CountablePDB
-from repro.errors import ConvergenceError, ProbabilityError
+from repro.errors import ApproximationError, ConvergenceError, ProbabilityError
 from repro.finite.bid import Block, BlockIndependentTable
 from repro.relational.facts import Fact
 from repro.relational.instance import Instance
@@ -127,12 +127,26 @@ class BlockFamily:
         return list(itertools.islice(self.blocks(), n))
 
     def prefix_for_tail(self, bound: float, max_blocks: int = 10**6) -> int:
+        """Smallest n with ``tail(n) ≤ bound``.
+
+        Exhausting ``max_blocks`` raises
+        :class:`~repro.errors.ApproximationError` with the achieved tail
+        mass — the same certification guard as
+        :meth:`repro.core.fact_distribution.FactDistribution.prefix_for_tail`,
+        protecting ``approximate_query_probability_bid``'s ``max_blocks``
+        path from returning an uncertified block truncation.
+        """
         if bound <= 0:
             raise ConvergenceError(f"tail bound must be positive, got {bound}")
         for n in range(max_blocks + 1):
             if self.tail(n) <= bound:
                 return n
-        raise ConvergenceError(f"block tail did not reach {bound}")
+        achieved = self.tail(max_blocks)
+        raise ApproximationError(
+            f"block tail did not reach {bound} within "
+            f"max_blocks={max_blocks} (achieved tail mass {achieved})",
+            achieved_tail=achieved,
+        )
 
     def block_of(self, fact: Fact, max_blocks: int = 10**5) -> Optional[Block]:
         """The block containing ``fact``, by bounded scan."""
@@ -267,7 +281,9 @@ class CountableBIDPDB(CountablePDB):
         for bound in (self.tolerance, 1e-9, 1e-6, 1e-4, 1e-2):
             try:
                 return self.family.prefix_for_tail(bound, max_blocks=cap)
-            except ConvergenceError:
+            except (ApproximationError, ConvergenceError):
+                # Back off on budget exhaustion; the un-enumerated mass
+                # stays certified via :meth:`_world_mass_tail`.
                 continue
         return cap
 

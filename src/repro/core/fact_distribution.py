@@ -24,7 +24,7 @@ import math
 from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from repro.analysis.series import SeriesCertificate
-from repro.errors import ConvergenceError, ProbabilityError
+from repro.errors import ApproximationError, ConvergenceError, ProbabilityError
 from repro.relational.facts import Fact
 from repro.universe.factspace import FactSpace
 from repro.utils.rationals import validate_probability
@@ -90,14 +90,25 @@ class FactDistribution:
 
     def prefix_for_tail(self, bound: float, max_facts: int = 10**7) -> int:
         """Smallest n with ``tail(n) ≤ bound`` (linear search, like the
-        paper's "systematically listing facts")."""
+        paper's "systematically listing facts").
+
+        Exhausting ``max_facts`` before the bound is met raises
+        :class:`~repro.errors.ApproximationError` carrying the tail mass
+        actually achieved — a truncation at ``max_facts`` would be
+        *uncertified*, silently voiding the ε-guarantee of every caller
+        in the Proposition 6.1 pipeline.
+        """
         if bound <= 0:
             raise ConvergenceError(f"tail bound must be positive, got {bound}")
         for n in range(max_facts + 1):
             if self.tail(n) <= bound:
                 return n
-        raise ConvergenceError(
-            f"tail did not reach {bound} within {max_facts} facts"
+        achieved = self.tail(max_facts)
+        raise ApproximationError(
+            f"tail did not reach {bound} within max_facts={max_facts} "
+            f"(achieved tail mass {achieved}); raise max_facts or relax "
+            "the guarantee",
+            achieved_tail=achieved,
         )
 
     def marginals_dict(self, n: int) -> Dict[Fact, float]:

@@ -27,7 +27,7 @@ from typing import Callable, Iterator, List, Optional, Tuple
 from repro.analysis.products import product_complement
 from repro.core.fact_distribution import FactDistribution, TableFactDistribution
 from repro.core.pdb import CountablePDB
-from repro.errors import ConvergenceError, ProbabilityError
+from repro.errors import ApproximationError, ConvergenceError, ProbabilityError
 from repro.finite.tuple_independent import TupleIndependentTable
 from repro.relational.facts import Fact
 from repro.relational.instance import Instance
@@ -221,7 +221,11 @@ class CountableTIPDB(CountablePDB):
             try:
                 return self.distribution.prefix_for_tail(
                     bound, max_facts=cap)
-            except ConvergenceError:
+            except (ApproximationError, ConvergenceError):
+                # Budget exhausted at this bound: back off.  Sound here
+                # (unlike in the Prop. 6.1 pipeline) because the
+                # un-enumerated mass stays certified via
+                # :meth:`_world_mass_tail`.
                 continue
         return cap
 

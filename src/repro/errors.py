@@ -67,7 +67,18 @@ class UnsafeQueryError(ReproError):
 class ApproximationError(ReproError):
     """The approximation machinery of Section 6 cannot meet the requested
     guarantee (e.g. ``epsilon`` outside ``(0, 1/2)``, or the truncation
-    search exceeded its budget for a slowly converging tail)."""
+    search exceeded its budget for a slowly converging tail).
+
+    When a truncation search exhausts its fact/block budget,
+    ``achieved_tail`` carries the certified tail mass actually reached —
+    so callers can tell how far from the requested guarantee the search
+    ended up, instead of silently receiving an uncertified truncation.
+    """
+
+    def __init__(self, message: str, achieved_tail: "float | None" = None):
+        super().__init__(message)
+        #: Tail mass reached when the search budget ran out (or None).
+        self.achieved_tail = achieved_tail
 
 
 class CompletionError(ReproError):

@@ -37,6 +37,7 @@ from typing import (
     Tuple,
 )
 
+from repro import obs
 from repro.errors import EvaluationError
 from repro.finite.bdd import BDDManager, BDDRef, ONE, ZERO
 from repro.finite.bid import BlockIndependentTable
@@ -141,12 +142,17 @@ class CompileCache:
         if root is not None or facts_key in family.roots:
             family.roots.move_to_end(facts_key)
             self.stats.hits += 1
+            obs.incr("cache.hit")
             return CompiledQuery(family.manager, family.roots[facts_key])
         self.stats.misses += 1
+        obs.incr("cache.miss")
         if family.roots:
             self.stats.extensions += 1
-        expr = lineage_of(formula, facts_key)
-        root = family.manager.build(expr)
+            obs.incr("cache.extension")
+        with obs.phase("compile"):
+            expr = lineage_of(formula, facts_key)
+            root = family.manager.build(expr)
+        obs.gauge("bdd.nodes", family.manager.count_nodes(root))
         family.roots[facts_key] = root
         while len(family.roots) > self.max_roots_per_query:
             family.roots.popitem(last=False)

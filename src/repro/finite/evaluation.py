@@ -10,8 +10,11 @@ world enumeration).
 from __future__ import annotations
 
 import itertools
+import pickle
+import traceback
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
+from repro import obs
 from repro.errors import EvaluationError, UnsafeQueryError
 from repro.finite.bid import BlockIndependentTable
 from repro.finite.lineage_eval import query_probability_by_lineage
@@ -90,34 +93,56 @@ def query_probability(
 
     The exact strategies agree exactly; the E8 benchmark measures their
     costs.
+
+    The returned value is a plain ``float`` carrying an
+    :class:`~repro.obs.EvalReport` as ``.report`` — the strategy that
+    actually fired, compile-cache and sampling telemetry, and per-phase
+    timings.
     """
+    with obs.trace() as t:
+        with obs.phase("evaluate"):
+            value, resolved = _dispatch_query_probability(
+                query, pdb, strategy)
+        obs.note(strategy=resolved)
+        report = obs.EvalReport.from_trace(t)
+    return obs.attach_report(value, report)
+
+
+def _dispatch_query_probability(
+    query: BooleanQuery,
+    pdb: PDBLike,
+    strategy: str,
+) -> Tuple[float, str]:
+    """Evaluate and return ``(value, resolved strategy name)`` — the
+    concrete engine ``"auto"`` settled on, for the report."""
     if strategy == "sampled":
         from repro.finite.montecarlo import query_probability_monte_carlo
 
-        return query_probability_monte_carlo(
+        estimate = query_probability_monte_carlo(
             query, pdb, SAMPLED_STRATEGY_SAMPLES,
             seed=SAMPLED_STRATEGY_SEED, backend="auto",
-        ).estimate
+        )
+        return estimate.estimate, "sampled"
     if strategy == "worlds":
-        return query_probability_by_worlds(query, pdb)
+        return query_probability_by_worlds(query, pdb), "worlds"
     if strategy == "lineage":
-        return query_probability_by_lineage(query, pdb)
+        return query_probability_by_lineage(query, pdb), "lineage"
     if strategy == "bdd":
         if isinstance(pdb, FinitePDB):
             # Explicit worlds carry correlations lineage cannot factor.
-            return query_probability_by_worlds(query, pdb)
+            return query_probability_by_worlds(query, pdb), "worlds"
         from repro.finite.compile_cache import query_probability_by_bdd_cached
 
-        return query_probability_by_bdd_cached(query, pdb)
+        return query_probability_by_bdd_cached(query, pdb), "bdd"
     if strategy == "lifted":
         if not isinstance(pdb, TupleIndependentTable):
             raise EvaluationError("lifted evaluation needs a TI table")
-        return query_probability_lifted(query, pdb)
+        return query_probability_lifted(query, pdb), "lifted"
     if strategy != "auto":
         raise EvaluationError(f"unknown strategy {strategy!r}")
     if isinstance(pdb, TupleIndependentTable):
         try:
-            return query_probability_lifted(query, pdb)
+            return query_probability_lifted(query, pdb), "lifted"
         except UnsafeQueryError:
             pass
         if len(pdb) >= BDD_AUTO_THRESHOLD:
@@ -125,10 +150,10 @@ def query_probability(
                 query_probability_by_bdd_cached,
             )
 
-            return query_probability_by_bdd_cached(query, pdb)
+            return query_probability_by_bdd_cached(query, pdb), "bdd"
     if isinstance(pdb, (TupleIndependentTable, BlockIndependentTable)):
-        return query_probability_by_lineage(query, pdb)
-    return query_probability_by_worlds(query, pdb)
+        return query_probability_by_lineage(query, pdb), "lineage"
+    return query_probability_by_worlds(query, pdb), "worlds"
 
 
 # --------------------------------------------------------------- fan-out
@@ -228,6 +253,7 @@ def _evaluate_answers(
             shared = _shared_grounding(query, pdb)
     results: Dict[Tuple[Value, ...], float] = {}
     for answer in answers:
+        obs.incr("fanout.answers")
         if shared is not None:
             probability = shared.answer_probability(query.variables, answer)
         else:
@@ -241,15 +267,85 @@ def _evaluate_answers(
     return results
 
 
-def _answer_chunk_worker(payload) -> Dict[Tuple[Value, ...], float]:
+class ShardError(EvaluationError):
+    """A process-pool answer shard failed; the message carries the
+    worker's original traceback.  Raised as the ``__cause__`` of the
+    re-raised original exception, so both the exception type and the
+    remote traceback survive the process boundary."""
+
+
+def _answer_chunk_worker(payload):
     """Process-pool entry point: evaluate one strided shard of the
     answer space.  Module-level (picklable); each worker builds its own
-    shared grounding, so diagrams never cross process boundaries."""
+    shared grounding, so diagrams never cross process boundaries.
+
+    Returns ``("ok", shard_dict)`` or ``("error", exception,
+    formatted_traceback)`` — exceptions travel back explicitly so the
+    parent can re-raise them with the worker-side traceback attached.
+    """
     (formula, schema, variables, name, pdb, candidates, offset, stride,
      strategy) = payload
-    query = Query(formula, schema, variables=variables, name=name)
-    answers = _iter_answers(candidates, query.arity, offset, stride)
-    return _evaluate_answers(query, pdb, candidates, answers, strategy)
+    try:
+        query = Query(formula, schema, variables=variables, name=name)
+        answers = _iter_answers(candidates, query.arity, offset, stride)
+        shard = _evaluate_answers(query, pdb, candidates, answers, strategy)
+        return ("ok", dict(shard))
+    except Exception as exc:
+        return ("error", exc, traceback.format_exc())
+
+
+def _pool_pickle_error(payload) -> Optional[str]:
+    """Why ``payload`` cannot cross a (spawn) process boundary, or None.
+
+    ``concurrent.futures`` pickles every payload regardless of start
+    method; probing up front lets the fan-out degrade gracefully to the
+    serial path instead of dying inside the pool machinery.
+    """
+    try:
+        pickle.dumps(payload)
+        return None
+    except Exception as exc:  # PicklingError, TypeError, AttributeError, …
+        return f"{type(exc).__name__}: {exc}"
+
+
+def _pooled_answer_shards(
+    payloads: List[tuple],
+    workers: int,
+) -> List[Dict[Tuple[Value, ...], float]]:
+    """Run the shard payloads on a process pool.
+
+    Shard exceptions are re-raised in the parent with the worker's
+    original traceback attached (as a :class:`ShardError` cause);
+    ``KeyboardInterrupt`` cancels outstanding shards and shuts the pool
+    down without waiting for them.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        futures = [
+            pool.submit(_answer_chunk_worker, payload) for payload in payloads
+        ]
+        shards = []
+        for future in futures:
+            outcome = future.result()
+            if outcome[0] == "error":
+                _, exc, remote_traceback = outcome
+                raise exc from ShardError(
+                    "answer-marginal shard failed in worker process; "
+                    f"original traceback:\n{remote_traceback}"
+                )
+            shards.append(outcome[1])
+        pool.shutdown(wait=True)
+        return shards
+    except KeyboardInterrupt:
+        # Don't block on still-running shards after Ctrl-C: cancel what
+        # hasn't started and let the executor reap workers on exit.
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    except BaseException:
+        pool.shutdown(wait=True, cancel_futures=True)
+        raise
 
 
 def marginal_answer_probabilities(
@@ -272,29 +368,60 @@ def marginal_answer_probabilities(
     ``workers=k > 1`` to fan the answer tuples out over a
     ``concurrent.futures`` process pool — sound because distinct answer
     tuples are scored independently; each worker keeps its own shared
-    diagram for its shard.
+    diagram for its shard.  A shard exception is re-raised here with the
+    worker's original traceback attached; payloads that cannot be
+    pickled (e.g. a closure-bearing pdb under the spawn start method)
+    degrade to the serial path with a ``fanout.serial_fallback`` trace
+    event instead of failing inside the pool.
+
+    The returned dict carries an :class:`~repro.obs.EvalReport` as
+    ``.report``.
     """
+    with obs.trace() as t:
+        results = _marginal_answer_probabilities_traced(
+            query, pdb, domain, strategy, workers)
+        report = obs.EvalReport.from_trace(t)
+    return obs.attach_report(results, report)
+
+
+def _marginal_answer_probabilities_traced(
+    query: Query,
+    pdb: PDBLike,
+    domain: Optional[Iterable[Value]],
+    strategy: str,
+    workers: Optional[int],
+) -> Dict[Tuple[Value, ...], float]:
     if query.is_boolean:
         boolean = BooleanQuery(query.formula, query.schema, name=query.name)
-        return {(): query_probability(boolean, pdb, strategy=strategy)}
+        return {(): float(query_probability(boolean, pdb, strategy=strategy))}
     candidates = _candidate_values(query, pdb, domain)
     if not candidates:
         return {}
     if workers is not None and workers > 1:
-        from concurrent.futures import ProcessPoolExecutor
-
         payloads = [
             (query.formula, query.schema, query.variables, query.name,
              pdb, candidates, offset, workers, strategy)
             for offset in range(workers)
         ]
-        results: Dict[Tuple[Value, ...], float] = {}
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for shard in pool.map(_answer_chunk_worker, payloads):
+        pickle_error = _pool_pickle_error(payloads[0])
+        if pickle_error is None:
+            obs.note(strategy=strategy)
+            obs.event("fanout.pool", workers=workers, shards=len(payloads))
+            with obs.phase("fanout"):
+                shards = _pooled_answer_shards(payloads, workers)
+            results: Dict[Tuple[Value, ...], float] = {}
+            for shard in shards:
                 results.update(shard)
-        # Candidate order is deterministic; merge shards back into the
-        # sequential enumeration order so callers see identical dicts.
-        ordered = _iter_answers(candidates, query.arity)
-        return {a: results[a] for a in ordered if a in results}
-    answers = _iter_answers(candidates, query.arity)
-    return _evaluate_answers(query, pdb, candidates, answers, strategy)
+            # Candidate order is deterministic; merge shards back into
+            # the sequential enumeration order so callers see identical
+            # dicts.
+            ordered = _iter_answers(candidates, query.arity)
+            return {a: results[a] for a in ordered if a in results}
+        # Unpicklable pdb/candidates: the pool cannot receive the
+        # payload, so degrade gracefully rather than dying in the pool.
+        obs.event(
+            "fanout.serial_fallback", workers=workers, reason=pickle_error)
+    obs.note(strategy=strategy)
+    with obs.phase("fanout"):
+        answers = _iter_answers(candidates, query.arity)
+        return _evaluate_answers(query, pdb, candidates, answers, strategy)

@@ -14,9 +14,11 @@ the CQs of a UCQ grounded against a TI table.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Callable, List, NamedTuple, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.errors import EvaluationError
 from repro.finite.tuple_independent import TupleIndependentTable
 from repro.logic.lineage import Lineage, lineage_of
@@ -44,9 +46,21 @@ class DNFTerm(NamedTuple):
         return self.positive <= world and not (self.negative & world)
 
 
-def lineage_to_dnf(expr: Lineage) -> List[DNFTerm]:
+#: Default cap on the DNF expansion: a non-DNF-shaped lineage (e.g. a
+#: CNF) multiplies terms per conjunct, and the unguarded expansion can
+#: hang the process before allocating anything observable.
+DEFAULT_MAX_DNF_TERMS = 50_000
+
+
+def lineage_to_dnf(
+    expr: Lineage, max_terms: int = DEFAULT_MAX_DNF_TERMS
+) -> List[DNFTerm]:
     """Expand a lineage into DNF terms (exponential in the worst case;
     intended for union-of-conjunctions shapes where it is linear).
+
+    The expansion is abandoned with :class:`EvaluationError` as soon as
+    an intermediate term list exceeds ``max_terms`` — the guard fires
+    mid-product, so a CNF-shaped lineage fails fast instead of hanging.
 
     >>> from repro.relational import RelationSymbol
     >>> R = RelationSymbol("R", 1)
@@ -56,6 +70,21 @@ def lineage_to_dnf(expr: Lineage) -> List[DNFTerm]:
     >>> sorted(len(t.positive) for t in lineage_to_dnf(expr))
     [1, 1]
     """
+    if max_terms <= 0:
+        raise EvaluationError(f"max_terms must be positive, got {max_terms}")
+    return _lineage_to_dnf(expr, max_terms)
+
+
+def _check_term_budget(count: int, max_terms: int) -> None:
+    if count > max_terms:
+        raise EvaluationError(
+            f"DNF expansion exceeded max_terms={max_terms} "
+            f"({count} partial terms); the lineage is not DNF-shaped — "
+            "use an exact strategy or raise max_terms explicitly"
+        )
+
+
+def _lineage_to_dnf(expr: Lineage, max_terms: int) -> List[DNFTerm]:
     node = expr.node
     tag = node[0]
     if tag == "true":
@@ -70,16 +99,18 @@ def lineage_to_dnf(expr: Lineage) -> List[DNFTerm]:
             return [DNFTerm(frozenset(), frozenset({inner.node[1]}))]
         # Push negation inward and retry (De Morgan via the constructors).
         pushed = _push_negation(inner)
-        return lineage_to_dnf(pushed)
+        return _lineage_to_dnf(pushed, max_terms)
     if tag == "or":
         terms: List[DNFTerm] = []
         for child in node[1]:
-            terms.extend(lineage_to_dnf(Lineage(child)))
+            terms.extend(_lineage_to_dnf(Lineage(child), max_terms))
+            _check_term_budget(len(terms), max_terms)
         return terms
     if tag == "and":
         result = [DNFTerm(frozenset(), frozenset())]
         for child in node[1]:
-            child_terms = lineage_to_dnf(Lineage(child))
+            child_terms = _lineage_to_dnf(Lineage(child), max_terms)
+            _check_term_budget(len(result) * len(child_terms), max_terms)
             result = [
                 DNFTerm(a.positive | b.positive, a.negative | b.negative)
                 for a in result
@@ -147,29 +178,46 @@ def karp_luby_probability(
     """
     if samples <= 0:
         raise EvaluationError("samples must be positive")
-    if not terms:
-        return KarpLubyEstimate(0.0, samples, 0.0)
-    weights = [term.probability(table.marginal) for term in terms]
-    term_mass = sum(weights)
-    if term_mass == 0.0:
-        return KarpLubyEstimate(0.0, samples, 0.0)
-    cumulative = []
-    acc = 0.0
-    for w in weights:
-        acc += w
-        cumulative.append(acc)
-    all_facts = table.facts()
-    if backend == "scalar":
-        if rng is None:
-            if seed is None:
-                raise EvaluationError("provide rng= or seed=")
-            rng = random.Random(seed)
-        hits = _scalar_hits(terms, table, samples, rng, cumulative,
-                            term_mass, all_facts)
-    else:
-        hits = _batched_hits(terms, table, samples, rng, seed, backend,
-                             batch_size, cumulative, term_mass, all_facts)
-    return KarpLubyEstimate(term_mass * hits / samples, samples, term_mass)
+    with obs.trace() as t:
+        obs.note(strategy=f"karp-luby[{backend}]")
+        if not terms:
+            return obs.attach_report(
+                KarpLubyEstimate(0.0, samples, 0.0),
+                obs.EvalReport.from_trace(t))
+        weights = [term.probability(table.marginal) for term in terms]
+        term_mass = sum(weights)
+        if term_mass == 0.0:
+            return obs.attach_report(
+                KarpLubyEstimate(0.0, samples, 0.0),
+                obs.EvalReport.from_trace(t))
+        cumulative = []
+        acc = 0.0
+        for w in weights:
+            acc += w
+            cumulative.append(acc)
+        all_facts = table.facts()
+        with obs.phase("sample"):
+            if backend == "scalar":
+                if rng is None:
+                    if seed is None:
+                        raise EvaluationError("provide rng= or seed=")
+                    rng = random.Random(seed)
+                hits = _scalar_hits(terms, table, samples, rng, cumulative,
+                                    term_mass, all_facts)
+            else:
+                hits = _batched_hits(terms, table, samples, rng, seed,
+                                     backend, batch_size, cumulative,
+                                     term_mass, all_facts)
+        obs.incr("sampling.samples", samples)
+        # The estimator is term_mass · (hits/samples): its standard error
+        # is term_mass · sqrt(p̂(1−p̂)/samples) for p̂ = hits/samples.
+        hit_rate = hits / samples
+        std_error = term_mass * math.sqrt(
+            max(hit_rate * (1.0 - hit_rate), 1.0 / samples) / samples)
+        obs.gauge_max("sampling.std_error", std_error)
+        obs.gauge_max("sampling.half_width", 1.96 * std_error)
+        estimate = KarpLubyEstimate(term_mass * hit_rate, samples, term_mass)
+    return obs.attach_report(estimate, obs.EvalReport.from_trace(t))
 
 
 def _scalar_hits(terms, table, samples, rng, cumulative, term_mass,
@@ -230,6 +278,7 @@ def _batched_hits(terms, table, samples, rng, seed, backend, batch_size,
                 hits += 1
         done += k
         batch_index += 1
+    obs.incr("sampling.batches", batch_index)
     return hits
 
 
@@ -252,8 +301,15 @@ def query_probability_karp_luby(
     backend: str = "auto",
     seed: Optional[int] = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    max_terms: int = DEFAULT_MAX_DNF_TERMS,
 ) -> KarpLubyEstimate:
     """Karp–Luby estimate for a Boolean query via its lineage DNF.
+
+    ``max_terms`` bounds the DNF expansion of the lineage
+    (:func:`lineage_to_dnf`); queries whose lineage is not
+    union-of-conjunctions shaped fail fast with
+    :class:`~repro.errors.EvaluationError` instead of expanding
+    exponentially.
 
     >>> from repro.relational import Schema
     >>> from repro.logic import parse_formula
@@ -265,9 +321,12 @@ def query_probability_karp_luby(
     >>> abs(est.estimate - 0.75) < 0.05
     True
     """
-    expr = lineage_of(query.formula, set(table.marginals))
-    terms = lineage_to_dnf(expr)
-    return karp_luby_probability(
-        terms, table, samples, rng,
-        backend=backend, seed=seed, batch_size=batch_size,
-    )
+    with obs.trace() as t:
+        with obs.phase("lineage"):
+            expr = lineage_of(query.formula, set(table.marginals))
+            terms = lineage_to_dnf(expr, max_terms=max_terms)
+        estimate = karp_luby_probability(
+            terms, table, samples, rng,
+            backend=backend, seed=seed, batch_size=batch_size,
+        )
+    return obs.attach_report(estimate, obs.EvalReport.from_trace(t))

@@ -18,6 +18,7 @@ import random
 from statistics import NormalDist
 from typing import Callable, NamedTuple, Optional, Union
 
+from repro import obs
 from repro.finite.bid import BlockIndependentTable
 from repro.finite.pdb import FinitePDB
 from repro.finite.tuple_independent import TupleIndependentTable
@@ -78,7 +79,11 @@ def _wald_estimate(hits: int, samples: int, z: float) -> MonteCarloEstimate:
     estimate = hits / samples
     # Wald interval with a continuity floor to avoid zero width at 0/1.
     variance = max(estimate * (1.0 - estimate), 1.0 / samples)
-    half_width = z * math.sqrt(variance / samples)
+    std_error = math.sqrt(variance / samples)
+    half_width = z * std_error
+    obs.incr("sampling.samples", samples)
+    obs.gauge_max("sampling.half_width", half_width)
+    obs.gauge_max("sampling.std_error", std_error)
     return MonteCarloEstimate(estimate, samples, half_width)
 
 
@@ -102,6 +107,7 @@ def _batched_hits(
                 hits += 1
         done += k
         batch_index += 1
+    obs.incr("sampling.batches", batch_index)
     return hits
 
 
@@ -134,24 +140,28 @@ def query_probability_monte_carlo(
     if samples <= 0:
         raise ValueError("samples must be positive")
     z = z_quantile(confidence)
-    if backend == "scalar":
-        if rng is None:
-            if seed is None:
-                raise ValueError("provide rng= or seed=")
-            rng = random.Random(seed)
-        hits = 0
-        for _ in range(samples):
-            world = pdb.sample(rng)
-            if query.holds_in(world):
-                hits += 1
-    else:
-        kernel = get_kernel(backend)
-        plan = plan_for(pdb)
-        hits = _batched_hits(
-            plan.model_checker(query), plan, samples, kernel, rng, seed,
-            batch_size,
-        )
-    return _wald_estimate(hits, samples, z)
+    with obs.trace() as t:
+        obs.note(strategy=f"monte-carlo[{backend}]")
+        with obs.phase("sample"):
+            if backend == "scalar":
+                if rng is None:
+                    if seed is None:
+                        raise ValueError("provide rng= or seed=")
+                    rng = random.Random(seed)
+                hits = 0
+                for _ in range(samples):
+                    world = pdb.sample(rng)
+                    if query.holds_in(world):
+                        hits += 1
+            else:
+                kernel = get_kernel(backend)
+                plan = plan_for(pdb)
+                hits = _batched_hits(
+                    plan.model_checker(query), plan, samples, kernel, rng,
+                    seed, batch_size,
+                )
+        estimate = _wald_estimate(hits, samples, z)
+    return obs.attach_report(estimate, obs.EvalReport.from_trace(t))
 
 
 def event_probability_monte_carlo(
@@ -172,17 +182,22 @@ def event_probability_monte_carlo(
     if samples <= 0:
         raise ValueError("samples must be positive")
     z = z_quantile(confidence)
-    if backend == "scalar":
-        if rng is None:
-            if seed is None:
-                raise ValueError("provide rng= or seed=")
-            rng = random.Random(seed)
-        hits = sum(1 for _ in range(samples) if event(pdb.sample(rng)))
-    else:
-        kernel = get_kernel(backend)
-        plan = plan_for(pdb)
-        hits = _batched_hits(
-            plan.event_checker(event), plan, samples, kernel, rng, seed,
-            batch_size,
-        )
-    return _wald_estimate(hits, samples, z)
+    with obs.trace() as t:
+        obs.note(strategy=f"monte-carlo[{backend}]")
+        with obs.phase("sample"):
+            if backend == "scalar":
+                if rng is None:
+                    if seed is None:
+                        raise ValueError("provide rng= or seed=")
+                    rng = random.Random(seed)
+                hits = sum(
+                    1 for _ in range(samples) if event(pdb.sample(rng)))
+            else:
+                kernel = get_kernel(backend)
+                plan = plan_for(pdb)
+                hits = _batched_hits(
+                    plan.event_checker(event), plan, samples, kernel, rng,
+                    seed, batch_size,
+                )
+        estimate = _wald_estimate(hits, samples, z)
+    return obs.attach_report(estimate, obs.EvalReport.from_trace(t))

@@ -14,6 +14,8 @@ from __future__ import annotations
 import hashlib
 import random
 
+from repro import obs
+
 
 class SampleStream:
     """A reproducible family of per-batch RNG seeds.
@@ -34,6 +36,7 @@ class SampleStream:
         """A 64-bit seed derived from ``(seed, batch_index)``."""
         if batch_index < 0:
             raise ValueError(f"batch_index must be >= 0, got {batch_index}")
+        obs.incr("stream.child_seeds")
         payload = f"{self.seed}:{batch_index}".encode("ascii")
         digest = hashlib.sha256(payload).digest()
         return int.from_bytes(digest[:8], "big")

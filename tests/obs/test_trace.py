@@ -1,0 +1,84 @@
+"""The thread-local trace context: stacking, idling, isolation."""
+
+import threading
+
+from repro import obs
+
+
+def test_idle_recorders_are_noops():
+    # No active trace: every hook must silently return.
+    assert obs.current_trace() is None
+    obs.incr("cache.hit")
+    obs.gauge("truncation.n", 4)
+    obs.gauge_max("sampling.half_width", 0.1)
+    obs.event("fanout.pool", workers=2)
+    obs.note(strategy="lifted")
+    with obs.phase("evaluate"):
+        pass
+    assert obs.current_trace() is None
+
+
+def test_counters_accumulate():
+    with obs.trace() as t:
+        obs.incr("cache.hit")
+        obs.incr("cache.hit")
+        obs.incr("sampling.samples", 500)
+    assert t.counters == {"cache.hit": 2, "sampling.samples": 500}
+    assert obs.current_trace() is None
+
+
+def test_gauge_overwrites_and_gauge_max_keeps_max():
+    with obs.trace() as t:
+        obs.gauge("truncation.n", 4)
+        obs.gauge("truncation.n", 7)
+        obs.gauge_max("sampling.half_width", 0.2)
+        obs.gauge_max("sampling.half_width", 0.05)
+    assert t.gauges["truncation.n"] == 7
+    assert t.gauges["sampling.half_width"] == 0.2
+
+
+def test_phase_times_accumulate():
+    with obs.trace() as t:
+        with obs.phase("evaluate"):
+            pass
+        with obs.phase("evaluate"):
+            pass
+    assert t.timings["evaluate"] >= 0.0
+
+
+def test_nested_traces_both_record():
+    with obs.trace() as outer:
+        obs.incr("fanout.answers")
+        with obs.trace() as inner:
+            obs.incr("cache.miss")
+            obs.note(strategy="bdd")
+            assert obs.current_trace() is inner
+        assert obs.current_trace() is outer
+    # The inner scope saw only its own extent; the outer saw everything.
+    assert inner.counters == {"cache.miss": 1}
+    assert outer.counters == {"fanout.answers": 1, "cache.miss": 1}
+    assert outer.meta["strategy"] == "bdd"
+    assert inner.meta["strategy"] == "bdd"
+
+
+def test_events_record_name_and_payload():
+    with obs.trace() as t:
+        obs.event("fanout.serial_fallback", workers=3, reason="PicklingError")
+    (event,) = t.events
+    assert event.name == "fanout.serial_fallback"
+    assert event.payload == {"workers": 3, "reason": "PicklingError"}
+
+
+def test_traces_are_thread_local():
+    seen = {}
+
+    def worker():
+        seen["inside"] = obs.current_trace()
+        obs.incr("cache.hit")  # must not leak into the main thread's trace
+
+    with obs.trace() as t:
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+    assert seen["inside"] is None
+    assert t.counters == {}
