@@ -1,0 +1,253 @@
+"""A-5 — anytime refinement: warm ε-sweeps vs stateless per-ε calls.
+
+Regenerates: the headline artifact of the refinement engine — one
+:class:`repro.core.refine.RefinementSession` sweeping
+ε ∈ {0.2, 0.1, 0.05, 0.02, 0.01} (the anytime trajectory a progress bar
+or interactive client would request), against the stateless baseline the
+seed shipped: a fresh PDB, a cleared compile cache, and a full one-shot
+``approximate_query_probability`` per ε.  The sweep repeats for several
+passes, as a client polling for tighter guarantees does; the session
+answers repeats from its memoized prefix, grown table, and warm
+diagrams, while the baseline redoes everything.
+
+Two fact families, both forced through the compiled (BDD) path by an
+unsafe self-join query:
+
+* **geometric** — light tail, n(ε) = O(log 1/ε): the paper's benign
+  case, where truncation search and table building dominate;
+* **zeta (exponent 2)** — heavy tail, n(ε) = O(1/ε): the stress case,
+  where re-enumerating and recompiling hundreds of facts per call is
+  the cost the session amortizes.
+
+Shape to hold: warm sweeps ≥ 5× the stateless baseline on at least one
+family, with every per-ε result bit-identical (same value, truncation,
+and α — the differential suites in ``tests/core/test_refine.py`` pin
+this on dyadic inputs; here it must hold on the measured workloads too).
+Machine-readable results land in ``BENCH_refinement.json`` at the repo
+root so future PRs can track the perf trajectory.
+
+Smoke mode (``BENCH_SMOKE=1``): tiny sizes, no speedup assertion — used
+by CI to exercise the refinement path on every Python version.
+"""
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from benchmarks.conftest import report
+from repro import obs
+from repro.core.approx import (
+    approximate_query_probability,
+    choose_truncation,
+)
+from repro.core.fact_distribution import (
+    GeometricFactDistribution,
+    ZetaFactDistribution,
+)
+from repro.core.refine import REFINE_REUSED_FACTS, RefinementSession
+from repro.core.tuple_independent import CountableTIPDB
+from repro.finite.compile_cache import DEFAULT_COMPILE_CACHE, CompileCache
+from repro.logic import BooleanQuery, parse_formula
+from repro.relational import Schema
+from repro.universe import FactSpace, Naturals
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+schema = Schema.of(R=1)
+space = FactSpace(schema, Naturals())
+
+EPSILONS = [0.2, 0.1] if SMOKE else [0.2, 0.1, 0.05, 0.02, 0.01]
+PASSES = 2 if SMOKE else 6
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_refinement.json"
+
+_RESULTS = {}
+
+#: (name, zero-arg PDB factory) — a *fresh* distribution per call, so
+#: the stateless baseline cannot ride a previously materialized prefix.
+FAMILIES = [
+    ("geometric", lambda: CountableTIPDB(
+        schema, GeometricFactDistribution(space, first=0.3, ratio=0.9))),
+    ("zeta", lambda: CountableTIPDB(
+        schema, ZetaFactDistribution(space, exponent=2.0, scale=0.5))),
+]
+
+
+def unsafe_query():
+    """Self-join disjunction: unsafe, so evaluation must compile."""
+    return BooleanQuery(
+        parse_formula("EXISTS x. R(x) AND (R(1) OR R(2))", schema), schema)
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def stateless_sweep(query, make_pdb):
+    """The seed's workflow: every ε is a cold one-shot call — fresh
+    distribution (empty prefix cache), cleared process-wide compile
+    cache, full truncation rebuild."""
+    results = {}
+    for epsilon in sorted(EPSILONS, reverse=True):
+        DEFAULT_COMPILE_CACHE.clear()
+        results[epsilon] = approximate_query_probability(
+            query, make_pdb(), epsilon, strategy="bdd")
+    return results
+
+
+def sweep_rows():
+    rows = []
+    families_json = {}
+    worst = float("inf")
+    for name, make_pdb in FAMILIES:
+        query = unsafe_query()
+
+        cold_s = 0.0
+        cold_results = None
+        for _ in range(PASSES):
+            cold_results, elapsed = timed(
+                lambda: stateless_sweep(query, make_pdb))
+            cold_s += elapsed
+
+        session = RefinementSession(
+            query, make_pdb(), strategy="bdd", compile_cache=CompileCache())
+        warm_s = 0.0
+        warm_results = None
+        reused_total = 0
+        for _ in range(PASSES):
+            with obs.trace() as t:
+                warm_results, elapsed = timed(
+                    lambda: session.sweep(EPSILONS))
+            reused_total += t.counters.get(REFINE_REUSED_FACTS, 0)
+            warm_s += elapsed
+
+        # Bit-exact parity on the measured workload, not just the
+        # dyadic differential suite: the session must return exactly
+        # what the stateless calls returned, ε for ε.
+        assert set(cold_results) == set(warm_results)
+        for epsilon, cold in cold_results.items():
+            warm = warm_results[epsilon]
+            assert warm.value == cold.value, \
+                f"{name} ε={epsilon}: {warm.value} != {cold.value}"
+            assert warm.truncation == cold.truncation
+            assert warm.alpha == cold.alpha
+
+        speedup = cold_s / warm_s
+        worst = min(worst, speedup)
+        n_max = max(r.truncation for r in warm_results.values())
+        rows.append((name, len(EPSILONS), PASSES, n_max,
+                     cold_s, warm_s, speedup))
+        families_json[name] = {
+            "epsilons": EPSILONS,
+            "passes": PASSES,
+            "max_truncation": n_max,
+            "truncations": {
+                str(e): warm_results[e].truncation for e in EPSILONS},
+            "stateless_s": cold_s,
+            "warm_session_s": warm_s,
+            "speedup": speedup,
+            "reused_units_total": reused_total,
+            "session_cache_stats": {
+                "hits": session.compile_cache.stats.hits,
+                "misses": session.compile_cache.stats.misses,
+                "extensions": session.compile_cache.stats.extensions,
+            },
+        }
+    _RESULTS["sweep_workload"] = {
+        "families": families_json,
+        "best_speedup": max(f["speedup"] for f in families_json.values()),
+        "worst_speedup": worst,
+    }
+    return rows, max(f["speedup"] for f in families_json.values())
+
+
+def search_rows():
+    """The truncation search alone: memoized logarithmic probe vs the
+    seed's per-call linear scan (a fresh distribution re-walks the whole
+    prefix for every ε; the cache answers later ε from memoized tails)."""
+    rows = []
+    search_json = {}
+    for name, make_pdb in FAMILIES:
+        fresh_s = 0.0
+        for _ in range(PASSES):
+
+            def fresh_searches():
+                for epsilon in sorted(EPSILONS, reverse=True):
+                    choose_truncation(make_pdb().distribution, epsilon)
+
+            _, elapsed = timed(fresh_searches)
+            fresh_s += elapsed
+
+        pdb = make_pdb()
+        cached_s = 0.0
+        for _ in range(PASSES):
+
+            def cached_searches():
+                for epsilon in sorted(EPSILONS, reverse=True):
+                    choose_truncation(pdb.distribution, epsilon)
+
+            _, elapsed = timed(cached_searches)
+            cached_s += elapsed
+
+        cache = pdb.distribution.prefix_cache()
+        speedup = fresh_s / cached_s if cached_s else float("inf")
+        # The search never materializes items — its entire state is the
+        # memoized tail evaluations, so that's the reuse to report.
+        tail_evals = len(cache._tail_memo)
+        rows.append((name, fresh_s, cached_s, speedup, tail_evals))
+        search_json[name] = {
+            "fresh_s": fresh_s,
+            "cached_s": cached_s,
+            "speedup": speedup,
+            "memoized_tail_evals": tail_evals,
+        }
+    _RESULTS["search_workload"] = search_json
+    return rows
+
+
+def _write_json():
+    if SMOKE:
+        # CI smoke runs exercise the code path but must not clobber the
+        # committed full-mode perf record.
+        return
+    _RESULTS.update({
+        "benchmark": "refinement",
+        "smoke": SMOKE,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "generated_unix": int(time.time()),
+        "headline_speedup": _RESULTS.get(
+            "sweep_workload", {}).get("best_speedup", 0.0),
+    })
+    JSON_PATH.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
+
+
+def test_a5_warm_sweep_vs_stateless(benchmark):
+    (rows, speedup), _ = timed(
+        lambda: benchmark.pedantic(sweep_rows, rounds=1, iterations=1))
+    report(f"A5a: anytime ε-sweep, warm session vs stateless "
+           f"({PASSES} passes over {len(EPSILONS)} ε)",
+           ("family", "epsilons", "passes", "n_max",
+            "stateless_s", "warm_s", "speedup"),
+           rows)
+    if not SMOKE:
+        # The acceptance bar: warm sweeps ≥ 5× the stateless baseline.
+        assert speedup >= 5.0, f"warm-sweep speedup {speedup:.2f}x < 5x"
+
+
+def test_a5_truncation_search(benchmark):
+    rows = benchmark.pedantic(search_rows, rounds=1, iterations=1)
+    report("A5b: truncation search, memoized bisection vs per-call "
+           "fresh scan",
+           ("family", "fresh_s", "cached_s", "speedup", "tail_evals"),
+           rows)
+    _write_json()
+    if not SMOKE:
+        for row in rows:
+            assert row[3] >= 1.0, \
+                f"cached search slower on {row[0]}: {row[3]:.2f}x"

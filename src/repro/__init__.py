@@ -78,6 +78,8 @@ from repro.finite import (
 from repro.core import (
     ApproximationResult,
     BlockFamily,
+    RefinementSession,
+    truncation_profile,
     CompletedPDB,
     CountableBIDPDB,
     CountablePDB,
@@ -181,6 +183,8 @@ __all__ = [
     "approximate_query_probability",
     "approximate_answer_marginals",
     "choose_truncation",
+    "truncation_profile",
+    "RefinementSession",
     "example_3_3_pdb",
     # open-world baseline
     "OpenPDB",

@@ -3,7 +3,8 @@
 Usage::
 
     python -m repro query TABLE.json "EXISTS x. R(x)" [--epsilon 0.01]
-           [--open-world first,ratio] [--strategy auto|worlds|lineage|lifted]
+           [--open-world first,ratio] [--sweep E1,E2,...]
+           [--strategy auto|worlds|lineage|lifted]
            [--stats [human|json]]
     python -m repro marginals TABLE.json "R(x)" [--stats [human|json]]
     python -m repro info TABLE.json
@@ -13,6 +14,11 @@ Usage::
 ``--open-world`` the table is first completed (Theorem 5.5) with a
 geometric family over its fact space and the query is evaluated by the
 Proposition 6.1 truncation algorithm.
+
+``--sweep E1,E2,...`` (open-world only) runs an anytime ε-sweep through
+one :class:`repro.core.refine.RefinementSession` — loosest ε first, each
+tighter guarantee extending the previous truncation and reusing its
+compiled evaluation — and prints one line per ε.
 
 ``--stats`` prints the :class:`repro.obs.EvalReport` attached to the
 result — chosen strategy, truncation/α, cache and sampling telemetry,
@@ -77,6 +83,17 @@ def _parse_open_world(spec: str):
             f"--open-world expects 'first,ratio', got {spec!r}")
 
 
+def _parse_sweep(spec: str):
+    try:
+        epsilons = [float(part) for part in spec.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(
+            f"--sweep expects comma-separated epsilons, got {spec!r}")
+    if not epsilons:
+        raise SystemExit("--sweep needs at least one epsilon")
+    return epsilons
+
+
 def command_info(args: argparse.Namespace) -> int:
     table = _load_table(args.table)
     kind = type(table).__name__
@@ -104,12 +121,25 @@ def command_query(args: argparse.Namespace) -> int:
             GeometricFactDistribution(
                 FactSpace(table.schema, Naturals()), first=first, ratio=ratio),
         )
-        result = completed.approximate_query_probability(
-            query, epsilon=args.epsilon)
-        print(f"P(Q) = {result.value:.6f}  (±{result.epsilon}, "
-              f"truncated at n = {result.truncation} open-world facts)")
-        _emit_stats(result, args.stats)
+        if args.sweep:
+            from repro.core.refine import RefinementSession
+
+            session = RefinementSession(query, completed)
+            for epsilon, result in session.sweep(
+                    _parse_sweep(args.sweep)).items():
+                print(f"P(Q) = {result.value:.6f}  (±{result.epsilon}, "
+                      f"truncated at n = {result.truncation} "
+                      "open-world facts)")
+                _emit_stats(result, args.stats)
+        else:
+            result = completed.approximate_query_probability(
+                query, epsilon=args.epsilon)
+            print(f"P(Q) = {result.value:.6f}  (±{result.epsilon}, "
+                  f"truncated at n = {result.truncation} open-world facts)")
+            _emit_stats(result, args.stats)
     else:
+        if args.sweep:
+            raise SystemExit("--sweep requires --open-world")
         value = query_probability(query, table, strategy=args.strategy)
         print(f"P(Q) = {value:.6f}  (exact, closed world)")
         _emit_stats(value, args.stats)
@@ -154,6 +184,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "before querying (Theorem 5.5)")
     query.add_argument("--epsilon", type=float, default=0.01,
                        help="additive guarantee for open-world queries")
+    query.add_argument("--sweep", metavar="E1,E2,...", default=None,
+                       help="anytime epsilon sweep through one refinement "
+                            "session (requires --open-world); prints one "
+                            "line per epsilon, loosest first")
     _add_stats_flag(query)
     query.set_defaults(handler=command_query)
 

@@ -42,7 +42,11 @@ from repro.core.approx import (
     approximate_query_probability,
     approximate_answer_marginals,
     choose_truncation,
+    choose_block_truncation,
+    truncation_profile,
 )
+from repro.core.prefix_cache import PrefixCache
+from repro.core.refine import RefinementSession
 from repro.core.size import example_3_3_pdb, size_tail_probabilities
 from repro.core.views import apply_fo_view_countable, fo_view_size_bound
 
@@ -69,6 +73,10 @@ __all__ = [
     "approximate_query_probability",
     "approximate_answer_marginals",
     "choose_truncation",
+    "choose_block_truncation",
+    "truncation_profile",
+    "PrefixCache",
+    "RefinementSession",
     "example_3_3_pdb",
     "size_tail_probabilities",
     "apply_fo_view_countable",

@@ -20,18 +20,13 @@ The non-Boolean extension grounds the free variables over
 
 from __future__ import annotations
 
-import math
 from typing import Dict, NamedTuple, Optional, Tuple
 
 from repro import obs
-from repro.analysis.bounds import alpha_from_tail, required_alpha
+from repro.analysis.bounds import required_alpha
 from repro.core.fact_distribution import FactDistribution
 from repro.core.tuple_independent import CountableTIPDB
 from repro.errors import ApproximationError
-from repro.finite.evaluation import (
-    marginal_answer_probabilities,
-    query_probability,
-)
 from repro.logic.queries import BooleanQuery, Query
 from repro.relational.facts import Value
 
@@ -108,8 +103,35 @@ def choose_truncation(
     1
     """
     _require_valid_epsilon(epsilon)
-    return distribution.prefix_for_tail(
-        _truncation_target_tail(epsilon), max_facts=max_facts)
+    try:
+        return distribution.prefix_for_tail(
+            _truncation_target_tail(epsilon), max_facts=max_facts)
+    except ApproximationError as exc:
+        raise ApproximationError(
+            f"cannot certify epsilon={epsilon:g}: {exc}",
+            achieved_tail=exc.achieved_tail,
+        ) from exc
+
+
+def choose_block_truncation(
+    family,
+    epsilon: float,
+    max_blocks: int = 10**6,
+) -> int:
+    """The block-truncation size of the BID extension of Proposition
+    6.1: smallest n with certified block-mass tail below
+    ``min(log(1+ε)/1.5, 0.49)`` (see
+    :func:`approximate_query_probability_bid` for why the proof carries
+    over)."""
+    _require_valid_epsilon(epsilon)
+    try:
+        return family.prefix_for_tail(
+            _truncation_target_tail(epsilon), max_blocks=max_blocks)
+    except ApproximationError as exc:
+        raise ApproximationError(
+            f"cannot certify epsilon={epsilon:g}: {exc}",
+            achieved_tail=exc.achieved_tail,
+        ) from exc
 
 
 def _finish_approximation(
@@ -162,15 +184,10 @@ def approximate_query_probability(
     >>> 0.3 < result.value < 0.45 and result.truncation >= 4
     True
     """
-    with obs.trace() as t:
-        with obs.phase("choose_truncation"):
-            n = choose_truncation(
-                pdb.distribution, epsilon, max_facts=max_facts)
-        with obs.phase("truncate"):
-            table = pdb.truncate(n)
-        value = query_probability(query, table, strategy=strategy)
-        alpha = alpha_from_tail(pdb.distribution.tail(n))
-        return _finish_approximation(t, value, epsilon, n, alpha)
+    from repro.core.refine import RefinementSession
+
+    return RefinementSession(
+        query, pdb, strategy=strategy, max_facts=max_facts).refine(epsilon)
 
 
 def approximate_query_probability_completed(
@@ -190,17 +207,11 @@ def approximate_query_probability_completed(
     ``max_facts`` are forwarded exactly as in
     :func:`approximate_query_probability`.
     """
-    _require_valid_epsilon(epsilon)
-    with obs.trace() as t:
-        distribution = completed.new_facts.distribution
-        with obs.phase("choose_truncation"):
-            n = distribution.prefix_for_tail(
-                _truncation_target_tail(epsilon), max_facts=max_facts)
-        with obs.phase("truncate"):
-            finite = completed.truncate(n)
-        value = query_probability(query, finite, strategy=strategy)
-        alpha = alpha_from_tail(distribution.tail(n))
-        return _finish_approximation(t, value, epsilon, n, alpha)
+    from repro.core.refine import RefinementSession
+
+    return RefinementSession(
+        query, completed, strategy=strategy, max_facts=max_facts,
+    ).refine(epsilon)
 
 
 def approximate_query_probability_bid(
@@ -238,16 +249,10 @@ def approximate_query_probability_bid(
     >>> 0.5 < result.value < 0.75
     True
     """
-    _require_valid_epsilon(epsilon)
-    with obs.trace() as t:
-        with obs.phase("choose_truncation"):
-            n = pdb.family.prefix_for_tail(
-                _truncation_target_tail(epsilon), max_blocks=max_blocks)
-        with obs.phase("truncate"):
-            table = pdb.truncate(n)
-        value = query_probability(query, table, strategy="auto")
-        alpha = alpha_from_tail(pdb.family.tail(n))
-        return _finish_approximation(t, value, epsilon, n, alpha)
+    from repro.core.refine import RefinementSession
+
+    return RefinementSession(
+        query, pdb, strategy="auto", max_facts=max_blocks).refine(epsilon)
 
 
 def approximate_answer_marginals(
@@ -284,36 +289,11 @@ def approximate_answer_marginals(
     >>> round(marginals[(1,)].value, 3)
     0.5
     """
-    if query.is_boolean:
-        boolean = BooleanQuery(query.formula, query.schema, name=query.name)
-        return {
-            (): approximate_query_probability(
-                boolean, pdb, epsilon, strategy=strategy, max_facts=max_facts
-            )
-        }
-    with obs.trace() as t:
-        with obs.phase("choose_truncation"):
-            n = choose_truncation(
-                pdb.distribution, epsilon, max_facts=max_facts)
-        with obs.phase("truncate"):
-            table = pdb.truncate(n)
-        alpha = alpha_from_tail(pdb.distribution.tail(n))
-        values = marginal_answer_probabilities(
-            query, table, strategy=strategy, workers=workers)
-        obs.gauge("truncation.n", n)
-        obs.gauge("truncation.alpha", alpha)
-        obs.gauge("truncation.epsilon", epsilon)
-        # One shared report: the fan-out's telemetry (cache counters,
-        # worst-case sampling error) applies to every answer's result.
-        sampling_error = t.gauges.get("sampling.half_width", 0.0)
-        report = obs.EvalReport.from_trace(t)
-    return {
-        answer: obs.attach_report(
-            ApproximationResult(
-                float(value), epsilon, n, alpha, sampling_error),
-            report)
-        for answer, value in values.items()
-    }
+    from repro.core.refine import RefinementSession
+
+    return RefinementSession(
+        query, pdb, strategy=strategy, max_facts=max_facts,
+    ).refine_marginals(epsilon, workers=workers)
 
 
 def truncation_profile(
@@ -323,8 +303,15 @@ def truncation_profile(
 ) -> Dict[float, int]:
     """``n(ε)`` for a range of ε — the complexity profile discussed at
     the end of paper §6 (geometric tails give ``n = O(log 1/ε)``; slower
-    series need far larger truncations)."""
-    return {
+    series need far larger truncations).
+
+    The ε values are processed loosest-first so every entry is served
+    from one shared, monotonically extended prefix materialization; the
+    returned dict keeps the caller's ε order (duplicates collapse).
+    """
+    ordered = sorted({float(epsilon) for epsilon in epsilons}, reverse=True)
+    sizes = {
         epsilon: choose_truncation(distribution, epsilon, max_facts=max_facts)
-        for epsilon in epsilons
+        for epsilon in ordered
     }
+    return {float(epsilon): sizes[float(epsilon)] for epsilon in epsilons}

@@ -21,6 +21,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.analysis.products import product_complement
 from repro.core.pdb import CountablePDB
+from repro.core.prefix_cache import PrefixCache
 from repro.errors import ApproximationError, ConvergenceError, ProbabilityError
 from repro.finite.bid import Block, BlockIndependentTable
 from repro.relational.facts import Fact
@@ -52,6 +53,10 @@ class BlockFamily:
         self._enumerate = enumerate_blocks
         self._tail = tail
         self._total = total_mass
+        self._cache: Optional[PrefixCache] = None
+        # Incremental fact → block index over the materialized prefix.
+        self._fact_index: Dict[Fact, Block] = {}
+        self._fact_index_upto = 0
 
     @classmethod
     def finite(cls, blocks: Sequence[Block]) -> "BlockFamily":
@@ -99,20 +104,40 @@ class BlockFamily:
     def blocks(self) -> Iterator[Block]:
         return self._enumerate()
 
+    def prefix_cache(self) -> PrefixCache:
+        """The family's materialized block prefix: pairs each enumerated
+        block with its total alternative mass, shared by every
+        ``prefix``/``prefix_for_tail``/``total_mass`` call and by the
+        refinement session."""
+        if self._cache is None:
+            self._cache = PrefixCache(
+                (
+                    (block, sum(block.alternatives.values()))
+                    for block in self._enumerate()
+                ),
+                self._tail,
+            )
+        return self._cache
+
     def tail(self, n: int) -> float:
         return self._tail(n)
 
     def total_mass(self) -> float:
         if self._total is not None:
             return self._total
-        acc = 0.0
-        for n, block in enumerate(self.blocks(), start=1):
-            acc += sum(block.alternatives.values())
-            if self.tail(n) <= 1e-12:
-                return acc
-            if n >= 10**6:
+        cache = self.prefix_cache()
+        try:
+            n = cache.smallest_prefix_for_tail(
+                1e-12, 10**6, budget_name="max_blocks", what="block ")
+        except ApproximationError:
+            # The certified tail never stabilizes within the budget; a
+            # finite enumeration that simply ends first still has an
+            # exact sum.
+            n = cache.extend_to(10**6)
+            if not cache.exhausted:
                 raise ConvergenceError("block mass sum did not stabilize")
-        return acc
+        self._total = cache.cumulative_mass(n)
+        return self._total
 
     @property
     def convergent(self) -> bool:
@@ -124,10 +149,14 @@ class BlockFamily:
             return False
 
     def prefix(self, n: int) -> List[Block]:
-        return list(itertools.islice(self.blocks(), n))
+        """The first n blocks, served from the shared
+        :meth:`prefix_cache` materialization."""
+        return self.prefix_cache().items(n)
 
     def prefix_for_tail(self, bound: float, max_blocks: int = 10**6) -> int:
-        """Smallest n with ``tail(n) ≤ bound``.
+        """Smallest n with ``tail(n) ≤ bound`` — exponential probe +
+        bisection over the memoized certified tails (bit-exact vs a
+        linear scan because the tail is non-increasing).
 
         Exhausting ``max_blocks`` raises
         :class:`~repro.errors.ApproximationError` with the achieved tail
@@ -136,21 +165,30 @@ class BlockFamily:
         protecting ``approximate_query_probability_bid``'s ``max_blocks``
         path from returning an uncertified block truncation.
         """
-        if bound <= 0:
-            raise ConvergenceError(f"tail bound must be positive, got {bound}")
-        for n in range(max_blocks + 1):
-            if self.tail(n) <= bound:
-                return n
-        achieved = self.tail(max_blocks)
-        raise ApproximationError(
-            f"block tail did not reach {bound} within "
-            f"max_blocks={max_blocks} (achieved tail mass {achieved})",
-            achieved_tail=achieved,
-        )
+        return self.prefix_cache().smallest_prefix_for_tail(
+            bound, max_blocks, budget_name="max_blocks", what="block ")
+
+    def _indexed_block_of(self, fact: Fact) -> Optional[Block]:
+        """O(1) lookup over the already-materialized prefix (the index
+        catches up lazily with the cache)."""
+        if self._cache is None:
+            return None
+        blocks = self._cache.materialized_items()
+        while self._fact_index_upto < len(blocks):
+            block = blocks[self._fact_index_upto]
+            for known in block.alternatives:
+                self._fact_index[known] = block
+            self._fact_index_upto += 1
+        return self._fact_index.get(fact)
 
     def block_of(self, fact: Fact, max_blocks: int = 10**5) -> Optional[Block]:
-        """The block containing ``fact``, by bounded scan."""
-        for block in itertools.islice(self.blocks(), max_blocks):
+        """The block containing ``fact``: constant-time over the
+        materialized prefix, bounded transient scan beyond it."""
+        found = self._indexed_block_of(fact)
+        if found is not None:
+            return found
+        skip = self._fact_index_upto
+        for block in itertools.islice(self.blocks(), skip, max_blocks):
             if fact in block.alternatives:
                 return block
         return None
@@ -311,6 +349,23 @@ class CountableBIDPDB(CountablePDB):
     def truncate(self, n_blocks: int) -> BlockIndependentTable:
         """Finite BID table over the first ``n_blocks`` blocks."""
         return BlockIndependentTable(self.schema, self.family.prefix(n_blocks))
+
+    def extend_truncation(
+        self, table: BlockIndependentTable, n_blocks: int
+    ) -> int:
+        """Grow a table produced by :meth:`truncate` to the first
+        ``n_blocks`` blocks *in place* — the result equals
+        ``truncate(n_blocks)`` (same blocks, same order) without
+        rebuilding the reused prefix.  Returns the number of blocks
+        reused (the table's prior size)."""
+        reused = len(table.blocks)
+        if n_blocks > reused:
+            table.extend(
+                block
+                for block, _ in self.family.prefix_cache().pairs(
+                    reused, n_blocks)
+            )
+        return reused
 
     # ---------------------------------------------------------------- sampling
     def sample(self, rng: random.Random, tolerance: float = 1e-9) -> Instance:

@@ -19,12 +19,12 @@ exercise the rejection path.
 
 from __future__ import annotations
 
-import itertools
 import math
 from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from repro.analysis.series import SeriesCertificate
-from repro.errors import ApproximationError, ConvergenceError, ProbabilityError
+from repro.core.prefix_cache import PrefixCache
+from repro.errors import ConvergenceError, ProbabilityError
 from repro.relational.facts import Fact
 from repro.universe.factspace import FactSpace
 from repro.utils.rationals import validate_probability
@@ -81,16 +81,37 @@ class FactDistribution:
         """Whether ``Σ p_f`` converges — the Theorem 4.8 criterion."""
         return math.isfinite(self.total_mass())
 
+    def _support_pairs(self) -> Iterator[Tuple[Fact, float]]:
+        """``(f, p_f)`` along :meth:`support` — the stream the prefix
+        cache materializes.  **Must** agree with :meth:`support` in
+        content and order.  Subclasses override when the pair can be
+        produced cheaper than a :meth:`probability` lookup per fact."""
+        return ((fact, self.probability(fact)) for fact in self.support())
+
+    def prefix_cache(self, backend: str = "auto") -> PrefixCache:
+        """This distribution's materialized prefix (created lazily, then
+        shared by every ``prefix``/``marginals_dict``/``prefix_for_tail``
+        call and by the refinement session).  ``backend`` only applies
+        to the first call; afterwards the existing cache is returned."""
+        cache = self.__dict__.get("_prefix_cache")
+        if cache is None:
+            cache = PrefixCache(self._support_pairs(), self.tail,
+                                backend=backend)
+            self._prefix_cache = cache
+        return cache
+
     def prefix(self, n: int) -> List[Tuple[Fact, float]]:
-        """The first n support facts with their probabilities."""
-        return [
-            (fact, self.probability(fact))
-            for fact in itertools.islice(self.support(), n)
-        ]
+        """The first n support facts with their probabilities (served
+        from the shared :meth:`prefix_cache`)."""
+        return self.prefix_cache().prefix(n)
 
     def prefix_for_tail(self, bound: float, max_facts: int = 10**7) -> int:
-        """Smallest n with ``tail(n) ≤ bound`` (linear search, like the
-        paper's "systematically listing facts").
+        """Smallest n with ``tail(n) ≤ bound``.
+
+        Found by exponential probe + bisection over the memoized
+        certified tails (sound and bit-exact vs the paper's linear
+        "systematically listing facts" because ``tail`` is
+        non-increasing in n) — O(log n) tail evaluations.
 
         Exhausting ``max_facts`` before the bound is met raises
         :class:`~repro.errors.ApproximationError` carrying the tail mass
@@ -98,22 +119,19 @@ class FactDistribution:
         *uncertified*, silently voiding the ε-guarantee of every caller
         in the Proposition 6.1 pipeline.
         """
-        if bound <= 0:
-            raise ConvergenceError(f"tail bound must be positive, got {bound}")
-        for n in range(max_facts + 1):
-            if self.tail(n) <= bound:
-                return n
-        achieved = self.tail(max_facts)
-        raise ApproximationError(
-            f"tail did not reach {bound} within max_facts={max_facts} "
-            f"(achieved tail mass {achieved}); raise max_facts or relax "
-            "the guarantee",
-            achieved_tail=achieved,
-        )
+        return self.prefix_cache().smallest_prefix_for_tail(
+            bound, max_facts, budget_name="max_facts")
 
     def marginals_dict(self, n: int) -> Dict[Fact, float]:
         """The first n support facts as a dict (for finite truncations)."""
-        return dict(self.prefix(n))
+        return self.prefix_cache().marginals_dict(n)
+
+    def __getstate__(self):
+        # The cache holds a live generator (unpicklable); peers rebuild
+        # their own prefix on demand.
+        state = self.__dict__.copy()
+        state.pop("_prefix_cache", None)
+        return state
 
 
 class TableFactDistribution(FactDistribution):
@@ -150,6 +168,9 @@ class TableFactDistribution(FactDistribution):
 
     def support(self) -> Iterator[Fact]:
         return iter(self._order)
+
+    def _support_pairs(self) -> Iterator[Tuple[Fact, float]]:
+        return ((fact, self._marginals[fact]) for fact in self._order)
 
     def probability(self, fact: Fact) -> float:
         return self._marginals.get(fact, 0.0)
@@ -197,15 +218,14 @@ class _RankBasedDistribution(FactDistribution):
             return 0.0
         return self._term(self.fact_space.rank(fact))
 
-    def prefix(self, n: int) -> List[Tuple[Fact, float]]:
+    def _support_pairs(self) -> Iterator[Tuple[Fact, float]]:
         # The support is enumerated in rank order, so the enumeration
         # index *is* the rank — avoids an O(rank) lookup per fact, which
-        # would make prefix() quadratic.
-        return [
+        # would make prefix materialization quadratic.
+        return (
             (fact, self._term(index))
-            for index, fact in enumerate(
-                itertools.islice(self.support(), n))
-        ]
+            for index, fact in enumerate(self.support())
+        )
 
     def tail(self, n: int) -> float:
         return self._certificate.tail(n)
@@ -376,6 +396,13 @@ class FilteredFactDistribution(FactDistribution):
     def support(self) -> Iterator[Fact]:
         return (fact for fact in self.base.support() if self.keep(fact))
 
+    def _support_pairs(self) -> Iterator[Tuple[Fact, float]]:
+        return (
+            (fact, p)
+            for fact, p in self.base._support_pairs()
+            if self.keep(fact)
+        )
+
     def probability(self, fact: Fact) -> float:
         if not self.keep(fact):
             return 0.0
@@ -438,6 +465,20 @@ class UnionFactDistribution(FactDistribution):
 
     def support(self) -> Iterator[Fact]:
         iterators = [part.support() for part in self.parts]
+        while iterators:
+            alive = []
+            for iterator in iterators:
+                try:
+                    yield next(iterator)
+                except StopIteration:
+                    continue
+                alive.append(iterator)
+            iterators = alive
+
+    def _support_pairs(self) -> Iterator[Tuple[Fact, float]]:
+        # Mirrors the fair interleaving of :meth:`support` exactly, with
+        # each part producing its own (fact, p) pairs.
+        iterators = [part._support_pairs() for part in self.parts]
         while iterators:
             alive = []
             for iterator in iterators:
@@ -729,6 +770,11 @@ class ScaledFactDistribution(FactDistribution):
 
     def support(self) -> Iterator[Fact]:
         return self.base.support()
+
+    def _support_pairs(self) -> Iterator[Tuple[Fact, float]]:
+        return (
+            (fact, self.factor * p) for fact, p in self.base._support_pairs()
+        )
 
     def probability(self, fact: Fact) -> float:
         return self.factor * self.base.probability(fact)

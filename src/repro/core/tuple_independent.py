@@ -247,6 +247,18 @@ class CountableTIPDB(CountablePDB):
         first n facts untouched)."""
         return TupleIndependentTable(self.schema, self.distribution.marginals_dict(n))
 
+    def extend_truncation(self, table: TupleIndependentTable, n: int) -> int:
+        """Grow a table produced by :meth:`truncate` to the first ``n``
+        support facts *in place* — the result equals ``truncate(n)``
+        (same facts, same marginals) without rebuilding the reused
+        prefix.  Returns the number of facts reused (the table's prior
+        size)."""
+        reused = len(table)
+        if n > reused:
+            table.extend(
+                dict(self.distribution.prefix_cache().pairs(reused, n)))
+        return reused
+
     def truncation_for_epsilon(self, epsilon: float) -> int:
         """Delegates to the Proposition 6.1 truncation-size rule."""
         from repro.core.approx import choose_truncation

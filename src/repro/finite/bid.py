@@ -108,6 +108,29 @@ class BlockIndependentTable:
                     )
                 self._block_of[fact] = block
 
+    def extend(self, blocks: Iterable[Block]) -> None:
+        """Append blocks *in place*, with the same name/disjointness
+        validation as construction.  All-or-nothing: the table is
+        untouched if any new block is invalid."""
+        new_blocks = tuple(blocks)
+        names = {b.name for b in self.blocks}
+        added: Dict[Fact, Block] = {}
+        for block in new_blocks:
+            if block.name in names:
+                raise ProbabilityError("block names must be distinct")
+            names.add(block.name)
+            for fact in block.alternatives:
+                if fact.relation not in self.schema:
+                    raise SchemaError(
+                        f"fact {fact} not over schema {self.schema}")
+                if fact in self._block_of or fact in added:
+                    raise ProbabilityError(
+                        f"fact {fact} appears in two blocks"
+                    )
+                added[fact] = block
+        self._block_of.update(added)
+        self.blocks = self.blocks + new_blocks
+
     # ------------------------------------------------------------------ basics
     def facts(self) -> List[Fact]:
         return sorted(self._block_of)

@@ -284,6 +284,8 @@ class SharedGrounding:
         formula: Formula,
         pdb,
         base_domain: Iterable[Value],
+        manager: Optional[BDDManager] = None,
+        score_cache: Optional[Dict[int, float]] = None,
     ):
         if not isinstance(
             pdb, (TupleIndependentTable, BlockIndependentTable)
@@ -296,8 +298,21 @@ class SharedGrounding:
         #: plus the formula's own constants.  Each answer adds its own
         #: values — matching what per-answer grounding would use.
         self.base_domain: FrozenSet[Value] = frozenset(base_domain)
-        self.manager = BDDManager([])
-        self._score_cache: Dict[int, float] = {}
+        self.manager = BDDManager([]) if manager is None else manager
+        self._score_cache: Dict[int, float] = (
+            {} if score_cache is None else score_cache)
+
+    def extended(self, pdb, base_domain: Iterable[Value]) -> "SharedGrounding":
+        """A grounding over a *grown truncation* of the same query,
+        warm-started from this one: the manager (hash-consed node store,
+        apply cache) and the probability memo carry over.  Sound because
+        growing a truncation never changes the marginal of an existing
+        fact, and a node's weighted-model-count depends only on the
+        facts in its cone — new variables cannot alter it."""
+        return SharedGrounding(
+            self.formula, pdb, base_domain,
+            manager=self.manager, score_cache=self._score_cache,
+        )
 
     def answer_probability(
         self,

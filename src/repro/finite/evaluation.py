@@ -72,6 +72,7 @@ def query_probability(
     query: BooleanQuery,
     pdb: PDBLike,
     strategy: str = "auto",
+    compile_cache=None,
 ) -> float:
     """Exact probability of a Boolean query on a finite PDB.
 
@@ -94,6 +95,11 @@ def query_probability(
     The exact strategies agree exactly; the E8 benchmark measures their
     costs.
 
+    ``compile_cache`` overrides the process-wide
+    :data:`~repro.finite.compile_cache.DEFAULT_COMPILE_CACHE` for the
+    compiled (``"bdd"``) path — refinement sessions pass their own so
+    warm diagrams stay bound to the session.
+
     The returned value is a plain ``float`` carrying an
     :class:`~repro.obs.EvalReport` as ``.report`` — the strategy that
     actually fired, compile-cache and sampling telemetry, and per-phase
@@ -102,7 +108,7 @@ def query_probability(
     with obs.trace() as t:
         with obs.phase("evaluate"):
             value, resolved = _dispatch_query_probability(
-                query, pdb, strategy)
+                query, pdb, strategy, compile_cache)
         obs.note(strategy=resolved)
         report = obs.EvalReport.from_trace(t)
     return obs.attach_report(value, report)
@@ -112,6 +118,7 @@ def _dispatch_query_probability(
     query: BooleanQuery,
     pdb: PDBLike,
     strategy: str,
+    compile_cache=None,
 ) -> Tuple[float, str]:
     """Evaluate and return ``(value, resolved strategy name)`` — the
     concrete engine ``"auto"`` settled on, for the report."""
@@ -133,7 +140,7 @@ def _dispatch_query_probability(
             return query_probability_by_worlds(query, pdb), "worlds"
         from repro.finite.compile_cache import query_probability_by_bdd_cached
 
-        return query_probability_by_bdd_cached(query, pdb), "bdd"
+        return query_probability_by_bdd_cached(query, pdb, compile_cache), "bdd"
     if strategy == "lifted":
         if not isinstance(pdb, TupleIndependentTable):
             raise EvaluationError("lifted evaluation needs a TI table")
@@ -150,7 +157,10 @@ def _dispatch_query_probability(
                 query_probability_by_bdd_cached,
             )
 
-            return query_probability_by_bdd_cached(query, pdb), "bdd"
+            return (
+                query_probability_by_bdd_cached(query, pdb, compile_cache),
+                "bdd",
+            )
     if isinstance(pdb, (TupleIndependentTable, BlockIndependentTable)):
         return query_probability_by_lineage(query, pdb), "lineage"
     return query_probability_by_worlds(query, pdb), "worlds"
@@ -232,6 +242,7 @@ def _evaluate_answers(
     candidates: List[Value],
     answers: Iterable[Tuple[Value, ...]],
     strategy: str,
+    grounding_factory=None,
 ) -> Dict[Tuple[Value, ...], float]:
     """Evaluate ``Pr(ā ∈ Q)`` for the given answer tuples.
 
@@ -239,18 +250,23 @@ def _evaluate_answers(
     whose grounded instances have no safe plan) every answer shares one
     lineage/BDD context: one hash-consed node store and one scoring memo
     serve the whole fan-out instead of recompiling per answer.
+    ``grounding_factory`` overrides how that context is built — a
+    refinement session passes one that warm-starts from the previous
+    truncation's grounding.
     """
     shared = None
     if isinstance(pdb, (TupleIndependentTable, BlockIndependentTable)):
+        factory = grounding_factory or (
+            lambda: _shared_grounding(query, pdb))
         if strategy == "bdd":
-            shared = _shared_grounding(query, pdb)
+            shared = factory()
         elif strategy == "auto" and (
             isinstance(pdb, BlockIndependentTable)
             or not _grounding_is_safe(query, candidates)
         ):
             # No per-answer safe plan (lifted needs TI + hierarchical):
             # compile once, restrict per answer.
-            shared = _shared_grounding(query, pdb)
+            shared = factory()
     results: Dict[Tuple[Value, ...], float] = {}
     for answer in answers:
         obs.incr("fanout.answers")
@@ -354,6 +370,7 @@ def marginal_answer_probabilities(
     domain: Optional[Iterable[Value]] = None,
     strategy: str = "auto",
     workers: Optional[int] = None,
+    grounding_factory=None,
 ) -> Dict[Tuple[Value, ...], float]:
     """Per-tuple marginals ``Pr(ā ∈ Q(D))`` for a non-Boolean query
     (paper §3.1 relaxed semantics; §6 extension of Prop. 6.1).
@@ -374,12 +391,17 @@ def marginal_answer_probabilities(
     degrade to the serial path with a ``fanout.serial_fallback`` trace
     event instead of failing inside the pool.
 
+    ``grounding_factory`` (serial path only — the pool path builds one
+    grounding per worker) overrides how the shared compilation context
+    is built; refinement sessions pass one that carries the previous
+    truncation's manager and scoring memo forward.
+
     The returned dict carries an :class:`~repro.obs.EvalReport` as
     ``.report``.
     """
     with obs.trace() as t:
         results = _marginal_answer_probabilities_traced(
-            query, pdb, domain, strategy, workers)
+            query, pdb, domain, strategy, workers, grounding_factory)
         report = obs.EvalReport.from_trace(t)
     return obs.attach_report(results, report)
 
@@ -390,6 +412,7 @@ def _marginal_answer_probabilities_traced(
     domain: Optional[Iterable[Value]],
     strategy: str,
     workers: Optional[int],
+    grounding_factory=None,
 ) -> Dict[Tuple[Value, ...], float]:
     if query.is_boolean:
         boolean = BooleanQuery(query.formula, query.schema, name=query.name)
@@ -424,4 +447,5 @@ def _marginal_answer_probabilities_traced(
     obs.note(strategy=strategy)
     with obs.phase("fanout"):
         answers = _iter_answers(candidates, query.arity)
-        return _evaluate_answers(query, pdb, candidates, answers, strategy)
+        return _evaluate_answers(
+            query, pdb, candidates, answers, strategy, grounding_factory)

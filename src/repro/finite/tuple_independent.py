@@ -45,6 +45,28 @@ class TupleIndependentTable:
             if probability > 0:
                 self.marginals[fact] = float(probability)
 
+    def extend(self, marginals: Mapping[Fact, float]) -> None:
+        """Add possible facts *in place*, with the same validation as
+        construction.  Re-listing an existing fact with an unchanged
+        marginal is a no-op; changing its marginal is rejected (the
+        incremental-truncation caller must never rewrite history).
+        """
+        from repro.errors import SchemaError
+
+        for fact, probability in marginals.items():
+            validate_probability(probability, what=f"marginal of {fact}")
+            if fact.relation not in self.schema:
+                raise SchemaError(f"fact {fact} not over schema {self.schema}")
+            if probability <= 0:
+                continue
+            existing = self.marginals.get(fact)
+            if existing is not None and existing != float(probability):
+                raise ProbabilityError(
+                    f"extend would change the marginal of {fact} "
+                    f"from {existing} to {probability}"
+                )
+            self.marginals[fact] = float(probability)
+
     # ------------------------------------------------------------------ basics
     def __len__(self) -> int:
         return len(self.marginals)

@@ -33,6 +33,9 @@ CACHE_EXTENSION = "cache.extension"
 SAMPLING_BATCHES = "sampling.batches"
 SAMPLING_SAMPLES = "sampling.samples"
 STREAM_CHILD_SEEDS = "stream.child_seeds"
+PREFIX_CACHE_HITS = "prefix.cache.hits"
+PREFIX_CACHE_EXTENSIONS = "prefix.cache.extensions"
+REFINE_REUSED_FACTS = "refine.reused_facts"
 
 #: Gauge names.
 GAUGE_TRUNCATION = "truncation.n"
@@ -169,6 +172,18 @@ class EvalReport:
             )
         if self.bdd_nodes is not None:
             lines.append(f"  bdd nodes       : {self.bdd_nodes}")
+        prefix_hits = self.counters.get(PREFIX_CACHE_HITS, 0)
+        prefix_extensions = self.counters.get(PREFIX_CACHE_EXTENSIONS, 0)
+        if prefix_hits or prefix_extensions:
+            lines.append(
+                f"  prefix cache    : {prefix_hits} hits, "
+                f"{prefix_extensions} extensions"
+            )
+        if REFINE_REUSED_FACTS in self.counters:
+            lines.append(
+                "  refine reuse    : "
+                f"{self.counters[REFINE_REUSED_FACTS]} facts"
+            )
         for name in sorted(self.timings):
             lines.append(f"  t[{name:<12}] : {self.timings[name]:.6f}s")
         for entry in self.events:
