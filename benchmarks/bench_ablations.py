@@ -18,7 +18,7 @@ from repro.core.approx import approximate_query_probability, choose_truncation
 from repro.core.fact_distribution import ZetaFactDistribution
 from repro.core.tuple_independent import CountableTIPDB
 from repro.errors import EvaluationError
-from repro.finite.lineage_eval import _pivot, lineage_probability
+from repro.finite.lineage_eval import _make_pivot, lineage_probability
 from repro.finite.tuple_independent import TupleIndependentTable
 from repro.logic import BooleanQuery, parse_formula
 from repro.logic.lineage import Lineage, lineage_of
@@ -75,7 +75,7 @@ def pivot_ablation():
     rows = []
     for n in (2, 3, 4):
         expr, table = _h0_lineage(n)
-        frequent = _count_expansions(expr, table.marginal, _pivot)
+        frequent = _count_expansions(expr, table.marginal, _make_pivot(expr))
         first = _count_expansions(expr, table.marginal, _first_pivot)
         rows.append((n, frequent, first, first / max(frequent, 1)))
     return rows

@@ -1,0 +1,205 @@
+"""A-6 — set-at-a-time grounding: hash-join lineage vs assignment
+expansion.
+
+Regenerates: the headline artifact of the grounding engine
+(:mod:`repro.logic.ground`).  Join-shaped positive-existential queries
+are grounded over growing TI tables twice — through the hash-join
+engine (``lineage_of(..., engine="join")``) and through the seed's
+assignment-expansion grounder (``engine="expansion"``) — asserting the
+two lineages are *bit-identical* on every measured case before timing
+counts.  The expansion grounder enumerates ``|domain|^k`` assignments
+for ``k`` quantified variables; the join engine probes per-relation
+hash indexes, so its cost follows the data, not the domain product.
+
+A second workload measures delta-grounding across a growing truncation
+sweep: one :class:`~repro.relational.index.FactIndex` extended with each
+truncation's delta facts versus rebuilding the index from scratch every
+step (grounding runs in both arms; only index construction differs).
+
+Shape to hold: geometric-mean speedup of join over expansion ≥ 5×
+across the (query, size) grid.  Machine-readable results land in
+``BENCH_grounding.json`` at the repo root so future PRs can track the
+perf trajectory.
+
+Smoke mode (``BENCH_SMOKE=1``): tiny sizes, no speedup assertion, no
+JSON write — used by CI to exercise both grounding paths on every
+Python version.
+"""
+
+import json
+import math
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from benchmarks.conftest import report
+from repro import obs
+from repro.logic.lineage import lineage_of
+from repro.logic.parser import parse_formula
+from repro.relational import FactIndex, Schema
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+schema = Schema.of(R=1, S=2, T=1)
+R, S, T = schema["R"], schema["S"], schema["T"]
+
+SIZES = [6, 8] if SMOKE else [32, 48, 64]
+REPEATS = 1 if SMOKE else 3
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_grounding.json"
+
+_RESULTS = {}
+
+#: Join-shaped positive-existential sentences: a 2-chain, a 3-chain
+#: with a filter relation, and a self-join path of length 2 (three
+#: quantified variables — the expansion grounder's worst case here).
+QUERIES = [
+    ("chain2", "EXISTS x, y. R(x) AND S(x, y)"),
+    ("chain3", "EXISTS x, y. R(x) AND S(x, y) AND T(y)"),
+    ("selfjoin", "EXISTS x, y, z. S(x, y) AND S(y, z)"),
+]
+
+
+def make_facts(n):
+    """A sparse graph workload: n unary R facts, ~2n S edges, n/3 T
+    marks — the active domain has n values, so expansion grounds
+    ``n^k`` assignments while the joins touch O(n) rows."""
+    facts = set()
+    for i in range(n):
+        facts.add(R(i))
+        facts.add(S(i, (i * 7 + 3) % n))
+        facts.add(S(i, (i + 1) % n))
+        if i % 3 == 0:
+            facts.add(T(i))
+    return frozenset(facts)
+
+
+def best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def engine_rows():
+    rows = []
+    cases_json = {}
+    speedups = []
+    for n in SIZES:
+        facts = make_facts(n)
+        for name, text in QUERIES:
+            formula = parse_formula(text, schema)
+            with obs.trace() as t:
+                fast, fast_s = best_of(
+                    lambda: lineage_of(formula, facts, engine="join"))
+            slow, slow_s = best_of(
+                lambda: lineage_of(formula, facts, engine="expansion"),
+                repeats=1 if n >= 64 else REPEATS)
+            # Bit-exact parity on the measured workload before timing
+            # counts for anything.
+            assert fast.node == slow.node, f"{name} n={n}: lineage mismatch"
+            speedup = slow_s / fast_s if fast_s else float("inf")
+            speedups.append(speedup)
+            probes = t.counters.get("grounding.probes", 0)
+            joins = t.counters.get("grounding.joins", 0)
+            rows.append((name, n, len(facts), probes, joins,
+                         slow_s, fast_s, speedup))
+            cases_json[f"{name}_n{n}"] = {
+                "query": text,
+                "n": n,
+                "facts": len(facts),
+                "probes": probes,
+                "joins": joins,
+                "expansion_s": slow_s,
+                "join_s": fast_s,
+                "speedup": speedup,
+            }
+    geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    _RESULTS["engine_workload"] = {
+        "cases": cases_json,
+        "geomean_speedup": geomean,
+        "min_speedup": min(speedups),
+        "max_speedup": max(speedups),
+    }
+    return rows, geomean
+
+
+def delta_rows():
+    """Ground one query over a monotonically growing truncation: the
+    delta arm extends a single FactIndex with each step's new facts;
+    the rebuild arm constructs a fresh index per step.  Grounding runs
+    in both arms — the delta win is bounded by index-build cost, so
+    this workload records it rather than asserting a bar."""
+    formula = parse_formula(QUERIES[2][1], schema)
+    # Monotone truncation growth, as a RefinementSession produces it:
+    # each step is a superset of the previous one.
+    ordered = sorted(make_facts(SIZES[-1]), key=str)
+    steps = [len(ordered) // 3, 2 * len(ordered) // 3, len(ordered)]
+    truncations = [frozenset(ordered[:k]) for k in steps]
+
+    def delta_arm():
+        index = FactIndex()
+        total_delta = 0
+        for facts in truncations:
+            total_delta += index.extend(facts)
+            lineage_of(formula, index.fact_set, index=index)
+        return total_delta
+
+    def rebuild_arm():
+        for facts in truncations:
+            lineage_of(formula, facts, index=FactIndex(facts))
+
+    delta_facts, delta_s = best_of(delta_arm)
+    _, rebuild_s = best_of(rebuild_arm)
+    ratio = rebuild_s / delta_s if delta_s else float("inf")
+    _RESULTS["delta_workload"] = {
+        "steps": steps,
+        "delta_facts_final": delta_facts,
+        "delta_sweep_s": delta_s,
+        "rebuild_sweep_s": rebuild_s,
+        "rebuild_over_delta": ratio,
+    }
+    return [(str(steps), delta_facts, delta_s, rebuild_s, ratio)]
+
+
+def _write_json():
+    if SMOKE:
+        # CI smoke runs exercise the code path but must not clobber the
+        # committed full-mode perf record.
+        return
+    _RESULTS.update({
+        "benchmark": "grounding",
+        "smoke": SMOKE,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "generated_unix": int(time.time()),
+        "headline_speedup": _RESULTS.get(
+            "engine_workload", {}).get("geomean_speedup", 0.0),
+    })
+    JSON_PATH.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
+
+
+def test_a6_join_engine_vs_expansion(benchmark):
+    rows, geomean = benchmark.pedantic(engine_rows, rounds=1, iterations=1)
+    report("A6a: set-at-a-time grounding, hash-join engine vs "
+           "assignment expansion",
+           ("query", "n", "facts", "probes", "joins",
+            "expansion_s", "join_s", "speedup"),
+           rows)
+    if not SMOKE:
+        # The acceptance bar: ≥ 5× geometric-mean speedup on the grid.
+        assert geomean >= 5.0, f"geomean speedup {geomean:.2f}x < 5x"
+
+
+def test_a6_delta_grounding(benchmark):
+    rows = benchmark.pedantic(delta_rows, rounds=1, iterations=1)
+    report("A6b: truncation sweep, delta-extended index vs per-step "
+           "rebuild",
+           ("steps", "delta_facts", "delta_s", "rebuild_s", "ratio"),
+           rows)
+    _write_json()

@@ -353,6 +353,9 @@ def _build(manager: BDDManager, node: tuple) -> BDDRef:
 def query_probability_by_bdd(query, table) -> float:
     """Exact ``P(Q)`` by lineage → ROBDD → weighted model count.
 
+    The lineage step uses the set-at-a-time grounding engine for
+    positive-existential queries (see :func:`repro.logic.lineage.lineage_of`).
+
     >>> from repro.relational import Schema
     >>> from repro.finite.tuple_independent import TupleIndependentTable
     >>> from repro.logic import BooleanQuery, parse_formula

@@ -42,9 +42,11 @@ from repro.errors import EvaluationError
 from repro.finite.bdd import BDDManager, BDDRef, ONE, ZERO
 from repro.finite.bid import BlockIndependentTable
 from repro.finite.tuple_independent import TupleIndependentTable
+from repro.logic.analysis import free_variables
 from repro.logic.lineage import Lineage, lineage_of
 from repro.logic.syntax import Formula, Variable
 from repro.relational.facts import Fact, Value
+from repro.relational.index import FactIndex
 
 
 class CompiledQuery:
@@ -83,13 +85,32 @@ class CompiledQuery:
 
 class _Family:
     """All diagrams compiled for one query: a manager plus one root per
-    possible-fact-set fingerprint."""
+    possible-fact-set fingerprint, and one shared
+    :class:`~repro.relational.index.FactIndex` the grounding engine
+    delta-extends as the family's fact sets grow across truncations."""
 
-    __slots__ = ("manager", "roots")
+    __slots__ = ("manager", "roots", "index")
 
     def __init__(self) -> None:
         self.manager = BDDManager([])
         self.roots: "OrderedDict[FrozenSet[Fact], BDDRef]" = OrderedDict()
+        self.index: Optional[FactIndex] = None
+
+    def grounding_index(self, facts_key: FrozenSet[Fact]) -> FactIndex:
+        """The family's fact index, grown to exactly ``facts_key``.
+
+        A superset key (the usual case: a monotone truncation sweep)
+        extends the existing index in place — only the delta facts are
+        re-indexed, counted by ``grounding.delta_facts``.  A
+        non-superset key rebuilds from scratch.
+        """
+        if self.index is not None and self.index.fact_set <= facts_key:
+            added = self.index.extend(facts_key)
+            if added:
+                obs.incr("grounding.delta_facts", added)
+        else:
+            self.index = FactIndex(facts_key)
+        return self.index
 
 
 class CompileCache:
@@ -150,7 +171,8 @@ class CompileCache:
             self.stats.extensions += 1
             obs.incr("cache.extension")
         with obs.phase("compile"):
-            expr = lineage_of(formula, facts_key)
+            expr = lineage_of(
+                formula, facts_key, index=family.grounding_index(facts_key))
             root = family.manager.build(expr)
         obs.gauge("bdd.nodes", family.manager.count_nodes(root))
         family.roots[facts_key] = root
@@ -286,6 +308,7 @@ class SharedGrounding:
         base_domain: Iterable[Value],
         manager: Optional[BDDManager] = None,
         score_cache: Optional[Dict[int, float]] = None,
+        index: Optional[FactIndex] = None,
     ):
         if not isinstance(
             pdb, (TupleIndependentTable, BlockIndependentTable)
@@ -301,17 +324,33 @@ class SharedGrounding:
         self.manager = BDDManager([]) if manager is None else manager
         self._score_cache: Dict[int, float] = (
             {} if score_cache is None else score_cache)
+        #: One fact index serves every answer's grounding (and, via
+        #: :meth:`extended`, every later truncation's — delta-updated).
+        if index is None or len(index) != len(self.possible):
+            index = FactIndex(self.possible)
+        self.index = index
 
     def extended(self, pdb, base_domain: Iterable[Value]) -> "SharedGrounding":
         """A grounding over a *grown truncation* of the same query,
         warm-started from this one: the manager (hash-consed node store,
-        apply cache) and the probability memo carry over.  Sound because
-        growing a truncation never changes the marginal of an existing
-        fact, and a node's weighted-model-count depends only on the
-        facts in its cone — new variables cannot alter it."""
+        apply cache), the probability memo, and the fact index carry
+        over — the index is extended with only the truncation's delta
+        facts.  Sound because growing a truncation never changes the
+        marginal of an existing fact, and a node's weighted-model-count
+        depends only on the facts in its cone — new variables cannot
+        alter it."""
+        new_possible = frozenset(pdb.facts())
+        index = self.index
+        if self.possible <= new_possible:
+            added = index.extend(new_possible)
+            if added:
+                obs.incr("grounding.delta_facts", added)
+        else:
+            index = None  # shrunk truncation: rebuild in the constructor
         return SharedGrounding(
             self.formula, pdb, base_domain,
             manager=self.manager, score_cache=self._score_cache,
+            index=index,
         )
 
     def answer_probability(
@@ -325,6 +364,7 @@ class SharedGrounding:
             self.possible,
             domain=self.base_domain.union(answer),
             assignment=dict(zip(variables, answer)),
+            index=self.index,
         )
         root = self.manager.build(expr)
         if isinstance(self.pdb, TupleIndependentTable):
@@ -332,3 +372,72 @@ class SharedGrounding:
                 root, self.pdb.marginal, self._score_cache)
         return bid_bdd_probability(
             self.manager, root, self.pdb, self._score_cache)
+
+    def answer_support(
+        self,
+        variables: Tuple[Variable, ...],
+        candidates: Iterable[Value],
+    ) -> Optional[list]:
+        """Candidate answer tuples with possibly-non-⊥ lineage, derived
+        from the join results of one set-at-a-time grounding run —
+        instead of enumerating the full ``candidates^arity`` product.
+
+        Returns the tuples in the exact order the product enumeration
+        would visit them, or None when the formula is outside the
+        engine's fragment (callers then stream the full product).  The
+        support is a *superset* of the true non-zero answers (the engine
+        runs over the union of every per-answer quantifier domain, and
+        positive-existential grounding is monotone in the domain), so
+        pruning never drops an answer; answer variables the formula
+        never constrains are padded with every candidate.
+        """
+        from repro.logic.ground import (
+            GroundingEngine,
+            supports_set_at_a_time,
+        )
+
+        candidates = list(candidates)
+        if not variables or not candidates:
+            return None
+        if not supports_set_at_a_time(self.formula):
+            return None
+        if not free_variables(self.formula) <= set(variables):
+            return None
+        domain = self.base_domain.union(candidates)
+        if not domain:
+            return None
+        engine = GroundingEngine(self.index, frozenset(domain))
+        rows = engine.relation(self.formula)
+        if engine.probes:
+            obs.incr("grounding.probes", engine.probes)
+        if engine.joins:
+            obs.incr("grounding.joins", engine.joins)
+        candidate_set = set(candidates)
+        total = len(candidates) ** len(variables)
+        bound = [row for row in rows.rows
+                 if all(value in candidate_set for value in row)]
+        missing = len(variables) - len(rows.vars)
+        if len(bound) * len(candidates) ** missing >= total:
+            return None  # nothing to prune; stream the product instead
+        # Expand to full answer tuples: formula-bound positions from the
+        # join rows, unconstrained answer variables over all candidates.
+        position = {var: i for i, var in enumerate(rows.vars)}
+        answers = []
+        for row in bound:
+            partial = [(var, row[position[var]])
+                       for var in variables if var in position]
+            combos = [dict(partial)]
+            for var in variables:
+                if var in position:
+                    continue
+                combos = [
+                    dict(combo, **{var: value})
+                    for combo in combos for value in candidates
+                ]
+            answers.extend(
+                tuple(combo[var] for var in variables) for combo in combos)
+        order = {value: i for i, value in enumerate(candidates)}
+        answers = sorted(
+            set(answers), key=lambda t: tuple(order[v] for v in t))
+        obs.incr("grounding.pruned_answers", total - len(answers))
+        return answers

@@ -26,7 +26,7 @@ from repro.logic.queries import BooleanQuery, Query
 from repro.logic.normalform import substitute
 from repro.logic.semantics import evaluate
 from repro.logic.syntax import Formula
-from repro.relational.facts import Value
+from repro.relational.facts import Value, domain_sort_key
 from repro.relational.instance import Instance
 
 PDBLike = Union[FinitePDB, TupleIndependentTable, BlockIndependentTable]
@@ -175,7 +175,7 @@ def _candidate_values(
     """Candidate answer values: the PDB's active domain plus the query's
     constants (Fact 2.1), or an explicit ``domain``."""
     if domain is not None:
-        return sorted(set(domain), key=repr)
+        return sorted(set(domain), key=domain_sort_key)
     values = set(constants_of(query.formula))
     if isinstance(pdb, FinitePDB):
         for instance in pdb.instances():
@@ -183,7 +183,7 @@ def _candidate_values(
     else:
         for fact in pdb.facts():
             values.update(fact.args)
-    return sorted(values, key=repr)
+    return sorted(values, key=domain_sort_key)
 
 
 def _iter_answers(
@@ -204,14 +204,23 @@ def _grounding_is_safe(query: Query, candidates: List[Value]) -> bool:
     """Whether grounded instances of ``query`` admit a lifted safe plan.
 
     Grounding substitutes constants uniformly, so safety is the same for
-    every answer tuple — probe once with a representative binding.
+    every answer tuple — probe once with a representative binding.  The
+    representative values must be *pairwise distinct*: repeating one
+    value collapses distinct answer variables into the same constant,
+    which can merge atoms (``R(x,z) ∧ R(y,z)`` → one atom) and misjudge
+    an unsafe query as safe.  When there are fewer distinct candidates
+    than variables the pool is padded with synthetic probe values —
+    safety only depends on the substitution's shape, not its values.
     """
     if not candidates:
         return False
     from repro.logic.hierarchy import safe_plan_ucq
     from repro.logic.normalform import extract_ucq
 
-    binding = {v: candidates[0] for v in query.variables}
+    pool: List[Value] = list(dict.fromkeys(candidates))
+    while len(pool) < len(query.variables):
+        pool.append(("__probe__", len(pool)))
+    binding = {v: pool[i] for i, v in enumerate(query.variables)}
     grounded = substitute(query.formula, binding)
     ucq = extract_ucq(grounded)
     if ucq is None:
@@ -240,19 +249,26 @@ def _evaluate_answers(
     query: Query,
     pdb: PDBLike,
     candidates: List[Value],
-    answers: Iterable[Tuple[Value, ...]],
     strategy: str,
     grounding_factory=None,
+    offset: int = 0,
+    stride: int = 1,
 ) -> Dict[Tuple[Value, ...], float]:
-    """Evaluate ``Pr(ā ∈ Q)`` for the given answer tuples.
+    """Evaluate ``Pr(ā ∈ Q)`` over the candidate answer tuples —
+    ``offset``/``stride`` select one process-pool shard of them.
 
     For the compiled strategies ("bdd" always; "auto" on TI/BID tables
     whose grounded instances have no safe plan) every answer shares one
     lineage/BDD context: one hash-consed node store and one scoring memo
-    serve the whole fan-out instead of recompiling per answer.
-    ``grounding_factory`` overrides how that context is built — a
-    refinement session passes one that warm-starts from the previous
-    truncation's grounding.
+    serve the whole fan-out instead of recompiling per answer.  On that
+    path the candidate tuples come from the grounding engine's join
+    results (:meth:`SharedGrounding.answer_support`) rather than the
+    full ``candidates^arity`` product — pruning is counted in the
+    ``grounding.pruned_answers`` trace counter, never silent, and falls
+    back to the full product when the formula is outside the engine's
+    fragment.  ``grounding_factory`` overrides how the shared context is
+    built — a refinement session passes one that warm-starts from the
+    previous truncation's grounding.
     """
     shared = None
     if isinstance(pdb, (TupleIndependentTable, BlockIndependentTable)):
@@ -267,6 +283,15 @@ def _evaluate_answers(
             # No per-answer safe plan (lifted needs TI + hierarchical):
             # compile once, restrict per answer.
             shared = factory()
+    answers: Optional[Iterable[Tuple[Value, ...]]] = None
+    if shared is not None:
+        support = shared.answer_support(query.variables, candidates)
+        if support is not None:
+            # Sharding a deterministic support list partitions it just
+            # as sharding the product enumeration would.
+            answers = support[offset::stride] if stride != 1 else support
+    if answers is None:
+        answers = _iter_answers(candidates, query.arity, offset, stride)
     results: Dict[Tuple[Value, ...], float] = {}
     for answer in answers:
         obs.incr("fanout.answers")
@@ -303,8 +328,8 @@ def _answer_chunk_worker(payload):
      strategy) = payload
     try:
         query = Query(formula, schema, variables=variables, name=name)
-        answers = _iter_answers(candidates, query.arity, offset, stride)
-        shard = _evaluate_answers(query, pdb, candidates, answers, strategy)
+        shard = _evaluate_answers(
+            query, pdb, candidates, strategy, offset=offset, stride=stride)
         return ("ok", dict(shard))
     except Exception as exc:
         return ("error", exc, traceback.format_exc())
@@ -435,17 +460,19 @@ def _marginal_answer_probabilities_traced(
             results: Dict[Tuple[Value, ...], float] = {}
             for shard in shards:
                 results.update(shard)
-            # Candidate order is deterministic; merge shards back into
-            # the sequential enumeration order so callers see identical
-            # dicts.
-            ordered = _iter_answers(candidates, query.arity)
-            return {a: results[a] for a in ordered if a in results}
+            # Merge shards back into the sequential enumeration order so
+            # callers see identical dicts.  Sorting the results by
+            # candidate position is the product-enumeration order
+            # without rescanning the full ``candidates^arity`` space.
+            position = {value: i for i, value in enumerate(candidates)}
+            ordered = sorted(
+                results, key=lambda t: tuple(position[v] for v in t))
+            return {a: results[a] for a in ordered}
         # Unpicklable pdb/candidates: the pool cannot receive the
         # payload, so degrade gracefully rather than dying in the pool.
         obs.event(
             "fanout.serial_fallback", workers=workers, reason=pickle_error)
     obs.note(strategy=strategy)
     with obs.phase("fanout"):
-        answers = _iter_answers(candidates, query.arity)
         return _evaluate_answers(
-            query, pdb, candidates, answers, strategy, grounding_factory)
+            query, pdb, candidates, strategy, grounding_factory)

@@ -305,6 +305,11 @@ def query_probability_karp_luby(
 ) -> KarpLubyEstimate:
     """Karp–Luby estimate for a Boolean query via its lineage DNF.
 
+    The lineage itself is grounded set-at-a-time for
+    positive-existential queries (see
+    :func:`repro.logic.lineage.lineage_of`); only the DNF expansion
+    below is bounded.
+
     ``max_terms`` bounds the DNF expansion of the lineage
     (:func:`lineage_to_dnf`); queries whose lineage is not
     union-of-conjunctions shaped fail fast with

@@ -183,6 +183,10 @@ def query_probability_by_lineage(
 ) -> float:
     """Exact ``P(Q)`` via lineage construction + Shannon expansion.
 
+    Grounding goes through :func:`repro.logic.lineage.lineage_of`, so
+    positive-existential queries use the set-at-a-time join engine
+    (:mod:`repro.logic.ground`) instead of assignment enumeration.
+
     Falls back to world enumeration for explicit :class:`FinitePDB`
     inputs (they carry arbitrary correlations lineage cannot factor).
 

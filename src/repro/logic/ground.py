@@ -1,0 +1,395 @@
+"""Set-at-a-time grounding: hash-join lineage construction.
+
+The brute-force grounder (:func:`repro.logic.lineage._lineage`) expands
+every quantifier over the full active domain — O(|adom|^depth)
+assignments, almost all of which ground some atom to an impossible fact
+and collapse to ⊥.  This module evaluates the positive-existential
+fragment *relationally* instead, the standard set-at-a-time technique of
+extensional PDB engines (Suciu et al., *Probabilistic Databases*):
+
+* an **atom** becomes a probe of the per-relation hash index
+  (:class:`repro.relational.index.FactIndex`), yielding one row
+  ``(assignment, Lineage.var(fact))`` per matching possible fact;
+* a **conjunction** becomes a hash join on the shared variables — when
+  one side is an atom, the join probes the atom's index per row of the
+  other side (a semijoin-driven index join), so facts that match no
+  partner are never touched;
+* **disjunction** and **∃** aggregate per-group disjunctions over the
+  matching rows only;
+* everything else (negation, →, ∀, unbound free variables, an empty
+  domain) falls back to the expansion grounder.
+
+**Bit-identity.**  :class:`repro.logic.lineage.Lineage`'s constructors
+canonicalize: ``conj``/``disj`` flatten same-tag children, drop
+constants, dedupe, and sort children by ``repr`` — so the node a
+connective builds depends only on the *set* of its non-constant
+children, never on the order they were produced.  The engine yields, at
+every connective, exactly the non-⊥ children the expansion would (rows
+absent from a relation are precisely the assignments the expansion maps
+to ⊥), hence the resulting ``Lineage`` is equal node-for-node.  The
+differential suites in ``tests/logic/test_ground.py`` and
+``tests/property/test_ground_props.py`` pin this.
+
+Quantified-variable values are restricted to the quantifier domain
+(matching the expansion's iteration) — with the default domain this is
+free, because every indexed value is in the active domain; an explicit
+smaller domain triggers a per-row membership filter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import EvaluationError
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Constant,
+    Equals,
+    Exists,
+    Formula,
+    Or,
+    Variable,
+    _Truth,
+    walk,
+)
+from repro.relational.facts import Value, domain_sort_key
+from repro.relational.index import FactIndex
+
+# Imported late to avoid a cycle: lineage.py imports this module lazily.
+from repro.logic.lineage import Lineage
+
+#: AST nodes the set-at-a-time engine handles; anything else falls back
+#: to the expansion grounder.
+_FAST_NODES = (Atom, Equals, And, Or, Exists, _Truth)
+
+_TRUE = Lineage.true()
+
+
+def supports_set_at_a_time(formula: Formula) -> bool:
+    """True iff every node of ``formula`` is in the positive-existential
+    fragment the join engine grounds (atoms, =, ∧, ∨, ∃, ⊤/⊥).
+
+    >>> from repro.relational import Schema
+    >>> from repro.logic.parser import parse_formula
+    >>> schema = Schema.of(R=1)
+    >>> supports_set_at_a_time(parse_formula("EXISTS x. R(x)", schema))
+    True
+    >>> supports_set_at_a_time(parse_formula("FORALL x. R(x)", schema))
+    False
+    """
+    return all(isinstance(node, _FAST_NODES) for node in walk(formula))
+
+
+class _Rows:
+    """A grounded relation: an assignment table over a sorted variable
+    tuple, mapping each value tuple to its (never-⊥) lineage."""
+
+    __slots__ = ("vars", "rows")
+
+    def __init__(
+        self,
+        variables: Tuple[Variable, ...],
+        rows: Dict[Tuple[Value, ...], Lineage],
+    ):
+        self.vars = variables
+        self.rows = rows
+
+    def __repr__(self) -> str:
+        names = ", ".join(v.name for v in self.vars)
+        return f"_Rows(({names}), {len(self.rows)} rows)"
+
+
+def _sorted_vars(variables) -> Tuple[Variable, ...]:
+    return tuple(sorted(variables, key=lambda v: v.name))
+
+
+class GroundingEngine:
+    """Set-at-a-time grounding of one formula family over one
+    :class:`~repro.relational.index.FactIndex` and quantifier domain.
+
+    The engine is stateless between calls apart from its probe/join
+    counters (``probes``, ``joins``), which callers flush into the obs
+    layer; one engine can serve many assignments (answer-tuple fan-outs)
+    against the same index.
+
+    >>> from repro.relational import Schema
+    >>> from repro.relational.index import FactIndex
+    >>> from repro.logic.parser import parse_formula
+    >>> schema = Schema.of(R=1, S=2)
+    >>> R, S = schema["R"], schema["S"]
+    >>> index = FactIndex([R(1), S(1, 2)])
+    >>> engine = GroundingEngine(index, frozenset({1, 2}))
+    >>> formula = parse_formula("EXISTS x. EXISTS y. R(x) AND S(x, y)", schema)
+    >>> engine.lineage(formula, {})
+    Lineage((R(1) ∧ S(1, 2)))
+    """
+
+    def __init__(self, index: FactIndex, domain: FrozenSet[Value]):
+        self.index = index
+        self.domain = domain
+        #: Quantified values must lie in ``domain``; skip the per-row
+        #: check when every indexed value already does (always true for
+        #: the default domain, which contains the active domain).
+        self._filter = not index.values <= domain
+        self.probes = 0
+        self.joins = 0
+
+    # -------------------------------------------------------------- entry
+    def lineage(self, formula: Formula, assignment: Dict[Variable, Value]) -> Lineage:
+        """The lineage of a sentence (all free variables pre-bound by
+        ``assignment``) — bit-identical to the expansion grounder."""
+        result = self._rows(formula, assignment)
+        if result.vars:
+            names = ", ".join(v.name for v in result.vars)
+            raise EvaluationError(f"unbound variable {names} in lineage")
+        return result.rows.get((), Lineage.false())
+
+    def relation(self, formula: Formula) -> _Rows:
+        """The grounded relation of a formula with free variables left
+        open — the support of its non-⊥ groundings, used to derive
+        candidate answer tuples in fan-outs."""
+        return self._rows(formula, {})
+
+    # ---------------------------------------------------------- dispatcher
+    def _rows(self, formula: Formula, bound: Dict[Variable, Value]) -> _Rows:
+        if isinstance(formula, Atom):
+            return self._atom_rows(formula, bound)
+        if isinstance(formula, And):
+            return self._and_rows(formula, bound)
+        if isinstance(formula, Or):
+            return self._or_rows(formula, bound)
+        if isinstance(formula, Exists):
+            return self._exists_rows(formula, bound)
+        if isinstance(formula, Equals):
+            return self._equals_rows(formula, bound)
+        if isinstance(formula, _Truth):
+            if formula.value:
+                return _Rows((), {(): _TRUE})
+            return _Rows((), {})
+        raise EvaluationError(
+            f"set-at-a-time grounding does not handle {type(formula).__name__}"
+        )
+
+    # --------------------------------------------------------------- atoms
+    def _atom_rows(self, atom: Atom, bound: Dict[Variable, Value]) -> _Rows:
+        pattern: Dict[int, Value] = {}
+        var_positions: List[Tuple[int, Variable]] = []
+        for i, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                pattern[i] = term.value
+            elif term in bound:
+                pattern[i] = bound[term]
+            else:
+                var_positions.append((i, term))
+        out_vars = _sorted_vars({v for _, v in var_positions})
+        self.probes += 1
+        facts = self.index.probe(atom.relation, pattern)
+        rows: Dict[Tuple[Value, ...], Lineage] = {}
+        for fact in facts:
+            assignment = self._match(fact, var_positions)
+            if assignment is None:
+                continue
+            rows[tuple(assignment[v] for v in out_vars)] = Lineage.var(fact)
+        return _Rows(out_vars, rows)
+
+    def _match(
+        self, fact, var_positions: List[Tuple[int, Variable]]
+    ) -> Optional[Dict[Variable, Value]]:
+        """Bind the atom's open variable positions against one fact —
+        None if a repeated variable disagrees or a value falls outside
+        the quantifier domain."""
+        assignment: Dict[Variable, Value] = {}
+        domain = self.domain
+        check = self._filter
+        for i, var in var_positions:
+            value = fact.args[i]
+            if var in assignment and assignment[var] != value:
+                return None
+            if check and value not in domain:
+                return None
+            assignment[var] = value
+        return assignment
+
+    # ---------------------------------------------------------------- and
+    def _and_rows(self, node: And, bound: Dict[Variable, Value]) -> _Rows:
+        left, right = node.left, node.right
+        # Semijoin pruning: when exactly one side is an atom, ground the
+        # other side first and probe the atom's index per row — facts
+        # with no join partner are never materialized.
+        if isinstance(right, Atom) and not isinstance(left, Atom):
+            return self._join_atom(self._rows(left, bound), right, bound)
+        if isinstance(left, Atom) and not isinstance(right, Atom):
+            return self._join_atom(self._rows(right, bound), left, bound)
+        return self._join(self._rows(left, bound), self._rows(right, bound))
+
+    def _join(self, a: _Rows, b: _Rows) -> _Rows:
+        """Hash join on the shared variables."""
+        self.joins += 1
+        if not a.rows or not b.rows:
+            return _Rows(_sorted_vars(set(a.vars) | set(b.vars)), {})
+        # Build the hash table on the smaller side.
+        if len(b.rows) < len(a.rows):
+            a, b = b, a
+        shared = [v for v in a.vars if v in set(b.vars)]
+        out_vars = _sorted_vars(set(a.vars) | set(b.vars))
+        a_shared = [a.vars.index(v) for v in shared]
+        b_shared = [b.vars.index(v) for v in shared]
+        table: Dict[Tuple[Value, ...], List[Tuple[Tuple[Value, ...], Lineage]]] = {}
+        for key, lineage in a.rows.items():
+            table.setdefault(tuple(key[i] for i in a_shared), []).append(
+                (key, lineage))
+        # Positions of every output variable in (a row, b row).
+        a_pos = {v: i for i, v in enumerate(a.vars)}
+        b_pos = {v: i for i, v in enumerate(b.vars)}
+        layout = [
+            (0, a_pos[v]) if v in a_pos else (1, b_pos[v]) for v in out_vars
+        ]
+        rows: Dict[Tuple[Value, ...], Lineage] = {}
+        for b_key, b_lineage in b.rows.items():
+            matches = table.get(tuple(b_key[i] for i in b_shared))
+            if not matches:
+                continue
+            for a_key, a_lineage in matches:
+                pair = (a_key, b_key)
+                merged = tuple(pair[side][i] for side, i in layout)
+                rows[merged] = Lineage.conj([a_lineage, b_lineage])
+        return _Rows(out_vars, rows)
+
+    def _join_atom(
+        self, a: _Rows, atom: Atom, bound: Dict[Variable, Value]
+    ) -> _Rows:
+        """Index join: probe the atom per row of ``a``, binding the
+        shared variables as constants (semijoin pruning)."""
+        pattern_base: Dict[int, Value] = {}
+        shared_positions: List[Tuple[int, Variable]] = []
+        open_positions: List[Tuple[int, Variable]] = []
+        a_vars = set(a.vars)
+        for i, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                pattern_base[i] = term.value
+            elif term in bound:
+                pattern_base[i] = bound[term]
+            elif term in a_vars:
+                shared_positions.append((i, term))
+            else:
+                open_positions.append((i, term))
+        if not shared_positions:
+            # No join variables: a plain hash join degenerates to the
+            # cross product either way.
+            return self._join(a, self._atom_rows(atom, bound))
+        self.joins += 1
+        atom_vars = {v for _, v in shared_positions} | {
+            v for _, v in open_positions}
+        out_vars = _sorted_vars(a_vars | atom_vars)
+        a_pos = {v: i for i, v in enumerate(a.vars)}
+        rows: Dict[Tuple[Value, ...], Lineage] = {}
+        for a_key, a_lineage in a.rows.items():
+            pattern = dict(pattern_base)
+            for i, var in shared_positions:
+                pattern[i] = a_key[a_pos[var]]
+            self.probes += 1
+            for fact in self.index.probe(atom.relation, pattern):
+                assignment = self._match(fact, open_positions)
+                if assignment is None:
+                    continue
+                merged = tuple(
+                    a_key[a_pos[v]] if v in a_pos else assignment[v]
+                    for v in out_vars
+                )
+                rows[merged] = Lineage.conj(
+                    [a_lineage, Lineage.var(fact)])
+        return _Rows(out_vars, rows)
+
+    # ----------------------------------------------------------------- or
+    def _or_rows(self, node: Or, bound: Dict[Variable, Value]) -> _Rows:
+        a = self._rows(node.left, bound)
+        b = self._rows(node.right, bound)
+        out_vars = _sorted_vars(set(a.vars) | set(b.vars))
+        a = self._pad(a, out_vars)
+        b = self._pad(b, out_vars)
+        children: Dict[Tuple[Value, ...], List[Lineage]] = {}
+        for key, lineage in a.rows.items():
+            children.setdefault(key, []).append(lineage)
+        for key, lineage in b.rows.items():
+            children.setdefault(key, []).append(lineage)
+        return _Rows(
+            out_vars,
+            {key: Lineage.disj(parts) for key, parts in children.items()},
+        )
+
+    def _pad(self, relation: _Rows, out_vars: Tuple[Variable, ...]) -> _Rows:
+        """Extend rows over missing variables with every domain value —
+        the relational reading of a subformula that does not mention a
+        variable its sibling does (the expansion grounds it for every
+        assignment of that variable alike)."""
+        missing = [v for v in out_vars if v not in set(relation.vars)]
+        if not missing:
+            return relation
+        domain = sorted(self.domain, key=domain_sort_key)
+        pos = {v: i for i, v in enumerate(relation.vars)}
+        miss_pos = {v: i for i, v in enumerate(missing)}
+        rows: Dict[Tuple[Value, ...], Lineage] = {}
+        combos = [()]
+        for _ in missing:
+            combos = [c + (value,) for c in combos for value in domain]
+        for key, lineage in relation.rows.items():
+            for combo in combos:
+                merged = tuple(
+                    key[pos[v]] if v in pos else combo[miss_pos[v]]
+                    for v in out_vars
+                )
+                rows[merged] = lineage
+        return _Rows(out_vars, rows)
+
+    # ------------------------------------------------------------- exists
+    def _exists_rows(self, node: Exists, bound: Dict[Variable, Value]) -> _Rows:
+        variable = node.variable
+        if variable in bound:
+            # The quantifier shadows a pre-bound outer variable.
+            bound = {k: v for k, v in bound.items() if k != variable}
+        body = self._rows(node.body, bound)
+        if variable not in set(body.vars):
+            # x not free in the body: the expansion's |domain| identical
+            # children dedupe to the body lineage itself.
+            return body
+        idx = body.vars.index(variable)
+        out_vars = body.vars[:idx] + body.vars[idx + 1:]
+        groups: Dict[Tuple[Value, ...], List[Lineage]] = {}
+        for key, lineage in body.rows.items():
+            groups.setdefault(key[:idx] + key[idx + 1:], []).append(lineage)
+        return _Rows(
+            out_vars,
+            {key: Lineage.disj(parts) for key, parts in groups.items()},
+        )
+
+    # ------------------------------------------------------------- equals
+    def _equals_rows(self, node: Equals, bound: Dict[Variable, Value]) -> _Rows:
+        def resolve(term):
+            if isinstance(term, Constant):
+                return None, term.value
+            if term in bound:
+                return None, bound[term]
+            return term, None
+
+        left_var, left_value = resolve(node.left)
+        right_var, right_value = resolve(node.right)
+        if left_var is None and right_var is None:
+            if left_value == right_value:
+                return _Rows((), {(): _TRUE})
+            return _Rows((), {})
+        if left_var is None or right_var is None:
+            var = left_var if left_var is not None else right_var
+            value = right_value if left_var is not None else left_value
+            # The expansion only reaches σ(var) = value with the value
+            # drawn from the quantifier domain.
+            if value in self.domain:
+                return _Rows((var,), {(value,): _TRUE})
+            return _Rows((var,), {})
+        if left_var == right_var:
+            # x = x: ⊤ for every domain value of x.
+            return _Rows(
+                (left_var,), {(value,): _TRUE for value in self.domain})
+        out_vars = _sorted_vars((left_var, right_var))
+        return _Rows(
+            out_vars, {(value, value): _TRUE for value in self.domain})

@@ -23,8 +23,9 @@ from typing import (
     Tuple,
 )
 
+from repro import obs
 from repro.errors import EvaluationError
-from repro.logic.analysis import constants_of
+from repro.logic.analysis import constants_of, free_variables
 from repro.logic.syntax import (
     And,
     Atom,
@@ -39,7 +40,8 @@ from repro.logic.syntax import (
     Variable,
     _Truth,
 )
-from repro.relational.facts import Fact, Value
+from repro.relational.facts import Fact, Value, domain_sort_key
+from repro.relational.index import FactIndex
 
 
 class Lineage:
@@ -259,6 +261,8 @@ def lineage_of(
     possible_facts: AbstractSet[Fact],
     domain: Optional[Iterable[Value]] = None,
     assignment: Optional[Dict[Variable, Value]] = None,
+    index=None,
+    engine: str = "auto",
 ) -> Lineage:
     """Lineage of a Boolean FO formula over a tuple-independent fact set.
 
@@ -267,6 +271,23 @@ def lineage_of(
     ground fact is not a possible fact are the constant ⊥ — the
     closed-world reading of the *finite* table; the paper's Section 6
     machinery applies this to truncations Ω_n of infinite PDBs.
+
+    Positive-existential formulas take the set-at-a-time fast path
+    (:mod:`repro.logic.ground`): atoms probe per-relation hash indexes,
+    conjunctions hash-join, ∃/∨ aggregate per-group disjunctions — the
+    resulting expression is bit-identical to brute-force quantifier
+    expansion, just never materializing the mostly-⊥ assignment space.
+    Negation, →, ∀ and unbound free variables fall back to expansion
+    (``grounding.fallbacks`` counts those).
+
+    ``index`` passes a prebuilt
+    :class:`~repro.relational.index.FactIndex` over exactly
+    ``possible_facts`` — callers grounding the same fact set repeatedly
+    (answer fan-outs, growing truncations via
+    :meth:`~repro.relational.index.FactIndex.extend`) reuse one index.
+    ``engine`` forces a path: ``"auto"`` (default), ``"join"`` (raise
+    :class:`~repro.errors.EvaluationError` if the formula is outside the
+    fast-path fragment), or ``"expansion"``.
 
     >>> from repro.relational import RelationSymbol
     >>> from repro.relational import Schema
@@ -286,7 +307,35 @@ def lineage_of(
         domain_set = frozenset(values)
     else:
         domain_set = frozenset(domain)
-    return _lineage(formula, possible_facts, domain_set, dict(assignment or {}))
+    assignment_map = dict(assignment or {})
+    if engine not in ("auto", "join", "expansion"):
+        raise EvaluationError(f"unknown grounding engine {engine!r}")
+    if engine != "expansion":
+        from repro.logic.ground import GroundingEngine, supports_set_at_a_time
+
+        fast = (
+            bool(domain_set)
+            and supports_set_at_a_time(formula)
+            and free_variables(formula) <= assignment_map.keys()
+        )
+        if fast:
+            with obs.phase("ground"):
+                fact_index = (
+                    index if index is not None else FactIndex(possible_facts))
+                grounder = GroundingEngine(fact_index, domain_set)
+                expr = grounder.lineage(formula, assignment_map)
+            if grounder.probes:
+                obs.incr("grounding.probes", grounder.probes)
+            if grounder.joins:
+                obs.incr("grounding.joins", grounder.joins)
+            return expr
+        if engine == "join":
+            raise EvaluationError(
+                "formula is outside the set-at-a-time fragment "
+                "(positive-existential, all free variables bound)"
+            )
+    obs.incr("grounding.fallbacks")
+    return _lineage(formula, possible_facts, domain_set, assignment_map)
 
 
 def _lineage(
@@ -350,7 +399,7 @@ def _lineage(
         missing = object()
         saved = assignment.get(variable, missing)
         children = []
-        for value in sorted(domain, key=repr):
+        for value in sorted(domain, key=domain_sort_key):
             assignment[variable] = value
             children.append(_lineage(formula.body, possible, domain, assignment))
         if saved is missing:

@@ -8,7 +8,8 @@ sets of facts (``D[τ, U]`` = finite subsets of ``F[τ, U]``).
 """
 
 from repro.relational.schema import RelationSymbol, Schema
-from repro.relational.facts import Fact, parse_fact
+from repro.relational.facts import Fact, domain_sort_key, parse_fact
+from repro.relational.index import FactIndex
 from repro.relational.instance import Instance
 from repro.relational.algebra import (
     Relation,
@@ -25,6 +26,8 @@ __all__ = [
     "RelationSymbol",
     "Schema",
     "Fact",
+    "FactIndex",
+    "domain_sort_key",
     "parse_fact",
     "Instance",
     "Relation",

@@ -19,6 +19,22 @@ from repro.relational.schema import RelationSymbol, Schema
 Value = Union[int, float, str, tuple]
 
 
+def domain_sort_key(value: object) -> Tuple[str, str]:
+    """Shared total-order key for *domain and candidate* values.
+
+    Every place that sorts a quantifier domain or a candidate-answer
+    list uses this one key.  Sorting mixed-type values by ``repr`` alone
+    interleaves ints and strings by their repr text (``10`` before
+    ``2``, ``'a'`` between them); keying by ``(type name, repr)`` keeps
+    each type contiguous and totally ordered without ever comparing
+    unlike types.
+
+    >>> sorted([10, "a", 2], key=domain_sort_key)
+    [10, 2, 'a']
+    """
+    return (type(value).__name__, repr(value))
+
+
 def _sort_key(value: object) -> tuple:
     """Total order over heterogeneous argument values.
 

@@ -1,0 +1,161 @@
+"""Per-relation hash indexes over a set of possible facts.
+
+A :class:`FactIndex` is the access-path layer of the set-at-a-time
+grounding engine (:mod:`repro.logic.ground`): it groups a truncated
+table's possible facts by relation symbol and builds, on demand, hash
+indexes keyed by *bound-column signatures* — the tuple of argument
+positions a probe fixes to constants.  An atom ``S(x, 3)`` probes the
+signature ``(1,)`` of ``S`` with key ``(3,)``; a join that has already
+bound ``x`` probes ``(0, 1)`` with ``(x_value, 3)``.  Each signature
+index is built once by a single pass over the relation's facts and then
+answers every probe in O(1) expected time.
+
+Indexes support *delta updates*: :meth:`FactIndex.extend` adds new
+possible facts in place and patches every already-built signature index,
+so a grown truncation Ω_m ⊇ Ω_n re-grounds against the same index
+without rebuilding — the grounding-side analogue of the compile cache
+extending one BDD manager across truncations.
+
+The index also implements the read-only set protocol over its facts
+(``in``, ``len``, iteration), so it can stand in for the
+``possible_facts`` set of :func:`repro.logic.lineage.lineage_of` and its
+expansion fallback.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.relational.facts import Fact, Value
+from repro.relational.schema import RelationSymbol
+
+#: A bound-column signature: the sorted argument positions a probe fixes.
+Signature = Tuple[int, ...]
+
+_EMPTY: Tuple[Fact, ...] = ()
+
+
+class FactIndex:
+    """Hash indexes over possible facts, per relation and bound-column
+    signature.
+
+    >>> from repro.relational import RelationSymbol
+    >>> S = RelationSymbol("S", 2)
+    >>> index = FactIndex([S(1, 2), S(1, 3), S(2, 3)])
+    >>> sorted(str(f) for f in index.probe(S, {0: 1}))
+    ['S(1, 2)', 'S(1, 3)']
+    >>> list(index.probe(S, {0: 1, 1: 3}))
+    [Fact(S(1, 3))]
+    >>> index.extend([S(1, 4)])
+    1
+    >>> sorted(str(f) for f in index.probe(S, {0: 1}))
+    ['S(1, 2)', 'S(1, 3)', 'S(1, 4)']
+    >>> S(1, 2) in index, len(index)
+    (True, 4)
+    """
+
+    __slots__ = ("_facts", "_by_relation", "_signatures", "_values")
+
+    def __init__(self, facts: Iterable[Fact] = ()):
+        self._facts: Set[Fact] = set()
+        self._by_relation: Dict[RelationSymbol, List[Fact]] = {}
+        self._signatures: Dict[
+            Tuple[RelationSymbol, Signature], Dict[Tuple[Value, ...], List[Fact]]
+        ] = {}
+        self._values: Set[Value] = set()
+        self.extend(facts)
+
+    # ------------------------------------------------------------- mutation
+    def extend(self, facts: Iterable[Fact]) -> int:
+        """Add possible facts in place; facts already indexed are
+        skipped.  Every signature index built so far is patched with the
+        genuinely new facts (a delta update, no rebuild).  Returns the
+        number of new facts added.
+        """
+        added: List[Fact] = []
+        for fact in facts:
+            if fact in self._facts:
+                continue
+            self._facts.add(fact)
+            self._by_relation.setdefault(fact.relation, []).append(fact)
+            self._values.update(fact.args)
+            added.append(fact)
+        if added and self._signatures:
+            for (relation, positions), table in self._signatures.items():
+                for fact in added:
+                    if fact.relation != relation:
+                        continue
+                    key = tuple(fact.args[i] for i in positions)
+                    table.setdefault(key, []).append(fact)
+        return len(added)
+
+    # -------------------------------------------------------------- queries
+    def probe(
+        self, relation: RelationSymbol, bound: Mapping[int, Value]
+    ) -> Sequence[Fact]:
+        """All possible facts of ``relation`` matching the bound columns.
+
+        ``bound`` maps argument positions to required values; an empty
+        mapping scans the relation.  The signature index for the bound
+        position set is built on first use and reused (and delta-updated
+        by :meth:`extend`) afterwards.
+        """
+        facts = self._by_relation.get(relation)
+        if facts is None:
+            return _EMPTY
+        if not bound:
+            return facts
+        positions = tuple(sorted(bound))
+        table = self._signatures.get((relation, positions))
+        if table is None:
+            table = {}
+            for fact in facts:
+                key = tuple(fact.args[i] for i in positions)
+                table.setdefault(key, []).append(fact)
+            self._signatures[(relation, positions)] = table
+        return table.get(tuple(bound[i] for i in positions), _EMPTY)
+
+    def relation_facts(self, relation: RelationSymbol) -> Sequence[Fact]:
+        """All possible facts of one relation (insertion order)."""
+        return self._by_relation.get(relation, _EMPTY)
+
+    @property
+    def fact_set(self) -> Set[Fact]:
+        """The live set of indexed facts (do not mutate)."""
+        return self._facts
+
+    @property
+    def values(self) -> Set[Value]:
+        """The active domain: every value occurring in an indexed fact
+        (do not mutate)."""
+        return self._values
+
+    def signature_count(self) -> int:
+        """How many signature indexes have been materialized."""
+        return len(self._signatures)
+
+    # --------------------------------------------------- read-only set protocol
+    def __contains__(self, fact: object) -> bool:
+        return fact in self._facts
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+    def __repr__(self) -> str:
+        return (
+            f"FactIndex(facts={len(self._facts)}, "
+            f"relations={len(self._by_relation)}, "
+            f"signatures={len(self._signatures)})"
+        )

@@ -181,8 +181,10 @@ def _lineage_checker(query, facts, world_of) -> Callable[[Row], bool]:
     """Compile ``query`` once against the plan's possible facts.
 
     Lineage evaluation on a set of facts skips the FO interpreter (and
-    ``Instance`` construction) entirely; queries the lineage grounder
-    cannot handle fall back to cached ``holds_in``.
+    ``Instance`` construction) entirely — positive-existential queries
+    additionally ground set-at-a-time through the hash-join engine;
+    queries the lineage grounder cannot handle fall back to cached
+    ``holds_in``.
     """
     try:
         from repro.logic.lineage import lineage_of

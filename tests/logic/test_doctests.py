@@ -1,0 +1,38 @@
+"""Run the logic-layer doctests as part of tier-1.
+
+The grounding engine and fact index document their contracts as
+doctests; this keeps those examples executable without turning on
+``--doctest-modules`` globally.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro.logic
+from repro.relational import facts as facts_module
+from repro.relational import index as index_module
+
+
+def _logic_modules():
+    names = []
+    for info in pkgutil.iter_modules(
+        repro.logic.__path__, prefix="repro.logic."
+    ):
+        names.append(info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("name", _logic_modules())
+def test_logic_module_doctests(name):
+    module = importlib.import_module(name)
+    failures, _ = doctest.testmod(module, verbose=False)
+    assert failures == 0
+
+
+@pytest.mark.parametrize("module", [facts_module, index_module])
+def test_relational_support_doctests(module):
+    failures, _ = doctest.testmod(module, verbose=False)
+    assert failures == 0

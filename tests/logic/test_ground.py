@@ -1,0 +1,157 @@
+"""Set-at-a-time grounding engine vs. assignment-expansion grounding.
+
+The join engine must be *bit-identical* to the expansion fallback on the
+positive-existential fragment: `Lineage.conj`/`disj` canonicalize their
+children, so equality of the `.node` trees pins not just logical
+equivalence but identical structure.
+"""
+
+import pytest
+
+from repro import obs
+from repro.errors import EvaluationError
+from repro.logic.ground import GroundingEngine, supports_set_at_a_time
+from repro.logic.lineage import lineage_of
+from repro.logic.parser import parse_formula
+from repro.logic.syntax import Variable
+from repro.relational import FactIndex, Schema
+
+schema = Schema.of(R=1, S=2, T=1)
+R, S, T = schema["R"], schema["S"], schema["T"]
+
+FACTS = frozenset({
+    R(1), R(2), R(4),
+    S(1, 2), S(2, 3), S(3, 1), S(2, 2), S(4, 1),
+    T(2), T(3),
+})
+
+#: Positive-existential sentences covering atoms, joins, unions with
+#: heterogeneous variable sets, nested quantifiers, shadowing, and
+#: equality in every const/var mix.
+SENTENCES = [
+    "EXISTS x. R(x)",
+    "EXISTS x. S(x, x)",
+    "EXISTS x, y. S(x, y)",
+    "EXISTS x, y. R(x) AND S(x, y)",
+    "EXISTS x, y. R(x) AND S(x, y) AND T(y)",
+    "EXISTS x, y, z. S(x, y) AND S(y, z)",
+    "EXISTS x, y, z. S(x, y) AND S(y, z) AND S(z, x)",
+    "EXISTS x. R(x) OR T(x)",
+    "EXISTS x, y. R(x) OR S(x, y)",
+    "EXISTS x. (EXISTS y. S(x, y)) AND (EXISTS y. S(y, x))",
+    "EXISTS x. R(x) AND (EXISTS x. T(x))",  # shadowing
+    "EXISTS x. EXISTS x. R(x)",  # direct re-binding
+    "EXISTS x. R(x) AND x = 2",
+    "EXISTS x, y. S(x, y) AND x = y",
+    "EXISTS x. R(x) AND 1 = 1",
+    "EXISTS x. R(x) AND 1 = 2",
+    "R(1)",
+    "R(3)",
+    "S(1, 2) AND T(2)",
+    "1 = 1",
+    "1 = 2",
+]
+
+OPEN_FORMULAS = [
+    ("R(x)", {"x": 1}),
+    ("R(x)", {"x": 3}),
+    ("EXISTS y. S(x, y)", {"x": 2}),
+    ("EXISTS y. S(x, y) AND T(y)", {"x": 1}),
+    ("S(x, y)", {"x": 1, "y": 2}),
+    ("R(x) AND (EXISTS x. S(x, x))", {"x": 1}),  # bound var shadowed
+    ("x = y", {"x": 1, "y": 1}),
+    ("x = y", {"x": 1, "y": 2}),
+]
+
+
+def both_engines(formula, assignment=None, domain=None):
+    fast = lineage_of(
+        formula, FACTS, domain=domain, assignment=assignment, engine="join")
+    slow = lineage_of(
+        formula, FACTS, domain=domain, assignment=assignment,
+        engine="expansion")
+    return fast, slow
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("text", SENTENCES)
+    def test_sentences_default_domain(self, text):
+        formula = parse_formula(text, schema)
+        fast, slow = both_engines(formula)
+        assert fast.node == slow.node
+
+    @pytest.mark.parametrize("text", SENTENCES)
+    def test_sentences_explicit_domain(self, text):
+        formula = parse_formula(text, schema)
+        fast, slow = both_engines(formula, domain={1, 2, 3})
+        assert fast.node == slow.node
+
+    @pytest.mark.parametrize("text,binding", OPEN_FORMULAS)
+    def test_prebound_assignments(self, text, binding):
+        formula = parse_formula(text, schema)
+        assignment = {Variable(name): v for name, v in binding.items()}
+        fast, slow = both_engines(formula, assignment=assignment)
+        assert fast.node == slow.node
+
+    def test_auto_matches_both(self):
+        formula = parse_formula("EXISTS x, y. R(x) AND S(x, y)", schema)
+        auto = lineage_of(formula, FACTS)
+        fast, slow = both_engines(formula)
+        assert auto.node == fast.node == slow.node
+
+
+class TestFragmentGate:
+    @pytest.mark.parametrize("text", [
+        "NOT (EXISTS x. R(x))",
+        "FORALL x. R(x)",
+        "EXISTS x. R(x) -> T(x)",
+    ])
+    def test_outside_fragment_rejected(self, text):
+        formula = parse_formula(text, schema)
+        assert not supports_set_at_a_time(formula)
+        with pytest.raises(EvaluationError):
+            lineage_of(formula, FACTS, engine="join")
+        # auto silently falls back to the expansion grounder
+        expected = lineage_of(formula, FACTS, engine="expansion")
+        assert lineage_of(formula, FACTS).node == expected.node
+
+    def test_unbound_free_variable_rejected(self):
+        formula = parse_formula("R(x)", schema)
+        with pytest.raises(EvaluationError):
+            lineage_of(formula, FACTS, engine="join")
+
+    def test_unknown_engine_rejected(self):
+        formula = parse_formula("R(1)", schema)
+        with pytest.raises(EvaluationError):
+            lineage_of(formula, FACTS, engine="turbo")
+
+
+class TestEngineInternals:
+    def test_reused_index_gives_same_result(self):
+        formula = parse_formula("EXISTS x, y. R(x) AND S(x, y)", schema)
+        index = FactIndex(FACTS)
+        first = lineage_of(formula, FACTS, index=index)
+        second = lineage_of(formula, FACTS, index=index)
+        baseline = lineage_of(formula, FACTS, engine="expansion")
+        assert first.node == second.node == baseline.node
+
+    def test_counters_flow_to_trace(self):
+        formula = parse_formula("EXISTS x, y. R(x) AND S(x, y)", schema)
+        with obs.trace() as t:
+            lineage_of(formula, FACTS, engine="join")
+        assert t.counters["grounding.probes"] >= 1
+        assert t.counters["grounding.joins"] >= 1
+        assert "grounding.fallbacks" not in t.counters
+
+    def test_fallback_counter(self):
+        formula = parse_formula("FORALL x. R(x)", schema)
+        with obs.trace() as t:
+            lineage_of(formula, FACTS)
+        assert t.counters["grounding.fallbacks"] == 1
+
+    def test_relation_exposes_answer_support(self):
+        formula = parse_formula("EXISTS y. R(x) AND S(x, y)", schema)
+        engine = GroundingEngine(FactIndex(FACTS), frozenset({1, 2, 3, 4}))
+        rows = engine.relation(formula)
+        assert [v.name for v in rows.vars] == ["x"]
+        assert set(rows.rows) == {(1,), (2,), (4,)}
