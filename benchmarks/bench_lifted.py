@@ -1,0 +1,219 @@
+"""A-7 — lifted safe-plan evaluation vs compiled intensional engines.
+
+Regenerates: the headline artifact of the Dalvi–Suciu safe-plan solver
+(:mod:`repro.logic.hierarchy` + :mod:`repro.finite.lifted`).  Safe
+chain- and star-shaped queries are evaluated twice over growing TI
+tables — through the extensional lifted plans (``strategy="lifted"``)
+and through the compiled-ROBDD engine (``strategy="bdd"``) — asserting
+value parity to 1e-9 on every measured case before timing counts.
+
+The compiled arm saturates at a few tens of facts (ROBDD construction
+over the grounded lineage dominates), so the differential grid is
+capped where BDD still terminates and the acceptance bar — geometric-
+mean lifted speedup ≥ 10× — is asserted there.  A second, lifted-only
+workload sweeps the same queries across 10⁴–10⁵-fact tables, recording
+that the safe-plan engine covers in seconds table sizes the intensional
+engines cannot reach at all; the cross-scale guard asserts the largest
+lifted sweep case stays cheaper than the *smallest* compiled grid case
+scaled by the size ratio (i.e. the lifted engine is sub-product in the
+data where BDD compilation is super-linear).
+
+Shape to hold: geomean lifted-over-BDD speedup ≥ 10× on the shared
+grid.  Machine-readable results land in ``BENCH_lifted.json`` at the
+repo root so future PRs can track the perf trajectory.
+
+Smoke mode (``BENCH_SMOKE=1``): tiny sizes, no speedup assertion, no
+JSON write — used by CI to exercise both arms on every Python version.
+"""
+
+import json
+import math
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from benchmarks.conftest import report
+from repro import obs
+from repro.finite import TupleIndependentTable, query_probability
+from repro.finite.compile_cache import CompileCache
+from repro.logic import BooleanQuery, parse_formula
+from repro.relational import Schema
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+schema = Schema.of(R=1, S=2, T=1, V=2)
+R, S, T, V = schema["R"], schema["S"], schema["T"], schema["V"]
+
+#: Differential grid: per-relation row counts where the compiled ROBDD
+#: arm still terminates in seconds.
+GRID_SIZES = [4, 6] if SMOKE else [6, 9, 12]
+#: Lifted-only scale sweep (facts ≈ 4× these row counts).
+SCALE_SIZES = [200] if SMOKE else [10_000, 100_000]
+REPEATS = 1 if SMOKE else 3
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_lifted.json"
+
+_RESULTS = {}
+
+#: Safe hierarchical shapes: two 2-chains and a star rooted at x.  All
+#: have safe plans (independent project over a separator); none are
+#: within reach of world enumeration past ~20 facts.
+QUERIES = [
+    ("chain2", "EXISTS x, y. R(x) AND S(x, y)"),
+    ("chain2b", "EXISTS x, y. S(x, y) AND T(y)"),
+    ("star3", "EXISTS x, y, z. R(x) AND S(x, y) AND V(x, z)"),
+]
+
+
+def make_table(n):
+    """~4n facts: n unary R and T marks, n S edges, n V edges, with
+    marginals varied so no accidental symmetry hides a planning bug."""
+    marginals = {}
+    for i in range(n):
+        marginals[R(i)] = 0.01 + (i % 7) * 0.01
+        marginals[S(i, (i * 7 + 3) % n)] = 0.02 + (i % 5) * 0.01
+        marginals[T((i * 7 + 5) % n)] = 0.05
+        marginals[V(i, (i + 1) % n)] = 0.03
+    return TupleIndependentTable(schema, marginals)
+
+
+def q(text):
+    return BooleanQuery(parse_formula(text, schema), schema)
+
+
+def best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def grid_rows():
+    rows = []
+    cases_json = {}
+    speedups = []
+    for n in GRID_SIZES:
+        table = make_table(n)
+        for name, text in QUERIES:
+            query = q(text)
+            with obs.trace() as t:
+                lifted, lifted_s = best_of(
+                    lambda: query_probability(
+                        query, table, strategy="lifted",
+                        compile_cache=CompileCache()))
+            # ROBDD compilation dominates and repeats add minutes:
+            # one cold-cache measurement per case.
+            compiled, bdd_s = best_of(
+                lambda: query_probability(
+                    query, table, strategy="bdd",
+                    compile_cache=CompileCache()),
+                repeats=1)
+            # Value parity on the measured workload before timing
+            # counts for anything.
+            assert abs(lifted - compiled) < 1e-9, (
+                f"{name} n={n}: lifted {lifted} != bdd {compiled}")
+            speedup = bdd_s / lifted_s if lifted_s else float("inf")
+            speedups.append(speedup)
+            plans = t.counters.get("lifted.plans", 0)
+            rows.append((name, n, len(table.marginals), plans,
+                         bdd_s, lifted_s, speedup))
+            cases_json[f"{name}_n{n}"] = {
+                "query": text,
+                "n": n,
+                "facts": len(table.marginals),
+                "plans": plans,
+                "bdd_s": bdd_s,
+                "lifted_s": lifted_s,
+                "speedup": speedup,
+            }
+    geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    _RESULTS["grid_workload"] = {
+        "cases": cases_json,
+        "geomean_speedup": geomean,
+        "min_speedup": min(speedups),
+        "max_speedup": max(speedups),
+    }
+    return rows, geomean
+
+
+def scale_rows():
+    rows = []
+    cases_json = {}
+    for n in SCALE_SIZES:
+        table = make_table(n)
+        for name, text in QUERIES:
+            query = q(text)
+            with obs.trace() as t:
+                value, lifted_s = best_of(
+                    lambda: query_probability(
+                        query, table, strategy="lifted",
+                        compile_cache=CompileCache()),
+                    repeats=1 if n >= 100_000 else REPEATS)
+            facts = len(table.marginals)
+            throughput = facts / lifted_s if lifted_s else float("inf")
+            rows.append((name, n, facts, lifted_s, throughput,
+                         t.counters.get("lifted.plans", 0)))
+            cases_json[f"{name}_n{n}"] = {
+                "query": text,
+                "n": n,
+                "facts": facts,
+                "lifted_s": lifted_s,
+                "facts_per_s": throughput,
+                "value": value,
+            }
+    _RESULTS["scale_workload"] = {"cases": cases_json}
+    return rows
+
+
+def _write_json():
+    if SMOKE:
+        # CI smoke runs exercise the code path but must not clobber the
+        # committed full-mode perf record.
+        return
+    _RESULTS.update({
+        "benchmark": "lifted",
+        "smoke": SMOKE,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "generated_unix": int(time.time()),
+        "headline_speedup": _RESULTS.get(
+            "grid_workload", {}).get("geomean_speedup", 0.0),
+    })
+    JSON_PATH.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
+
+
+def test_a7_lifted_vs_bdd_grid(benchmark):
+    rows, geomean = benchmark.pedantic(grid_rows, rounds=1, iterations=1)
+    report("A7a: safe-plan lifted evaluation vs compiled ROBDD",
+           ("query", "n", "facts", "plans", "bdd_s", "lifted_s", "speedup"),
+           rows)
+    if not SMOKE:
+        # The acceptance bar: ≥ 10× geometric-mean speedup on the grid.
+        assert geomean >= 10.0, f"geomean speedup {geomean:.2f}x < 10x"
+
+
+def test_a7_lifted_scale_sweep(benchmark):
+    rows = benchmark.pedantic(scale_rows, rounds=1, iterations=1)
+    report("A7b: lifted-only sweep at 10^4–10^5 facts",
+           ("query", "n", "facts", "lifted_s", "facts_per_s", "plans"),
+           rows)
+    if not SMOKE:
+        # Cross-scale guard: the largest lifted case (≈ 4·10^5 facts)
+        # must stay cheaper than the smallest compiled grid case scaled
+        # by the fact-count ratio — i.e. lifted grows sub-product where
+        # the ROBDD arm grows super-linearly.
+        grid = _RESULTS["grid_workload"]["cases"]
+        scale = _RESULTS["scale_workload"]["cases"]
+        smallest = min(grid.values(), key=lambda c: c["facts"])
+        largest = max(scale.values(), key=lambda c: c["facts"])
+        ratio = largest["facts"] / smallest["facts"]
+        assert largest["lifted_s"] < smallest["bdd_s"] * ratio, (
+            f"lifted at {largest['facts']} facts ({largest['lifted_s']:.3f}s)"
+            f" not cheaper than scaled bdd floor"
+            f" ({smallest['bdd_s']:.3f}s x {ratio:.0f})")
+    _write_json()

@@ -4,7 +4,7 @@ Usage::
 
     python -m repro query TABLE.json "EXISTS x. R(x)" [--epsilon 0.01]
            [--open-world first,ratio] [--sweep E1,E2,...]
-           [--strategy auto|worlds|lineage|lifted]
+           [--strategy auto|worlds|lineage|lifted|bdd|sampled]
            [--stats [human|json]]
     python -m repro marginals TABLE.json "R(x)" [--stats [human|json]]
     python -m repro info TABLE.json
@@ -178,7 +178,8 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("table")
     query.add_argument("query")
     query.add_argument("--strategy", default="auto",
-                       choices=["auto", "worlds", "lineage", "lifted"])
+                       choices=["auto", "worlds", "lineage", "lifted", "bdd",
+                                "sampled"])
     query.add_argument("--open-world", metavar="FIRST,RATIO", default=None,
                        help="complete with a geometric open-world family "
                             "before querying (Theorem 5.5)")
@@ -196,7 +197,8 @@ def build_parser() -> argparse.ArgumentParser:
     marginals.add_argument("table")
     marginals.add_argument("query")
     marginals.add_argument("--strategy", default="auto",
-                           choices=["auto", "worlds", "lineage", "lifted"])
+                           choices=["auto", "worlds", "lineage", "lifted",
+                                    "bdd", "sampled"])
     _add_stats_flag(marginals)
     marginals.set_defaults(handler=command_marginals)
     return parser

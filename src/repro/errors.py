@@ -60,8 +60,22 @@ class IndependenceError(ReproError):
 
 
 class UnsafeQueryError(ReproError):
-    """A query is not hierarchical/safe, so the lifted evaluation plan
-    cannot be constructed (Dalvi–Suciu dichotomy)."""
+    """A query is not safe, so no lifted evaluation plan exists for it
+    (Dalvi–Suciu dichotomy).
+
+    ``subquery`` carries the (sub)query the safe-plan solver got stuck
+    on — the connected component without a separator variable, the
+    inclusion–exclusion term whose plan failed, or the whole query when
+    it is not even a UCQ.  It is a
+    :class:`~repro.logic.normalform.ConjunctiveQuery`, a
+    :class:`~repro.logic.normalform.UnionOfConjunctiveQueries`, or None
+    when no UCQ structure was recovered.
+    """
+
+    def __init__(self, message: str, subquery=None):
+        super().__init__(message)
+        #: The minimal offending subquery the solver identified (or None).
+        self.subquery = subquery
 
 
 class ApproximationError(ReproError):

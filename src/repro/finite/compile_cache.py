@@ -38,7 +38,7 @@ from typing import (
 )
 
 from repro import obs
-from repro.errors import EvaluationError
+from repro.errors import EvaluationError, UnsafeQueryError
 from repro.finite.bdd import BDDManager, BDDRef, ONE, ZERO
 from repro.finite.bid import BlockIndependentTable
 from repro.finite.tuple_independent import TupleIndependentTable
@@ -89,12 +89,17 @@ class _Family:
     :class:`~repro.relational.index.FactIndex` the grounding engine
     delta-extends as the family's fact sets grow across truncations."""
 
-    __slots__ = ("manager", "roots", "index")
+    __slots__ = ("manager", "roots", "index", "lifted")
 
     def __init__(self) -> None:
         self.manager = BDDManager([])
         self.roots: "OrderedDict[FrozenSet[Fact], BDDRef]" = OrderedDict()
         self.index: Optional[FactIndex] = None
+        #: Safe-plan solver results, keyed ``"strict"`` / ``"partial"``:
+        #: ``("plan", plan, ucq)`` or ``("error", exc, ucq)``.  Plans are
+        #: data-independent, so one entry serves every truncation of the
+        #: family.
+        self.lifted: Dict[str, tuple] = {}
 
     def grounding_index(self, facts_key: FrozenSet[Fact]) -> FactIndex:
         """The family's fact index, grown to exactly ``facts_key``.
@@ -152,13 +157,7 @@ class CompileCache:
     ) -> CompiledQuery:
         """The compiled diagram of ``formula`` over ``possible_facts``."""
         facts_key = frozenset(possible_facts)
-        family = self._families.get(formula)
-        if family is None:
-            family = _Family()
-            self._families[formula] = family
-            while len(self._families) > self.max_queries:
-                self._families.popitem(last=False)
-        self._families.move_to_end(formula)
+        family = self._family(formula)
         root = family.roots.get(facts_key)
         if root is not None or facts_key in family.roots:
             family.roots.move_to_end(facts_key)
@@ -179,6 +178,84 @@ class CompileCache:
         while len(family.roots) > self.max_roots_per_query:
             family.roots.popitem(last=False)
         return CompiledQuery(family.manager, root)
+
+    def _family(self, formula: Formula) -> _Family:
+        family = self._families.get(formula)
+        if family is None:
+            family = _Family()
+            self._families[formula] = family
+            while len(self._families) > self.max_queries:
+                self._families.popitem(last=False)
+        self._families.move_to_end(formula)
+        return family
+
+    def lifted(
+        self, formula: Formula, pdb, partial: bool = False
+    ) -> Tuple[object, FactIndex]:
+        """The safe plan of ``formula`` plus the family's fact index,
+        grown to ``pdb``'s possible facts.
+
+        The plan (strict, or a hybrid one containing
+        :class:`~repro.logic.hierarchy.UnsafeLeaf` residue when
+        ``partial=True``) is compiled once per query family and reused
+        across truncations — a plan is data-independent, only the index
+        grows.  Builds count in the ``lifted.plans`` obs counter, reuses
+        in ``lifted.plan_cache_hits``.  Raises
+        :class:`~repro.errors.UnsafeQueryError` (cached too) when the
+        query has no plan of the requested kind.
+        """
+        from repro.logic.hierarchy import UnsafeLeaf, safe_plan_ucq
+        from repro.logic.normalform import extract_ucq
+
+        if isinstance(pdb, TupleIndependentTable):
+            facts_key = frozenset(pdb.marginals)
+        elif isinstance(pdb, BlockIndependentTable):
+            facts_key = frozenset(pdb.facts())
+        else:
+            raise EvaluationError(
+                "lifted evaluation needs a TI or BID table")
+        family = self._family(formula)
+        entry = family.lifted.get("strict")
+        if entry is None:
+            ucq = extract_ucq(formula)
+            if ucq is None:
+                entry = (
+                    "error",
+                    UnsafeQueryError(
+                        f"query is not a UCQ: {formula}; "
+                        "use an intensional strategy"
+                    ),
+                    None,
+                )
+            else:
+                try:
+                    entry = ("plan", safe_plan_ucq(ucq), ucq)
+                    obs.incr("lifted.plans")
+                except UnsafeQueryError as exc:
+                    entry = ("error", exc, ucq)
+            family.lifted["strict"] = entry
+        else:
+            obs.incr("lifted.plan_cache_hits")
+        kind, payload, ucq = entry
+        if kind == "plan":
+            return payload, family.grounding_index(facts_key)
+        if not partial:
+            raise payload
+        hybrid = family.lifted.get("partial")
+        if hybrid is None:
+            plan = (
+                safe_plan_ucq(ucq, partial=True) if ucq is not None else None
+            )
+            if plan is None or isinstance(plan, UnsafeLeaf):
+                # No safe component at all: partial buys nothing.
+                hybrid = ("error", payload, ucq)
+            else:
+                hybrid = ("plan", plan, ucq)
+                obs.incr("lifted.plans")
+            family.lifted["partial"] = hybrid
+        if hybrid[0] == "error":
+            raise hybrid[1]
+        return hybrid[1], family.grounding_index(facts_key)
 
     def clear(self) -> None:
         self._families.clear()

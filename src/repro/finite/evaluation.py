@@ -78,11 +78,16 @@ def query_probability(
 
     ``strategy``:
 
-    * ``"auto"`` — lifted safe plan if the query compiles to one and the
-      PDB is tuple-independent; otherwise compiled ROBDD evaluation for
-      TI tables with at least :data:`BDD_AUTO_THRESHOLD` facts, else
-      lineage/Shannon, else world enumeration.
-    * ``"worlds"`` / ``"lineage"`` / ``"lifted"`` — force one strategy.
+    * ``"auto"`` — lifted safe-plan evaluation for TI and BID tables:
+      safe (sub)queries run extensionally, and unsafe residue components
+      of a *partial* plan are delegated per-component to the intensional
+      engines (compiled ROBDD past :data:`BDD_AUTO_THRESHOLD` facts,
+      lineage/Shannon below it) — each delegation counted in
+      ``lifted.unsafe_fallbacks``.  A query with no safe component at
+      all routes wholly intensionally; explicit PDBs enumerate worlds.
+    * ``"worlds"`` / ``"lineage"`` / ``"lifted"`` — force one strategy
+      (``"lifted"`` raises :class:`~repro.errors.UnsafeQueryError`,
+      carrying the offending subquery, when no strict safe plan exists).
     * ``"bdd"`` — compile the lineage once into a cached ROBDD
       (:mod:`repro.finite.compile_cache`) and score it by one linear
       weighted-model-counting pass; repeated calls on the same query
@@ -142,27 +147,58 @@ def _dispatch_query_probability(
 
         return query_probability_by_bdd_cached(query, pdb, compile_cache), "bdd"
     if strategy == "lifted":
-        if not isinstance(pdb, TupleIndependentTable):
-            raise EvaluationError("lifted evaluation needs a TI table")
-        return query_probability_lifted(query, pdb), "lifted"
+        if not isinstance(
+            pdb, (TupleIndependentTable, BlockIndependentTable)
+        ):
+            raise EvaluationError("lifted evaluation needs a TI or BID table")
+        return (
+            query_probability_lifted(query, pdb, plan_cache=compile_cache),
+            "lifted",
+        )
     if strategy != "auto":
         raise EvaluationError(f"unknown strategy {strategy!r}")
-    if isinstance(pdb, TupleIndependentTable):
-        try:
-            return query_probability_lifted(query, pdb), "lifted"
-        except UnsafeQueryError:
-            pass
-        if len(pdb) >= BDD_AUTO_THRESHOLD:
-            from repro.finite.compile_cache import (
-                query_probability_by_bdd_cached,
-            )
-
-            return (
-                query_probability_by_bdd_cached(query, pdb, compile_cache),
-                "bdd",
-            )
     if isinstance(pdb, (TupleIndependentTable, BlockIndependentTable)):
-        return query_probability_by_lineage(query, pdb), "lineage"
+        fact_count = (
+            len(pdb) if isinstance(pdb, TupleIndependentTable)
+            else len(pdb.facts())
+        )
+        residue_strategy = (
+            "bdd" if fact_count >= BDD_AUTO_THRESHOLD else "lineage"
+        )
+
+        def unsafe_residue(formula: Formula) -> float:
+            """Evaluate one unsafe residue component of a partial plan
+            intensionally (counted, so hybrid evaluations are visible in
+            the report)."""
+            obs.incr("lifted.unsafe_fallbacks")
+            obs.event(
+                "lifted.unsafe_fallback",
+                strategy=residue_strategy,
+                formula=str(formula)[:160],
+            )
+            residue = BooleanQuery(
+                formula, query.schema, name=f"{query.name}#residue")
+            value, _ = _dispatch_query_probability(
+                residue, pdb, residue_strategy, compile_cache)
+            return value
+
+        try:
+            value = query_probability_lifted(
+                query, pdb, plan_cache=compile_cache,
+                partial=True, unsafe_fallback=unsafe_residue,
+            )
+            return value, "lifted"
+        except UnsafeQueryError as exc:
+            # No safe component at all (or the table's block structure
+            # defeats the plan): route the whole query intensionally.
+            obs.incr("lifted.unsafe_fallbacks")
+            obs.event(
+                "lifted.unsafe_fallback",
+                strategy=residue_strategy,
+                reason=str(exc)[:160],
+            )
+        return _dispatch_query_probability(
+            query, pdb, residue_strategy, compile_cache)
     return query_probability_by_worlds(query, pdb), "worlds"
 
 
@@ -280,7 +316,8 @@ def _evaluate_answers(
             isinstance(pdb, BlockIndependentTable)
             or not _grounding_is_safe(query, candidates)
         ):
-            # No per-answer safe plan (lifted needs TI + hierarchical):
+            # No per-answer safe plan (BID fan-outs share one compile
+            # rather than gambling on per-answer block disjointness):
             # compile once, restrict per answer.
             shared = factory()
     answers: Optional[Iterable[Tuple[Value, ...]]] = None

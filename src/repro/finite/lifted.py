@@ -1,137 +1,360 @@
 """Lifted (extensional) query evaluation via safe plans.
 
-Evaluates hierarchical, self-join-free Boolean CQs (and UCQs with
-symbol-disjoint disjuncts) in polynomial time on finite tuple-independent
-tables — the efficient "traditional closed-world evaluation algorithm"
-plugged into the Proposition 6.1 truncation pipeline.
+Evaluates safe Boolean UCQs in polynomial time on finite
+tuple-independent and block-independent tables — the efficient
+"traditional closed-world evaluation algorithm" plugged into the
+Proposition 6.1 truncation pipeline.  Plans come from the Dalvi–Suciu
+solver in :mod:`repro.logic.hierarchy`; this module interprets them
+against a table through a binding environment:
 
-Correctness relies on the independence structure the plan certifies:
+* ``FactLeaf`` grounds its atom with the current binding and reads the
+  fact's marginal;
+* ``IndependentProject`` discovers candidate values for its separator
+  variable by probing the :class:`~repro.relational.index.FactIndex`
+  hash indexes (bound-column signatures — no per-atom scans) and folds
+  ``1 − Π_a (1 − P(child[x↦a]))``;
+* ``IndependentJoin`` / ``IndependentUnion`` multiply / co-multiply;
+* ``InclusionExclusion`` sums signed term probabilities;
+* ``UnsafeLeaf`` (partial plans only) delegates its residue formula to a
+  caller-supplied intensional fallback.
 
-* ground atoms over distinct relations are independent facts;
-* connected components sharing no variables touch disjoint fact sets;
-* grounding a root variable with distinct constants yields subqueries
-  over disjoint fact sets, so ``P(∃x φ) = 1 − Π_a (1 − P(φ[x↦a]))``.
+On BID tables the independence every multiplicative node assumes is
+re-checked against the block partition at evaluation time: nodes whose
+subtrees touch disjoint block sets evaluate as on TI tables, same-block
+alternatives combine by the disjoint-union rule
+``P = 1 − Π_blocks (1 − Σ_alternatives p)``, and anything else raises
+:class:`UnsafeQueryError` so ``strategy="auto"`` falls back to an
+intensional engine.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Set, Union
 
-from repro.errors import UnsafeQueryError
+from repro.errors import EvaluationError, UnsafeQueryError
+from repro.finite.bid import BlockIndependentTable
 from repro.finite.tuple_independent import TupleIndependentTable
 from repro.logic.hierarchy import (
     FactLeaf,
+    InclusionExclusion,
     IndependentJoin,
     IndependentProject,
     IndependentUnion,
     SafePlan,
+    UnsafeLeaf,
     safe_plan,
     safe_plan_ucq,
 )
 from repro.logic.normalform import (
     ConjunctiveQuery,
     UnionOfConjunctiveQueries,
-    extract_ucq,
 )
 from repro.logic.queries import BooleanQuery
-from repro.logic.syntax import Atom, Constant, Term, Variable
-from repro.relational.facts import Fact, Value
+from repro.logic.syntax import Atom, Constant, Formula, Variable
+from repro.relational.facts import Fact, Value, domain_sort_key
+from repro.relational.index import FactIndex
+
+__all__ = [
+    "evaluate_plan",
+    "query_probability_lifted",
+    "safe_plan",
+    "safe_plan_ucq",
+]
+
+LiftedTable = Union[TupleIndependentTable, BlockIndependentTable]
+
+Binding = Dict[Variable, Value]
 
 
-def _ground_atom(atom: Atom, binding: Dict[Variable, Value]) -> Atom:
-    terms: List[Term] = []
+def _ground_fact(atom: Atom, binding: Binding) -> Fact:
+    args: List[Value] = []
     for term in atom.terms:
-        if isinstance(term, Variable) and term in binding:
-            terms.append(Constant(binding[term]))
+        if isinstance(term, Constant):
+            args.append(term.value)
+        elif term in binding:
+            args.append(binding[term])
         else:
-            terms.append(term)
-    return Atom(atom.relation, terms)
+            raise EvaluationError(
+                f"unbound variable {term} at plan leaf {atom}"
+            )
+    return Fact(atom.relation, tuple(args))
+
+
+def _probe_pattern(atom: Atom, binding: Binding) -> Dict[int, Value]:
+    """The bound-column pattern an atom fixes under ``binding``:
+    constants plus already-bound variables."""
+    bound: Dict[int, Value] = {}
+    for i, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            bound[i] = term.value
+        elif term in binding:
+            bound[i] = binding[term]
+    return bound
+
+
+def _atom_candidates(
+    atom: Atom,
+    variable: Variable,
+    index: FactIndex,
+    binding: Binding,
+) -> Set[Value]:
+    """Values the index supports for ``variable`` in one atom: probe the
+    atom's bound columns, read the variable's positions off the matching
+    facts (requiring repeated positions to agree)."""
+    positions = [i for i, term in enumerate(atom.terms) if term == variable]
+    bound = _probe_pattern(atom, binding)
+    values: Set[Value] = set()
+    for fact in index.probe(atom.relation, bound):
+        position_values = {fact.args[i] for i in positions}
+        if len(position_values) == 1:
+            values.add(position_values.pop())
+    return values
 
 
 def _candidate_values(
+    subquery: Union[ConjunctiveQuery, UnionOfConjunctiveQueries],
+    variable: Variable,
+    index: FactIndex,
+    binding: Binding,
+) -> List[Value]:
+    """Values worth grounding ``variable`` with, in the shared
+    :func:`~repro.relational.facts.domain_sort_key` order (consistent
+    with the join grounder, so lifted grounding is reproducible across
+    backends).  For a CQ the sets from each atom containing the variable
+    intersect (the separator occurs in all of them); for a UCQ the
+    per-disjunct candidates union.  Values outside give subquery
+    probability 0 and contribute nothing to the independent project."""
+    if isinstance(subquery, UnionOfConjunctiveQueries):
+        union: Set[Value] = set()
+        for cq in subquery.disjuncts:
+            union |= _cq_candidates(cq, variable, index, binding)
+        return sorted(union, key=domain_sort_key)
+    return sorted(
+        _cq_candidates(subquery, variable, index, binding),
+        key=domain_sort_key,
+    )
+
+
+def _cq_candidates(
     cq: ConjunctiveQuery,
     variable: Variable,
-    table: TupleIndependentTable,
-) -> List[Value]:
-    """Values worth grounding ``variable`` with: the intersection over
-    atoms containing it of the table's values at the variable's
-    positions.  Values outside give subquery probability 0 and contribute
-    nothing to the independent project."""
+    index: FactIndex,
+    binding: Binding,
+) -> Set[Value]:
     candidate_sets: List[Set[Value]] = []
     for atom in cq.atoms:
-        positions = [
-            i for i, term in enumerate(atom.terms) if term == variable
-        ]
-        if not positions:
+        if variable not in {t for t in atom.terms if isinstance(t, Variable)}:
             continue
-        values: Set[Value] = set()
-        for fact in table.marginals:
-            if fact.relation != atom.relation:
-                continue
-            position_values = {fact.args[i] for i in positions}
-            if len(position_values) == 1:
-                values.add(position_values.pop())
-        candidate_sets.append(values)
+        candidate_sets.append(
+            _atom_candidates(atom, variable, index, binding))
     if not candidate_sets:
-        return []
-    common = set.intersection(*candidate_sets)
-    return sorted(common, key=repr)
+        return set()
+    return set.intersection(*candidate_sets)
 
 
-def _cq_probability(cq: ConjunctiveQuery, table: TupleIndependentTable) -> float:
-    """Recursive safe-plan evaluation of a Boolean CQ."""
-    if cq.head_variables:
-        raise UnsafeQueryError("lifted evaluation expects a Boolean CQ")
-    existential = cq.existential_variables
-    if not existential:
+def _plan_atoms(plan: SafePlan) -> Iterator[Atom]:
+    """All atoms a plan subtree can touch — leaves, plus project scopes
+    (a project's child only narrows its scope, so the scope's atoms are
+    a safe superset)."""
+    if isinstance(plan, FactLeaf):
+        yield plan.atom
+    elif isinstance(plan, (IndependentJoin, IndependentUnion)):
+        for child in plan.children:
+            yield from _plan_atoms(child)
+    elif isinstance(plan, IndependentProject):
+        yield from _scope_atoms(plan.subquery)
+    elif isinstance(plan, InclusionExclusion):
+        for _, term in plan.terms:
+            yield from _plan_atoms(term)
+    elif isinstance(plan, UnsafeLeaf):
+        yield from _scope_atoms(plan.subquery)
+    else:  # pragma: no cover - defensive
+        raise EvaluationError(f"unknown plan node {plan!r}")
+
+
+def _scope_atoms(
+    scope: Union[ConjunctiveQuery, UnionOfConjunctiveQueries]
+) -> Iterator[Atom]:
+    if isinstance(scope, UnionOfConjunctiveQueries):
+        for cq in scope.disjuncts:
+            yield from cq.atoms
+    else:
+        yield from scope.atoms
+
+
+class _PlanEvaluator:
+    """Interprets a safe plan against one table via a binding
+    environment; all data access goes through the table's
+    :class:`~repro.relational.index.FactIndex`."""
+
+    __slots__ = ("table", "index", "is_bid", "unsafe_fallback")
+
+    def __init__(
+        self,
+        table: LiftedTable,
+        index: FactIndex,
+        unsafe_fallback: Optional[Callable[[Formula], float]] = None,
+    ):
+        self.table = table
+        self.index = index
+        self.is_bid = isinstance(table, BlockIndependentTable)
+        self.unsafe_fallback = unsafe_fallback
+
+    def run(self, plan: SafePlan) -> float:
+        return self._eval(plan, {})
+
+    # ------------------------------------------------------------- dispatch
+    def _eval(self, plan: SafePlan, binding: Binding) -> float:
+        if isinstance(plan, FactLeaf):
+            return self.table.marginal(_ground_fact(plan.atom, binding))
+        if isinstance(plan, IndependentJoin):
+            return self._eval_join(plan, binding)
+        if isinstance(plan, IndependentUnion):
+            return self._eval_union(plan, binding)
+        if isinstance(plan, IndependentProject):
+            return self._eval_project(plan, binding)
+        if isinstance(plan, InclusionExclusion):
+            return sum(
+                coefficient * self._eval(term, binding)
+                for coefficient, term in plan.terms
+            )
+        if isinstance(plan, UnsafeLeaf):
+            if self.unsafe_fallback is None:
+                raise UnsafeQueryError(
+                    f"plan contains an unsafe residue: {plan.subquery!r}",
+                    subquery=plan.subquery,
+                )
+            return float(self.unsafe_fallback(plan.formula()))
+        raise EvaluationError(f"unknown plan node {plan!r}")
+
+    # ------------------------------------------------------------ operators
+    def _eval_join(self, plan: IndependentJoin, binding: Binding) -> float:
+        if self.is_bid:
+            self._require_disjoint_blocks(
+                plan.children, binding, "independent join"
+            )
         probability = 1.0
+        for child in plan.children:
+            probability *= self._eval(child, binding)
+            if probability == 0.0:
+                return 0.0
+        return probability
+
+    def _eval_union(self, plan: IndependentUnion, binding: Binding) -> float:
+        if self.is_bid and not self._blocks_disjoint(plan.children, binding):
+            if all(isinstance(c, FactLeaf) for c in plan.children):
+                facts = [
+                    _ground_fact(c.atom, binding) for c in plan.children
+                ]
+                return self._disjoint_union(facts)
+            raise UnsafeQueryError(
+                "BID blocks overlap across union branches; the "
+                "independent-union rule does not apply"
+            )
+        complement = 1.0
+        for child in plan.children:
+            complement *= 1.0 - self._eval(child, binding)
+            if complement == 0.0:
+                return 1.0
+        return 1.0 - complement
+
+    def _eval_project(
+        self, plan: IndependentProject, binding: Binding
+    ) -> float:
+        values = _candidate_values(
+            plan.subquery, plan.variable, self.index, binding)
+        bindings = [
+            {**binding, plan.variable: value} for value in values
+        ]
+        if self.is_bid and not self._bindings_disjoint(plan.child, bindings):
+            if isinstance(plan.child, FactLeaf):
+                facts = [
+                    _ground_fact(plan.child.atom, b) for b in bindings
+                ]
+                return self._disjoint_union(facts)
+            raise UnsafeQueryError(
+                "BID blocks overlap across project values; the "
+                "independent-project rule does not apply"
+            )
+        complement = 1.0
+        for child_binding in bindings:
+            complement *= 1.0 - self._eval(plan.child, child_binding)
+            if complement == 0.0:
+                return 1.0
+        return 1.0 - complement
+
+    # ------------------------------------------------------- BID machinery
+    def _touched_blocks(self, plan: SafePlan, binding: Binding) -> Set[str]:
+        """Names of every block a subtree can read under ``binding`` —
+        a superset, derived by probing each reachable atom's bound
+        columns."""
+        names: Set[str] = set()
+        assert isinstance(self.table, BlockIndependentTable)
+        for atom in _plan_atoms(plan):
+            bound = _probe_pattern(atom, binding)
+            for fact in self.index.probe(atom.relation, bound):
+                block = self.table.block_of(fact)
+                if block is not None:
+                    names.add(block.name)
+        return names
+
+    def _blocks_disjoint(self, children, binding: Binding) -> bool:
+        seen: Set[str] = set()
+        for child in children:
+            touched = self._touched_blocks(child, binding)
+            if touched & seen:
+                return False
+            seen |= touched
+        return True
+
+    def _bindings_disjoint(self, child: SafePlan, bindings) -> bool:
+        seen: Set[str] = set()
+        for child_binding in bindings:
+            touched = self._touched_blocks(child, child_binding)
+            if touched & seen:
+                return False
+            seen |= touched
+        return True
+
+    def _require_disjoint_blocks(
+        self, children, binding: Binding, rule: str
+    ) -> None:
+        if not self._blocks_disjoint(children, binding):
+            raise UnsafeQueryError(
+                f"BID blocks overlap across {rule} operands; the plan's "
+                "independence assumption fails on this table"
+            )
+
+    def _disjoint_union(self, facts) -> float:
+        """``P(∨ facts)`` when the facts may share blocks: within a
+        block alternatives are mutually exclusive (masses add), across
+        blocks independent."""
+        assert isinstance(self.table, BlockIndependentTable)
+        per_block: Dict[str, float] = {}
         seen: Set[Fact] = set()
-        for atom in cq.atoms:
-            fact = Fact(atom.relation, tuple(t.value for t in atom.terms))  # type: ignore[union-attr]
+        for fact in facts:
             if fact in seen:
-                continue  # idempotent conjunct
+                continue
             seen.add(fact)
-            probability *= table.marginal(fact)
-            if probability == 0.0:
-                return 0.0
-        return probability
-    components = _components(cq)
-    if len(components) > 1:
-        probability = 1.0
-        for atoms in components:
-            probability *= _cq_probability(ConjunctiveQuery(atoms), table)
-            if probability == 0.0:
-                return 0.0
-        return probability
-    roots = _roots(cq)
-    if not roots:
-        raise UnsafeQueryError(f"no root variable: {cq!r} is not hierarchical")
-    root = sorted(roots, key=lambda v: v.name)[0]
-    complement_product = 1.0
-    for value in _candidate_values(cq, root, table):
-        grounded = ConjunctiveQuery(
-            [_ground_atom(atom, {root: value}) for atom in cq.atoms]
-        )
-        complement_product *= 1.0 - _cq_probability(grounded, table)
-        if complement_product == 0.0:
-            return 1.0
-    return 1.0 - complement_product
+            block = self.table.block_of(fact)
+            if block is None:
+                continue  # impossible fact: contributes 0
+            mass = per_block.get(block.name, 0.0) + block.probability(fact)
+            per_block[block.name] = mass
+        complement = 1.0
+        for mass in per_block.values():
+            complement *= 1.0 - min(1.0, mass)
+        return 1.0 - complement
 
 
-def _components(cq: ConjunctiveQuery) -> List[Tuple[Atom, ...]]:
-    from repro.logic.hierarchy import _connected_components
+def evaluate_plan(plan: SafePlan, table: LiftedTable) -> float:
+    """Evaluate a compiled :class:`SafePlan` on a TI (or BID) table.
 
-    return _connected_components(cq)
-
-
-def _roots(cq: ConjunctiveQuery) -> FrozenSet[Variable]:
-    from repro.logic.hierarchy import _root_variables
-
-    return _root_variables(cq)
-
-
-def evaluate_plan(plan: SafePlan, table: TupleIndependentTable) -> float:
-    """Evaluate a compiled :class:`SafePlan` on a TI table.
+    Builds a fresh :class:`~repro.relational.index.FactIndex` over the
+    table's possible facts; callers evaluating one query family across
+    growing truncations should go through
+    :func:`query_probability_lifted`, which reuses a delta-extended
+    index and caches plans.
 
     >>> from repro.relational import Schema
     >>> from repro.logic.syntax import Atom, Variable
@@ -142,45 +365,38 @@ def evaluate_plan(plan: SafePlan, table: TupleIndependentTable) -> float:
     >>> round(evaluate_plan(plan, table), 10)
     0.75
     """
-    if isinstance(plan, FactLeaf):
-        fact = Fact(
-            plan.atom.relation,
-            tuple(t.value for t in plan.atom.terms),  # type: ignore[union-attr]
-        )
-        return table.marginal(fact)
-    if isinstance(plan, IndependentJoin):
-        probability = 1.0
-        for child in plan.children:
-            probability *= evaluate_plan(child, table)
-        return probability
-    if isinstance(plan, IndependentUnion):
-        complement = 1.0
-        for child in plan.children:
-            complement *= 1.0 - evaluate_plan(child, table)
-        return 1.0 - complement
-    if isinstance(plan, IndependentProject):
-        complement = 1.0
-        for value in _candidate_values(plan.subquery, plan.variable, table):
-            grounded = ConjunctiveQuery(
-                [
-                    _ground_atom(atom, {plan.variable: value})
-                    for atom in plan.subquery.atoms
-                ]
-            )
-            complement *= 1.0 - _cq_probability(grounded, table)
-        return 1.0 - complement
-    raise UnsafeQueryError(f"unknown plan node {plan!r}")
+    if not isinstance(
+        table, (TupleIndependentTable, BlockIndependentTable)
+    ):
+        raise EvaluationError("lifted evaluation needs a TI or BID table")
+    index = FactIndex(table.facts())
+    return _PlanEvaluator(table, index).run(plan)
 
 
 def query_probability_lifted(
     query: BooleanQuery,
-    table: TupleIndependentTable,
+    table: LiftedTable,
+    plan_cache=None,
+    partial: bool = False,
+    unsafe_fallback: Optional[Callable[[Formula], float]] = None,
 ) -> float:
     """Exact ``P(Q)`` via safe plans, or :class:`UnsafeQueryError`.
 
-    The query must be (equivalent to) a Boolean UCQ whose disjuncts are
-    self-join-free and hierarchical, with pairwise symbol-disjoint
-    disjuncts when there is more than one.
+    The query must be (equivalent to) a Boolean UCQ with a safe plan
+    under the Dalvi–Suciu rules of :mod:`repro.logic.hierarchy` — the
+    error of an unsafe query carries the minimal offending subquery as
+    ``exc.subquery``.
+
+    ``plan_cache`` is a :class:`~repro.finite.compile_cache.CompileCache`
+    (defaulting to the process-wide one): plans are compiled once per
+    query family, the family's fact index is delta-extended across
+    growing truncations, and cache traffic shows up in the
+    ``lifted.plans`` / ``lifted.plan_cache_hits`` counters.
+
+    With ``partial=True`` an unsafe query still evaluates if some
+    top-level components are safe: the unsafe residue components are
+    delegated to ``unsafe_fallback(formula)`` (required in that case by
+    evaluation time); a wholly unsafe query raises even in partial mode.
 
     >>> from repro.relational import Schema
     >>> from repro.logic.parser import parse_formula
@@ -191,15 +407,12 @@ def query_probability_lifted(
     >>> round(query_probability_lifted(q, table), 10)
     0.7
     """
-    ucq = extract_ucq(query.formula)
-    if ucq is None:
-        raise UnsafeQueryError(
-            f"query {query.name} is not a UCQ; use lineage evaluation"
-        )
-    plan = safe_plan_ucq(ucq)  # validates hierarchy/self-join-freeness
-    if isinstance(plan, IndependentUnion):
-        complement = 1.0
-        for cq in ucq.disjuncts:
-            complement *= 1.0 - _cq_probability(cq, table)
-        return 1.0 - complement
-    return _cq_probability(ucq.disjuncts[0], table)
+    if not isinstance(
+        table, (TupleIndependentTable, BlockIndependentTable)
+    ):
+        raise EvaluationError("lifted evaluation needs a TI or BID table")
+    from repro.finite.compile_cache import DEFAULT_COMPILE_CACHE
+
+    cache = plan_cache if plan_cache is not None else DEFAULT_COMPILE_CACHE
+    plan, index = cache.lifted(query.formula, table, partial=partial)
+    return _PlanEvaluator(table, index, unsafe_fallback).run(plan)

@@ -313,6 +313,196 @@ class UnionOfConjunctiveQueries:
         return f"UCQ({' OR '.join(repr(d) for d in self.disjuncts)})"
 
 
+# ------------------------------------------------- containment & minimization
+def _match_atom(
+    source: Atom,
+    target: Atom,
+    mapping: Dict[Variable, Term],
+    fixed: FrozenSet[Variable],
+) -> Optional[Dict[Variable, Term]]:
+    """Extend ``mapping`` so that ``source`` maps onto ``target``, or
+    None.  Constants must match exactly; fixed variables map to
+    themselves."""
+    if source.relation != target.relation:
+        return None
+    extended = dict(mapping)
+    for s, t in zip(source.terms, target.terms):
+        if isinstance(s, Constant):
+            if not (isinstance(t, Constant) and t.value == s.value):
+                return None
+        elif s in fixed:
+            if t != s:
+                return None
+        else:
+            bound = extended.get(s)
+            if bound is None:
+                extended[s] = t
+            elif bound != t:
+                return None
+    return extended
+
+
+def cq_homomorphism(
+    source: ConjunctiveQuery,
+    target: ConjunctiveQuery,
+    fixed: FrozenSet[Variable] = frozenset(),
+) -> Optional[Dict[Variable, Term]]:
+    """A homomorphism from ``source`` onto ``target``: a variable mapping
+    (identity on head and ``fixed`` variables) sending every atom of
+    ``source`` to an atom of ``target``.
+
+    Existence proves containment in the classical direction: a
+    homomorphism ``source → target`` witnesses ``target ⊆ source``.
+
+    >>> from repro.relational import RelationSymbol
+    >>> R = RelationSymbol("R", 1)
+    >>> x, y = Variable("x"), Variable("y")
+    >>> hom = cq_homomorphism(
+    ...     ConjunctiveQuery([Atom(R, (x,))]),
+    ...     ConjunctiveQuery([Atom(R, (Constant(1),))]))
+    >>> hom[x]
+    Constant(1)
+    >>> cq_homomorphism(
+    ...     ConjunctiveQuery([Atom(R, (Constant(2),))]),
+    ...     ConjunctiveQuery([Atom(R, (Constant(1),))])) is None
+    True
+    """
+    all_fixed = frozenset(fixed) | set(source.head_variables)
+    atoms = list(source.atoms)
+    targets = list(target.atoms)
+
+    def search(i: int, mapping: Dict[Variable, Term]):
+        if i == len(atoms):
+            return mapping
+        for candidate in targets:
+            extended = _match_atom(atoms[i], candidate, mapping, all_fixed)
+            if extended is not None:
+                result = search(i + 1, extended)
+                if result is not None:
+                    return result
+        return None
+
+    return search(0, {})
+
+
+def cq_contained_in(
+    sub: ConjunctiveQuery,
+    sup: ConjunctiveQuery,
+    fixed: FrozenSet[Variable] = frozenset(),
+) -> bool:
+    """``sub ⊆ sup`` (every model of ``sub`` models ``sup``), decided by
+    searching for a homomorphism ``sup → sub``."""
+    return cq_homomorphism(sup, sub, fixed) is not None
+
+
+def cq_equivalent(
+    left: ConjunctiveQuery,
+    right: ConjunctiveQuery,
+    fixed: FrozenSet[Variable] = frozenset(),
+) -> bool:
+    """Logical equivalence of two CQs (mutual containment)."""
+    return cq_contained_in(left, right, fixed) and cq_contained_in(
+        right, left, fixed
+    )
+
+
+def minimize_cq(
+    cq: ConjunctiveQuery,
+    fixed: FrozenSet[Variable] = frozenset(),
+) -> ConjunctiveQuery:
+    """The core of a CQ: drop atoms while an equivalent sub-conjunction
+    remains (folding witnessed by a homomorphism fixing head and
+    ``fixed`` variables).
+
+    This is what lets the safe-plan solver treat limited self-joins:
+    ``∃x. R(x) ∧ R(1)`` minimizes to ``R(1)``, and after grounding a
+    separator variable, redundant copies like ``R(x, y) ∧ R(x, z)``
+    (``x`` bound) collapse to one atom.
+
+    >>> from repro.relational import RelationSymbol
+    >>> R = RelationSymbol("R", 1)
+    >>> x = Variable("x")
+    >>> minimize_cq(ConjunctiveQuery([Atom(R, (x,)), Atom(R, (Constant(1),))]))
+    CQ(R(1))
+    """
+    atoms: List[Atom] = list(dict.fromkeys(cq.atoms))
+    changed = True
+    while changed and len(atoms) > 1:
+        changed = False
+        for i in range(len(atoms)):
+            reduced = atoms[:i] + atoms[i + 1:]
+            full = ConjunctiveQuery(atoms, cq.head_variables)
+            candidate = ConjunctiveQuery(reduced, cq.head_variables)
+            if cq_homomorphism(full, candidate, fixed) is not None:
+                atoms = reduced
+                changed = True
+                break
+    return ConjunctiveQuery(atoms, cq.head_variables)
+
+
+def minimize_ucq(
+    ucq: UnionOfConjunctiveQueries,
+    fixed: FrozenSet[Variable] = frozenset(),
+) -> UnionOfConjunctiveQueries:
+    """Minimize a UCQ: core every disjunct, then drop disjuncts contained
+    in another (keeping the first of an equivalence class).
+
+    >>> from repro.relational import RelationSymbol
+    >>> R = RelationSymbol("R", 1)
+    >>> x = Variable("x")
+    >>> minimize_ucq(UnionOfConjunctiveQueries([
+    ...     ConjunctiveQuery([Atom(R, (x,))]),
+    ...     ConjunctiveQuery([Atom(R, (Constant(1),))]),
+    ... ]))
+    UCQ(CQ(R(x)))
+    """
+    cores = [minimize_cq(cq, fixed) for cq in ucq.disjuncts]
+    kept: List[ConjunctiveQuery] = []
+    for i, cq in enumerate(cores):
+        redundant = False
+        for j, other in enumerate(cores):
+            if i == j:
+                continue
+            if cq_contained_in(cq, other, fixed):
+                if not cq_contained_in(other, cq, fixed):
+                    redundant = True  # strictly subsumed
+                    break
+                if j < i:
+                    redundant = True  # equivalent; keep the earliest
+                    break
+        if not redundant:
+            kept.append(cq)
+    return UnionOfConjunctiveQueries(kept)
+
+
+def rename_cq_apart(
+    cq: ConjunctiveQuery,
+    suffix: str,
+    keep: FrozenSet[Variable] = frozenset(),
+) -> ConjunctiveQuery:
+    """Deterministically rename every existential variable of ``cq`` by
+    appending ``suffix`` — used to standardize inclusion–exclusion terms
+    apart without consuming the global fresh counter (plan construction
+    must be reproducible across runs).  Variables in ``keep`` (already
+    bound by an enclosing project) are left untouched."""
+    renaming = {
+        v: Variable(f"{v.name}{suffix}")
+        for v in cq.existential_variables
+        if v not in keep
+    }
+    atoms = [
+        Atom(
+            atom.relation,
+            tuple(
+                renaming.get(t, t) if isinstance(t, Variable) else t
+                for t in atom.terms
+            ),
+        )
+        for atom in cq.atoms
+    ]
+    return ConjunctiveQuery(atoms, cq.head_variables)
+
+
 def extract_ucq(formula: Formula) -> Optional[UnionOfConjunctiveQueries]:
     """Try to recognize ``formula`` as a UCQ (up to NNF/flattening).
 

@@ -183,18 +183,24 @@ class TestAnswerMarginalParity:
         assert_same_result(results[()], fresh)
 
     def test_unsafe_query_warm_grounding_chain(self):
-        # R(x) AND EXISTS y. R(y) grounds to an unsafe sentence, so the
+        # The unpinned/pinned S self-join grounds to a sentence with no
+        # safe plan (the copies of S cannot be shattered apart), so the
         # fan-out compiles through the session's SharedGrounding chain.
-        marginals = {R(i): 0.5 for i in range(1, 8)}
+        schema2 = Schema.of(R=1, S=2)
+        R2, S2 = schema2["R"], schema2["S"]
+        marginals = {R2(i): 0.5 for i in range(1, 4)}
+        marginals.update({S2(1, 2): 0.4, S2(2, 2): 0.3, S2(3, 1): 0.6})
         query = Query(
-            parse_formula("R(x) AND (R(1) OR R(2))", schema), schema)
+            parse_formula(
+                "EXISTS y, z. R(y) AND S(y, z) AND S(x, z)", schema2),
+            schema2)
         session = RefinementSession(
-            query, CountableTIPDB(schema, TableFactDistribution(marginals)))
+            query, CountableTIPDB(schema2, TableFactDistribution(marginals)))
         for epsilon in [0.2, 0.02]:
             refined = session.refine_marginals(epsilon)
             fresh = approximate_answer_marginals(
                 query,
-                CountableTIPDB(schema, TableFactDistribution(marginals)),
+                CountableTIPDB(schema2, TableFactDistribution(marginals)),
                 epsilon)
             assert set(refined) == set(fresh)
             for answer in fresh:

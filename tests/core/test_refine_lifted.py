@@ -1,0 +1,86 @@
+"""ε-sweeps under ``strategy="auto"`` must reuse the session's cached
+lifted plan across refinements (visible as ``lifted.plan_cache_hits`` in
+the EvalReport) while agreeing bit-near with a stateless BDD sweep.
+"""
+
+import pytest
+
+from repro.core.approx import approximate_query_probability
+from repro.core.fact_distribution import (
+    GeometricFactDistribution,
+    ZetaFactDistribution,
+)
+from repro.core.refine import RefinementSession
+from repro.core.tuple_independent import CountableTIPDB
+from repro.finite.compile_cache import CompileCache
+from repro.logic import BooleanQuery, parse_formula
+from repro.relational import Schema
+from repro.universe import FactSpace, Naturals
+
+schema = Schema.of(R=1, S=2)
+space = FactSpace(schema, Naturals())
+
+SWEEP = [0.2, 0.1, 0.05, 0.02]
+
+QUERIES = [
+    "EXISTS x. R(x)",
+    "EXISTS x, y. R(x) AND S(x, y)",
+    "(EXISTS x. R(x)) OR (EXISTS x, y. S(x, y))",
+]
+
+
+def distributions():
+    return [
+        GeometricFactDistribution(space, first=0.25, ratio=0.5),
+        ZetaFactDistribution(space, exponent=2.0, scale=0.5),
+    ]
+
+
+def q(text):
+    return BooleanQuery(parse_formula(text, schema), schema)
+
+
+@pytest.mark.parametrize("kind", ["geometric", "zeta"])
+@pytest.mark.parametrize("text", QUERIES)
+def test_sweep_reuses_plan_and_matches_bdd(kind, text):
+    distribution = dict(zip(["geometric", "zeta"], distributions()))[kind]
+    pdb = CountableTIPDB(schema, distribution)
+    session = RefinementSession(
+        q(text), pdb, strategy="auto", compile_cache=CompileCache())
+    results = [session.refine(epsilon) for epsilon in SWEEP]
+
+    # The first refinement builds the plan; every later one must hit
+    # the session cache instead of re-running the solver.
+    first, rest = results[0], results[1:]
+    assert first.report.counters.get("lifted.plans", 0) >= 1
+    assert rest, "sweep needs at least two refinements"
+    for result in rest:
+        assert result.report.counters.get("lifted.plan_cache_hits", 0) > 0
+        assert result.report.counters.get("lifted.plans", 0) == 0
+        assert result.report.counters.get("lifted.unsafe_fallbacks", 0) == 0
+
+    # Bit-near agreement with a stateless compiled-BDD sweep: same
+    # truncation sizes, same probabilities.
+    for epsilon, result in zip(SWEEP, results):
+        fresh = approximate_query_probability(
+            q(text), CountableTIPDB(schema, distribution), epsilon,
+            strategy="bdd")
+        assert result.truncation == fresh.truncation
+        assert result.value == pytest.approx(fresh.value, abs=1e-12)
+
+
+def test_unsafe_sweep_counts_fallbacks_not_cache_hits():
+    # The pinned/unpinned S self-join has no safe plan: every
+    # refinement must record a fallback, and the solver verdict itself
+    # is cached (no repeated plan builds).
+    text = "EXISTS x, z. R(x) AND S(x, z) AND S(1, z)"
+    distribution = GeometricFactDistribution(space, first=0.25, ratio=0.5)
+    session = RefinementSession(
+        q(text), CountableTIPDB(schema, distribution),
+        strategy="auto", compile_cache=CompileCache())
+    for epsilon in [0.2, 0.05]:
+        result = session.refine(epsilon)
+        assert result.report.counters.get("lifted.unsafe_fallbacks", 0) >= 1
+        fresh = approximate_query_probability(
+            q(text), CountableTIPDB(schema, distribution), epsilon)
+        assert result.value == pytest.approx(fresh.value, abs=1e-12)

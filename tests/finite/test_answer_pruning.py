@@ -52,13 +52,23 @@ class TestGroundingSafetyProbe:
         assert len(values) == 2
         assert len(set(values)) == len(values)
 
-    def test_verdicts_unchanged_for_known_queries(self):
+    def test_verdicts_for_known_queries(self):
         safe = Query(
             parse_formula("EXISTS z. R(x) AND S(x, z)", schema),
             schema, name="safe")
         assert _grounding_is_safe(safe, [7]) is True
-        unsafe = Query(
+        # Distinct probe constants shatter S into two symbols, making z
+        # a separator: the grounded sentence is genuinely safe.
+        shattered = Query(
             parse_formula("EXISTS z. S(x, z) AND S(y, z)", schema),
+            schema, name="shattered")
+        assert _grounding_is_safe(shattered, [7]) is True
+        assert _grounding_is_safe(shattered, [7, 8]) is True
+        # A constant-pinned copy of S alongside an unpinned one cannot
+        # be shattered apart: no plan for any grounding.
+        unsafe = Query(
+            parse_formula(
+                "EXISTS y, z. R(y) AND S(y, z) AND S(x, z)", schema),
             schema, name="unsafe")
         assert _grounding_is_safe(unsafe, [7]) is False
         assert _grounding_is_safe(unsafe, [7, 8]) is False

@@ -7,6 +7,7 @@ from repro.errors import EvaluationError
 from repro.finite import (
     BlockIndependentTable,
     Block,
+    FinitePDB,
     TupleIndependentTable,
     marginal_answer_probabilities,
     query_probability,
@@ -61,10 +62,19 @@ class TestStrategyAgreement:
         with pytest.raises(EvaluationError):
             query_probability(q("EXISTS x. R(x)"), small_ti(), strategy="magic")
 
-    def test_lifted_requires_ti(self):
-        bid = BlockIndependentTable(schema, [Block("b", {R(1): 0.5})])
+    def test_lifted_supports_bid(self):
+        # Alternatives of one block are mutually exclusive: the lifted
+        # plan applies the disjoint-union rule, P = 0.5 + 0.3.
+        bid = BlockIndependentTable(
+            schema, [Block("b", {R(1): 0.5, R(2): 0.3})])
+        assert query_probability(
+            q("EXISTS x. R(x)"), bid, strategy="lifted"
+        ) == pytest.approx(0.8)
+
+    def test_lifted_requires_ti_or_bid(self):
+        worlds = FinitePDB(schema, {Instance([R(1)]): 0.5, Instance(): 0.5})
         with pytest.raises(EvaluationError):
-            query_probability(q("EXISTS x. R(x)"), bid, strategy="lifted")
+            query_probability(q("R(1)"), worlds, strategy="lifted")
 
 
 class TestHandComputedProbabilities:

@@ -5,8 +5,7 @@ event) instead of dying inside the pool."""
 
 import pytest
 
-from repro.errors import EvaluationError
-from repro.finite.bid import Block, BlockIndependentTable
+from repro.errors import UnsafeQueryError
 from repro.finite.evaluation import (
     ShardError,
     _pool_pickle_error,
@@ -42,15 +41,16 @@ def test_pooled_fanout_matches_serial():
 
 
 def test_shard_exception_propagates_with_remote_traceback():
-    # "lifted" on a BID table raises EvaluationError inside the worker;
-    # the parent must re-raise the *original* exception type with the
-    # worker-side traceback attached as a ShardError cause.
-    bid = BlockIndependentTable(schema, [
-        Block("b1", {R(1): 0.5, R(2): 0.25}),
-    ])
-    with pytest.raises(EvaluationError) as excinfo:
+    # An unsafe self-join under forced "lifted" raises UnsafeQueryError
+    # inside the worker; the parent must re-raise the *original*
+    # exception type with the worker-side traceback attached as a
+    # ShardError cause.
+    query = Query(
+        parse_formula("EXISTS y, z. R(y) AND S(y, z) AND S(x, z)", schema),
+        schema)
+    with pytest.raises(UnsafeQueryError) as excinfo:
         marginal_answer_probabilities(
-            _r_query(), bid, strategy="lifted", workers=2)
+            query, _table(), strategy="lifted", workers=2)
     cause = excinfo.value.__cause__
     if isinstance(excinfo.value, ShardError):
         # The re-raised exception may itself be the shard wrapper only
@@ -58,7 +58,7 @@ def test_shard_exception_propagates_with_remote_traceback():
         pytest.fail("original exception type was replaced")
     assert isinstance(cause, ShardError)
     assert "original traceback" in str(cause)
-    assert "EvaluationError" in str(cause)  # the remote format_exc text
+    assert "UnsafeQueryError" in str(cause)  # the remote format_exc text
 
 
 def test_unpicklable_payload_degrades_to_serial_with_event():

@@ -65,10 +65,21 @@ class TestUnsafeRejected:
         with pytest.raises(UnsafeQueryError):
             query_probability_lifted(q("NOT EXISTS x. R(x)"), medium_table())
 
-    def test_union_sharing_symbols(self):
+    def test_union_sharing_symbols_without_plan(self):
+        # H1: the disjuncts share S, no UCQ separator exists, and every
+        # inclusion–exclusion conjunction term is H0-shaped.
         with pytest.raises(UnsafeQueryError):
             query_probability_lifted(
-                q("(EXISTS x. R(x)) OR R(1)"), medium_table())
+                q("(EXISTS x, y. R(x) AND S(x, y))"
+                  " OR (EXISTS x, y. S(x, y) AND T(y))"), medium_table())
+
+    def test_union_sharing_symbols_minimizes(self):
+        # R(1) is subsumed by ∃x R(x): minimization leaves a single safe
+        # disjunct, so the shared symbol is no obstacle.
+        table = medium_table()
+        text = "(EXISTS x. R(x)) OR R(1)"
+        assert query_probability_lifted(q(text), table) == pytest.approx(
+            query_probability_by_worlds(q(text), table), abs=1e-10)
 
 
 class TestEvaluatePlan:

@@ -1,0 +1,180 @@
+"""Dichotomy-boundary differential suite for the safe-plan solver.
+
+Safe side: the three exact engines — lifted plans, compiled ROBDDs, and
+lineage/Shannon expansion — must agree to 1e-12 (and with brute-force
+world enumeration on small tables).  Unsafe side: queries beyond the
+Dalvi–Suciu boundary must raise :class:`UnsafeQueryError` carrying the
+minimal offending subquery, and ``strategy="auto"`` must fall back to an
+intensional engine while recording ``lifted.unsafe_fallbacks``.
+"""
+
+import pytest
+
+from repro.errors import UnsafeQueryError
+from repro.finite import TupleIndependentTable, query_probability
+from repro.finite.evaluation import query_probability_by_worlds
+from repro.finite.lifted import query_probability_lifted
+from repro.logic import BooleanQuery, parse_formula
+from repro.logic.normalform import ConjunctiveQuery
+from repro.relational import Schema
+
+schema = Schema.of(R=1, S=2, T=1, U=1, V=2)
+R, S, T = schema["R"], schema["S"], schema["T"]
+U, V = schema["U"], schema["V"]
+
+
+def q(text):
+    return BooleanQuery(parse_formula(text, schema), schema)
+
+
+def small_table():
+    """Small enough for world enumeration (2^10 worlds)."""
+    return TupleIndependentTable(schema, {
+        R(1): 0.5, R(2): 0.3,
+        S(1, 1): 0.7, S(1, 2): 0.2, S(2, 1): 0.4,
+        T(1): 0.6, T(2): 0.1,
+        U(1): 0.8, U(2): 0.25,
+        V(2, 1): 0.35,
+    })
+
+
+def wide_table():
+    """Too many facts for worlds; exercises the compiled engines."""
+    marginals = {}
+    for i in range(1, 13):
+        marginals[R(i)] = 0.05 + 0.07 * (i % 5)
+        marginals[S(i, (i % 7) + 1)] = 0.1 + 0.05 * (i % 3)
+        marginals[T(i)] = 0.15 + 0.04 * (i % 4)
+        marginals[U(i)] = 0.2 + 0.06 * (i % 2)
+        marginals[V(i, (i % 3) + 1)] = 0.12 + 0.03 * (i % 6)
+    return TupleIndependentTable(schema, marginals)
+
+
+SAFE_QUERIES = [
+    # chains
+    "EXISTS x, y. R(x) AND S(x, y)",
+    "EXISTS x, y. S(x, y) AND T(y)",
+    # star: x is a root variable of every atom
+    "EXISTS x, y, z. R(x) AND S(x, y) AND V(x, z)",
+    # hierarchical with a constant pin
+    "EXISTS y. S(1, y) AND T(y)",
+    # ground conjunction and single facts
+    "R(1) AND T(2)",
+    "R(1)",
+    # symbol-disjoint union
+    "(EXISTS x. R(x)) OR (EXISTS x. U(x))",
+    # overlapping union with a UCQ-level separator
+    "(EXISTS x. R(x) AND U(x)) OR (EXISTS x. R(x) AND T(x))",
+    # union where minimization drops the subsumed disjunct
+    "(EXISTS x. R(x)) OR R(1)",
+    # distinct constant pins shatter S apart
+    "EXISTS z. S(1, z) AND S(2, z)",
+]
+
+UNSAFE_QUERIES = [
+    # H0, the canonical #P-hard query
+    "EXISTS x, y. R(x) AND S(x, y) AND T(y)",
+    # H1-style union: shared S, no UCQ separator, H0-shaped I-E terms
+    "(EXISTS x, y. R(x) AND S(x, y)) OR (EXISTS x, y. S(x, y) AND T(y))",
+    # non-shatterable self-join: pinned and unpinned copies of S
+    "EXISTS x, y, z. R(x) AND S(x, z) AND S(1, z) AND T(y)",
+    # symmetric self-join
+    "EXISTS x, y. S(x, y) AND S(y, x)",
+]
+
+
+class TestSafeSideAgreement:
+    @pytest.mark.parametrize("text", SAFE_QUERIES)
+    def test_engines_agree_small(self, text):
+        """lifted ≡ bdd ≡ lineage ≡ worlds on an enumerable table."""
+        table = small_table()
+        query = q(text)
+        truth = query_probability_by_worlds(query, table)
+        for strategy in ("lifted", "bdd", "lineage"):
+            assert query_probability(
+                query, table, strategy=strategy
+            ) == pytest.approx(truth, abs=1e-12), strategy
+
+    @pytest.mark.parametrize("text", SAFE_QUERIES)
+    def test_engines_agree_wide(self, text):
+        """lifted ≡ bdd ≡ lineage on a table worlds cannot enumerate."""
+        table = wide_table()
+        query = q(text)
+        lifted = query_probability(query, table, strategy="lifted")
+        assert query_probability(
+            query, table, strategy="bdd"
+        ) == pytest.approx(lifted, abs=1e-12)
+        assert query_probability(
+            query, table, strategy="lineage"
+        ) == pytest.approx(lifted, abs=1e-12)
+
+    @pytest.mark.parametrize("text", SAFE_QUERIES)
+    def test_auto_routes_lifted_without_fallback(self, text):
+        value = query_probability(q(text), wide_table(), strategy="auto")
+        counters = value.report.counters
+        assert counters.get("lifted.unsafe_fallbacks", 0) == 0
+        assert counters.get("lifted.plans", 0) + counters.get(
+            "lifted.plan_cache_hits", 0) >= 1
+
+
+class TestUnsafeSide:
+    @pytest.mark.parametrize("text", UNSAFE_QUERIES)
+    def test_lifted_raises_with_subquery(self, text):
+        with pytest.raises(UnsafeQueryError) as excinfo:
+            query_probability_lifted(q(text), small_table())
+        sub = excinfo.value.subquery
+        assert sub is not None
+        assert isinstance(sub, ConjunctiveQuery)
+
+    def test_h0_subquery_is_the_whole_component(self):
+        with pytest.raises(UnsafeQueryError) as excinfo:
+            query_probability_lifted(
+                q("EXISTS x, y. R(x) AND S(x, y) AND T(y)"), small_table())
+        sub = excinfo.value.subquery
+        names = {atom.relation.name for atom in sub.atoms}
+        assert names == {"R", "S", "T"}
+        assert len(sub.atoms) == 3
+
+    def test_h1_subquery_is_an_ie_term(self):
+        # The failure happens inside inclusion–exclusion: the offending
+        # subquery is a single conjunction term mentioning S.
+        with pytest.raises(UnsafeQueryError) as excinfo:
+            query_probability_lifted(
+                q("(EXISTS x, y. R(x) AND S(x, y))"
+                  " OR (EXISTS x, y. S(x, y) AND T(y))"), small_table())
+        sub = excinfo.value.subquery
+        assert isinstance(sub, ConjunctiveQuery)
+        assert "S" in {atom.relation.name for atom in sub.atoms}
+
+    def test_conjoined_safe_part_does_not_mask_unsafety(self):
+        # U(1) ∧ H0: strict planning must reject the whole query even
+        # though one component is trivially safe.
+        with pytest.raises(UnsafeQueryError) as excinfo:
+            query_probability_lifted(
+                q("U(1) AND (EXISTS x, y. R(x) AND S(x, y) AND T(y))"),
+                small_table())
+        sub = excinfo.value.subquery
+        assert {atom.relation.name for atom in sub.atoms} == {"R", "S", "T"}
+
+    @pytest.mark.parametrize("text", UNSAFE_QUERIES)
+    def test_auto_falls_back_and_stays_exact(self, text):
+        table = small_table()
+        query = q(text)
+        value = query_probability(query, table, strategy="auto")
+        assert value == pytest.approx(
+            query_probability_by_worlds(query, table), abs=1e-12)
+        counters = value.report.counters
+        assert counters.get("lifted.unsafe_fallbacks", 0) >= 1
+        events = {e["name"] for e in value.report.events}
+        assert "lifted.unsafe_fallback" in events
+
+    def test_partial_plan_runs_safe_component_extensionally(self):
+        # U(1) ∧ H0 under auto: the safe U(1) leaf evaluates lifted and
+        # only the H0 residue is delegated intensionally.
+        table = small_table()
+        query = q("U(1) AND (EXISTS x, y. R(x) AND S(x, y) AND T(y))")
+        value = query_probability(query, table, strategy="auto")
+        assert value == pytest.approx(
+            query_probability_by_worlds(query, table), abs=1e-12)
+        counters = value.report.counters
+        assert counters.get("lifted.unsafe_fallbacks", 0) == 1

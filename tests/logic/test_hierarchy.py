@@ -88,9 +88,17 @@ class TestSafePlan:
                 [Atom(R, (x,)), Atom(S, (x, y)), Atom(T, (y,))]))
 
     def test_self_join_rejected(self):
+        # Symmetric self-join: no variable occupies the same position in
+        # both S atoms, so there is no separator.
         with pytest.raises(UnsafeQueryError):
-            safe_plan(ConjunctiveQuery(
-                [Atom(R, (x,)), Atom(R, (Constant(1),))]))
+            safe_plan(ConjunctiveQuery([Atom(S, (x, y)), Atom(S, (y, x))]))
+
+    def test_subsumed_self_join_minimizes_to_leaf(self):
+        # R(x) ∧ R(1) has the core R(1) (map x ↦ 1): minimization makes
+        # the apparent self-join safe.
+        plan = safe_plan(ConjunctiveQuery(
+            [Atom(R, (x,)), Atom(R, (Constant(1),))]))
+        assert isinstance(plan, FactLeaf)
 
     def test_head_variables_rejected(self):
         with pytest.raises(UnsafeQueryError):
@@ -111,12 +119,23 @@ class TestSafePlanUCQ:
         assert isinstance(plan, IndependentUnion)
 
     def test_shared_symbols_rejected(self):
+        # H1 = (R ⋈ S) ∨ (S ⋈ T): the shared S admits no UCQ separator
+        # and the inclusion–exclusion terms are H0-shaped — unsafe.
+        ucq = UnionOfConjunctiveQueries([
+            ConjunctiveQuery([Atom(R, (x,)), Atom(S, (x, y))]),
+            ConjunctiveQuery([Atom(S, (x, y)), Atom(T, (y,))]),
+        ])
+        with pytest.raises(UnsafeQueryError):
+            safe_plan_ucq(ucq)
+
+    def test_shared_symbols_with_subsumed_disjunct(self):
+        # R(1) ⊑ ∃x R(x): UCQ minimization drops it, leaving one safe
+        # disjunct despite the shared symbol.
         ucq = UnionOfConjunctiveQueries([
             ConjunctiveQuery([Atom(R, (x,))]),
             ConjunctiveQuery([Atom(R, (Constant(1),))]),
         ])
-        with pytest.raises(UnsafeQueryError):
-            safe_plan_ucq(ucq)
+        assert isinstance(safe_plan_ucq(ucq), IndependentProject)
 
     def test_singleton_union_unwrapped(self):
         ucq = UnionOfConjunctiveQueries([ConjunctiveQuery([Atom(R, (x,))])])

@@ -1,0 +1,139 @@
+"""Hypothesis properties for the safe-plan solver: random CQs/UCQs over
+a tiny domain must (a) evaluate identically to brute-force world
+enumeration whenever a safe plan exists, (b) produce byte-identical
+plans across repeated construction, and (c) survive minimization
+without changing semantics.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.errors import UnsafeQueryError
+from repro.finite import TupleIndependentTable, query_probability
+from repro.finite.evaluation import query_probability_by_worlds
+from repro.finite.lifted import query_probability_lifted
+from repro.logic import BooleanQuery
+from repro.logic.hierarchy import safe_plan_ucq
+from repro.logic.normalform import (
+    ConjunctiveQuery,
+    UnionOfConjunctiveQueries,
+    minimize_ucq,
+)
+from repro.logic.syntax import Atom, Constant, Variable
+from repro.relational import Schema
+
+schema = Schema.of(R=1, S=2, T=1)
+R, S, T = schema["R"], schema["S"], schema["T"]
+x, y = Variable("x"), Variable("y")
+
+#: Domain {1, 2}: 2 + 4 + 2 = 8 possible facts, 256 worlds — cheap to
+#: enumerate, yet enough to distinguish joins from products.
+FACT_POOL = (
+    [R(i) for i in (1, 2)]
+    + [S(i, j) for i in (1, 2) for j in (1, 2)]
+    + [T(i) for i in (1, 2)]
+)
+
+terms = st.sampled_from([x, y, Constant(1), Constant(2)])
+atoms = st.one_of(
+    st.builds(lambda t: Atom(R, (t,)), terms),
+    st.builds(lambda a, b: Atom(S, (a, b)), terms, terms),
+    st.builds(lambda t: Atom(T, (t,)), terms),
+)
+cqs = st.lists(atoms, min_size=1, max_size=3).map(ConjunctiveQuery)
+ucqs = st.lists(cqs, min_size=1, max_size=3).map(UnionOfConjunctiveQueries)
+
+tables = st.dictionaries(
+    st.sampled_from(FACT_POOL),
+    st.floats(min_value=0.05, max_value=0.95),
+    min_size=1,
+    max_size=8,
+).map(lambda marginals: TupleIndependentTable(schema, marginals))
+
+
+def boolean_query(ucq):
+    return BooleanQuery(ucq.to_formula(), schema)
+
+
+class TestLiftedMatchesModelChecking:
+    @given(ucqs, tables)
+    @settings(max_examples=120, deadline=None)
+    def test_safe_plans_agree_with_worlds(self, ucq, table):
+        try:
+            safe_plan_ucq(ucq)
+        except UnsafeQueryError:
+            return  # only the safe side has a lifted value to compare
+        query = boolean_query(ucq)
+        assert query_probability_lifted(query, table) == pytest.approx(
+            query_probability_by_worlds(query, table), abs=1e-9)
+
+    @given(ucqs, tables)
+    @settings(max_examples=60, deadline=None)
+    def test_auto_always_exact(self, ucq, table):
+        # Safe or not, auto dispatch must return the true probability.
+        query = boolean_query(ucq)
+        assert query_probability(query, table, strategy="auto") == (
+            pytest.approx(query_probability_by_worlds(query, table), abs=1e-9))
+
+
+class TestPlanDeterminism:
+    @given(ucqs)
+    @settings(max_examples=120, deadline=None)
+    def test_repeated_construction_is_identical(self, ucq):
+        try:
+            first = safe_plan_ucq(ucq)
+        except UnsafeQueryError as exc:
+            # Unsafe verdicts are deterministic too, with the same
+            # offending subquery every time.
+            with pytest.raises(UnsafeQueryError) as excinfo:
+                safe_plan_ucq(ucq)
+            assert repr(excinfo.value.subquery) == repr(exc.subquery)
+            return
+        assert repr(safe_plan_ucq(ucq)) == repr(first)
+
+    @given(ucqs)
+    @settings(max_examples=120, deadline=None)
+    def test_rebuilt_query_plans_identically(self, ucq):
+        rebuilt = UnionOfConjunctiveQueries([
+            ConjunctiveQuery(list(cq.atoms)) for cq in ucq.disjuncts])
+        try:
+            first = safe_plan_ucq(ucq)
+        except UnsafeQueryError:
+            with pytest.raises(UnsafeQueryError):
+                safe_plan_ucq(rebuilt)
+            return
+        assert repr(safe_plan_ucq(rebuilt)) == repr(first)
+
+    @given(ucqs, tables)
+    @settings(max_examples=60, deadline=None)
+    def test_disjunct_order_does_not_change_the_value(self, ucq, table):
+        reordered = UnionOfConjunctiveQueries(list(reversed(ucq.disjuncts)))
+        query, rquery = boolean_query(ucq), boolean_query(reordered)
+        try:
+            value = query_probability_lifted(query, table)
+        except UnsafeQueryError:
+            with pytest.raises(UnsafeQueryError):
+                query_probability_lifted(rquery, table)
+            return
+        assert query_probability_lifted(rquery, table) == pytest.approx(
+            value, abs=1e-9)
+
+
+class TestMinimizationSemantics:
+    @given(ucqs, tables)
+    @settings(max_examples=120, deadline=None)
+    def test_minimize_ucq_preserves_probability(self, ucq, table):
+        minimized = minimize_ucq(ucq)
+        assert query_probability_by_worlds(
+            boolean_query(minimized), table
+        ) == pytest.approx(
+            query_probability_by_worlds(boolean_query(ucq), table), abs=1e-9)
+
+    @given(ucqs)
+    @settings(max_examples=120, deadline=None)
+    def test_minimize_ucq_never_grows(self, ucq):
+        minimized = minimize_ucq(ucq)
+        assert len(minimized.disjuncts) <= len(ucq.disjuncts)
+        total = sum(len(cq.atoms) for cq in ucq.disjuncts)
+        assert sum(len(cq.atoms) for cq in minimized.disjuncts) <= total
