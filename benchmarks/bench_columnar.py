@@ -1,0 +1,269 @@
+"""A-8 — columnar fact storage vs the historic dict-of-floats layout.
+
+Regenerates: the headline artifact of the columnar storage layer
+(:mod:`repro.relational.columns` + :mod:`repro.utils.probability`).
+Two sweeps over 10⁵–10⁶-fact stores, each measured three ways — the
+historic dict path (per-query linear scans and ``marginals.values()``
+loops), the pure-Python columnar fallback, and the numpy fast path:
+
+* *truncation sweep* — 64 cumulative-mass queries per store, the access
+  pattern of ``PrefixCache.cumulative_mass`` / ε-truncation search.  The
+  dict arm re-scans the first n marginals per query; the columnar arms
+  answer from running sums (python) or one lazy ``cumsum`` (numpy).
+* *rescore sweep* — 100 marginal-slice rescorings of 5000-fact subsets
+  (the anytime refinement engine's per-answer pattern): gather the
+  slice, fold ``Σ p``, ``Π (1 − p)`` and ``1 − Π (1 − p)``.  The dict
+  arm does per-fact dict lookups + the scalar fold; the columnar arms
+  gather by row id.
+
+Value parity ≤ 1e-12 (relative) is asserted on every measured case
+before timing counts.  Shape to hold: geometric-mean numpy-over-dict
+speedup ≥ 10×, and the pure-Python fallback no slower than the dict
+path.  Machine-readable results land in ``BENCH_columnar.json`` at the
+repo root so future PRs can track the perf trajectory.
+
+Smoke mode (``BENCH_SMOKE=1``): tiny sizes, no speedup assertion, no
+JSON write — used by CI to exercise all three arms on every Python
+version and on the no-numpy leg (where the numpy arm is skipped).
+"""
+
+import json
+import math
+import os
+import platform
+import random
+import sys
+import time
+from itertools import islice
+from pathlib import Path
+
+from benchmarks.conftest import report
+from repro.relational import Schema
+from repro.relational.columns import (
+    ColumnStore,
+    FloatColumn,
+    available_backends,
+)
+from repro.utils.probability import product_complement
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+schema = Schema.of(R=1)
+R = schema["R"]
+
+#: Store sizes for both sweeps.
+SIZES = [2_000] if SMOKE else [100_000, 1_000_000]
+#: Cumulative-mass query points per store (truncation sweep).
+TRUNCATION_QUERIES = 8 if SMOKE else 64
+#: Rescore queries per store and facts per rescored subset.  5000-fact
+#: subsets keep the direct-product worst-case rounding (n·ε/2) under
+#: the 1e-12 parity bar.
+RESCORE_QUERIES = 5 if SMOKE else 100
+RESCORE_SUBSET = 200 if SMOKE else 5_000
+REPEATS = 1 if SMOKE else 3
+
+PARITY = 1e-12
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_columnar.json"
+
+_RESULTS = {}
+
+HAS_NUMPY = "numpy" in available_backends()
+
+
+def make_weights(n):
+    """Marginals in (1e-6, 0.01]: varied, no accidental symmetry, and
+    small enough that 5000-factor complement products stay in a range
+    where both fold orders agree to 1e-12."""
+    return [1e-6 + ((i * 7919) % 997) / 99_700 for i in range(n)]
+
+
+def best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def check_parity(case, reference, measured):
+    drift = max(
+        abs(a - b) / max(1.0, abs(a))
+        for a, b in zip(reference, measured)
+    )
+    assert drift <= PARITY, (
+        f"{case}: columnar drifted {drift:.3e} > {PARITY} from dict path")
+    return drift
+
+
+# ------------------------------------------------------------- truncation
+def truncation_case(n):
+    weights = make_weights(n)
+    marginals = {R(i): w for i, w in enumerate(weights)}
+    points = [max(1, (n * (q + 1)) // TRUNCATION_QUERIES)
+              for q in range(TRUNCATION_QUERIES)]
+
+    def dict_arm():
+        values = marginals.values()
+        return [sum(islice(values, p)) for p in points]
+
+    def column_arm(backend):
+        column = FloatColumn(backend)
+        column.extend(weights)
+
+        def run():
+            return [column.prefix_sum(p) for p in points]
+        return run
+
+    reference, dict_s = best_of(dict_arm)
+    arms = {"dict_s": dict_s}
+    drifts = {}
+    for backend in available_backends():
+        measured, seconds = best_of(column_arm(backend))
+        drifts[backend] = check_parity(
+            f"truncation n={n} [{backend}]", reference, measured)
+        arms[f"{backend}_s"] = seconds
+    return arms, drifts
+
+
+# ---------------------------------------------------------------- rescore
+def rescore_case(n):
+    weights = make_weights(n)
+    facts = [R(i) for i in range(n)]
+    marginals = dict(zip(facts, weights))
+    rng = random.Random(8)
+    subsets = [
+        rng.sample(range(n), min(RESCORE_SUBSET, n))
+        for _ in range(RESCORE_QUERIES)
+    ]
+    fact_subsets = [[facts[i] for i in rows] for rows in subsets]
+
+    def dict_arm():
+        out = []
+        for chosen in fact_subsets:
+            total = sum(marginals[f] for f in chosen)
+            complement = product_complement(marginals[f] for f in chosen)
+            out.append((total, complement, 1.0 - complement))
+        return out
+
+    def store_arm(backend):
+        store = ColumnStore(backend)
+        store.extend_items(zip(facts, weights))
+        column = store.marginals
+
+        def run():
+            out = []
+            for rows in subsets:
+                complement = column.complement_product(rows)
+                out.append(
+                    (column.sum_rows(rows), complement, 1.0 - complement))
+            return out
+        return run
+
+    reference = [v for triple in dict_arm() for v in triple]
+    _, dict_s = best_of(dict_arm)
+    arms = {"dict_s": dict_s}
+    drifts = {}
+    for backend in available_backends():
+        measured, seconds = best_of(store_arm(backend))
+        flat = [v for triple in measured for v in triple]
+        drifts[backend] = check_parity(
+            f"rescore n={n} [{backend}]", reference, flat)
+        arms[f"{backend}_s"] = seconds
+    return arms, drifts
+
+
+# ------------------------------------------------------------------ sweep
+def sweep(case_fn, label):
+    rows = []
+    cases_json = {}
+    numpy_speedups = []
+    python_speedups = []
+    for n in SIZES:
+        arms, drifts = case_fn(n)
+        python_speedup = arms["dict_s"] / arms["python_s"]
+        python_speedups.append(python_speedup)
+        numpy_speedup = (
+            arms["dict_s"] / arms["numpy_s"] if HAS_NUMPY else None)
+        if numpy_speedup is not None:
+            numpy_speedups.append(numpy_speedup)
+        rows.append((
+            n, arms["dict_s"], arms["python_s"],
+            arms.get("numpy_s", float("nan")),
+            python_speedup, numpy_speedup or float("nan"),
+            max(drifts.values()),
+        ))
+        cases_json[f"n{n}"] = {
+            "facts": n,
+            **arms,
+            "python_speedup": python_speedup,
+            "numpy_speedup": numpy_speedup,
+            "max_drift": max(drifts.values()),
+        }
+    geomean = (
+        math.exp(sum(math.log(s) for s in numpy_speedups)
+                 / len(numpy_speedups))
+        if numpy_speedups else None)
+    _RESULTS[f"{label}_workload"] = {
+        "cases": cases_json,
+        "geomean_numpy_speedup": geomean,
+        "min_python_speedup": min(python_speedups),
+    }
+    return rows, geomean, min(python_speedups)
+
+
+HEADER = ("facts", "dict_s", "python_s", "numpy_s",
+          "py_speedup", "np_speedup", "max_drift")
+
+
+def test_a8_columnar_truncation_sweep(benchmark):
+    rows, geomean, python_floor = benchmark.pedantic(
+        lambda: sweep(truncation_case, "truncation"), rounds=1, iterations=1)
+    report("A8a: cumulative-mass truncation sweep, dict vs columnar",
+           HEADER, rows)
+    if not SMOKE:
+        assert python_floor >= 1.0, (
+            f"pure-Python columnar fallback slower than dict path "
+            f"({python_floor:.2f}x)")
+        if HAS_NUMPY:
+            assert geomean >= 10.0, f"geomean speedup {geomean:.2f}x < 10x"
+
+
+def test_a8_columnar_rescore_sweep(benchmark):
+    rows, geomean, python_floor = benchmark.pedantic(
+        lambda: sweep(rescore_case, "rescore"), rounds=1, iterations=1)
+    report("A8b: marginal-slice rescore sweep, dict vs columnar",
+           HEADER, rows)
+    if not SMOKE:
+        assert python_floor >= 1.0, (
+            f"pure-Python columnar fallback slower than dict path "
+            f"({python_floor:.2f}x)")
+        if HAS_NUMPY:
+            assert geomean >= 10.0, f"geomean speedup {geomean:.2f}x < 10x"
+    _write_json()
+
+
+def _write_json():
+    if SMOKE:
+        # CI smoke runs exercise the code path but must not clobber the
+        # committed full-mode perf record.
+        return
+    speedups = [
+        _RESULTS[w]["geomean_numpy_speedup"]
+        for w in ("truncation_workload", "rescore_workload")
+        if _RESULTS.get(w, {}).get("geomean_numpy_speedup")
+    ]
+    _RESULTS.update({
+        "benchmark": "columnar",
+        "smoke": SMOKE,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "generated_unix": int(time.time()),
+        "parity_bar": PARITY,
+        "headline_speedup": (
+            math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+            if speedups else None),
+    })
+    JSON_PATH.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")

@@ -4,6 +4,11 @@ The value of the tuple-independent construction's empty-tail factor
 ``Π_{f ∈ F_ω − D} (1 − p_f)`` is computed here, in log space to avoid
 underflow for long products, with certified truncation error derived
 from the series tail bound.
+
+The finite building blocks (``product_complement``,
+``log_product_complement``) now live in :mod:`repro.utils.probability`
+— the shared home of all complement/disjunction arithmetic — and are
+re-exported here unchanged for the existing import sites.
 """
 
 from __future__ import annotations
@@ -13,6 +18,10 @@ from typing import Iterable, Optional, Tuple
 
 from repro.analysis.series import SeriesCertificate
 from repro.errors import ConvergenceError
+from repro.utils.probability import (  # noqa: F401  (re-exports)
+    log_product_complement,
+    product_complement,
+)
 
 
 def product_one_plus(terms: Iterable[float]) -> float:
@@ -34,41 +43,6 @@ def product_one_plus(terms: Iterable[float]) -> float:
     if zero:
         return 0.0
     return math.exp(log_sum)
-
-
-def product_complement(probabilities: Iterable[float]) -> float:
-    """Finite product ``Π (1 − p_i)`` for probabilities ``p_i ∈ [0, 1]``.
-
-    Multiplies directly — one rounding per factor, so dyadic marginals
-    stay *bit-exact* (which lets the exact query-evaluation strategies
-    agree to the last ulp) and the hot path of world expansion skips a
-    ``log1p``/``exp`` round-trip per fact.  Probabilities below one ulp
-    of 1.0 (where ``1 − p`` would round to 1) and products at the edge
-    of underflow are accumulated in log space as before.
-
-    >>> product_complement([0.5, 0.5])
-    0.25
-    >>> product_complement([1.0, 0.3])
-    0.0
-    """
-    product = 1.0
-    residual_log = 0.0
-    for p in probabilities:
-        if not 0 <= p <= 1:
-            raise ConvergenceError(f"probability {p} outside [0, 1]")
-        if p == 1.0:
-            return 0.0
-        if p < 1e-16:
-            # 1 − p rounds to 1.0; log1p(−p) is −p to double precision.
-            residual_log -= p
-            continue
-        product *= 1.0 - p
-        if product < 1e-300:
-            residual_log += math.log(product)
-            product = 1.0
-    if residual_log == 0.0:
-        return product
-    return product * math.exp(residual_log)
 
 
 def converges_absolutely(certificate: SeriesCertificate) -> bool:
@@ -114,19 +88,3 @@ def infinite_product_complement(
     # True product = value · Π_{i>n}(1−p_i) ∈ [value·(1−tail), value].
     error_bound = value * tail
     return value, error_bound
-
-
-def log_product_complement(probabilities: Iterable[float]) -> float:
-    """``log Π (1 − p_i) = Σ log1p(−p_i)``; −inf if any ``p_i = 1``.
-
-    >>> log_product_complement([0.5]) == math.log(0.5)
-    True
-    """
-    total = 0.0
-    for p in probabilities:
-        if not 0 <= p <= 1:
-            raise ConvergenceError(f"probability {p} outside [0, 1]")
-        if p == 1.0:
-            return -math.inf
-        total += math.log1p(-p)
-    return total

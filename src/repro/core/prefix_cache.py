@@ -18,8 +18,10 @@ answers all three incrementally from one shared materialization:
 
 * items pulled from the enumeration are kept forever, so a later (or
   repeated) request only extends the materialized prefix;
-* cumulative weight sums are maintained alongside (optionally as numpy
-  arrays via the ``[fast]`` extra);
+* weights live in a shared :class:`repro.relational.columns.FloatColumn`
+  (pure-Python running sums, or numpy arrays with a lazy cumulative
+  mirror via the ``[fast]`` extra), so cumulative masses and truncation
+  scans run on the marginal column;
 * ``tail(n)`` evaluations are memoized, and
   :meth:`smallest_prefix_for_tail` replaces the linear scan with an
   exponential probe + bisection — O(log n) tail evaluations, returning
@@ -47,6 +49,8 @@ from typing import (
 
 from repro import obs
 from repro.errors import ApproximationError, ConvergenceError
+from repro.relational.columns import FloatColumn, resolve_backend
+from repro.utils.probability import numpy_or_none as _numpy_or_none  # noqa: F401
 
 T = TypeVar("T")
 
@@ -54,14 +58,6 @@ T = TypeVar("T")
 PREFIX_CACHE_HITS = "prefix.cache.hits"
 #: Obs counter: times the underlying enumeration was pulled further.
 PREFIX_CACHE_EXTENSIONS = "prefix.cache.extensions"
-
-
-def _numpy_or_none():
-    try:
-        import numpy
-    except ImportError:
-        return None
-    return numpy
 
 
 class PrefixCache(Generic[T]):
@@ -99,25 +95,21 @@ class PrefixCache(Generic[T]):
         tail: Callable[[int], float],
         backend: str = "auto",
     ):
-        if backend == "auto":
-            backend = "numpy" if _numpy_or_none() is not None else "python"
-        if backend == "numpy" and _numpy_or_none() is None:
-            raise ValueError(
-                "prefix-cache backend 'numpy' requires numpy "
-                "(pip install .[fast]); use backend='python' instead"
-            )
-        if backend not in ("python", "numpy"):
-            raise ValueError(f"unknown prefix-cache backend {backend!r}")
-        self.backend = backend
+        try:
+            self.backend = resolve_backend(backend)
+        except ValueError as exc:
+            if "requires numpy" in str(exc):
+                raise ValueError(
+                    "prefix-cache backend 'numpy' requires numpy "
+                    "(pip install .[fast]); use backend='python' instead"
+                ) from None
+            raise ValueError(f"unknown prefix-cache backend {backend!r}") from None
         self._iterator: Iterator[Tuple[T, float]] = iter(pairs)
         self._tail_fn = tail
         self._items: List[T] = []
-        self._weights: List[float] = []
-        # _cumulative[k] = Σ of the first k weights (python backend keeps
-        # it incrementally; numpy rebuilds its cumsum mirror on demand).
-        self._cumulative: List[float] = [0.0]
-        self._np_weights = None
-        self._np_cumulative = None
+        # The weight column: running sums on the python backend, a lazy
+        # cumsum mirror on numpy (see repro.relational.columns).
+        self._weights = FloatColumn(self.backend)
         self._exhausted = False
         self._tail_memo: Dict[int, float] = {}
         #: Lifetime counters, mirrored into the active obs trace.
@@ -154,19 +146,13 @@ class PrefixCache(Generic[T]):
         self.extensions += 1
         obs.incr(PREFIX_CACHE_EXTENSIONS)
         items, weights = self._items, self._weights
-        cumulative = self._cumulative
         try:
             while len(items) < n:
                 item, weight = next(self._iterator)
                 items.append(item)
-                weight = float(weight)
-                weights.append(weight)
-                cumulative.append(cumulative[-1] + weight)
+                weights.append(float(weight))
         except StopIteration:
             self._exhausted = True
-        # Any numpy mirrors are stale now; rebuilt lazily on next use.
-        self._np_weights = None
-        self._np_cumulative = None
         return len(items)
 
     # ----------------------------------------------------------- queries
@@ -174,7 +160,7 @@ class PrefixCache(Generic[T]):
         """The first n ``(item, weight)`` pairs (fewer if exhausted)."""
         have = self.extend_to(n)
         stop = min(n, have)
-        return list(zip(self._items[:stop], self._weights[:stop]))
+        return list(zip(self._items[:stop], self._weights.slice(0, stop)))
 
     def items(self, n: int) -> List[T]:
         """The first n items (fewer if exhausted)."""
@@ -191,24 +177,20 @@ class PrefixCache(Generic[T]):
         the enumeration's actual length)."""
         have = self.extend_to(stop)
         stop = min(stop, have)
-        return list(zip(self._items[start:stop], self._weights[start:stop]))
+        return list(zip(
+            self._items[start:stop], self._weights.slice(start, stop)))
 
     def marginals_dict(self, n: int) -> Dict[T, float]:
         """The first n pairs as a dict, preserving enumeration order."""
         have = self.extend_to(n)
         stop = min(n, have)
-        return dict(zip(self._items[:stop], self._weights[:stop]))
+        return dict(zip(self._items[:stop], self._weights.slice(0, stop)))
 
     def cumulative_mass(self, n: int) -> float:
         """``Σ`` of the first n weights (all of them if exhausted
         earlier)."""
         have = self.extend_to(n)
-        n = min(n, have)
-        if self.backend == "numpy":
-            if n == 0:
-                return 0.0
-            return float(self._cumsum_array()[n - 1])
-        return self._cumulative[n]
+        return self._weights.prefix_sum(min(n, have))
 
     def weights_array(self):
         """The materialized weights as a numpy array (numpy backend
@@ -218,16 +200,7 @@ class PrefixCache(Generic[T]):
                 "weights_array() needs the numpy backend "
                 f"(this cache uses {self.backend!r})"
             )
-        if self._np_weights is None:
-            numpy = _numpy_or_none()
-            self._np_weights = numpy.asarray(self._weights, dtype=numpy.float64)
-        return self._np_weights
-
-    def _cumsum_array(self):
-        if self._np_cumulative is None:
-            numpy = _numpy_or_none()
-            self._np_cumulative = numpy.cumsum(self.weights_array())
-        return self._np_cumulative
+        return self._weights.array()
 
     # -------------------------------------------------- truncation search
     def smallest_prefix_for_tail(

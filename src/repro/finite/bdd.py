@@ -19,11 +19,20 @@ caller-supplied order (the classic lever benchmarked in A-3).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.errors import EvaluationError
 from repro.logic.lineage import Lineage
 from repro.relational.facts import Fact
+from repro.utils.probability import numpy_or_none
+
+#: Reachable-node count above which :meth:`BDDManager.rescore` switches
+#: to the per-level vectorized pass (numpy available only).
+_VECTOR_RESCORE_MIN_NODES = 128
+#: Linearizations kept per manager (LRU by root id).
+_LINEAR_CACHE_SIZE = 16
 
 
 class BDDNode:
@@ -72,6 +81,10 @@ class BDDManager:
         self._unique: Dict[Tuple[int, int, int], BDDNode] = {}
         self._apply_cache: Dict[Tuple[str, int, int], BDDRef] = {}
         self._next_id = 2  # 0 and 1 are terminals
+        #: LRU of linearized cones for :meth:`rescore`, keyed by root
+        #: id — sound forever because nodes (and their cones) are
+        #: immutable once hash-consed.
+        self._linear_cache: "OrderedDict[int, tuple]" = OrderedDict()
 
     # ----------------------------------------------------------------- basics
     def level(self, node: BDDRef) -> int:
@@ -230,6 +243,103 @@ class BDDManager:
             return value
 
         return recurse(node)
+
+    # ---------------------------------------------------- linearized rescore
+    def _linearized(self, root: BDDNode) -> tuple:
+        """The root's cone as parallel columns, topologically ordered.
+
+        Node ids ascend children-first by construction (:meth:`make`
+        allocates a parent only after both children exist), so sorting
+        the reachable internal nodes by id *is* a topological order.
+        Returns ``(facts, low_pos, high_pos, level_groups)`` where
+        positions index the dense value vector (terminals at 0 and 1,
+        node k of the order at k+2) and ``level_groups`` — present only
+        with numpy — batches same-level node indices bottom-up for the
+        elementwise pass.
+        """
+        payload = self._linear_cache.get(root.id)
+        if payload is not None:
+            self._linear_cache.move_to_end(root.id)
+            return payload
+        seen = set()
+        stack = [root]
+        nodes: List[BDDNode] = []
+        while stack:
+            n = stack.pop()
+            if isinstance(n, int) or n.id in seen:
+                continue
+            seen.add(n.id)
+            nodes.append(n)
+            stack.append(n.low)
+            stack.append(n.high)
+        nodes.sort(key=lambda n: n.id)
+        position = {ZERO: 0, ONE: 1}
+        for k, n in enumerate(nodes):
+            position[n.id] = k + 2
+        facts = [n.fact for n in nodes]
+        low_pos = [position[self._id(n.low)] for n in nodes]
+        high_pos = [position[self._id(n.high)] for n in nodes]
+        level_groups = None
+        np = numpy_or_none()
+        if np is not None and len(nodes) >= _VECTOR_RESCORE_MIN_NODES:
+            by_level: Dict[int, List[int]] = {}
+            for k, n in enumerate(nodes):
+                by_level.setdefault(self._level[n.fact], []).append(k)
+            level_groups = [
+                np.asarray(by_level[level], dtype=np.intp)
+                for level in sorted(by_level, reverse=True)
+            ]
+        payload = (
+            facts,
+            low_pos,
+            high_pos,
+            level_groups,
+        )
+        self._linear_cache[root.id] = payload
+        while len(self._linear_cache) > _LINEAR_CACHE_SIZE:
+            self._linear_cache.popitem(last=False)
+        return payload
+
+    def rescore(
+        self, node: BDDRef, marginal: Callable[[Fact], float]
+    ) -> float:
+        """Weighted model count over a cached linearization — the warm
+        path of ε-sweeps, where one diagram is re-scored under growing
+        truncations again and again.
+
+        Bit-identical to :meth:`probability`: each node computes the
+        same ``p·v_high + (1 − p)·v_low`` exactly once, just without the
+        recursion (and, past ``_VECTOR_RESCORE_MIN_NODES`` nodes with
+        numpy, as per-level elementwise kernels over the marginal
+        slice).
+        """
+        if isinstance(node, int):
+            return 1.0 if node == ONE else 0.0
+        facts, low_pos, high_pos, level_groups = self._linearized(node)
+        weights = [marginal(fact) for fact in facts]
+        if level_groups is not None:
+            np = numpy_or_none()
+            from repro.relational.columns import COLUMNS_VECTOR_OPS
+
+            obs.incr(COLUMNS_VECTOR_OPS)
+            values = np.empty(len(facts) + 2, dtype=np.float64)
+            values[0], values[1] = 0.0, 1.0
+            p = np.asarray(weights, dtype=np.float64)
+            low = np.asarray(low_pos, dtype=np.intp)
+            high = np.asarray(high_pos, dtype=np.intp)
+            for sel in level_groups:
+                ps = p[sel]
+                values[sel + 2] = (
+                    ps * values[high[sel]] + (1.0 - ps) * values[low[sel]]
+                )
+            return float(values[-1])
+        values = [0.0] * (len(facts) + 2)
+        values[1] = 1.0
+        for k, p in enumerate(weights):
+            values[k + 2] = (
+                p * values[high_pos[k]] + (1.0 - p) * values[low_pos[k]]
+            )
+        return values[-1]
 
     def restrict(self, node: BDDRef, fact: Fact, value: bool) -> BDDRef:
         """Condition on ``fact = value``."""

@@ -98,6 +98,9 @@ class BlockIndependentTable:
         if len(set(names)) != len(names):
             raise ProbabilityError("block names must be distinct")
         self._block_of: Dict[Fact, Block] = {}
+        #: Lazy columnar mirror (facts, marginals, block ordinals);
+        #: kept in sync by :meth:`extend` once built, not pickled.
+        self._columns = None
         for block in self.blocks:
             for fact in block.alternatives:
                 if fact.relation not in schema:
@@ -129,7 +132,35 @@ class BlockIndependentTable:
                     )
                 added[fact] = block
         self._block_of.update(added)
+        if self._columns is not None:
+            # O(delta): new blocks append below the existing rows.
+            base = len(self.blocks)
+            for ordinal, block in enumerate(new_blocks, start=base):
+                self._columns.extend_items(
+                    block.alternatives.items(), block=ordinal)
         self.blocks = self.blocks + new_blocks
+
+    @property
+    def columns(self):
+        """Columnar mirror: one row per alternative fact, with its
+        marginal and its block's ordinal in :attr:`blocks` (see
+        :class:`repro.relational.columns.ColumnStore`)."""
+        if self._columns is None:
+            from repro.relational.columns import ColumnStore
+
+            store = ColumnStore(backend="auto")
+            for ordinal, block in enumerate(self.blocks):
+                store.extend_items(
+                    block.alternatives.items(), block=ordinal)
+            self._columns = store
+        return self._columns
+
+    def __getstate__(self):
+        """Drop the columnar mirror from pickles (fan-out payloads
+        rebuild it lazily in the worker)."""
+        state = dict(self.__dict__)
+        state["_columns"] = None
+        return state
 
     # ------------------------------------------------------------------ basics
     def facts(self) -> List[Fact]:
@@ -146,9 +177,7 @@ class BlockIndependentTable:
 
     def expected_size(self) -> float:
         """``Σ_f p_f`` — finite, per Lemma 4.14's convergence."""
-        return sum(
-            sum(block.alternatives.values()) for block in self.blocks
-        )
+        return self.columns.sum_marginals()
 
     def is_good(self, instance: Instance) -> bool:
         """Good instances contain at most one fact per block (paper

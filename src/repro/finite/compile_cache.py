@@ -69,6 +69,11 @@ class CompiledQuery:
         marginal: Callable[[Fact], float],
         cache: Optional[Dict[int, float]] = None,
     ) -> float:
+        if cache is None:
+            # No shared memo requested: score over the manager's cached
+            # linearization (bit-identical, vectorized past the node
+            # threshold) — the hot rescore path of ε-sweeps.
+            return self.manager.rescore(self.root, marginal)
         return self.manager.probability(self.root, marginal, cache)
 
     def restrict(self, fact: Fact, value: bool) -> "CompiledQuery":

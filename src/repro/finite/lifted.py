@@ -53,6 +53,7 @@ from repro.logic.queries import BooleanQuery
 from repro.logic.syntax import Atom, Constant, Formula, Variable
 from repro.relational.facts import Fact, Value, domain_sort_key
 from repro.relational.index import FactIndex
+from repro.utils.probability import ComplementAccumulator
 
 __all__ = [
     "evaluate_plan",
@@ -251,16 +252,23 @@ class _PlanEvaluator:
                 "BID blocks overlap across union branches; the "
                 "independent-union rule does not apply"
             )
-        complement = 1.0
+        # Log-space complement accumulation (utils.probability): the
+        # naive ``complement *= 1.0 - p`` loop silently drops children
+        # below one ulp of 0 and underflows past ~1e-308.
+        acc = ComplementAccumulator()
         for child in plan.children:
-            complement *= 1.0 - self._eval(child, binding)
-            if complement == 0.0:
+            acc.add(self._eval(child, binding))
+            if acc.is_zero:
                 return 1.0
-        return 1.0 - complement
+        return acc.disjunction()
 
     def _eval_project(
         self, plan: IndependentProject, binding: Binding
     ) -> float:
+        if not self.is_bid and isinstance(plan.child, FactLeaf):
+            fast = self._project_leaf_fast(plan, binding)
+            if fast is not None:
+                return fast
         values = _candidate_values(
             plan.subquery, plan.variable, self.index, binding)
         bindings = [
@@ -276,12 +284,60 @@ class _PlanEvaluator:
                 "BID blocks overlap across project values; the "
                 "independent-project rule does not apply"
             )
-        complement = 1.0
+        acc = ComplementAccumulator()
         for child_binding in bindings:
-            complement *= 1.0 - self._eval(plan.child, child_binding)
-            if complement == 0.0:
+            acc.add(self._eval(plan.child, child_binding))
+            if acc.is_zero:
                 return 1.0
-        return 1.0 - complement
+        return acc.disjunction()
+
+    def _project_leaf_fast(
+        self, plan: IndependentProject, binding: Binding
+    ) -> Optional[float]:
+        """Columnar independent project over a single-atom leaf (TI
+        tables): one index probe returns the matching row ids, the
+        marginal column serves the slice, and the fold runs without
+        per-candidate binding dicts, fact grounding, or recursion.
+
+        Folds in the same ``domain_sort_key`` candidate order as the
+        generic path, so results stay bit-identical (and deterministic
+        across hash seeds).  Returns None when the leaf's atom has free
+        variables besides the project variable — the generic path
+        handles those.
+        """
+        atom = plan.child.atom
+        variable = plan.variable
+        positions: List[int] = []
+        for i, term in enumerate(atom.terms):
+            if term == variable:
+                positions.append(i)
+            elif isinstance(term, Constant) or term in binding:
+                continue
+            else:
+                return None
+        if not positions:
+            return None
+        rows = self.index.probe_rows(
+            atom.relation, _probe_pattern(atom, binding))
+        if not rows:
+            return 0.0
+        column = self.index.marginal_column(self.table)
+        fact_at = self.index.fact_at
+        first, rest = positions[0], positions[1:]
+        pairs = []
+        for row in rows:
+            args = fact_at(row).args
+            value = args[first]
+            if any(args[i] != value for i in rest):
+                continue  # repeated positions disagree: no candidate
+            pairs.append((domain_sort_key(value), row))
+        pairs.sort()
+        acc = ComplementAccumulator()
+        for _, row in pairs:
+            acc.add(column[row])
+            if acc.is_zero:
+                return 1.0
+        return acc.disjunction()
 
     # ------------------------------------------------------- BID machinery
     def _touched_blocks(self, plan: SafePlan, binding: Binding) -> Set[str]:
@@ -341,10 +397,12 @@ class _PlanEvaluator:
                 continue  # impossible fact: contributes 0
             mass = per_block.get(block.name, 0.0) + block.probability(fact)
             per_block[block.name] = mass
-        complement = 1.0
+        acc = ComplementAccumulator()
         for mass in per_block.values():
-            complement *= 1.0 - min(1.0, mass)
-        return 1.0 - complement
+            acc.add(min(1.0, mass))
+            if acc.is_zero:
+                return 1.0
+        return acc.disjunction()
 
 
 def evaluate_plan(plan: SafePlan, table: LiftedTable) -> float:

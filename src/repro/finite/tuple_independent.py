@@ -36,6 +36,9 @@ class TupleIndependentTable:
     def __init__(self, schema: Schema, marginals: Mapping[Fact, float]):
         self.schema = schema
         self.marginals: Dict[Fact, float] = {}
+        #: Lazy columnar mirror (see :meth:`columns`); kept in sync by
+        #: :meth:`extend` once built, dropped from pickles.
+        self._columns = None
         for fact, probability in marginals.items():
             validate_probability(probability, what=f"marginal of {fact}")
             if fact.relation not in schema:
@@ -65,7 +68,30 @@ class TupleIndependentTable:
                     f"extend would change the marginal of {fact} "
                     f"from {existing} to {probability}"
                 )
-            self.marginals[fact] = float(probability)
+            probability = float(probability)
+            if existing is None and self._columns is not None:
+                # O(delta): the columnar mirror grows in place, so warm
+                # ε-sweep state stays valid across truncation growth.
+                self._columns.intern(fact, probability)
+            self.marginals[fact] = probability
+
+    @property
+    def columns(self):
+        """The table's columnar mirror — interned facts plus a marginal
+        column (:class:`repro.relational.columns.ColumnStore`).
+
+        Built lazily on first use (row order = dict insertion order),
+        then maintained in place by :meth:`extend`; serves the
+        vectorized aggregate paths (:meth:`expected_size`,
+        :meth:`empty_world_probability`, marginal-slice gathers).
+        """
+        if self._columns is None:
+            from repro.relational.columns import ColumnStore
+
+            store = ColumnStore(backend="auto")
+            store.extend_items(self.marginals.items())
+            self._columns = store
+        return self._columns
 
     # ------------------------------------------------------------------ basics
     def __len__(self) -> int:
@@ -81,7 +107,12 @@ class TupleIndependentTable:
 
     def expected_size(self) -> float:
         """``E(S) = Σ p_f`` (eq. (5) of the paper, finite case)."""
-        return sum(self.marginals.values())
+        return self.columns.sum_marginals()
+
+    def marginal_values(self, facts: Iterable[Fact]):
+        """Marginal slice for the given (listed) facts — a list on the
+        pure-Python backend, an ndarray on the numpy backend."""
+        return self.columns.gather_facts(facts)
 
     def instance_probability(self, instance: Instance) -> float:
         """The Theorem 4.8 product
@@ -102,7 +133,7 @@ class TupleIndependentTable:
 
     def empty_world_probability(self) -> float:
         """``P({∅}) = Π (1 − p_f)`` — the ``P₁({∅})`` of Theorem 5.5."""
-        return product_complement(self.marginals.values())
+        return self.columns.complement_product()
 
     # ------------------------------------------------------------- conversions
     def expand(self) -> FinitePDB:
@@ -172,6 +203,17 @@ class TupleIndependentTable:
             self, n, rng=rng, seed=seed, backend=backend,
             batch_index=batch_index,
         )
+
+    # ---------------------------------------------------------------- pickling
+    def __getstate__(self):
+        """Drop the columnar mirror, like
+        :class:`~repro.core.fact_distribution.FactDistribution` drops
+        its prefix cache: the ``workers=`` process-pool fan-out must not
+        ship arrays that are pure derived state (they rebuild lazily on
+        first use in the worker)."""
+        state = dict(self.__dict__)
+        state["_columns"] = None
+        return state
 
     def __repr__(self) -> str:
         return (

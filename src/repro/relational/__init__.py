@@ -9,6 +9,13 @@ sets of facts (``D[τ, U]`` = finite subsets of ``F[τ, U]``).
 
 from repro.relational.schema import RelationSymbol, Schema
 from repro.relational.facts import Fact, domain_sort_key, parse_fact
+from repro.relational.columns import (
+    ColumnStore,
+    FloatColumn,
+    IntColumn,
+    available_backends,
+    resolve_backend,
+)
 from repro.relational.index import FactIndex
 from repro.relational.instance import Instance
 from repro.relational.algebra import (
@@ -27,6 +34,11 @@ __all__ = [
     "Schema",
     "Fact",
     "FactIndex",
+    "ColumnStore",
+    "FloatColumn",
+    "IntColumn",
+    "available_backends",
+    "resolve_backend",
     "domain_sort_key",
     "parse_fact",
     "Instance",

@@ -10,6 +10,14 @@ bound ``x`` probes ``(0, 1)`` with ``(x_value, 3)``.  Each signature
 index is built once by a single pass over the relation's facts and then
 answers every probe in O(1) expected time.
 
+Storage is columnar (see :mod:`repro.relational.columns`): every fact
+is *interned* to a dense row id on first sight, and the relation lists
+and signature buckets hold row ids, not fact objects.  :meth:`probe`
+wraps the matching id range in a lazy fact view (so existing consumers
+keep iterating facts), while :meth:`probe_rows` hands the raw ids to
+vectorized consumers — the lifted evaluator gathers marginal slices by
+id instead of re-grounding fact objects per candidate.
+
 Indexes support *delta updates*: :meth:`FactIndex.extend` adds new
 possible facts in place and patches every already-built signature index,
 so a grown truncation Ω_m ⊇ Ω_n re-grounds against the same index
@@ -28,10 +36,11 @@ from typing import (
     Dict,
     Iterable,
     Iterator,
+    KeysView,
     List,
     Mapping,
+    Optional,
     Sequence,
-    Set,
     Tuple,
 )
 
@@ -41,7 +50,41 @@ from repro.relational.schema import RelationSymbol
 #: A bound-column signature: the sorted argument positions a probe fixes.
 Signature = Tuple[int, ...]
 
-_EMPTY: Tuple[Fact, ...] = ()
+_EMPTY_ROWS: Tuple[int, ...] = ()
+
+
+class _RowFacts(Sequence):
+    """A lazy fact view over a row-id range — compares, slices and
+    iterates like the list of facts it denotes, without materializing
+    one per probe."""
+
+    __slots__ = ("_facts", "_rows")
+
+    def __init__(self, facts: List[Fact], rows: Sequence[int]):
+        self._facts = facts
+        self._rows = rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return [self._facts[row] for row in self._rows[item]]
+        return self._facts[self._rows[item]]
+
+    def __iter__(self) -> Iterator[Fact]:
+        facts = self._facts
+        return iter([facts[row] for row in self._rows])
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, _RowFacts):
+            other = list(other)
+        if isinstance(other, (list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return repr(list(self))
 
 
 class FactIndex:
@@ -61,17 +104,34 @@ class FactIndex:
     ['S(1, 2)', 'S(1, 3)', 'S(1, 4)']
     >>> S(1, 2) in index, len(index)
     (True, 4)
+    >>> list(index.probe_rows(S, {0: 1}))     # dense interned row ids
+    [0, 1, 3]
     """
 
-    __slots__ = ("_facts", "_by_relation", "_signatures", "_values")
+    __slots__ = (
+        "_rows",
+        "_row_facts",
+        "_by_relation",
+        "_signatures",
+        "_values",
+        "_marginals",
+        "_marginal_source",
+    )
 
     def __init__(self, facts: Iterable[Fact] = ()):
-        self._facts: Set[Fact] = set()
-        self._by_relation: Dict[RelationSymbol, List[Fact]] = {}
+        #: fact → dense row id, in interning order.
+        self._rows: Dict[Fact, int] = {}
+        #: row id → fact (the fact column).
+        self._row_facts: List[Fact] = []
+        self._by_relation: Dict[RelationSymbol, List[int]] = {}
         self._signatures: Dict[
-            Tuple[RelationSymbol, Signature], Dict[Tuple[Value, ...], List[Fact]]
+            Tuple[RelationSymbol, Signature], Dict[Tuple[Value, ...], List[int]]
         ] = {}
-        self._values: Set[Value] = set()
+        self._values: set = set()
+        #: Lazily attached marginal column aligned to row ids (see
+        #: :meth:`marginal_column`); dropped from pickles.
+        self._marginals = None
+        self._marginal_source = None
         self.extend(facts)
 
     # ------------------------------------------------------------- mutation
@@ -81,21 +141,28 @@ class FactIndex:
         genuinely new facts (a delta update, no rebuild).  Returns the
         number of new facts added.
         """
-        added: List[Fact] = []
+        rows = self._rows
+        row_facts = self._row_facts
+        added: List[int] = []
         for fact in facts:
-            if fact in self._facts:
+            if fact in rows:
                 continue
-            self._facts.add(fact)
-            self._by_relation.setdefault(fact.relation, []).append(fact)
+            row = len(row_facts)
+            rows[fact] = row
+            row_facts.append(fact)
+            self._by_relation.setdefault(fact.relation, []).append(row)
             self._values.update(fact.args)
-            added.append(fact)
+            added.append(row)
         if added and self._signatures:
             for (relation, positions), table in self._signatures.items():
-                for fact in added:
+                for row in added:
+                    fact = row_facts[row]
                     if fact.relation != relation:
                         continue
                     key = tuple(fact.args[i] for i in positions)
-                    table.setdefault(key, []).append(fact)
+                    table.setdefault(key, []).append(row)
+        if added and self._marginals is not None:
+            self._sync_marginals()
         return len(added)
 
     # -------------------------------------------------------------- queries
@@ -109,32 +176,49 @@ class FactIndex:
         position set is built on first use and reused (and delta-updated
         by :meth:`extend`) afterwards.
         """
-        facts = self._by_relation.get(relation)
-        if facts is None:
-            return _EMPTY
+        return _RowFacts(self._row_facts, self.probe_rows(relation, bound))
+
+    def probe_rows(
+        self, relation: RelationSymbol, bound: Mapping[int, Value]
+    ) -> Sequence[int]:
+        """Row ids of the facts :meth:`probe` would return — the
+        columnar form: callers gather marginal slices by id instead of
+        touching fact objects."""
+        rows = self._by_relation.get(relation)
+        if rows is None:
+            return _EMPTY_ROWS
         if not bound:
-            return facts
+            return rows
         positions = tuple(sorted(bound))
         table = self._signatures.get((relation, positions))
         if table is None:
             table = {}
-            for fact in facts:
+            row_facts = self._row_facts
+            for row in rows:
+                fact = row_facts[row]
                 key = tuple(fact.args[i] for i in positions)
-                table.setdefault(key, []).append(fact)
+                table.setdefault(key, []).append(row)
             self._signatures[(relation, positions)] = table
-        return table.get(tuple(bound[i] for i in positions), _EMPTY)
+        return table.get(tuple(bound[i] for i in positions), _EMPTY_ROWS)
 
     def relation_facts(self, relation: RelationSymbol) -> Sequence[Fact]:
         """All possible facts of one relation (insertion order)."""
-        return self._by_relation.get(relation, _EMPTY)
+        rows = self._by_relation.get(relation)
+        if rows is None:
+            return ()
+        return _RowFacts(self._row_facts, rows)
+
+    def fact_at(self, row: int) -> Fact:
+        """The interned fact of one row id."""
+        return self._row_facts[row]
 
     @property
-    def fact_set(self) -> Set[Fact]:
-        """The live set of indexed facts (do not mutate)."""
-        return self._facts
+    def fact_set(self) -> KeysView:
+        """The indexed facts as a set-like view (do not mutate)."""
+        return self._rows.keys()
 
     @property
-    def values(self) -> Set[Value]:
+    def values(self) -> set:
         """The active domain: every value occurring in an indexed fact
         (do not mutate)."""
         return self._values
@@ -143,19 +227,66 @@ class FactIndex:
         """How many signature indexes have been materialized."""
         return len(self._signatures)
 
+    # ------------------------------------------------------ marginal column
+    def marginal_column(self, table):
+        """A marginal column aligned to this index's row ids, gathered
+        from ``table`` (anything with a ``marginal(fact)`` method) and
+        cached.
+
+        Valid across delta extensions because truncation growth never
+        changes the marginal of an existing fact — the same invariant
+        the compile cache's warm rescoring relies on.  Switching tables
+        rebuilds the column (the cache is keyed by table identity).
+        """
+        if self._marginals is None or self._marginal_source is not table:
+            from repro.relational.columns import FloatColumn
+
+            self._marginals = FloatColumn("auto")
+            self._marginal_source = table
+            self._sync_marginals()
+        elif len(self._marginals) < len(self._row_facts):
+            self._sync_marginals()
+        return self._marginals
+
+    def _sync_marginals(self) -> None:
+        marginal = self._marginal_source.marginal
+        self._marginals.extend(
+            marginal(fact)
+            for fact in self._row_facts[len(self._marginals):]
+        )
+
     # --------------------------------------------------- read-only set protocol
     def __contains__(self, fact: object) -> bool:
-        return fact in self._facts
+        return fact in self._rows
 
     def __len__(self) -> int:
-        return len(self._facts)
+        return len(self._rows)
 
     def __iter__(self) -> Iterator[Fact]:
-        return iter(self._facts)
+        return iter(self._rows)
+
+    # ------------------------------------------------------------- pickling
+    def __getstate__(self):
+        """Drop the columnar caches (signature buckets stay: they are
+        plain row-id dicts); the marginal column is rebuilt lazily on
+        the other side of a process-pool fan-out."""
+        return {
+            "_rows": self._rows,
+            "_row_facts": self._row_facts,
+            "_by_relation": self._by_relation,
+            "_signatures": self._signatures,
+            "_values": self._values,
+        }
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._marginals = None
+        self._marginal_source = None
 
     def __repr__(self) -> str:
         return (
-            f"FactIndex(facts={len(self._facts)}, "
+            f"FactIndex(facts={len(self._rows)}, "
             f"relations={len(self._by_relation)}, "
             f"signatures={len(self._signatures)})"
         )

@@ -1,0 +1,263 @@
+"""Shared probability arithmetic: complements, disjunctions, log space.
+
+Every engine in the repo keeps meeting the same two quantities —
+
+* the *complement product* ``Π (1 − p_i)`` (empty-world probability,
+  Theorem 4.8 absent-fact factor, Shannon pivot weights), and
+* the *independent disjunction* ``1 − Π (1 − p_i)`` (independent
+  project/union folds of the lifted evaluator, block remainders) —
+
+and before this module each call site re-implemented the naive
+``complement *= 1.0 - p`` loop.  That loop is wrong twice at scale: for
+``p`` below one ulp of 1.0 the factor ``1 − p`` rounds to exactly 1.0
+(so 10⁵ facts of marginal 1e-20 "contribute nothing" instead of the
+true ≈1e-15), and long products underflow to 0.0 past ~1e-308.
+
+This module is the single home for that arithmetic.  The policy is the
+one :func:`product_complement` has always used (moved here verbatim from
+``repro.analysis.products``, which now re-exports it):
+
+* multiply directly — one rounding per factor keeps dyadic marginals
+  **bit-exact**, which is what lets the exact query strategies agree to
+  the last ulp;
+* accumulate in log space only where direct multiplication loses
+  information: probabilities below 1e-16 (``log1p(−p) = −p`` to double
+  precision there) and products at the edge of underflow (< 1e-300).
+
+:class:`ComplementAccumulator` is the streaming form of the same policy,
+for evaluator loops that need early exit; the ``vector_*`` helpers are
+the batch form over numpy arrays for the columnar fast path
+(:mod:`repro.relational.columns`).
+
+>>> product_complement([0.5, 0.5])
+0.25
+>>> disjunction([0.5, 0.5])
+0.75
+>>> disjunction([1e-20] * 10) > 0.0   # the naive loop returns 0.0 here
+True
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import ConvergenceError
+
+__all__ = [
+    "ComplementAccumulator",
+    "disjunction",
+    "log_product_complement",
+    "numpy_or_none",
+    "product_complement",
+    "vector_complement_product",
+    "vector_disjunction",
+    "vector_log_complement",
+]
+
+#: Below this, ``1 − p`` rounds to exactly 1.0 (one ulp of 1.0 is
+#: ~2.2e-16); such factors are accumulated in log space instead, where
+#: ``log1p(−p) = −p`` to double precision.
+TINY_PROBABILITY = 1e-16
+#: Products below this are within ~8 factors of underflowing to 0.0;
+#: the running product is folded into the log residual and restarted.
+UNDERFLOW_FLOOR = 1e-300
+
+
+def numpy_or_none():
+    """The imported numpy module, or None without the ``[fast]`` extra."""
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy
+
+
+class ComplementAccumulator:
+    """Streaming ``Π (1 − p_i)`` with the hybrid direct/log-space policy.
+
+    Feeds one probability at a time — the form the lifted evaluator's
+    union/project folds need, where each ``p_i`` is itself a recursive
+    plan evaluation and a factor of 0 should short-circuit the loop.
+
+    The running state is ``product · exp(residual_log)``: ``product``
+    collects ordinary factors by direct multiplication (bit-identical to
+    the historical ``complement *= 1.0 - p`` loop on such inputs), while
+    ``residual_log`` collects the factors direct multiplication would
+    drop — tiny probabilities and underflowed partial products.
+
+    >>> acc = ComplementAccumulator()
+    >>> for p in (0.5, 0.25):
+    ...     acc.add(p)
+    >>> acc.complement()
+    0.375
+    >>> acc.disjunction()
+    0.625
+    >>> acc = ComplementAccumulator()
+    >>> for p in [1e-20] * 100000:
+    ...     acc.add(p)
+    >>> round(acc.disjunction() / 1e-15, 6)   # naive loop: exactly 0.0
+    1.0
+    """
+
+    __slots__ = ("product", "residual_log", "_zero")
+
+    def __init__(self) -> None:
+        self.product = 1.0
+        self.residual_log = 0.0
+        self._zero = False
+
+    def add(self, probability: float) -> None:
+        """Fold one factor ``1 − probability`` into the product."""
+        if probability >= 1.0:
+            self._zero = True
+            return
+        if probability < TINY_PROBABILITY:
+            if probability > 0.0:
+                self.residual_log -= probability
+            return
+        self.product *= 1.0 - probability
+        if self.product < UNDERFLOW_FLOOR:
+            self.residual_log += math.log(self.product)
+            self.product = 1.0
+
+    @property
+    def is_zero(self) -> bool:
+        """True once a factor of 1.0 made the whole product 0."""
+        return self._zero
+
+    def complement(self) -> float:
+        """The product ``Π (1 − p_i)`` folded so far."""
+        if self._zero:
+            return 0.0
+        if self.residual_log == 0.0:
+            return self.product
+        return self.product * math.exp(self.residual_log)
+
+    def disjunction(self) -> float:
+        """``1 − Π (1 − p_i)`` — exact where the subtraction would
+        cancel (all mass in the log residual) via ``−expm1``."""
+        if self._zero:
+            return 1.0
+        if self.residual_log == 0.0:
+            # Bit-identical to the historical ``1.0 - complement`` exit.
+            return 1.0 - self.product
+        if self.product == 1.0:
+            return -math.expm1(self.residual_log)
+        return -math.expm1(math.log(self.product) + self.residual_log)
+
+
+def product_complement(probabilities: Iterable[float]) -> float:
+    """Finite product ``Π (1 − p_i)`` for probabilities ``p_i ∈ [0, 1]``.
+
+    Multiplies directly — one rounding per factor, so dyadic marginals
+    stay *bit-exact* (which lets the exact query-evaluation strategies
+    agree to the last ulp) and the hot path of world expansion skips a
+    ``log1p``/``exp`` round-trip per fact.  Probabilities below one ulp
+    of 1.0 (where ``1 − p`` would round to 1) and products at the edge
+    of underflow are accumulated in log space as before.
+
+    >>> product_complement([0.5, 0.5])
+    0.25
+    >>> product_complement([1.0, 0.3])
+    0.0
+    """
+    product = 1.0
+    residual_log = 0.0
+    for p in probabilities:
+        if not 0 <= p <= 1:
+            raise ConvergenceError(f"probability {p} outside [0, 1]")
+        if p == 1.0:
+            return 0.0
+        if p < TINY_PROBABILITY:
+            # 1 − p rounds to 1.0; log1p(−p) is −p to double precision.
+            residual_log -= p
+            continue
+        product *= 1.0 - p
+        if product < UNDERFLOW_FLOOR:
+            residual_log += math.log(product)
+            product = 1.0
+    if residual_log == 0.0:
+        return product
+    return product * math.exp(residual_log)
+
+
+def disjunction(probabilities: Iterable[float]) -> float:
+    """Independent disjunction ``1 − Π (1 − p_i)``.
+
+    The complement goes through :func:`product_complement`'s hybrid
+    policy, and when the whole product lives in the log residual the
+    subtraction happens as ``−expm1`` — so a sea of tiny marginals sums
+    instead of vanishing.
+
+    >>> disjunction([0.5, 0.5])
+    0.75
+    >>> disjunction([])
+    0.0
+    >>> round(disjunction([1e-20] * 100000) / 1e-15, 6)
+    1.0
+    """
+    acc = ComplementAccumulator()
+    for p in probabilities:
+        if not 0 <= p <= 1:
+            raise ConvergenceError(f"probability {p} outside [0, 1]")
+        acc.add(p)
+        if acc.is_zero:
+            return 1.0
+    return acc.disjunction()
+
+
+def log_product_complement(probabilities: Iterable[float]) -> float:
+    """``log Π (1 − p_i) = Σ log1p(−p_i)``; −inf if any ``p_i = 1``.
+
+    >>> log_product_complement([0.5]) == math.log(0.5)
+    True
+    """
+    total = 0.0
+    for p in probabilities:
+        if not 0 <= p <= 1:
+            raise ConvergenceError(f"probability {p} outside [0, 1]")
+        if p == 1.0:
+            return -math.inf
+        total += math.log1p(-p)
+    return total
+
+
+# --------------------------------------------------------------- numpy batch
+# The vectorized forms used by the columnar layer.  They take the numpy
+# module explicitly so the caller (which already resolved its backend)
+# pays the import check once, not per kernel call.
+
+def vector_log_complement(np, marginals) -> float:
+    """``Σ log1p(−p_i)`` over a float array; −inf if any ``p_i = 1``."""
+    if marginals.size == 0:
+        return 0.0
+    if float(marginals.max(initial=0.0)) >= 1.0:
+        return -math.inf
+    return float(np.log1p(-marginals).sum())
+
+
+def vector_complement_product(np, marginals) -> float:
+    """``Π (1 − p_i)`` over a float array, via the log-space sum —
+    underflow-free, bit-near (≤1e-12 relative) the sequential product."""
+    log_total = vector_log_complement(np, marginals)
+    if log_total == -math.inf:
+        return 0.0
+    return math.exp(log_total)
+
+
+def vector_disjunction(np, marginals) -> float:
+    """``1 − Π (1 − p_i)`` over a float array via ``−expm1(Σ log1p)`` —
+    keeps the tiny-marginal mass the elementwise subtraction drops."""
+    log_total = vector_log_complement(np, marginals)
+    if log_total == -math.inf:
+        return 1.0
+    return -math.expm1(log_total)
+
+
+def sum_values(values: Sequence[float], np: Optional[object] = None) -> float:
+    """``Σ values`` — ``math.fsum``-free plain sum matching the historic
+    dict-path rounding on lists, ``ndarray.sum()`` on arrays."""
+    if np is not None and isinstance(values, np.ndarray):
+        return float(values.sum())
+    return sum(values)

@@ -188,7 +188,11 @@ class TestBackends:
             fresh_cache([0.5], backend="exotic")
 
     def test_numpy_backend_requires_numpy(self, monkeypatch):
-        monkeypatch.setattr(pc, "_numpy_or_none", lambda: None)
+        # Backend resolution now lives in the columnar layer; starve it
+        # of numpy there.
+        import repro.relational.columns as columns
+
+        monkeypatch.setattr(columns, "numpy_or_none", lambda: None)
         with pytest.raises(ValueError, match=r"\[fast\]"):
             fresh_cache([0.5], backend="numpy")
         assert fresh_cache([0.5], backend="auto").backend == "python"

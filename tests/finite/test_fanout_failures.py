@@ -77,3 +77,23 @@ def test_unpicklable_payload_degrades_to_serial_with_event():
 
 def test_pool_pickle_error_passes_clean_payloads():
     assert _pool_pickle_error((_table(), [R(1)], 0, 2, "auto")) is None
+
+
+def test_fanout_does_not_ship_columnar_arrays():
+    """A table with a warm columnar mirror fans out without shipping it
+    (the pickled state carries ``_columns=None``), and the pooled
+    answers still match the serial path bit-for-bit."""
+    import pickle
+
+    query, table = _r_query(), _table()
+    table.columns  # warm the columnar mirror before the fan-out
+    state = pickle.loads(pickle.dumps(table)).__dict__
+    assert state["_columns"] is None
+    serial = marginal_answer_probabilities(query, _table())
+    pooled = marginal_answer_probabilities(query, table, workers=2)
+    assert dict(pooled) == dict(serial)
+    events = {e["name"] for e in pooled.report.events}
+    assert "fanout.pool" in events
+    # The parent-side mirror survives the round-trip untouched.
+    assert table._columns is not None
+    assert table.expected_size() == _table().expected_size()

@@ -1,0 +1,90 @@
+"""Regression: the lifted evaluator's independent-project/union folds
+must not lose tiny marginals or underflow on long products.
+
+The historic ``complement *= 1.0 - p`` loop fails twice at scale:
+``1 - 1e-20`` rounds to exactly 1.0 (so 10⁵ such facts "contribute
+nothing"), and 10⁵ ordinary factors underflow the running product to
+0.0.  The shared :class:`repro.utils.probability.ComplementAccumulator`
+now rescues both regimes in log space."""
+
+import math
+
+import pytest
+
+from repro.finite.tuple_independent import TupleIndependentTable
+from repro.finite.bid import Block, BlockIndependentTable
+from repro.finite.lifted import query_probability_lifted
+from repro.logic import BooleanQuery, parse_formula
+from repro.relational import Schema
+
+schema = Schema.of(R=1, T=1)
+R, T = schema["R"], schema["T"]
+
+N = 100_000
+TINY = 1e-20
+
+
+def q(text):
+    return BooleanQuery(parse_formula(text, schema), schema)
+
+
+def tiny_table(n=N, p=TINY):
+    return TupleIndependentTable(schema, {R(i): p for i in range(n)})
+
+
+def test_naive_loop_loses_the_mass():
+    """The failure mode being regression-tested: the pre-refactor loop
+    returns exactly 0.0 on this input."""
+    complement = 1.0
+    for _ in range(N):
+        complement *= 1.0 - TINY
+    assert 1.0 - complement == 0.0
+
+
+def test_project_over_tiny_marginals():
+    # True answer: 1 − (1 − 1e-20)^1e5 = −expm1(1e5 · log1p(−1e-20))
+    expected = -math.expm1(N * math.log1p(-TINY))
+    assert expected > 0.0
+    answer = query_probability_lifted(q("EXISTS x. R(x)"), tiny_table())
+    assert answer == pytest.approx(expected, rel=1e-9)
+    assert answer == pytest.approx(N * TINY, rel=1e-9)  # ≈ 1e-15
+
+
+def test_union_of_tiny_disjuncts():
+    table = TupleIndependentTable(schema, {R(1): TINY, T(1): TINY})
+    answer = query_probability_lifted(q("R(1) OR T(1)"), table)
+    assert answer == pytest.approx(2 * TINY, rel=1e-12)
+
+
+def test_long_product_does_not_underflow():
+    # 10⁵ marginals of 0.5: the complement is 2^-100000 — far below the
+    # float underflow threshold, so the naive product is exactly 0.0.
+    # Here the disjunction is 1.0 either way; the accumulator must reach
+    # it through the rescued log residual without raising or returning
+    # a denormal artifact.
+    table = tiny_table(p=0.5)
+    assert query_probability_lifted(q("EXISTS x. R(x)"), table) == 1.0
+
+
+def test_bid_disjoint_union_of_tiny_alternatives():
+    blocks = [
+        Block(f"b{i}", {T(i): TINY / 2, T(-i - 1): TINY / 2})
+        for i in range(1000)
+    ]
+    table = BlockIndependentTable(schema, blocks)
+    answer = query_probability_lifted(q("EXISTS x. T(x)"), table)
+    expected = -math.expm1(1000 * math.log1p(-TINY))
+    assert answer == pytest.approx(expected, rel=1e-9)
+
+
+def test_dyadic_marginals_still_bit_exact():
+    """The rescue must not perturb the ordinary regime: on dyadic
+    marginals the lifted fold still equals the naive product bit for
+    bit (the exact-strategy agreement contract)."""
+    marginals = {R(i): (i % 63 + 1) / 64 for i in range(200)}
+    table = TupleIndependentTable(schema, marginals)
+    complement = 1.0
+    for p in marginals.values():
+        complement *= 1.0 - p
+    answer = query_probability_lifted(q("EXISTS x. R(x)"), table)
+    assert answer == 1.0 - complement

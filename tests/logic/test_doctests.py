@@ -12,8 +12,10 @@ import pkgutil
 import pytest
 
 import repro.logic
+from repro.relational import columns as columns_module
 from repro.relational import facts as facts_module
 from repro.relational import index as index_module
+from repro.utils import probability as probability_module
 
 
 def _logic_modules():
@@ -32,7 +34,10 @@ def test_logic_module_doctests(name):
     assert failures == 0
 
 
-@pytest.mark.parametrize("module", [facts_module, index_module])
+@pytest.mark.parametrize(
+    "module",
+    [facts_module, index_module, columns_module, probability_module],
+)
 def test_relational_support_doctests(module):
     failures, _ = doctest.testmod(module, verbose=False)
     assert failures == 0

@@ -1,0 +1,225 @@
+"""Differential properties: the columnar layout (both backends) agrees
+with the historic dict-of-floats layout on every operation the engines
+actually run — extend, truncate, prefix-for-tail, index probes — plus an
+import guard proving the whole stack works without numpy."""
+
+import math
+import os
+import pathlib
+import pickle
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fact_distribution import TableFactDistribution
+from repro.core.tuple_independent import CountableTIPDB
+from repro.finite.tuple_independent import TupleIndependentTable
+from repro.relational import Schema
+from repro.relational.columns import ColumnStore, available_backends
+from repro.relational.index import FactIndex
+from repro.utils.probability import product_complement
+
+schema = Schema.of(R=1, S=2)
+R, S = schema["R"], schema["S"]
+
+BACKENDS = available_backends()
+
+#: Dyadic marginals keep dict-vs-columnar sums exactly comparable.
+dyadic = st.integers(min_value=1, max_value=63).map(lambda k: k / 64)
+marginal_lists = st.lists(dyadic, min_size=1, max_size=25)
+
+
+def dict_layout(weights):
+    return {R(i + 1): w for i, w in enumerate(weights)}
+
+
+class TestStoreMatchesDict:
+    @given(marginal_lists, marginal_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_extend_then_aggregate(self, first, delta):
+        """Building in one shot and building by delta extension agree
+        with the dict layout on every aggregate, on both backends."""
+        marginals = dict_layout(first + delta)
+        for backend in BACKENDS:
+            store = ColumnStore(backend)
+            store.extend_items(dict_layout(first).items())
+            store.extend_items(marginals.items())  # delta: overlap skipped
+            assert len(store) == len(marginals)
+            assert store.facts() == list(marginals)
+            assert store.sum_marginals() == pytest.approx(
+                sum(marginals.values()), abs=1e-12)
+            assert store.complement_product() == pytest.approx(
+                product_complement(marginals.values()), abs=1e-12)
+            gathered = list(store.gather_facts(marginals))
+            assert gathered == pytest.approx(
+                list(marginals.values()), abs=0)
+
+    @given(marginal_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_backends_agree(self, weights):
+        if len(BACKENDS) < 2:
+            pytest.skip("numpy not installed")
+        stores = []
+        for backend in BACKENDS:
+            store = ColumnStore(backend)
+            store.extend_items(dict_layout(weights).items())
+            stores.append(store)
+        py, np_store = stores
+        assert py.sum_marginals() == pytest.approx(
+            np_store.sum_marginals(), abs=1e-12)
+        assert py.complement_product() == pytest.approx(
+            np_store.complement_product(), abs=1e-12)
+        assert py.disjunction() == pytest.approx(
+            np_store.disjunction(), abs=1e-12)
+
+
+class TestTableMatchesDict:
+    @given(marginal_lists, marginal_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_extend_keeps_columns_in_sync(self, first, delta):
+        table = TupleIndependentTable(schema, dict_layout(first))
+        # Force the columnar mirror, then grow the table under it.
+        assert table.columns.facts() == table.facts()
+        table.extend(dict_layout(first + delta))
+        marginals = table.marginals
+        assert len(table.columns) == len(marginals)
+        assert list(table.marginal_values(marginals)) == list(
+            marginals.values())
+        assert table.expected_size() == pytest.approx(
+            sum(marginals.values()), abs=1e-12)
+        assert table.empty_world_probability() == pytest.approx(
+            product_complement(marginals.values()), abs=1e-12)
+
+    @given(marginal_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_pickle_round_trip_drops_and_rebuilds(self, weights):
+        """The ``workers=`` fan-out path: pickled state carries no
+        columnar arrays, and the clone rebuilds them to the same values."""
+        table = TupleIndependentTable(schema, dict_layout(weights))
+        table.columns  # force the mirror before pickling
+        state = table.__getstate__()
+        assert state["_columns"] is None
+        clone = pickle.loads(pickle.dumps(table))
+        assert clone._columns is None  # not shipped
+        assert clone.expected_size() == table.expected_size()
+        assert clone.empty_world_probability() == (
+            table.empty_world_probability())
+
+
+class TestTruncationMatchesDict:
+    @staticmethod
+    def enumeration_order(marginals):
+        """The distribution's canonical order: decreasing probability,
+        ties broken by the fact sort key (paper §6 best case)."""
+        return sorted(marginals.items(), key=lambda kv: (-kv[1], kv[0].sort_key()))
+
+    @given(marginal_lists, st.integers(min_value=0, max_value=30))
+    @settings(max_examples=60, deadline=None)
+    def test_truncate_prefix(self, weights, n):
+        """truncate(n) through the columnar prefix cache lists exactly
+        the first n facts of the dict layout in enumeration order."""
+        marginals = dict_layout(weights)
+        pdb = CountableTIPDB(schema, TableFactDistribution(marginals))
+        truncated = pdb.truncate(n)
+        assert truncated.marginals == dict(
+            self.enumeration_order(marginals)[:n])
+
+    @given(marginal_lists, st.integers(min_value=1, max_value=65))
+    @settings(max_examples=60, deadline=None)
+    def test_prefix_for_tail_matches_linear_scan(self, weights, bound_k):
+        bound = bound_k / 64
+        marginals = dict_layout(weights)
+        ordered = [p for _, p in self.enumeration_order(marginals)]
+        d = TableFactDistribution(marginals)
+        expected = None
+        for n in range(len(ordered) + 1):
+            if math.fsum(ordered[n:]) <= bound:
+                expected = n
+                break
+        assert d.prefix_for_tail(bound) == expected
+
+
+class TestIndexMatchesDict:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5)),
+            min_size=1, max_size=30,
+        ),
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5)),
+            max_size=15,
+        ),
+        st.integers(0, 5),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_probes_equal_linear_filter(self, pairs, delta, key):
+        """Signature probes (built before AND after a delta extension)
+        return exactly the facts a linear dict-style scan returns, and
+        probe_rows ids decode to the same facts."""
+        facts = [S(a, b) for a, b in pairs]
+        index = FactIndex(facts)
+        index.probe(S, {0: key})  # materialize the signature pre-delta
+        new_facts = [S(a, b) for a, b in delta]
+        index.extend(new_facts)
+        all_facts = list(dict.fromkeys(facts + new_facts))
+        for bound in ({0: key}, {1: key}, {0: key, 1: key}, {}):
+            expected = [
+                f for f in all_facts
+                if all(f.args[i] == v for i, v in bound.items())
+            ]
+            assert list(index.probe(S, bound)) == expected
+            rows = index.probe_rows(S, bound)
+            assert [index.fact_at(r) for r in rows] == expected
+
+    @given(marginal_lists, marginal_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_marginal_column_tracks_table_growth(self, first, delta):
+        table = TupleIndependentTable(schema, dict_layout(first))
+        index = FactIndex(table.facts())
+        column = index.marginal_column(table)
+        assert column.slice() == [table.marginal(f) for f in table.facts()]
+        table.extend(dict_layout(first + delta))
+        index.extend(table.facts())
+        column = index.marginal_column(table)
+        assert len(column) == len(index)
+        assert column.slice() == [
+            table.marginal(index.fact_at(row)) for row in range(len(index))
+        ]
+
+
+NO_NUMPY_SCRIPT = """
+import sys
+sys.modules["numpy"] = None  # any import attempt raises ImportError
+
+from repro.finite.tuple_independent import TupleIndependentTable
+from repro.relational import Schema
+from repro.relational.columns import available_backends, resolve_backend
+from repro.utils.probability import numpy_or_none
+
+assert numpy_or_none() is None
+assert available_backends() == ("python",)
+assert resolve_backend("auto") == "python"
+
+schema = Schema.of(R=1)
+R = schema["R"]
+table = TupleIndependentTable(schema, {R(1): 0.5, R(2): 0.25})
+assert table.columns.backend == "python"
+assert abs(table.expected_size() - 0.75) < 1e-12
+assert abs(table.empty_world_probability() - 0.375) < 1e-12
+print("OK")
+"""
+
+
+def test_everything_works_without_numpy():
+    """Import guard: with numpy unimportable the auto backend resolves
+    to pure Python and the aggregate paths still run."""
+    repo_root = pathlib.Path(__file__).resolve().parents[2]
+    env = dict(os.environ, PYTHONPATH=str(repo_root / "src"))
+    result = subprocess.run(
+        [sys.executable, "-c", NO_NUMPY_SCRIPT],
+        capture_output=True, text=True, env=env, cwd=repo_root,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip() == "OK"
