@@ -8,6 +8,7 @@ Usage::
            [--stats [human|json]]
     python -m repro marginals TABLE.json "R(x)" [--stats [human|json]]
     python -m repro info TABLE.json
+    python -m repro serve [--host H --port P | --stdio] [--snapshot PATH]
 
 ``TABLE.json`` is the JSON format of :mod:`repro.io` (kind
 ``tuple-independent`` or ``block-independent-disjoint``).  With
@@ -25,6 +26,13 @@ result — chosen strategy, truncation/α, cache and sampling telemetry,
 per-phase wall clock — on **stderr**, so stdout stays the bare answer.
 ``--stats`` alone renders the human layout; ``--stats json`` emits the
 machine-readable schema (see ``repro.obs.REPORT_SCHEMA``).
+
+``serve`` starts the long-lived query service (:mod:`repro.serve`):
+named refinement sessions with warm compiled state behind a
+newline-delimited JSON protocol, over TCP (default) or stdin/stdout
+(``--stdio``).  With ``--snapshot PATH`` the server restores session
+state from PATH at startup (when the file exists) and writes a final
+snapshot on shutdown.
 """
 
 from __future__ import annotations
@@ -84,14 +92,22 @@ def _parse_open_world(spec: str):
 
 
 def _parse_sweep(spec: str):
+    """The validated sweep schedule of ``--sweep``: floats routed
+    through :func:`repro.core.refine.normalize_epsilons`, so non-positive
+    epsilons are rejected here (not deep inside the truncation search)
+    and duplicates collapse to one refinement."""
     try:
         epsilons = [float(part) for part in spec.split(",") if part.strip()]
     except ValueError:
         raise SystemExit(
             f"--sweep expects comma-separated epsilons, got {spec!r}")
-    if not epsilons:
-        raise SystemExit("--sweep needs at least one epsilon")
-    return epsilons
+    from repro.core.refine import normalize_epsilons
+    from repro.errors import EvaluationError
+
+    try:
+        return normalize_epsilons(epsilons)
+    except EvaluationError as err:
+        raise SystemExit(f"--sweep: {err}")
 
 
 def command_info(args: argparse.Namespace) -> int:
@@ -163,6 +179,38 @@ def command_marginals(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    from repro.serve import QueryServer, SessionManager, load_snapshot
+
+    if args.snapshot and os.path.exists(args.snapshot):
+        manager = load_snapshot(args.snapshot)
+        print(f"restored {len(manager)} session(s) from {args.snapshot}",
+              file=sys.stderr)
+    else:
+        manager = SessionManager(max_sessions=args.max_sessions)
+    server = QueryServer(
+        manager=manager, max_workers=args.workers,
+        snapshot_path=args.snapshot)
+    try:
+        if args.stdio:
+            asyncio.run(server.serve_stdio())
+        else:
+            def announce(port: int) -> None:
+                print(f"serving on {args.host}:{port}", file=sys.stderr,
+                      flush=True)
+
+            asyncio.run(
+                server.serve_tcp(args.host, args.port, ready=announce))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -201,6 +249,24 @@ def build_parser() -> argparse.ArgumentParser:
                                     "bdd", "sampled"])
     _add_stats_flag(marginals)
     marginals.set_defaults(handler=command_marginals)
+
+    serve = commands.add_parser(
+        "serve",
+        help="long-lived query service (newline-delimited JSON protocol)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7532,
+                       help="TCP port (0 picks an ephemeral one)")
+    serve.add_argument("--stdio", action="store_true",
+                       help="serve one client over stdin/stdout instead "
+                            "of TCP")
+    serve.add_argument("--snapshot", metavar="PATH", default=None,
+                       help="restore session state from PATH at startup "
+                            "(if it exists) and snapshot on shutdown")
+    serve.add_argument("--max-sessions", type=int, default=16,
+                       help="admission-control cap on concurrent sessions")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="thread-pool size for blocking refinements")
+    serve.set_defaults(handler=command_serve)
     return parser
 
 

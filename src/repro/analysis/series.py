@@ -29,6 +29,81 @@ def partial_sums(terms: Iterable[float]) -> Iterator[float]:
     return itertools.accumulate(terms)
 
 
+class _GeometricTerms:
+    """Picklable ``terms()`` of a geometric series — a plain closure
+    would make every distribution (and so every refinement session
+    snapshot) unpicklable."""
+
+    __slots__ = ("first", "ratio")
+
+    def __init__(self, first: float, ratio: float):
+        self.first = first
+        self.ratio = ratio
+
+    def __call__(self) -> Iterator[float]:
+        value = self.first
+        while True:
+            yield value
+            value *= self.ratio
+
+
+class _GeometricTail:
+    __slots__ = ("first", "ratio")
+
+    def __init__(self, first: float, ratio: float):
+        self.first = first
+        self.ratio = ratio
+
+    def __call__(self, n: int) -> float:
+        return self.first * self.ratio**n / (1 - self.ratio)
+
+
+class _ZetaTerms:
+    __slots__ = ("exponent", "scale")
+
+    def __init__(self, exponent: float, scale: float):
+        self.exponent = exponent
+        self.scale = scale
+
+    def __call__(self) -> Iterator[float]:
+        for i in itertools.count(1):
+            yield self.scale / i**self.exponent
+
+
+class _ZetaTail:
+    __slots__ = ("exponent", "scale")
+
+    def __init__(self, exponent: float, scale: float):
+        self.exponent = exponent
+        self.scale = scale
+
+    def __call__(self, n: int) -> float:
+        if n == 0:
+            return self.scale * (1 + 1 / (self.exponent - 1))
+        return self.scale * n ** (1 - self.exponent) / (self.exponent - 1)
+
+
+class _FiniteTerms:
+    __slots__ = ("values",)
+
+    def __init__(self, values: List[float]):
+        self.values = values
+
+    def __call__(self) -> Iterator[float]:
+        return iter(self.values)
+
+
+class _FiniteTail:
+    __slots__ = ("suffix", "length")
+
+    def __init__(self, suffix: List[float], length: int):
+        self.suffix = suffix
+        self.length = length
+
+    def __call__(self, n: int) -> float:
+        return self.suffix[min(n, self.length)]
+
+
 def geometric_tail(first: float, ratio: float) -> Callable[[int], float]:
     """Tail bound for the geometric series ``first · ratio^i`` (i ≥ 0).
 
@@ -42,11 +117,7 @@ def geometric_tail(first: float, ratio: float) -> Callable[[int], float]:
         raise ConvergenceError(f"geometric ratio must be in [0, 1), got {ratio}")
     if first < 0:
         raise ConvergenceError(f"first term must be non-negative, got {first}")
-
-    def tail(n: int) -> float:
-        return first * ratio**n / (1 - ratio)
-
-    return tail
+    return _GeometricTail(first, ratio)
 
 
 def zeta_tail(exponent: float, scale: float = 1.0) -> Callable[[int], float]:
@@ -66,13 +137,7 @@ def zeta_tail(exponent: float, scale: float = 1.0) -> Callable[[int], float]:
         )
     if scale < 0:
         raise ConvergenceError(f"scale must be non-negative, got {scale}")
-
-    def tail(n: int) -> float:
-        if n == 0:
-            return scale * (1 + 1 / (exponent - 1))
-        return scale * n ** (1 - exponent) / (exponent - 1)
-
-    return tail
+    return _ZetaTail(exponent, scale)
 
 
 class SeriesCertificate:
@@ -110,14 +175,12 @@ class SeriesCertificate:
     @classmethod
     def geometric(cls, first: float, ratio: float) -> "SeriesCertificate":
         """``p_i = first · ratio^{i-1}``, i ≥ 1."""
-        def terms() -> Iterator[float]:
-            value = first
-            while True:
-                yield value
-                value *= ratio
-
         total = first / (1 - ratio) if ratio < 1 else math.inf
-        return cls(terms, geometric_tail(first, ratio), total=total)
+        return cls(
+            _GeometricTerms(first, ratio),
+            geometric_tail(first, ratio),
+            total=total,
+        )
 
     @classmethod
     def zeta(cls, exponent: float, scale: float = 1.0) -> "SeriesCertificate":
@@ -127,10 +190,6 @@ class SeriesCertificate:
         N plus ``∫_N^∞ − f(N)/2 + f′(N)·(−1/12)`` — accurate to
         ``O(N^{−exponent−3})``, far beyond float precision at N = 10⁴.
         """
-        def terms() -> Iterator[float]:
-            for i in itertools.count(1):
-                yield scale / i**exponent
-
         cutoff = 10**4
         partial = sum(scale / i**exponent for i in range(1, cutoff + 1))
         integral = scale * cutoff ** (1 - exponent) / (exponent - 1)
@@ -139,7 +198,11 @@ class SeriesCertificate:
             + exponent * scale * cutoff ** (-exponent - 1) / 12.0
         )
         total = partial + integral + correction
-        return cls(terms, zeta_tail(exponent, scale), total=total)
+        return cls(
+            _ZetaTerms(exponent, scale),
+            zeta_tail(exponent, scale),
+            total=total,
+        )
 
     @classmethod
     def finite(cls, values: Sequence[float]) -> "SeriesCertificate":
@@ -150,11 +213,11 @@ class SeriesCertificate:
         suffix: List[float] = [0.0] * (len(values) + 1)
         for i in range(len(values) - 1, -1, -1):
             suffix[i] = suffix[i + 1] + values[i]
-
-        def tail(n: int) -> float:
-            return suffix[min(n, len(values))]
-
-        return cls(lambda: iter(values), tail, total=sum(values))
+        return cls(
+            _FiniteTerms(values),
+            _FiniteTail(suffix, len(values)),
+            total=sum(values),
+        )
 
     # ----------------------------------------------------------------- queries
     def terms(self) -> Iterator[float]:
@@ -221,5 +284,4 @@ def certify_convergence(
     """
     if tail is None:
         return SeriesCertificate.finite(terms)
-    terms_list = list(terms)
-    return SeriesCertificate(lambda: iter(terms_list), tail)
+    return SeriesCertificate(_FiniteTerms(list(terms)), tail)

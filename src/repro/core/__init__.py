@@ -46,7 +46,7 @@ from repro.core.approx import (
     truncation_profile,
 )
 from repro.core.prefix_cache import PrefixCache
-from repro.core.refine import RefinementSession
+from repro.core.refine import RefinementSession, normalize_epsilons
 from repro.core.size import example_3_3_pdb, size_tail_probabilities
 from repro.core.views import apply_fo_view_countable, fo_view_size_bound
 
@@ -77,6 +77,7 @@ __all__ = [
     "truncation_profile",
     "PrefixCache",
     "RefinementSession",
+    "normalize_epsilons",
     "example_3_3_pdb",
     "size_tail_probabilities",
     "apply_fo_view_countable",

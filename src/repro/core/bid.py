@@ -58,6 +58,17 @@ class BlockFamily:
         self._fact_index: Dict[Fact, Block] = {}
         self._fact_index_upto = 0
 
+    def __getstate__(self):
+        """Drop the prefix cache (it holds a live generator) and the
+        lazy fact→block index derived from it; peers re-materialize
+        their own prefix on demand — the same discipline as
+        :meth:`repro.core.fact_distribution.FactDistribution.__getstate__`."""
+        state = dict(self.__dict__)
+        state["_cache"] = None
+        state["_fact_index"] = {}
+        state["_fact_index_upto"] = 0
+        return state
+
     @classmethod
     def finite(cls, blocks: Sequence[Block]) -> "BlockFamily":
         """A finitely supported family.

@@ -36,6 +36,7 @@ pulls on the underlying enumeration (see :mod:`repro.obs`).
 
 from __future__ import annotations
 
+import threading
 from typing import (
     Callable,
     Dict,
@@ -112,6 +113,12 @@ class PrefixCache(Generic[T]):
         self._weights = FloatColumn(self.backend)
         self._exhausted = False
         self._tail_memo: Dict[int, float] = {}
+        #: Serializes pulls on the (single-consumer) enumeration
+        #: iterator and every read that touches the weight column —
+        #: the numpy backend reallocates its buffer on growth, so
+        #: concurrent extend/slice must not interleave.  Re-entrant:
+        #: queries extend, then read, under one acquisition.
+        self._lock = threading.RLock()
         #: Lifetime counters, mirrored into the active obs trace.
         self.hits = 0
         self.extensions = 0
@@ -128,44 +135,49 @@ class PrefixCache(Generic[T]):
 
     def tail(self, n: int) -> float:
         """Memoized certified tail bound after the first n items."""
-        value = self._tail_memo.get(n)
-        if value is None:
-            value = self._tail_fn(n)
-            self._tail_memo[n] = value
-        return value
+        with self._lock:
+            value = self._tail_memo.get(n)
+            if value is None:
+                value = self._tail_fn(n)
+                self._tail_memo[n] = value
+            return value
 
     # --------------------------------------------------------- extension
     def extend_to(self, n: int) -> int:
         """Materialize at least the first n pairs (or until exhaustion);
         returns the materialized length."""
-        have = len(self._items)
-        if n <= have or self._exhausted:
-            self.hits += 1
-            obs.incr(PREFIX_CACHE_HITS)
-            return have
-        self.extensions += 1
-        obs.incr(PREFIX_CACHE_EXTENSIONS)
-        items, weights = self._items, self._weights
-        try:
-            while len(items) < n:
-                item, weight = next(self._iterator)
-                items.append(item)
-                weights.append(float(weight))
-        except StopIteration:
-            self._exhausted = True
-        return len(items)
+        with self._lock:
+            have = len(self._items)
+            if n <= have or self._exhausted:
+                self.hits += 1
+                obs.incr(PREFIX_CACHE_HITS)
+                return have
+            self.extensions += 1
+            obs.incr(PREFIX_CACHE_EXTENSIONS)
+            items, weights = self._items, self._weights
+            try:
+                while len(items) < n:
+                    item, weight = next(self._iterator)
+                    items.append(item)
+                    weights.append(float(weight))
+            except StopIteration:
+                self._exhausted = True
+            return len(items)
 
     # ----------------------------------------------------------- queries
     def prefix(self, n: int) -> List[Tuple[T, float]]:
         """The first n ``(item, weight)`` pairs (fewer if exhausted)."""
-        have = self.extend_to(n)
-        stop = min(n, have)
-        return list(zip(self._items[:stop], self._weights.slice(0, stop)))
+        with self._lock:
+            have = self.extend_to(n)
+            stop = min(n, have)
+            return list(
+                zip(self._items[:stop], self._weights.slice(0, stop)))
 
     def items(self, n: int) -> List[T]:
         """The first n items (fewer if exhausted)."""
-        have = self.extend_to(n)
-        return list(self._items[: min(n, have)])
+        with self._lock:
+            have = self.extend_to(n)
+            return list(self._items[: min(n, have)])
 
     def materialized_items(self) -> List[T]:
         """The items materialized so far, without extending — the live
@@ -175,22 +187,26 @@ class PrefixCache(Generic[T]):
     def pairs(self, start: int, stop: int) -> List[Tuple[T, float]]:
         """Pairs in the half-open range ``[start, stop)`` (clipped to
         the enumeration's actual length)."""
-        have = self.extend_to(stop)
-        stop = min(stop, have)
-        return list(zip(
-            self._items[start:stop], self._weights.slice(start, stop)))
+        with self._lock:
+            have = self.extend_to(stop)
+            stop = min(stop, have)
+            return list(zip(
+                self._items[start:stop], self._weights.slice(start, stop)))
 
     def marginals_dict(self, n: int) -> Dict[T, float]:
         """The first n pairs as a dict, preserving enumeration order."""
-        have = self.extend_to(n)
-        stop = min(n, have)
-        return dict(zip(self._items[:stop], self._weights.slice(0, stop)))
+        with self._lock:
+            have = self.extend_to(n)
+            stop = min(n, have)
+            return dict(
+                zip(self._items[:stop], self._weights.slice(0, stop)))
 
     def cumulative_mass(self, n: int) -> float:
         """``Σ`` of the first n weights (all of them if exhausted
         earlier)."""
-        have = self.extend_to(n)
-        return self._weights.prefix_sum(min(n, have))
+        with self._lock:
+            have = self.extend_to(n)
+            return self._weights.prefix_sum(min(n, have))
 
     def weights_array(self):
         """The materialized weights as a numpy array (numpy backend
@@ -200,7 +216,8 @@ class PrefixCache(Generic[T]):
                 "weights_array() needs the numpy backend "
                 f"(this cache uses {self.backend!r})"
             )
-        return self._weights.array()
+        with self._lock:
+            return self._weights.array()
 
     # -------------------------------------------------- truncation search
     def smallest_prefix_for_tail(

@@ -28,6 +28,7 @@ themselves thin single-``refine`` sessions.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro import obs
@@ -55,6 +56,41 @@ from repro.relational.facts import Value
 #: Trace counter: facts (TI) or blocks (BID) the current refinement
 #: reused from the previous truncation instead of re-materializing.
 REFINE_REUSED_FACTS = "refine.reused_facts"
+
+
+def normalize_epsilons(epsilons: Iterable[float]) -> List[float]:
+    """Validated sweep schedule: distinct ε values, loosest first.
+
+    The single home for ε-sweep hygiene (the CLI ``--sweep`` parser,
+    :meth:`RefinementSession.sweep`, and the serve layer's sweep op all
+    route through it): every ε must be positive (a non-positive ε has no
+    certified truncation), ``==``-colliding values (``1`` vs ``1.0``,
+    repeated entries) are collapsed to one refinement, and the result is
+    sorted descending — tightest last — so a session only ever grows its
+    truncation.
+
+    >>> normalize_epsilons([0.01, 0.1, 0.1, 0.05])
+    [0.1, 0.05, 0.01]
+    >>> normalize_epsilons([0.1, 0])
+    Traceback (most recent call last):
+        ...
+    repro.errors.EvaluationError: sweep epsilons must be positive, got 0.0
+    """
+    distinct: List[float] = []
+    seen = set()
+    for epsilon in epsilons:
+        value = float(epsilon)
+        if not value > 0.0:
+            raise EvaluationError(
+                f"sweep epsilons must be positive, got {value}")
+        if value in seen:
+            continue
+        seen.add(value)
+        distinct.append(value)
+    if not distinct:
+        raise EvaluationError("sweep needs at least one epsilon")
+    distinct.sort(reverse=True)
+    return distinct
 
 
 class RefinementSession:
@@ -127,6 +163,11 @@ class RefinementSession:
         self._table = None  # the session's monotonically growing table
         self._n = 0
         self._grounding = None  # warm SharedGrounding chain (fan-outs)
+        #: Serializes refinements: the session's table/truncation/warm
+        #: grounding form one consistent unit, so concurrent callers
+        #: (the serve layer multiplexes many clients onto shared
+        #: sessions) take turns rather than interleave half-grown state.
+        self._lock = threading.RLock()
 
     # -------------------------------------------------------------- anytime API
     def refine(self, epsilon: float) -> ApproximationResult:
@@ -139,7 +180,7 @@ class RefinementSession:
         if self._boolean is None:
             raise EvaluationError(
                 "query has free variables; use refine_marginals")
-        with obs.trace() as t:
+        with self._lock, obs.trace() as t:
             with obs.phase("choose_truncation"):
                 n = self._choose(epsilon)
             with obs.phase("truncate"):
@@ -150,7 +191,7 @@ class RefinementSession:
                 compile_cache=self.compile_cache)
             alpha = alpha_from_tail(self._tail(n))
             result = _finish_approximation(t, value, epsilon, n, alpha)
-        self.history.append(result)
+            self.history.append(result)
         return result
 
     def refine_to(self, target_width: float) -> ApproximationResult:
@@ -159,10 +200,23 @@ class RefinementSession:
         return self.refine(target_width / 2.0)
 
     def sweep(self, epsilons: Iterable[float]) -> Dict[float, ApproximationResult]:
-        """Refine at every ε, loosest first, so the truncation only ever
-        grows and each step extends the last."""
-        ordered = sorted({float(epsilon) for epsilon in epsilons}, reverse=True)
-        return {epsilon: self.refine(epsilon) for epsilon in ordered}
+        """Refine at every requested ε, loosest first, so the truncation
+        only ever grows and each step extends the last.
+
+        Ordering and dedup contract: the schedule is
+        :func:`normalize_epsilons` of the input — every ε is validated
+        positive, duplicates and ``==``-colliding values (``1`` vs
+        ``1.0``) are *explicitly* collapsed to a single refinement
+        rather than silently overwriting each other's dict entry, and
+        the returned dict's insertion order is descending ε (loosest
+        first, tightest last).  One entry per distinct float value; the
+        tightest entry is the session's best answer.
+        """
+        with self._lock:
+            return {
+                epsilon: self.refine(epsilon)
+                for epsilon in normalize_epsilons(epsilons)
+            }
 
     def refine_marginals(
         self,
@@ -179,7 +233,7 @@ class RefinementSession:
         if self._boolean is not None:
             return {(): self.refine(epsilon)}
         query = self.query
-        with obs.trace() as t:
+        with self._lock, obs.trace() as t:
             with obs.phase("choose_truncation"):
                 n = self._choose(epsilon)
             with obs.phase("truncate"):
@@ -274,6 +328,19 @@ class RefinementSession:
             return self._grounding
 
         return factory
+
+    # ------------------------------------------------------------- pickling
+    def __getstate__(self):
+        """Sessions snapshot whole (table, truncation, warm grounding
+        chain, compile cache) minus the lock — the serve layer's
+        snapshot/restore resumes a sweep exactly where it stopped."""
+        state = dict(self.__dict__)
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     def __repr__(self) -> str:
         return (

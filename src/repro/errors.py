@@ -99,3 +99,16 @@ class CompletionError(ReproError):
     """A completion (Section 5) is ill-posed: new facts with probability 1,
     original PDB not closed under subsets without an extension mass, or a
     completion-condition check failed."""
+
+
+class ServeError(ReproError):
+    """A serve-layer request cannot be admitted or dispatched: unknown
+    session name, duplicate creation, a malformed session spec, or an
+    admission-control limit (session count, refinement queue depth)
+    reached."""
+
+
+class SnapshotError(ReproError):
+    """A serve-layer snapshot cannot be written or restored: unknown
+    envelope format, unsupported snapshot version, or a payload that does
+    not contain a session manager."""

@@ -19,6 +19,7 @@ caller-supplied order (the classic lever benchmarked in A-3).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -85,6 +86,12 @@ class BDDManager:
         #: id — sound forever because nodes (and their cones) are
         #: immutable once hash-consed.
         self._linear_cache: "OrderedDict[int, tuple]" = OrderedDict()
+        #: Serializes structural mutation (node creation, order
+        #: extension) and the linearization LRU.  Re-entrant so public
+        #: entry points may nest (``build`` → ``conjoin`` → ``make``).
+        #: Reads of already-built diagrams never need it: nodes are
+        #: immutable once hash-consed.
+        self._lock = threading.RLock()
 
     # ----------------------------------------------------------------- basics
     def level(self, node: BDDRef) -> int:
@@ -101,11 +108,12 @@ class BDDManager:
         if self._id(low) == self._id(high):
             return low  # redundant test
         key = (self._level[fact], self._id(low), self._id(high))
-        node = self._unique.get(key)
-        if node is None:
-            node = BDDNode(fact, low, high, self._next_id)
-            self._next_id += 1
-            self._unique[key] = node
+        with self._lock:
+            node = self._unique.get(key)
+            if node is None:
+                node = BDDNode(fact, low, high, self._next_id)
+                self._next_id += 1
+                self._unique[key] = node
         return node
 
     def variable(self, fact: Fact) -> BDDRef:
@@ -127,11 +135,12 @@ class BDDManager:
         recompiling from scratch.  Returns the number of facts added.
         """
         added = 0
-        for fact in facts:
-            if fact not in self._level:
-                self._level[fact] = len(self.order)
-                self.order.append(fact)
-                added += 1
+        with self._lock:
+            for fact in facts:
+                if fact not in self._level:
+                    self._level[fact] = len(self.order)
+                    self.order.append(fact)
+                    added += 1
         return added
 
     def build(self, expr: Lineage) -> BDDRef:
@@ -142,8 +151,9 @@ class BDDManager:
         on the same hash-consed nodes, and repeated builds reuse the
         manager's apply cache.
         """
-        self.extend_order(sorted(expr.facts() - set(self.order)))
-        return _build(self, expr.node)
+        with self._lock:
+            self.extend_order(sorted(expr.facts() - set(self.order)))
+            return _build(self, expr.node)
 
     # ------------------------------------------------------------------ apply
     def _apply(self, op: str, combine, left: BDDRef, right: BDDRef) -> BDDRef:
@@ -183,7 +193,8 @@ class BDDManager:
                 return a
             return None
 
-        return self._apply("and", combine, left, right)
+        with self._lock:
+            return self._apply("and", combine, left, right)
 
     def disjoin(self, left: BDDRef, right: BDDRef) -> BDDRef:
         def combine(a, b):
@@ -197,7 +208,8 @@ class BDDManager:
                 return a
             return None
 
-        return self._apply("or", combine, left, right)
+        with self._lock:
+            return self._apply("or", combine, left, right)
 
     def negate(self, node: BDDRef) -> BDDRef:
         if node == ZERO:
@@ -208,9 +220,10 @@ class BDDManager:
         cached = self._apply_cache.get(key)
         if cached is not None:
             return cached
-        result = self.make(
-            node.fact, self.negate(node.low), self.negate(node.high))
-        self._apply_cache[key] = result
+        with self._lock:
+            result = self.make(
+                node.fact, self.negate(node.low), self.negate(node.high))
+            self._apply_cache[key] = result
         return result
 
     # --------------------------------------------------------------- queries
@@ -257,10 +270,16 @@ class BDDManager:
         with numpy — batches same-level node indices bottom-up for the
         elementwise pass.
         """
-        payload = self._linear_cache.get(root.id)
-        if payload is not None:
-            self._linear_cache.move_to_end(root.id)
-            return payload
+        # Copy-on-read: the LRU dict is only ever touched under the
+        # manager lock, and the payload handed out is an immutable tuple
+        # of freshly built columns — concurrent rescores may each build
+        # the cone once (last writer wins) but never observe a
+        # half-mutated cache entry.
+        with self._lock:
+            payload = self._linear_cache.get(root.id)
+            if payload is not None:
+                self._linear_cache.move_to_end(root.id)
+                return payload
         seen = set()
         stack = [root]
         nodes: List[BDDNode] = []
@@ -295,9 +314,10 @@ class BDDManager:
             high_pos,
             level_groups,
         )
-        self._linear_cache[root.id] = payload
-        while len(self._linear_cache) > _LINEAR_CACHE_SIZE:
-            self._linear_cache.popitem(last=False)
+        with self._lock:
+            self._linear_cache[root.id] = payload
+            while len(self._linear_cache) > _LINEAR_CACHE_SIZE:
+                self._linear_cache.popitem(last=False)
         return payload
 
     def rescore(
@@ -361,7 +381,8 @@ class BDDManager:
             cache[n.id] = result
             return result
 
-        return recurse(node)
+        with self._lock:
+            return recurse(node)
 
     def evaluate(self, node: BDDRef, world) -> bool:
         """Truth value in a world (set of present facts)."""
@@ -380,6 +401,51 @@ class BDDManager:
             seen.add(n.id)
             stack.extend((n.low, n.high))
         return len(seen)
+
+    def nodes_by_id(self) -> Dict[int, BDDRef]:
+        """id → node map over every live node (terminals included) —
+        the resolver snapshot/restore uses to re-attach saved root ids
+        to this manager's hash-consed store."""
+        mapping: Dict[int, BDDRef] = {ZERO: ZERO, ONE: ONE}
+        for node in self._unique.values():
+            mapping[node.id] = node
+        return mapping
+
+    # ------------------------------------------------------------- pickling
+    def __getstate__(self):
+        """Flatten the node store into id-sorted columns.
+
+        Recursive pickling of ``BDDNode`` chains overflows the stack on
+        deep diagrams; the flat form is linear and also drops the apply
+        and linearization caches (pure derived state — rebuilt on
+        demand), mirroring the columnar ``__getstate__`` discipline of
+        the tables and :class:`~repro.relational.index.FactIndex`.
+        """
+        nodes = sorted(self._unique.values(), key=lambda n: n.id)
+        return {
+            "order": self.order,
+            "nodes": [
+                (n.id, n.fact, self._id(n.low), self._id(n.high))
+                for n in nodes
+            ],
+            "next_id": self._next_id,
+        }
+
+    def __setstate__(self, state) -> None:
+        self.order = state["order"]
+        self._level = {fact: i for i, fact in enumerate(self.order)}
+        self._unique = {}
+        self._apply_cache = {}
+        self._linear_cache = OrderedDict()
+        self._lock = threading.RLock()
+        self._next_id = state["next_id"]
+        by_id: Dict[int, BDDRef] = {ZERO: ZERO, ONE: ONE}
+        # Ids ascend children-first (``make`` allocates parents after
+        # both children), so one pass in id order resolves every branch.
+        for node_id, fact, low_id, high_id in state["nodes"]:
+            node = BDDNode(fact, by_id[low_id], by_id[high_id], node_id)
+            by_id[node_id] = node
+            self._unique[(self._level[fact], low_id, high_id)] = node
 
     def satisfying_worlds(
         self, node: BDDRef, limit: int = 1000

@@ -26,6 +26,7 @@ compilation turns each of these into *compile once, score linearly*:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import (
     AbstractSet,
@@ -94,7 +95,7 @@ class _Family:
     :class:`~repro.relational.index.FactIndex` the grounding engine
     delta-extends as the family's fact sets grow across truncations."""
 
-    __slots__ = ("manager", "roots", "index", "lifted")
+    __slots__ = ("manager", "roots", "index", "lifted", "lock")
 
     def __init__(self) -> None:
         self.manager = BDDManager([])
@@ -105,6 +106,10 @@ class _Family:
         #: data-independent, so one entry serves every truncation of the
         #: family.
         self.lifted: Dict[str, tuple] = {}
+        #: Per-family stripe: serializes root lookup/compile/eviction
+        #: and plan building for *this* query, so distinct queries still
+        #: compile concurrently.
+        self.lock = threading.RLock()
 
     def grounding_index(self, facts_key: FrozenSet[Fact]) -> FactIndex:
         """The family's fact index, grown to exactly ``facts_key``.
@@ -121,6 +126,29 @@ class _Family:
         else:
             self.index = FactIndex(facts_key)
         return self.index
+
+    # ------------------------------------------------------------- pickling
+    def __getstate__(self):
+        """Flatten roots to node ids (the manager pickles its node
+        store iteratively) and drop the stripe lock."""
+        return {
+            "manager": self.manager,
+            "roots": [
+                (key, BDDManager._id(root))
+                for key, root in self.roots.items()
+            ],
+            "index": self.index,
+            "lifted": self.lifted,
+        }
+
+    def __setstate__(self, state) -> None:
+        self.manager = state["manager"]
+        by_id = self.manager.nodes_by_id()
+        self.roots = OrderedDict(
+            (key, by_id[root_id]) for key, root_id in state["roots"])
+        self.index = state["index"]
+        self.lifted = state["lifted"]
+        self.lock = threading.RLock()
 
 
 class CompileCache:
@@ -156,6 +184,11 @@ class CompileCache:
         self.max_queries = max_queries
         self.max_roots_per_query = max_roots_per_query
         self.stats = CacheStats()
+        #: Guards the family map (lookup, insertion, LRU eviction) and
+        #: the shared stats counters.  Compilation itself runs under the
+        #: per-family stripe lock, so sessions working on *different*
+        #: queries never serialize behind each other's compiles.
+        self._lock = threading.RLock()
 
     def compiled(
         self, formula: Formula, possible_facts: AbstractSet[Fact]
@@ -163,36 +196,45 @@ class CompileCache:
         """The compiled diagram of ``formula`` over ``possible_facts``."""
         facts_key = frozenset(possible_facts)
         family = self._family(formula)
-        root = family.roots.get(facts_key)
-        if root is not None or facts_key in family.roots:
-            family.roots.move_to_end(facts_key)
-            self.stats.hits += 1
-            obs.incr("cache.hit")
-            return CompiledQuery(family.manager, family.roots[facts_key])
-        self.stats.misses += 1
-        obs.incr("cache.miss")
-        if family.roots:
-            self.stats.extensions += 1
-            obs.incr("cache.extension")
-        with obs.phase("compile"):
-            expr = lineage_of(
-                formula, facts_key, index=family.grounding_index(facts_key))
-            root = family.manager.build(expr)
-        obs.gauge("bdd.nodes", family.manager.count_nodes(root))
-        family.roots[facts_key] = root
-        while len(family.roots) > self.max_roots_per_query:
-            family.roots.popitem(last=False)
-        return CompiledQuery(family.manager, root)
+        with family.lock:
+            root = family.roots.get(facts_key)
+            if root is not None or facts_key in family.roots:
+                family.roots.move_to_end(facts_key)
+                with self._lock:
+                    self.stats.hits += 1
+                obs.incr("cache.hit")
+                return CompiledQuery(family.manager, family.roots[facts_key])
+            with self._lock:
+                self.stats.misses += 1
+                if family.roots:
+                    self.stats.extensions += 1
+            obs.incr("cache.miss")
+            if family.roots:
+                obs.incr("cache.extension")
+            with obs.phase("compile"):
+                expr = lineage_of(
+                    formula, facts_key,
+                    index=family.grounding_index(facts_key))
+                root = family.manager.build(expr)
+            obs.gauge("bdd.nodes", family.manager.count_nodes(root))
+            family.roots[facts_key] = root
+            while len(family.roots) > self.max_roots_per_query:
+                family.roots.popitem(last=False)
+            return CompiledQuery(family.manager, root)
 
     def _family(self, formula: Formula) -> _Family:
-        family = self._families.get(formula)
-        if family is None:
-            family = _Family()
-            self._families[formula] = family
-            while len(self._families) > self.max_queries:
-                self._families.popitem(last=False)
-        self._families.move_to_end(formula)
-        return family
+        with self._lock:
+            family = self._families.get(formula)
+            if family is None:
+                family = _Family()
+                self._families[formula] = family
+                while len(self._families) > self.max_queries:
+                    # Evicting a family another thread still holds is
+                    # safe: that thread keeps its own reference and the
+                    # orphaned family simply stops being shared.
+                    self._families.popitem(last=False)
+            self._families.move_to_end(formula)
+            return family
 
     def lifted(
         self, formula: Formula, pdb, partial: bool = False
@@ -220,54 +262,78 @@ class CompileCache:
             raise EvaluationError(
                 "lifted evaluation needs a TI or BID table")
         family = self._family(formula)
-        entry = family.lifted.get("strict")
-        if entry is None:
-            ucq = extract_ucq(formula)
-            if ucq is None:
-                entry = (
-                    "error",
-                    UnsafeQueryError(
-                        f"query is not a UCQ: {formula}; "
-                        "use an intensional strategy"
-                    ),
-                    None,
+        with family.lock:
+            entry = family.lifted.get("strict")
+            if entry is None:
+                ucq = extract_ucq(formula)
+                if ucq is None:
+                    entry = (
+                        "error",
+                        UnsafeQueryError(
+                            f"query is not a UCQ: {formula}; "
+                            "use an intensional strategy"
+                        ),
+                        None,
+                    )
+                else:
+                    try:
+                        entry = ("plan", safe_plan_ucq(ucq), ucq)
+                        obs.incr("lifted.plans")
+                    except UnsafeQueryError as exc:
+                        entry = ("error", exc, ucq)
+                family.lifted["strict"] = entry
+            else:
+                obs.incr("lifted.plan_cache_hits")
+            kind, payload, ucq = entry
+            if kind == "plan":
+                return payload, family.grounding_index(facts_key)
+            if not partial:
+                raise payload
+            hybrid = family.lifted.get("partial")
+            if hybrid is None:
+                plan = (
+                    safe_plan_ucq(ucq, partial=True)
+                    if ucq is not None else None
                 )
-            else:
-                try:
-                    entry = ("plan", safe_plan_ucq(ucq), ucq)
+                if plan is None or isinstance(plan, UnsafeLeaf):
+                    # No safe component at all: partial buys nothing.
+                    hybrid = ("error", payload, ucq)
+                else:
+                    hybrid = ("plan", plan, ucq)
                     obs.incr("lifted.plans")
-                except UnsafeQueryError as exc:
-                    entry = ("error", exc, ucq)
-            family.lifted["strict"] = entry
-        else:
-            obs.incr("lifted.plan_cache_hits")
-        kind, payload, ucq = entry
-        if kind == "plan":
-            return payload, family.grounding_index(facts_key)
-        if not partial:
-            raise payload
-        hybrid = family.lifted.get("partial")
-        if hybrid is None:
-            plan = (
-                safe_plan_ucq(ucq, partial=True) if ucq is not None else None
-            )
-            if plan is None or isinstance(plan, UnsafeLeaf):
-                # No safe component at all: partial buys nothing.
-                hybrid = ("error", payload, ucq)
-            else:
-                hybrid = ("plan", plan, ucq)
-                obs.incr("lifted.plans")
-            family.lifted["partial"] = hybrid
-        if hybrid[0] == "error":
-            raise hybrid[1]
-        return hybrid[1], family.grounding_index(facts_key)
+                family.lifted["partial"] = hybrid
+            if hybrid[0] == "error":
+                raise hybrid[1]
+            return hybrid[1], family.grounding_index(facts_key)
 
     def clear(self) -> None:
-        self._families.clear()
-        self.stats = CacheStats()
+        with self._lock:
+            self._families.clear()
+            self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return sum(len(family.roots) for family in self._families.values())
+        with self._lock:
+            return sum(
+                len(family.roots) for family in self._families.values())
+
+    # ------------------------------------------------------------- pickling
+    def __getstate__(self):
+        """Snapshot payload: families (flattened by their own
+        ``__getstate__``), stats, and limits — locks dropped and
+        recreated on restore."""
+        return {
+            "families": self._families,
+            "max_queries": self.max_queries,
+            "max_roots_per_query": self.max_roots_per_query,
+            "stats": self.stats,
+        }
+
+    def __setstate__(self, state) -> None:
+        self._families = state["families"]
+        self.max_queries = state["max_queries"]
+        self.max_roots_per_query = state["max_roots_per_query"]
+        self.stats = state["stats"]
+        self._lock = threading.RLock()
 
 
 class CacheStats:

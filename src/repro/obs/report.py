@@ -268,14 +268,33 @@ class AnswerMarginals(dict):
 _SHADOW_CLASSES: Dict[type, type] = {}
 
 
+def _rebuild_shadow(base_cls: type, values: tuple, report):
+    """Pickle reconstructor for shadow-class carriers: re-derive the
+    shadow from its (module-level, picklable) base class."""
+    instance = _shadow_class(base_cls)(*values)
+    if report is not None:
+        instance.report = report
+    return instance
+
+
+def _shadow_reduce(self):
+    return (
+        _rebuild_shadow,
+        (type(self).__mro__[1], tuple(self), getattr(self, "report", None)),
+    )
+
+
 def _shadow_class(cls: type) -> Type:
     """A subclass of ``cls`` whose instances accept attribute assignment
     (NamedTuples declare ``__slots__ = ()``; the subclass does not, so it
     gains a ``__dict__``).  Tuple semantics — equality, unpacking, field
-    access — are inherited unchanged."""
+    access — are inherited unchanged.  The generated class is not
+    importable by name, so it pickles via :func:`_rebuild_shadow` —
+    session snapshots carry refinement histories made of these."""
     shadow = _SHADOW_CLASSES.get(cls)
     if shadow is None:
-        shadow = type(f"Traced{cls.__name__}", (cls,), {})
+        shadow = type(
+            f"Traced{cls.__name__}", (cls,), {"__reduce__": _shadow_reduce})
         _SHADOW_CLASSES[cls] = shadow
     return shadow
 

@@ -32,6 +32,7 @@ expansion fallback.
 
 from __future__ import annotations
 
+import threading
 from typing import (
     Dict,
     Iterable,
@@ -116,9 +117,14 @@ class FactIndex:
         "_values",
         "_marginals",
         "_marginal_source",
+        "_lock",
     )
 
     def __init__(self, facts: Iterable[Fact] = ()):
+        #: Serializes delta-patching, lazy signature materialization and
+        #: marginal-column sync; probes on already-built buckets stay
+        #: lock-free (buckets are append-only row-id lists).
+        self._lock = threading.RLock()
         #: fact → dense row id, in interning order.
         self._rows: Dict[Fact, int] = {}
         #: row id → fact (the fact column).
@@ -141,29 +147,30 @@ class FactIndex:
         genuinely new facts (a delta update, no rebuild).  Returns the
         number of new facts added.
         """
-        rows = self._rows
-        row_facts = self._row_facts
-        added: List[int] = []
-        for fact in facts:
-            if fact in rows:
-                continue
-            row = len(row_facts)
-            rows[fact] = row
-            row_facts.append(fact)
-            self._by_relation.setdefault(fact.relation, []).append(row)
-            self._values.update(fact.args)
-            added.append(row)
-        if added and self._signatures:
-            for (relation, positions), table in self._signatures.items():
-                for row in added:
-                    fact = row_facts[row]
-                    if fact.relation != relation:
-                        continue
-                    key = tuple(fact.args[i] for i in positions)
-                    table.setdefault(key, []).append(row)
-        if added and self._marginals is not None:
-            self._sync_marginals()
-        return len(added)
+        with self._lock:
+            rows = self._rows
+            row_facts = self._row_facts
+            added: List[int] = []
+            for fact in facts:
+                if fact in rows:
+                    continue
+                row = len(row_facts)
+                rows[fact] = row
+                row_facts.append(fact)
+                self._by_relation.setdefault(fact.relation, []).append(row)
+                self._values.update(fact.args)
+                added.append(row)
+            if added and self._signatures:
+                for (relation, positions), table in self._signatures.items():
+                    for row in added:
+                        fact = row_facts[row]
+                        if fact.relation != relation:
+                            continue
+                        key = tuple(fact.args[i] for i in positions)
+                        table.setdefault(key, []).append(row)
+            if added and self._marginals is not None:
+                self._sync_marginals()
+            return len(added)
 
     # -------------------------------------------------------------- queries
     def probe(
@@ -192,13 +199,19 @@ class FactIndex:
         positions = tuple(sorted(bound))
         table = self._signatures.get((relation, positions))
         if table is None:
-            table = {}
-            row_facts = self._row_facts
-            for row in rows:
-                fact = row_facts[row]
-                key = tuple(fact.args[i] for i in positions)
-                table.setdefault(key, []).append(row)
-            self._signatures[(relation, positions)] = table
+            # Double-checked build under the lock: a concurrent extend
+            # (also locked) cannot interleave with the single pass, and
+            # the table is published only once fully built.
+            with self._lock:
+                table = self._signatures.get((relation, positions))
+                if table is None:
+                    table = {}
+                    row_facts = self._row_facts
+                    for row in rows:
+                        fact = row_facts[row]
+                        key = tuple(fact.args[i] for i in positions)
+                        table.setdefault(key, []).append(row)
+                    self._signatures[(relation, positions)] = table
         return table.get(tuple(bound[i] for i in positions), _EMPTY_ROWS)
 
     def relation_facts(self, relation: RelationSymbol) -> Sequence[Fact]:
@@ -238,15 +251,16 @@ class FactIndex:
         the compile cache's warm rescoring relies on.  Switching tables
         rebuilds the column (the cache is keyed by table identity).
         """
-        if self._marginals is None or self._marginal_source is not table:
-            from repro.relational.columns import FloatColumn
+        with self._lock:
+            if self._marginals is None or self._marginal_source is not table:
+                from repro.relational.columns import FloatColumn
 
-            self._marginals = FloatColumn("auto")
-            self._marginal_source = table
-            self._sync_marginals()
-        elif len(self._marginals) < len(self._row_facts):
-            self._sync_marginals()
-        return self._marginals
+                self._marginals = FloatColumn("auto")
+                self._marginal_source = table
+                self._sync_marginals()
+            elif len(self._marginals) < len(self._row_facts):
+                self._sync_marginals()
+            return self._marginals
 
     def _sync_marginals(self) -> None:
         marginal = self._marginal_source.marginal
@@ -283,6 +297,7 @@ class FactIndex:
             setattr(self, name, value)
         self._marginals = None
         self._marginal_source = None
+        self._lock = threading.RLock()
 
     def __repr__(self) -> str:
         return (

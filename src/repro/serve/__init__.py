@@ -1,0 +1,56 @@
+"""The serving layer: long-lived refinement sessions behind a JSON
+protocol.
+
+* :mod:`repro.serve.session` — :class:`SessionManager` /
+  :class:`ManagedSession`: named warm
+  :class:`~repro.core.refine.RefinementSession` state, ε-budget
+  scheduling with anytime partial answers, admission control.
+* :mod:`repro.serve.server` — :class:`QueryServer`: asyncio
+  newline-delimited JSON over TCP or stdio.
+* :mod:`repro.serve.snapshot` — versioned pickle snapshot/restore of
+  the whole manager.
+
+CLI entry point: ``python -m repro serve``.
+"""
+
+from repro.serve.session import (
+    DEFAULT_EPSILON_BUDGET,
+    ManagedSession,
+    QUEUED_COUNTER,
+    REQUESTS_COUNTER,
+    SESSIONS_COUNTER,
+    SessionManager,
+    build_session,
+    result_to_json,
+)
+from repro.serve.server import DEFAULT_PORT, QueryServer, request_over_tcp
+from repro.serve.snapshot import (
+    SNAPSHOT_BYTES_COUNTER,
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    dump_snapshot,
+    load_snapshot,
+    loads_snapshot,
+    save_snapshot,
+)
+
+__all__ = [
+    "DEFAULT_EPSILON_BUDGET",
+    "DEFAULT_PORT",
+    "ManagedSession",
+    "QUEUED_COUNTER",
+    "QueryServer",
+    "REQUESTS_COUNTER",
+    "SESSIONS_COUNTER",
+    "SessionManager",
+    "SNAPSHOT_BYTES_COUNTER",
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "build_session",
+    "dump_snapshot",
+    "load_snapshot",
+    "loads_snapshot",
+    "request_over_tcp",
+    "result_to_json",
+    "save_snapshot",
+]

@@ -40,6 +40,7 @@ True
 from __future__ import annotations
 
 import math
+import threading
 from typing import Iterable, Optional, Sequence
 
 from repro.errors import ConvergenceError
@@ -64,13 +65,33 @@ TINY_PROBABILITY = 1e-16
 UNDERFLOW_FLOOR = 1e-300
 
 
+_NUMPY_PROBE_LOCK = threading.Lock()
+_NUMPY_UNPROBED = object()
+_numpy_probe = _NUMPY_UNPROBED
+
+
 def numpy_or_none():
-    """The imported numpy module, or None without the ``[fast]`` extra."""
-    try:
-        import numpy
-    except ImportError:
-        return None
-    return numpy
+    """The imported numpy module, or None without the ``[fast]`` extra.
+
+    Probed exactly once per process, under a lock: concurrent first
+    imports of a *failing* numpy (e.g. a raising stub on the path)
+    can transiently leave a half-initialized module in ``sys.modules``,
+    letting two threads disagree on availability — and a
+    ``resolve_backend("auto")`` that says ``"numpy"`` while the next
+    call says absent crashes mid-construction.  Memoizing pins one
+    answer for the process lifetime.
+    """
+    global _numpy_probe
+    if _numpy_probe is _NUMPY_UNPROBED:
+        with _NUMPY_PROBE_LOCK:
+            if _numpy_probe is _NUMPY_UNPROBED:
+                try:
+                    import numpy
+                except ImportError:
+                    _numpy_probe = None
+                else:
+                    _numpy_probe = numpy
+    return _numpy_probe
 
 
 class ComplementAccumulator:

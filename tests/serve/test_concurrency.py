@@ -1,0 +1,315 @@
+"""Stress tests for the shared-cache concurrency fixes.
+
+The serving layer multiplexes many clients onto shared warm state:
+one :class:`CompileCache` (hash-consed BDD managers, safe plans), one
+:class:`PrefixCache` per distribution, one :class:`FactIndex` per
+grounding.  Before the locking work these structures raced on family
+eviction, buffer reallocation and lazy bucket materialization; these
+tests hammer each from N ≥ 8 threads and assert two things:
+
+* no exceptions anywhere (every worker's traceback is collected and
+  re-raised), and
+* results **bit-identical** to a serial run — locking must serialize
+  mutation without changing a single float.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.fact_distribution import GeometricFactDistribution
+from repro.core.prefix_cache import PrefixCache
+from repro.core.refine import RefinementSession
+from repro.core.tuple_independent import CountableTIPDB
+from repro.finite.compile_cache import CompileCache
+from repro.logic import BooleanQuery, parse_formula
+from repro.relational import RelationSymbol, Schema
+from repro.relational.columns import available_backends
+from repro.relational.index import FactIndex
+from repro.universe import FactSpace, Naturals
+
+N_THREADS = 8
+BACKENDS = available_backends()
+
+schema = Schema.of(R=1)
+space = FactSpace(schema, Naturals())
+
+#: The unsafe self-join: forces the compiled (BDD) path through the
+#: shared CompileCache rather than the lifted plan shortcut.
+UNSAFE = "EXISTS x. R(x) AND (R(1) OR R(2))"
+#: A safe query: exercises the per-family lifted plan cache instead.
+SAFE = "EXISTS x. R(x)"
+
+SWEEP = [0.2, 0.1, 0.05, 0.02, 0.01]
+
+
+def make_pdb():
+    return CountableTIPDB(
+        schema, GeometricFactDistribution(space, first=0.3, ratio=0.9))
+
+
+def make_query(text):
+    return BooleanQuery(parse_formula(text, schema), schema)
+
+
+def run_threads(workers):
+    """Run every thunk concurrently; re-raise the first exception."""
+    errors = []
+    barrier = threading.Barrier(len(workers))
+
+    def wrap(fn):
+        def runner():
+            barrier.wait()
+            try:
+                return fn()
+            except BaseException as err:  # noqa: BLE001 - reported below
+                errors.append(err)
+                raise
+
+        return runner
+
+    with ThreadPoolExecutor(max_workers=len(workers)) as pool:
+        futures = [pool.submit(wrap(fn)) for fn in workers]
+        results = []
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException:
+                pass
+    if errors:
+        raise errors[0]
+    return results
+
+
+# --------------------------------------------------------------- CompileCache
+@pytest.mark.parametrize("query_text", [UNSAFE, SAFE])
+@pytest.mark.parametrize("strategy", ["bdd", "auto"])
+def test_concurrent_sweeps_shared_compile_cache(query_text, strategy):
+    """N sessions over one PDB and one CompileCache, sweeping
+    concurrently, agree bit-for-bit with a serial reference sweep."""
+    # Serial reference: fresh everything.
+    reference_session = RefinementSession(
+        make_query(query_text), make_pdb(), strategy=strategy,
+        compile_cache=CompileCache())
+    reference = {
+        eps: r.value for eps, r in reference_session.sweep(SWEEP).items()}
+
+    shared_pdb = make_pdb()          # shares one PrefixCache
+    shared_cache = CompileCache()    # shares families across sessions
+    query = make_query(query_text)
+
+    def worker():
+        session = RefinementSession(
+            query, shared_pdb, strategy=strategy,
+            compile_cache=shared_cache)
+        return {eps: r.value for eps, r in session.sweep(SWEEP).items()}
+
+    for values in run_threads([worker] * N_THREADS):
+        assert values == reference  # == on floats: bit-identical
+
+
+def test_concurrent_refines_one_shared_session():
+    """N threads hammering ONE session: each refinement still equals
+    the one-shot answer at its ε (the session lock serializes table
+    growth; results must not depend on arrival order)."""
+    epsilons = [0.2, 0.1, 0.05, 0.02, 0.01, 0.15, 0.08, 0.03]
+    reference = {}
+    for eps in epsilons:
+        fresh = RefinementSession(
+            make_query(UNSAFE), make_pdb(), strategy="bdd",
+            compile_cache=CompileCache())
+        reference[eps] = fresh.refine(eps).value
+
+    session = RefinementSession(
+        make_query(UNSAFE), make_pdb(), strategy="bdd",
+        compile_cache=CompileCache())
+
+    def worker(eps):
+        def run():
+            return eps, session.refine(eps).value
+        return run
+
+    for eps, value in run_threads([worker(e) for e in epsilons]):
+        assert value == reference[eps]
+
+
+def test_compile_cache_eviction_under_concurrency():
+    """A tiny ``max_queries`` forces evictions while other threads hold
+    and extend families — the original race (mutating the family map
+    during iteration / evicting a family mid-compile) must be gone."""
+    shared_pdb = make_pdb()
+    cache = CompileCache(max_queries=2)
+    queries = [
+        UNSAFE,
+        "EXISTS x. R(x) AND (R(2) OR R(3))",
+        "EXISTS x. R(x) AND (R(3) OR R(4))",
+        "EXISTS x. R(x) AND (R(4) OR R(5))",
+    ]
+    reference = {}
+    for text in queries:
+        fresh = RefinementSession(
+            make_query(text), make_pdb(), strategy="bdd",
+            compile_cache=CompileCache())
+        reference[text] = {
+            eps: r.value for eps, r in fresh.sweep(SWEEP[:3]).items()}
+
+    def worker(text):
+        def run():
+            session = RefinementSession(
+                make_query(text), shared_pdb, strategy="bdd",
+                compile_cache=cache)
+            return text, {
+                eps: r.value for eps, r in session.sweep(SWEEP[:3]).items()}
+        return run
+
+    workers = [worker(t) for t in queries] * 2  # 8 threads, 4 queries
+    for text, values in run_threads(workers):
+        assert values == reference[text]
+    assert len(cache._families) <= 2  # the eviction limit held
+
+
+# ---------------------------------------------------------------- PrefixCache
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_concurrent_prefix_cache_extension(backend):
+    """N threads extending and reading one PrefixCache concurrently see
+    exactly the serial prefix, on every columnar backend."""
+    def pairs():
+        return ((i, 0.5**i) for i in range(1, 10**6))
+
+    def tail(n):
+        return 0.5 ** n
+
+    serial = PrefixCache(pairs(), tail, backend=backend)
+    serial_items = serial.prefix(512)
+    serial_mass = [serial.cumulative_mass(n) for n in range(0, 513, 64)]
+
+    cache = PrefixCache(pairs(), tail, backend=backend)
+    targets = [64, 128, 192, 256, 320, 384, 448, 512]
+
+    def worker(n):
+        def run():
+            cache.extend_to(n)
+            items = cache.prefix(n)
+            mass = cache.cumulative_mass(n)
+            return n, items, mass
+        return run
+
+    for n, items, mass in run_threads([worker(n) for n in targets]):
+        assert items == serial_items[:n]
+        assert mass == serial.cumulative_mass(n)
+    assert [cache.cumulative_mass(n) for n in range(0, 513, 64)] \
+        == serial_mass
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_concurrent_truncation_search(backend):
+    """The real consumer: concurrent ε-truncation searches over one
+    shared distribution prefix cache pick the same n as serial."""
+    from repro.core.approx import choose_truncation
+
+    distribution = GeometricFactDistribution(space, first=0.3, ratio=0.9)
+    epsilons = [0.2, 0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.001]
+    reference = {}
+    for eps in epsilons:
+        fresh = GeometricFactDistribution(space, first=0.3, ratio=0.9)
+        reference[eps] = choose_truncation(fresh, eps)
+
+    def worker(eps):
+        def run():
+            return eps, choose_truncation(distribution, eps)
+        return run
+
+    for eps, n in run_threads([worker(e) for e in epsilons]):
+        assert n == reference[eps]
+
+
+# ------------------------------------------------------------------ FactIndex
+def test_concurrent_fact_index_extension_and_probes():
+    """Interleaved delta extensions and probes on one FactIndex: no
+    exceptions, and the final index equals the serially built one."""
+    S = RelationSymbol("S", 2)
+    batches = [
+        [S(i, j) for j in range(16)] for i in range(N_THREADS)
+    ]
+    serial = FactIndex()
+    for batch in batches:
+        serial.extend(batch)
+
+    index = FactIndex()
+    index.extend(batches[0])  # seed so early probes have something
+
+    def extender(batch):
+        def run():
+            index.extend(batch)
+        return run
+
+    def prober(i):
+        def run():
+            for _ in range(50):
+                rows = index.probe_rows(S, {0: i})
+                facts = list(index.probe(S, {0: i}))
+                # Monotone visibility: whatever a probe sees is a
+                # prefix-consistent subset of the final relation.
+                assert len(facts) == len(rows) <= 16
+        return run
+
+    run_threads(
+        [extender(b) for b in batches[1:]]
+        + [prober(i) for i in range(N_THREADS)])
+
+    assert len(index) == len(serial)
+    assert set(index) == set(serial)
+    for i in range(N_THREADS):
+        assert sorted(map(str, index.probe(S, {0: i}))) \
+            == sorted(map(str, serial.probe(S, {0: i})))
+        assert list(index.probe(S, {0: i, 1: 3})) \
+            == list(serial.probe(S, {0: i, 1: 3}))
+
+
+def test_concurrent_signature_materialization():
+    """Many threads probing distinct signatures at once: each lazy
+    bucket table is built exactly once and completely."""
+    S = RelationSymbol("S", 3)
+    facts = [S(i, j, (i + j) % 5) for i in range(12) for j in range(12)]
+    serial = FactIndex(facts)
+    signatures = [{0: 3}, {1: 4}, {2: 2}, {0: 1, 1: 2},
+                  {0: 2, 2: 0}, {1: 3, 2: 1}, {0: 5, 1: 5, 2: 0}, {2: 4}]
+    reference = [sorted(map(str, serial.probe(S, b))) for b in signatures]
+
+    index = FactIndex(facts)
+
+    def worker(bound, expected):
+        def run():
+            for _ in range(20):
+                assert sorted(map(str, index.probe(S, bound))) == expected
+        return run
+
+    run_threads([
+        worker(bound, expected)
+        for bound, expected in zip(signatures, reference)])
+    assert index.signature_count() == serial.signature_count()
+
+
+# ------------------------------------------------------------- BDD rescoring
+def test_concurrent_rescore_linearization_cache():
+    """Concurrent rescorings through one manager's linearization LRU
+    (copy-on-read) agree with serial scoring."""
+    from repro.finite.tuple_independent import TupleIndependentTable
+
+    R = schema["R"]
+    marginals = {R(i): 0.5 + 0.004 * i for i in range(32)}
+    table = TupleIndependentTable(schema, marginals)
+    query = make_query(UNSAFE)
+    from repro.finite.evaluation import query_probability
+
+    cache = CompileCache()
+    reference = query_probability(
+        query, table, strategy="bdd", compile_cache=cache)
+
+    def worker():
+        return query_probability(
+            query, table, strategy="bdd", compile_cache=cache)
+
+    for value in run_threads([worker] * N_THREADS):
+        assert value == reference
