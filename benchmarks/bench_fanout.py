@@ -1,0 +1,344 @@
+"""A-10 — the persistent shard pool vs the per-call executor fan-out.
+
+Three implementation claims of :mod:`repro.parallel`, measured:
+
+* **Warm workers.**  A 4-step ε-sweep-shaped workload (a TI table that
+  grows by an append-only delta each step, re-evaluated after every
+  growth) on one warm :class:`~repro.parallel.pool.ShardPool`, against
+  the legacy baseline that builds a fresh ``ProcessPoolExecutor`` per
+  call, double-pickles the table (pre-flight probe + executor
+  submission), and recompiles every worker-side diagram from scratch.
+  Bar: **≥ 3×** end-to-end, every step bit-identical to the serial
+  path.
+
+* **Delta shipping.**  Across the same sweep the warm pool ships the
+  full table only to cold workers (step 1); later steps ship the
+  appended suffix.  Bar: cumulative ``fanout.ship_delta_bytes`` at
+  least **10× smaller** than cumulative ``fanout.ship_full_bytes``.
+
+* **Dynamic chunking.**  A skewed workload — the expensive answers all
+  share one residue class mod 4, i.e. the legacy stride-4 split lands
+  *all* of them on one unlucky worker — scheduled statically vs
+  dynamically at 4 workers.  Makespans are per-worker **CPU time**
+  (read from the workers' own counters via ``_worker_perf``), so the
+  comparison holds on machines with fewer cores than workers.  Bar:
+  dynamic **≥ 1.5×** shorter makespan, identical results.
+
+Machine-readable results land in ``BENCH_fanout.json`` at the repo
+root.  Smoke mode (``BENCH_SMOKE=1``): tiny sizes, no bars, no JSON.
+"""
+
+import json
+import os
+import pickle
+import platform
+import sys
+import time
+from pathlib import Path
+
+from benchmarks.conftest import report
+from repro import obs
+from repro.finite.evaluation import (
+    _candidate_values,
+    _pool_pickle_error,
+    _pooled_answer_shards,
+    marginal_answer_probabilities,
+)
+from repro.finite.tuple_independent import TupleIndependentTable
+from repro.logic import parse_formula
+from repro.logic.queries import Query
+from repro.parallel.pool import ShardPool
+from repro.parallel.shipping import (
+    SHIP_DELTA_BYTES,
+    SHIP_FULL_BYTES,
+    _worker_perf,
+    pooled_answer_marginals,
+)
+from repro.relational import Schema
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+WORKERS = 2 if SMOKE else 4
+#: Sweep shape: the queried slice (S facts over BASE_XS answer values)
+#: rides on a large truncation table — most facts belong to the rest of
+#: the fact space (the T relation the query never mentions), exactly
+#: like a real open-world truncation.  Each step appends a small delta:
+#: more open-world facts plus a few new alternatives for one answer.
+BASE_XS = 4 if SMOKE else 12
+STEPS = 2 if SMOKE else 4
+FACTS_PER_X = 3 if SMOKE else 10
+DEAD_BASE = 200 if SMOKE else 30_000
+DEAD_STEP = 20 if SMOKE else 400
+GROW_FACTS = 2 if SMOKE else 5
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_fanout.json"
+
+_RESULTS = {}
+
+schema = Schema.of(S=2, T=1)
+S, T = schema["S"], schema["T"]
+
+#: y-values live in a range disjoint from x-values, so the candidate
+#: order (sorted active domain) keeps answer positions predictable.
+Y_BASE = 100_000
+
+
+def _query():
+    return Query(parse_formula("EXISTS y. S(x, y)", schema), schema)
+
+
+def _facts_for(x, count, offset=0):
+    return {S(x, Y_BASE + x * 10_000 + offset + j): 0.5 + 0.004 * (j % 50)
+            for j in range(count)}
+
+
+def _dead_facts(start, count):
+    """Open-world ballast: facts of the ``T`` relation the query never
+    mentions.  They dominate the table's pickle size and index build —
+    the costs a truncation sweep pays per step on the cold path and
+    only once (plus deltas) on the warm path."""
+    return {T(10_000_000 + i): 0.5 for i in range(start, start + count)}
+
+
+def _sweep_tables():
+    """The growing table of each sweep step: step 0 is the base, every
+    later step appends — in place — a batch of open-world ``T`` facts
+    plus a few new alternatives for one of the queried answers."""
+    marginals = {}
+    for x in range(BASE_XS):
+        marginals.update(_facts_for(x, FACTS_PER_X))
+    marginals.update(_dead_facts(0, DEAD_BASE))
+    table = TupleIndependentTable(schema, marginals)
+    yield table
+    for step in range(1, STEPS):
+        delta = {}
+        x = (step - 1) % BASE_XS
+        delta.update(_facts_for(
+            x, GROW_FACTS, offset=FACTS_PER_X + step * GROW_FACTS))
+        delta.update(
+            _dead_facts(DEAD_BASE + (step - 1) * DEAD_STEP, DEAD_STEP))
+        table.extend(delta)
+        yield table
+
+
+#: The queried answer slice: the sweep asks for marginals over the S
+#: answer values only (``domain=``), not the whole active domain.
+DOMAIN = list(range(BASE_XS))
+
+
+def _candidates(query, table, domain=None):
+    """The canonical candidate enumeration (same order the serial path
+    and the pool workers use)."""
+    return _candidate_values(query, table, domain)
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _legacy_call(query, table, candidates, workers):
+    """One fan-out the way the per-call executor did it: pickle-probe
+    the payload, spawn a fresh ``ProcessPoolExecutor``, ship the whole
+    table into every worker, merge strided shards."""
+    payloads = [
+        (query.formula, query.schema, query.variables, query.name,
+         table, candidates, offset, workers, "bdd")
+        for offset in range(workers)
+    ]
+    error = _pool_pickle_error(payloads[0])
+    assert error is None, error
+    merged = {}
+    for shard in _pooled_answer_shards(payloads, workers):
+        merged.update(shard)
+    position = {value: i for i, value in enumerate(candidates)}
+    ordered = sorted(merged, key=lambda t: tuple(position[v] for v in t))
+    return {a: merged[a] for a in ordered}
+
+
+# ------------------------------------------------------- warm pool vs cold
+def warm_vs_cold_rows():
+    query = _query()
+
+    cold_s = 0.0
+    cold_steps = []
+    for table in _sweep_tables():
+        candidates = _candidates(query, table, DOMAIN)
+        results, elapsed = timed(
+            lambda: _legacy_call(query, table, candidates, WORKERS))
+        cold_s += elapsed
+        cold_steps.append(results)
+
+    warm_s = 0.0
+    warm_steps = []
+    ship_counters = {}
+    with obs.trace() as trace:
+        # Pool construction is part of the warm cost — the comparison
+        # is end-to-end for the whole sweep.
+        (pool, *_), elapsed = timed(lambda: (ShardPool(WORKERS),))
+        warm_s += elapsed
+        try:
+            for table in _sweep_tables():
+                candidates = _candidates(query, table, DOMAIN)
+                results, elapsed = timed(
+                    lambda: pooled_answer_marginals(
+                        pool, query, table, candidates, "bdd",
+                        domain=DOMAIN))
+                warm_s += elapsed
+                warm_steps.append(results)
+        finally:
+            pool.close()
+        ship_counters = {
+            "ship_full_bytes": trace.counters.get(SHIP_FULL_BYTES, 0),
+            "ship_delta_bytes": trace.counters.get(SHIP_DELTA_BYTES, 0),
+            "chunks": trace.counters.get("fanout.chunks", 0),
+        }
+
+    # Bit-identity, step for step: warm pool == cold executor == serial.
+    rows = []
+    for step, table in enumerate(_sweep_tables()):
+        serial = marginal_answer_probabilities(
+            query, table, domain=DOMAIN, strategy="bdd")
+        assert dict(warm_steps[step]) == dict(serial), f"step {step}"
+        assert list(warm_steps[step]) == list(serial), f"step {step}"
+        assert dict(cold_steps[step]) == dict(serial), f"step {step}"
+
+    speedup = cold_s / warm_s if warm_s else float("inf")
+    full = ship_counters["ship_full_bytes"]
+    delta = ship_counters["ship_delta_bytes"]
+    ratio = full / delta if delta else float("inf")
+    rows.append((STEPS, len(warm_steps[-1]), cold_s, warm_s, speedup,
+                 full, delta, ratio))
+    _RESULTS["sweep_workload"] = {
+        "workers": WORKERS,
+        "steps": STEPS,
+        "answers_final": len(warm_steps[-1]),
+        "cold_executor_s": cold_s,
+        "warm_pool_s": warm_s,
+        "speedup": speedup,
+        **ship_counters,
+        "full_over_delta_bytes": ratio,
+    }
+    return rows, speedup, ratio
+
+
+# --------------------------------------------------- dynamic vs static skew
+SKEW_XS = 16 if SMOKE else 64
+HOT_FACTS = 24 if SMOKE else 220
+COLD_FACTS = 1
+
+
+def _skewed_table():
+    """Expensive answers on one residue class mod WORKERS — of the
+    *canonical answer enumeration*, which is what the stride split
+    shards — so the static split sends every hot answer to the same
+    worker.  (Hotness must be assigned by enumeration position, not by
+    raw x value: ``domain_sort_key`` order is not numeric order.)"""
+    query = _query()
+    skeleton = TupleIndependentTable(schema, {
+        fact: p
+        for x in range(SKEW_XS)
+        for fact, p in _facts_for(x, 1).items()
+    })
+    xs_in_order = [
+        v for v in _candidates(query, skeleton) if v in range(SKEW_XS)]
+    marginals = {}
+    for position, x in enumerate(xs_in_order):
+        count = HOT_FACTS if position % WORKERS == 0 else COLD_FACTS
+        marginals.update(_facts_for(x, count))
+    return TupleIndependentTable(schema, marginals)
+
+
+def _worker_cpu_makespan(pool):
+    """Max per-worker evaluation CPU seconds since the last reset."""
+    perfs = [
+        pool.run_on(slot, _worker_perf, True)
+        for slot in range(pool.workers)
+    ]
+    return max(p["cpu_s"] for p in perfs), perfs
+
+
+def schedule_rows():
+    query = _query()
+    table = _skewed_table()
+    candidates = _candidates(query, table)
+    rows = []
+    pool = ShardPool(WORKERS)
+    try:
+        makespans = {}
+        results = {}
+        for schedule in ("static", "dynamic"):
+            _worker_cpu_makespan(pool)  # reset counters
+            results[schedule], wall = timed(
+                lambda: pooled_answer_marginals(
+                    pool, query, table, candidates, "bdd",
+                    schedule=schedule))
+            makespan, perfs = _worker_cpu_makespan(pool)
+            makespans[schedule] = makespan
+            rows.append((
+                schedule, len(results[schedule]), pool.last_call_stats.get(
+                    "chunks"), wall, makespan,
+                [round(p["cpu_s"], 3) for p in perfs],
+            ))
+    finally:
+        pool.close()
+    assert dict(results["static"]) == dict(results["dynamic"])
+    assert list(results["static"]) == list(results["dynamic"])
+    balance = (
+        makespans["static"] / makespans["dynamic"]
+        if makespans["dynamic"] else float("inf"))
+    _RESULTS["skew_workload"] = {
+        "workers": WORKERS,
+        "answers": len(results["dynamic"]),
+        "hot_every": WORKERS,
+        "static_cpu_makespan_s": makespans["static"],
+        "dynamic_cpu_makespan_s": makespans["dynamic"],
+        "makespan_ratio": balance,
+    }
+    return rows, balance
+
+
+def _write_json():
+    if SMOKE:
+        # CI smoke runs exercise the code path but must not clobber the
+        # committed full-mode perf record.
+        return
+    _RESULTS.update({
+        "benchmark": "fanout",
+        "smoke": SMOKE,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "generated_unix": int(time.time()),
+        "headline_speedup": _RESULTS.get(
+            "sweep_workload", {}).get("speedup", 0.0),
+    })
+    JSON_PATH.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
+
+
+def test_a10_warm_pool_vs_cold_executor(benchmark):
+    (rows, speedup, ratio), _ = timed(
+        lambda: benchmark.pedantic(warm_vs_cold_rows, rounds=1, iterations=1))
+    report(f"A10a: {STEPS}-step growing sweep, warm shard pool vs "
+           f"per-call executor ({WORKERS} workers)",
+           ("steps", "answers", "cold_s", "warm_s", "speedup",
+            "full_bytes", "delta_bytes", "full/delta"),
+           rows)
+    if not SMOKE:
+        assert speedup >= 3.0, f"warm-pool speedup {speedup:.2f}x < 3x"
+        assert ratio >= 10.0, \
+            f"delta shipping only {ratio:.1f}x smaller than full"
+
+
+def test_a10_dynamic_vs_static_schedule(benchmark):
+    (rows, balance), _ = timed(
+        lambda: benchmark.pedantic(schedule_rows, rounds=1, iterations=1))
+    report(f"A10b: skewed fan-out, static stride vs dynamic chunks "
+           f"({WORKERS} workers, CPU-time makespans)",
+           ("schedule", "answers", "chunks", "wall_s", "cpu_makespan_s",
+            "per_worker_cpu_s"),
+           rows)
+    if not SMOKE:
+        assert balance >= 1.5, \
+            f"dynamic chunking only {balance:.2f}x better makespan"
+    _write_json()

@@ -6,7 +6,9 @@ Usage::
            [--open-world first,ratio] [--sweep E1,E2,...]
            [--strategy auto|worlds|lineage|lifted|bdd|sampled]
            [--stats [human|json]]
-    python -m repro marginals TABLE.json "R(x)" [--stats [human|json]]
+    python -m repro marginals TABLE.json "R(x)" [--workers K]
+           [--open-world first,ratio] [--epsilon 0.01] [--sweep E1,E2,...]
+           [--stats [human|json]]
     python -m repro info TABLE.json
     python -m repro serve [--host H --port P | --stdio] [--snapshot PATH]
 
@@ -20,6 +22,12 @@ Proposition 6.1 truncation algorithm.
 one :class:`repro.core.refine.RefinementSession` — loosest ε first, each
 tighter guarantee extending the previous truncation and reusing its
 compiled evaluation — and prints one line per ε.
+
+``marginals --workers K`` (K > 1) fans answer tuples out over a
+persistent :class:`repro.parallel.pool.ShardPool` of K warm worker
+processes; combined with ``--open-world --sweep`` the same workers stay
+warm across all sweep steps and only the truncation *delta* is shipped
+between steps.
 
 ``--stats`` prints the :class:`repro.obs.EvalReport` attached to the
 result — chosen strategy, truncation/α, cache and sampling telemetry,
@@ -169,8 +177,37 @@ def command_marginals(args: argparse.Namespace) -> int:
         raise SystemExit("marginals expects a query with free variables; "
                          "use 'query' for Boolean queries")
     query = Query(formula, table.schema)
+    workers = args.workers if args.workers and args.workers > 1 else None
+    if args.open_world:
+        if not isinstance(table, TupleIndependentTable):
+            raise SystemExit("--open-world requires a tuple-independent table")
+        from repro.core.refine import RefinementSession
+
+        first, ratio = _parse_open_world(args.open_world)
+        completed = complete(
+            table,
+            GeometricFactDistribution(
+                FactSpace(table.schema, Naturals()), first=first, ratio=ratio),
+        )
+        session = RefinementSession(query, completed)
+        epsilons = (
+            _parse_sweep(args.sweep) if args.sweep else [args.epsilon])
+        for epsilon in epsilons:
+            results = session.refine_marginals(epsilon, workers=workers)
+            for answer, result in results.items():
+                print(f"{answer} : {result.value:.6f}  (±{result.epsilon}, "
+                      f"truncated at n = {result.truncation} "
+                      "open-world facts)")
+            if not results:
+                print(f"(no answers with positive probability at "
+                      f"epsilon = {epsilon})")
+            else:
+                _emit_stats(next(iter(results.values())), args.stats)
+        return 0
+    if args.sweep:
+        raise SystemExit("--sweep requires --open-world")
     answers = marginal_answer_probabilities(
-        query, table, strategy=args.strategy)
+        query, table, strategy=args.strategy, workers=workers)
     for answer in sorted(answers, key=repr):
         print(f"{answer} : {answers[answer]:.6f}")
     if not answers:
@@ -193,7 +230,7 @@ def command_serve(args: argparse.Namespace) -> int:
         manager = SessionManager(max_sessions=args.max_sessions)
     server = QueryServer(
         manager=manager, max_workers=args.workers,
-        snapshot_path=args.snapshot)
+        snapshot_path=args.snapshot, shard_workers=args.workers)
     try:
         if args.stdio:
             asyncio.run(server.serve_stdio())
@@ -247,6 +284,19 @@ def build_parser() -> argparse.ArgumentParser:
     marginals.add_argument("--strategy", default="auto",
                            choices=["auto", "worlds", "lineage", "lifted",
                                     "bdd", "sampled"])
+    marginals.add_argument("--workers", type=int, default=None,
+                           help="fan answer tuples out over the persistent "
+                                "shard pool (k > 1 worker processes)")
+    marginals.add_argument("--open-world", metavar="FIRST,RATIO",
+                           default=None,
+                           help="complete with a geometric open-world family "
+                                "before querying (Theorem 5.5)")
+    marginals.add_argument("--epsilon", type=float, default=0.01,
+                           help="additive guarantee for open-world marginals")
+    marginals.add_argument("--sweep", metavar="E1,E2,...", default=None,
+                           help="anytime epsilon sweep through one "
+                                "refinement session (requires --open-world); "
+                                "the shard pool stays warm across steps")
     _add_stats_flag(marginals)
     marginals.set_defaults(handler=command_marginals)
 
@@ -265,7 +315,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-sessions", type=int, default=16,
                        help="admission-control cap on concurrent sessions")
     serve.add_argument("--workers", type=int, default=4,
-                       help="thread-pool size for blocking refinements")
+                       help="thread-pool size for blocking refinements; "
+                            "also sizes the shared shard pool that "
+                            "'marginals' requests fan out on")
     serve.set_defaults(handler=command_serve)
     return parser
 

@@ -133,6 +133,7 @@ class RefinementSession:
         strategy: str = "auto",
         max_facts: int = 10**7,
         compile_cache=None,
+        pool=None,
     ):
         if isinstance(pdb, CountableTIPDB):
             self._kind = "ti"
@@ -150,6 +151,15 @@ class RefinementSession:
         self.strategy = strategy
         self.max_facts = max_facts
         self.compile_cache = compile_cache
+        #: A :class:`~repro.parallel.pool.ShardPool` every
+        #: :meth:`refine_marginals` call of this session fans out on —
+        #: one warm pool for the whole sweep, so workers keep their
+        #: cached table (delta-shipped as the truncation grows) and
+        #: extended diagrams from step to step.  Dropped from pickles
+        #: (process handles don't snapshot); a restored session falls
+        #: back to the process-wide shared pool when ``workers=`` is
+        #: passed.
+        self.pool = pool
         #: Every :class:`ApproximationResult` produced so far, in call
         #: order — the anytime trajectory.
         self.history: List[ApproximationResult] = []
@@ -222,6 +232,7 @@ class RefinementSession:
         self,
         epsilon: float,
         workers: Optional[int] = None,
+        pool=None,
     ) -> Dict[Tuple[Value, ...], ApproximationResult]:
         """The non-Boolean extension (paper §6) as an anytime call.
 
@@ -229,10 +240,16 @@ class RefinementSession:
         calls chain one warm
         :class:`~repro.finite.compile_cache.SharedGrounding`, so the
         compiled per-answer lineages extend rather than recompile.
+
+        ``workers=k > 1`` fans each step's answers out on the session's
+        shard pool (``pool=`` here or at construction; otherwise the
+        process-wide pool for ``k``): the same warm workers serve every
+        step of the sweep, receiving only the truncation delta.
         """
         if self._boolean is not None:
             return {(): self.refine(epsilon)}
         query = self.query
+        pool = pool if pool is not None else self.pool
         with self._lock, obs.trace() as t:
             with obs.phase("choose_truncation"):
                 n = self._choose(epsilon)
@@ -242,7 +259,8 @@ class RefinementSession:
             alpha = alpha_from_tail(self._tail(n))
             values = marginal_answer_probabilities(
                 query, table, strategy=self.strategy, workers=workers,
-                grounding_factory=self._grounding_factory(table))
+                grounding_factory=self._grounding_factory(table),
+                pool=pool)
             obs.gauge("truncation.n", n)
             obs.gauge("truncation.alpha", alpha)
             obs.gauge("truncation.epsilon", epsilon)
@@ -332,14 +350,19 @@ class RefinementSession:
     # ------------------------------------------------------------- pickling
     def __getstate__(self):
         """Sessions snapshot whole (table, truncation, warm grounding
-        chain, compile cache) minus the lock — the serve layer's
-        snapshot/restore resumes a sweep exactly where it stopped."""
+        chain, compile cache) minus the lock and the shard pool (live
+        process handles) — the serve layer's snapshot/restore resumes a
+        sweep exactly where it stopped."""
         state = dict(self.__dict__)
         state.pop("_lock", None)
+        state["pool"] = None
         return state
 
     def __setstate__(self, state) -> None:
         self.__dict__.update(state)
+        # Pre-pool snapshots have no 'pool' entry; restored sessions
+        # start without a pinned pool either way.
+        self.__dict__.setdefault("pool", None)
         self._lock = threading.RLock()
 
     def __repr__(self) -> str:

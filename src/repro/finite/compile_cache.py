@@ -457,6 +457,7 @@ class SharedGrounding:
         manager: Optional[BDDManager] = None,
         score_cache: Optional[Dict[int, float]] = None,
         index: Optional[FactIndex] = None,
+        possible: Optional[FrozenSet[Fact]] = None,
     ):
         if not isinstance(
             pdb, (TupleIndependentTable, BlockIndependentTable)
@@ -464,7 +465,8 @@ class SharedGrounding:
             raise EvaluationError("shared grounding needs a TI or BID table")
         self.formula = formula
         self.pdb = pdb
-        self.possible: FrozenSet[Fact] = frozenset(pdb.facts())
+        self.possible: FrozenSet[Fact] = (
+            frozenset(pdb.facts()) if possible is None else possible)
         #: Quantifier domain shared by every answer: the active domain
         #: plus the formula's own constants.  Each answer adds its own
         #: values — matching what per-answer grounding would use.
@@ -499,6 +501,25 @@ class SharedGrounding:
             self.formula, pdb, base_domain,
             manager=self.manager, score_cache=self._score_cache,
             index=index,
+        )
+
+    def extended_by(
+        self, pdb, base_domain: Iterable[Value], delta_facts: Iterable[Fact]
+    ) -> "SharedGrounding":
+        """Like :meth:`extended`, for callers that already *know* the
+        truncation's append-only delta (the shard-pool shipping layer
+        does): the possible-fact set and the index are patched with just
+        the delta facts instead of rescanning the whole table — the
+        rescan is what dominates a refresh once the table dwarfs its
+        per-step growth."""
+        delta = frozenset(delta_facts)
+        added = self.index.extend(delta)
+        if added:
+            obs.incr("grounding.delta_facts", added)
+        return SharedGrounding(
+            self.formula, pdb, base_domain,
+            manager=self.manager, score_cache=self._score_cache,
+            index=self.index, possible=self.possible | delta,
         )
 
     def answer_probability(

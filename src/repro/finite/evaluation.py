@@ -16,6 +16,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro import obs
 from repro.errors import EvaluationError, UnsafeQueryError
+from repro.parallel.pool import ShardError
 from repro.finite.bid import BlockIndependentTable
 from repro.finite.lineage_eval import query_probability_by_lineage
 from repro.finite.lifted import query_probability_lifted
@@ -345,17 +346,14 @@ def _evaluate_answers(
     return results
 
 
-class ShardError(EvaluationError):
-    """A process-pool answer shard failed; the message carries the
-    worker's original traceback.  Raised as the ``__cause__`` of the
-    re-raised original exception, so both the exception type and the
-    remote traceback survive the process boundary."""
-
-
 def _answer_chunk_worker(payload):
-    """Process-pool entry point: evaluate one strided shard of the
-    answer space.  Module-level (picklable); each worker builds its own
-    shared grounding, so diagrams never cross process boundaries.
+    """Legacy per-call process-pool entry point: evaluate one strided
+    shard of the answer space.  Module-level (picklable); each worker
+    builds its own shared grounding, so diagrams never cross process
+    boundaries.  The live fan-out path runs on the persistent
+    :mod:`repro.parallel` shard pool instead; this worker (and
+    :func:`_pooled_answer_shards`) remain as the cold-executor baseline
+    of ``benchmarks/bench_fanout.py``.
 
     Returns ``("ok", shard_dict)`` or ``("error", exception,
     formatted_traceback)`` — exceptions travel back explicitly so the
@@ -433,6 +431,8 @@ def marginal_answer_probabilities(
     strategy: str = "auto",
     workers: Optional[int] = None,
     grounding_factory=None,
+    pool=None,
+    schedule: str = "dynamic",
 ) -> Dict[Tuple[Value, ...], float]:
     """Per-tuple marginals ``Pr(ā ∈ Q(D))`` for a non-Boolean query
     (paper §3.1 relaxed semantics; §6 extension of Prop. 6.1).
@@ -444,17 +444,28 @@ def marginal_answer_probabilities(
 
     Answers share one compiled lineage/BDD whenever the strategy
     compiles (``"bdd"``, or ``"auto"`` without a safe plan).  Pass
-    ``workers=k > 1`` to fan the answer tuples out over a
-    ``concurrent.futures`` process pool — sound because distinct answer
-    tuples are scored independently; each worker keeps its own shared
-    diagram for its shard.  A shard exception is re-raised here with the
-    worker's original traceback attached; payloads that cannot be
-    pickled (e.g. a closure-bearing pdb under the spawn start method)
-    degrade to the serial path with a ``fanout.serial_fallback`` trace
-    event instead of failing inside the pool.
+    ``workers=k > 1`` to fan the answer tuples out over the persistent
+    :mod:`repro.parallel` shard pool — sound because distinct answer
+    tuples are scored independently.  The pool is process-wide and
+    *warm*: workers survive across calls, cache the table (repeat calls
+    on a grown truncation ship only the appended delta), and keep their
+    own shared diagrams, which extend across sweep steps exactly like
+    the parent's.  The answer space is streamed to idle workers in
+    latency-adaptive chunks (``schedule="dynamic"``; ``"static"`` keeps
+    the legacy one-strided-shard-per-worker split).  Pass ``pool=`` (a
+    :class:`~repro.parallel.pool.ShardPool`) to pin the call to a
+    specific pool — refinement sessions and the serve layer share one
+    across all their calls.
 
-    ``grounding_factory`` (serial path only — the pool path builds one
-    grounding per worker) overrides how the shared compilation context
+    A shard exception is re-raised here with the worker's original
+    traceback attached (as a
+    :class:`~repro.parallel.pool.ShardError` cause); payloads that
+    cannot be pickled degrade to the serial path with a
+    ``fanout.serial_fallback`` trace event instead of failing inside
+    the pool.
+
+    ``grounding_factory`` (serial path only — pool workers hold their
+    own warm groundings) overrides how the shared compilation context
     is built; refinement sessions pass one that carries the previous
     truncation's manager and scoring memo forward.
 
@@ -463,9 +474,47 @@ def marginal_answer_probabilities(
     """
     with obs.trace() as t:
         results = _marginal_answer_probabilities_traced(
-            query, pdb, domain, strategy, workers, grounding_factory)
+            query, pdb, domain, strategy, workers, grounding_factory,
+            pool, schedule)
         report = obs.EvalReport.from_trace(t)
     return obs.attach_report(results, report)
+
+
+def _pooled_answer_marginals(
+    query: Query,
+    pdb: PDBLike,
+    candidates: List[Value],
+    strategy: str,
+    workers: Optional[int],
+    domain: Optional[Iterable[Value]],
+    pool,
+    schedule: str,
+) -> Optional[Dict[Tuple[Value, ...], float]]:
+    """Run the fan-out on the persistent shard pool; None means the
+    pool cannot take this payload and the caller should run serially
+    (the ``fanout.serial_fallback`` event is already emitted)."""
+    from repro.parallel.pool import PoolUnavailableError, get_shared_pool
+    from repro.parallel.shipping import ShipError, pooled_answer_marginals
+
+    count = (
+        workers if workers is not None
+        else (pool.workers if pool is not None else 1)
+    )
+    try:
+        if pool is None:
+            pool = get_shared_pool(count)
+        obs.note(strategy=strategy)
+        with obs.phase("fanout"):
+            return pooled_answer_marginals(
+                pool, query, pdb, candidates, strategy,
+                domain=domain, schedule=schedule,
+            )
+    except (ShipError, PoolUnavailableError) as exc:
+        # Infrastructure failures (unpicklable table, dead pool) degrade
+        # gracefully; genuine evaluation errors propagate above.
+        obs.event(
+            "fanout.serial_fallback", workers=count, reason=str(exc))
+        return None
 
 
 def _marginal_answer_probabilities_traced(
@@ -475,6 +524,8 @@ def _marginal_answer_probabilities_traced(
     strategy: str,
     workers: Optional[int],
     grounding_factory=None,
+    pool=None,
+    schedule: str = "dynamic",
 ) -> Dict[Tuple[Value, ...], float]:
     if query.is_boolean:
         boolean = BooleanQuery(query.formula, query.schema, name=query.name)
@@ -482,33 +533,12 @@ def _marginal_answer_probabilities_traced(
     candidates = _candidate_values(query, pdb, domain)
     if not candidates:
         return {}
-    if workers is not None and workers > 1:
-        payloads = [
-            (query.formula, query.schema, query.variables, query.name,
-             pdb, candidates, offset, workers, strategy)
-            for offset in range(workers)
-        ]
-        pickle_error = _pool_pickle_error(payloads[0])
-        if pickle_error is None:
-            obs.note(strategy=strategy)
-            obs.event("fanout.pool", workers=workers, shards=len(payloads))
-            with obs.phase("fanout"):
-                shards = _pooled_answer_shards(payloads, workers)
-            results: Dict[Tuple[Value, ...], float] = {}
-            for shard in shards:
-                results.update(shard)
-            # Merge shards back into the sequential enumeration order so
-            # callers see identical dicts.  Sorting the results by
-            # candidate position is the product-enumeration order
-            # without rescanning the full ``candidates^arity`` space.
-            position = {value: i for i, value in enumerate(candidates)}
-            ordered = sorted(
-                results, key=lambda t: tuple(position[v] for v in t))
-            return {a: results[a] for a in ordered}
-        # Unpicklable pdb/candidates: the pool cannot receive the
-        # payload, so degrade gracefully rather than dying in the pool.
-        obs.event(
-            "fanout.serial_fallback", workers=workers, reason=pickle_error)
+    if pool is not None or (workers is not None and workers > 1):
+        results = _pooled_answer_marginals(
+            query, pdb, candidates, strategy, workers, domain,
+            pool, schedule)
+        if results is not None:
+            return results
     obs.note(strategy=strategy)
     with obs.phase("fanout"):
         return _evaluate_answers(

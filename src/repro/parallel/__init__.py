@@ -1,0 +1,48 @@
+"""Persistent shard pool for answer-marginal fan-out.
+
+Long-lived worker processes (:mod:`repro.parallel.pool`) created once
+and kept warm across calls, refinement-session sweep steps, and serve
+sessions; O(delta) table shipping plus worker-side compiled-diagram
+state (:mod:`repro.parallel.shipping`); dynamic, latency-adaptive chunk
+scheduling of the answer space (:mod:`repro.parallel.schedule`).
+
+Entry points most callers want:
+
+* ``marginal_answer_probabilities(..., workers=k)`` — the evaluation
+  layer routes through :func:`get_shared_pool` automatically;
+* :func:`get_shared_pool` / :class:`ShardPool` — explicit pool handles
+  for sessions and the serve layer;
+* :func:`pooled_answer_marginals` — the orchestrator, for callers that
+  manage their own pool.
+"""
+
+from repro.parallel.pool import (
+    MAX_SHARD_CRASHES,
+    PoolUnavailableError,
+    ShardError,
+    ShardPool,
+    get_shared_pool,
+    shutdown_shared_pools,
+)
+from repro.parallel.schedule import ChunkScheduler, StaticStrideScheduler
+from repro.parallel.shipping import (
+    ShipError,
+    TableShipper,
+    pooled_answer_marginals,
+    shipper_for,
+)
+
+__all__ = [
+    "MAX_SHARD_CRASHES",
+    "ChunkScheduler",
+    "PoolUnavailableError",
+    "ShardError",
+    "ShardPool",
+    "ShipError",
+    "StaticStrideScheduler",
+    "TableShipper",
+    "get_shared_pool",
+    "pooled_answer_marginals",
+    "shipper_for",
+    "shutdown_shared_pools",
+]

@@ -29,9 +29,16 @@ current best answer immediately with ``"partial": true`` and a per-
 session drain task works the queue loosest-first in the background;
 ``"wait": true`` opts out and blocks for the full refinement.
 
-Operations: ``ping``, ``create``, ``query``, ``sweep``, ``best``,
-``sessions``, ``stats``, ``drop``, ``snapshot``, ``restore``,
+Operations: ``ping``, ``create``, ``query``, ``sweep``, ``marginals``,
+``best``, ``sessions``, ``stats``, ``drop``, ``snapshot``, ``restore``,
 ``shutdown``.
+
+Answer fan-out: a server started with ``shard_workers=k > 1`` holds one
+process-wide :class:`~repro.parallel.pool.ShardPool` (via
+:func:`~repro.parallel.pool.get_shared_pool`) that *every* session's
+``marginals`` requests fan out on — the pool's warm workers cache each
+session's truncation table (delta-shipped as it grows) and worker-side
+compiled diagrams, shared across all sessions and requests.
 """
 
 from __future__ import annotations
@@ -58,11 +65,23 @@ class QueryServer:
         manager: Optional[SessionManager] = None,
         max_workers: int = 4,
         snapshot_path: Optional[str] = None,
+        shard_workers: Optional[int] = None,
     ):
         self.manager = manager if manager is not None else SessionManager()
         #: Where ``{"op": "snapshot"}`` / ``{"op": "restore"}`` default
         #: to, and where a final snapshot lands on shutdown.
         self.snapshot_path = snapshot_path
+        #: One warm shard pool shared by all sessions' answer fan-outs
+        #: (``marginals`` op).  Created eagerly — before any request
+        #: threads run, so forked workers never inherit a mid-flight
+        #: lock — and owned by the process-wide registry, which keeps it
+        #: warm across server restarts in one process and shuts it down
+        #: at interpreter exit.
+        self.shard_pool = None
+        if shard_workers is not None and int(shard_workers) > 1:
+            from repro.parallel import get_shared_pool
+
+            self.shard_pool = get_shared_pool(int(shard_workers))
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-serve")
         self._draining: set = set()
@@ -143,6 +162,21 @@ class QueryServer:
             "result": [
                 dict(result_to_json(result), requested_epsilon=epsilon)
                 for epsilon, result in results.items()
+            ],
+        }
+
+    async def _op_marginals(self, request) -> Dict:
+        managed = self._session(request)
+        epsilon = request.get("epsilon")
+        if epsilon is None:
+            raise ServeError("marginals needs an 'epsilon'")
+        results = await self._blocking(
+            managed.marginals, float(epsilon), pool=self.shard_pool)
+        return {
+            "ok": True,
+            "result": [
+                dict(result_to_json(result), answer=list(answer))
+                for answer, result in results.items()
             ],
         }
 

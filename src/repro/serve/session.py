@@ -49,8 +49,9 @@ from repro.errors import ServeError
 from repro.finite.compile_cache import CompileCache
 from repro.finite.tuple_independent import TupleIndependentTable
 from repro.io import load as load_table
+from repro.logic.analysis import free_variables
 from repro.logic.parser import parse_formula
-from repro.logic.queries import BooleanQuery
+from repro.logic.queries import BooleanQuery, Query
 from repro.relational.schema import Schema
 from repro.universe import FactSpace, Naturals
 
@@ -150,7 +151,13 @@ def build_session(spec: Mapping) -> RefinementSession:
         )
 
     formula = parse_formula(query_text, schema)
-    query = BooleanQuery(formula, schema)
+    if free_variables(formula):
+        # A free-variable query makes an answer-marginal session: the
+        # 'marginals' op fans its answers out on the server's shared
+        # shard pool instead of answering one Boolean probability.
+        query: Query = Query(formula, schema)
+    else:
+        query = BooleanQuery(formula, schema)
     return RefinementSession(
         query, pdb, strategy=strategy, max_facts=max_facts,
         compile_cache=CompileCache(),
@@ -239,6 +246,32 @@ class ManagedSession:
                 obs.incr(QUEUED_COUNTER)
             best = self.best  # may have tightened while we queued
         return best, True
+
+    def marginals(
+        self,
+        epsilon: float,
+        workers: Optional[int] = None,
+        pool=None,
+    ) -> Dict:
+        """One answer-marginal refinement at guarantee ε (free-variable
+        sessions; a Boolean session returns its single ``()`` answer).
+
+        ``pool`` is the server's shared
+        :class:`~repro.parallel.pool.ShardPool` — every session fans
+        out on the same warm workers, which cache each session's table
+        (delta-shipped between calls) and compiled diagrams.
+        """
+        epsilon = float(epsilon)
+        if not epsilon > 0.0:
+            raise ServeError(f"epsilon must be positive, got {epsilon}")
+        with self._lock:
+            self.requests += 1
+        obs.incr(REQUESTS_COUNTER)
+        results = self.session.refine_marginals(
+            epsilon, workers=workers, pool=pool)
+        with self._lock:
+            self.refinements += 1
+        return results
 
     def sweep(self, epsilons: Iterable[float]) -> Dict[float, ApproximationResult]:
         """A full ε-sweep (loosest first, see

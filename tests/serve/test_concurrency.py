@@ -291,6 +291,46 @@ def test_concurrent_signature_materialization():
     assert index.signature_count() == serial.signature_count()
 
 
+# ------------------------------------------------------------ shard pool
+def test_concurrent_marginal_sweeps_one_shared_shard_pool():
+    """The serve pattern for answer fan-out: N request threads, each
+    with its own session, all fanning out on ONE warm shard pool (the
+    pool serializes calls; the shipper tracks per-worker state under its
+    own lock).  Every thread's pooled sweep must be bit-identical to the
+    serial reference — answers, floats, and entry order."""
+    from repro.logic import Query
+    from repro.parallel import ShardPool
+
+    query = Query(parse_formula("R(x)", schema), schema)
+    sweep = [0.2, 0.1, 0.05]
+    reference_session = RefinementSession(query, make_pdb())
+    reference = {
+        eps: [
+            (a, r.value)
+            for a, r in reference_session.refine_marginals(eps).items()
+        ]
+        for eps in sweep
+    }
+
+    pool = ShardPool(2)
+    try:
+        def worker():
+            session = RefinementSession(query, make_pdb())
+            return {
+                eps: [
+                    (a, r.value)
+                    for a, r in
+                    session.refine_marginals(eps, pool=pool).items()
+                ]
+                for eps in sweep
+            }
+
+        for values in run_threads([worker] * N_THREADS):
+            assert values == reference
+    finally:
+        pool.close()
+
+
 # ------------------------------------------------------------- BDD rescoring
 def test_concurrent_rescore_linearization_cache():
     """Concurrent rescorings through one manager's linearization LRU
