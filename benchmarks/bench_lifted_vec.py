@@ -1,0 +1,247 @@
+"""A-11 — batched set-at-a-time plan execution vs the scalar interpreter.
+
+Regenerates: the headline artifact of the vectorized lifted executor
+(:mod:`repro.finite.lifted` batched path + the segmented fold kernels of
+:mod:`repro.utils.probability`).  The measured workload is the anytime
+serving pattern the executor was built for — an ε-style truncation
+sweep where each refinement step grows the table in place, re-evaluates,
+and then answers warm repeat queries at the certified truncation:
+
+* the *scalar* arm re-interprets the safe plan candidate-at-a-time on
+  every call (its per-(node, epoch) candidate memo live);
+* the *batched* arm executes set-at-a-time over the columnar layer,
+  delta-extends its per-plan-node binding tables across the sweep's
+  truncations (``lifted.cached_groups``), and serves unchanged
+  truncations from the warm fold.
+
+Value parity ≤ 1e-12 is asserted on every refinement step before timing
+counts.  Shape to hold: geometric-mean batched-over-scalar speedup
+≥ 10× on the numpy backend across 10⁵–10⁶-fact sweeps, and ≥ 2× for the
+pure-Python fallback (same sweep, numpy probe disabled).
+Machine-readable results land in ``BENCH_lifted_vec.json`` at the repo
+root so future PRs can track the perf trajectory.
+
+Smoke mode (``BENCH_SMOKE=1``): tiny sizes, no speedup assertion, no
+JSON write — used by CI to exercise both executors on every Python
+version and on the no-numpy leg (where the numpy workload is skipped
+and the fallback workload *is* the native backend).
+"""
+
+import json
+import math
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import repro.utils.probability as probability_module
+from benchmarks.conftest import report
+from repro import obs
+from repro.finite import TupleIndependentTable
+from repro.finite.compile_cache import CompileCache
+from repro.finite.lifted import query_probability_lifted
+from repro.logic import BooleanQuery, parse_formula
+from repro.relational import Schema
+from repro.relational.columns import available_backends
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+HAS_NUMPY = "numpy" in available_backends()
+
+schema = Schema.of(R=1, S=2, T=1, V=2)
+R, S, T, V = schema["R"], schema["S"], schema["T"], schema["V"]
+
+QUERIES = {
+    "chain2": "EXISTS x, y. R(x) AND S(x, y)",
+    "star3": "EXISTS x, y, z. R(x) AND S(x, y) AND V(x, z)",
+}
+
+#: Sweep cases: per-relation row count n (≈ 4n facts), the number of
+#: truncation steps from 50% to 100% of the table, warm re-queries per
+#: step, and which queries run.  The 10⁶-fact case uses a shorter sweep
+#: to keep the scalar arm's runtime in minutes.
+if SMOKE:
+    NUMPY_CASES = [{"n": 300, "steps": 3, "warm": 1,
+                    "queries": ["chain2", "star3"]}]
+    PYTHON_CASES = [{"n": 300, "steps": 3, "warm": 1,
+                     "queries": ["chain2"]}]
+else:
+    NUMPY_CASES = [
+        {"n": 25_000, "steps": 11, "warm": 5,
+         "queries": ["chain2", "star3"]},
+        {"n": 250_000, "steps": 5, "warm": 5, "queries": ["chain2"]},
+    ]
+    PYTHON_CASES = [
+        {"n": 25_000, "steps": 11, "warm": 5,
+         "queries": ["chain2", "star3"]},
+    ]
+
+PARITY = 1e-12
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_lifted_vec.json"
+
+_RESULTS = {}
+
+
+def chunk(lo, hi, n):
+    """Facts for rows ``lo..hi`` of the size-n table: unary marks plus
+    two edge relations, marginals varied (and scaled down so the query
+    probabilities stay strictly inside (0, 1) at 10⁶ facts)."""
+    marginals = {}
+    for i in range(lo, hi):
+        marginals[R(i)] = (0.01 + (i % 7) * 0.01) / 40
+        marginals[S(i, (i * 7 + 3) % n)] = (0.02 + (i % 5) * 0.01) / 40
+        marginals[T((i * 7 + 5) % n)] = 0.05 / 40
+        marginals[V(i, (i + 1) % n)] = 0.03 / 40
+    return marginals
+
+
+def q(text):
+    return BooleanQuery(parse_formula(text, schema), schema)
+
+
+def sweep_arm(query, n, steps, warm, executor):
+    """One executor's sweep: grow the table step by step, re-evaluate,
+    then answer ``warm`` repeat queries per step.  Table construction is
+    untimed; every ``query_probability_lifted`` call is timed.  Returns
+    (per-step values, total seconds, trace counters)."""
+    boundaries = [
+        int(n * (0.5 + 0.5 * k / max(steps - 1, 1))) for k in range(steps)
+    ]
+    table = TupleIndependentTable(schema, chunk(0, boundaries[0], n))
+    cache = CompileCache()
+    values = []
+    total = 0.0
+    previous = boundaries[0]
+    with obs.trace() as trace:
+        for boundary in boundaries:
+            if boundary > previous:
+                table.extend(chunk(previous, boundary, n))
+                previous = boundary
+            start = time.perf_counter()
+            values.append(query_probability_lifted(
+                query, table, plan_cache=cache, executor=executor))
+            for _ in range(warm):
+                query_probability_lifted(
+                    query, table, plan_cache=cache, executor=executor)
+            total += time.perf_counter() - start
+    return values, total, dict(trace.counters)
+
+
+def run_cases(cases, label):
+    rows = []
+    cases_json = {}
+    speedups = []
+    for case in cases:
+        n, steps, warm = case["n"], case["steps"], case["warm"]
+        for name in case["queries"]:
+            query = q(QUERIES[name])
+            scalar_values, scalar_s, _ = sweep_arm(
+                query, n, steps, warm, "scalar")
+            batched_values, batched_s, counters = sweep_arm(
+                query, n, steps, warm, "batched")
+            # Value parity on every refinement step before timing
+            # counts for anything.
+            for step, (a, b) in enumerate(
+                zip(scalar_values, batched_values)
+            ):
+                assert abs(a - b) <= PARITY, (
+                    f"{label}/{name} n={n} step {step}: "
+                    f"scalar {a!r} != batched {b!r}")
+            speedup = (
+                scalar_s / batched_s if batched_s else float("inf"))
+            speedups.append(speedup)
+            facts = 4 * n
+            rows.append((
+                name, facts, steps, warm, scalar_s, batched_s, speedup,
+                counters.get("lifted.cached_groups", 0),
+            ))
+            cases_json[f"{name}_f{facts}"] = {
+                "query": QUERIES[name],
+                "facts": facts,
+                "sweep_steps": steps,
+                "warm_queries_per_step": warm,
+                "scalar_s": scalar_s,
+                "batched_s": batched_s,
+                "speedup": speedup,
+                "final_value": batched_values[-1],
+                "cached_groups": counters.get("lifted.cached_groups", 0),
+                "vectorized_nodes": counters.get(
+                    "lifted.vectorized_nodes", 0),
+                "scalar_fallbacks": counters.get(
+                    "lifted.scalar_fallbacks", 0),
+            }
+    geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    _RESULTS[label] = {
+        "cases": cases_json,
+        "geomean_speedup": geomean,
+        "min_speedup": min(speedups),
+        "max_speedup": max(speedups),
+    }
+    return rows, geomean
+
+
+def numpy_workload():
+    return run_cases(NUMPY_CASES, "numpy_workload")
+
+
+def python_workload():
+    """The same differential with the numpy probe disabled: fresh
+    tables, caches and indexes built inside resolve to the pure-Python
+    columnar backend."""
+    saved = probability_module._numpy_probe
+    probability_module._numpy_probe = None
+    try:
+        return run_cases(PYTHON_CASES, "python_workload")
+    finally:
+        probability_module._numpy_probe = saved
+
+
+def _write_json():
+    if SMOKE:
+        # CI smoke runs exercise the code path but must not clobber the
+        # committed full-mode perf record.
+        return
+    _RESULTS.update({
+        "benchmark": "lifted_vec",
+        "smoke": SMOKE,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "generated_unix": int(time.time()),
+        "headline_speedup": _RESULTS.get(
+            "numpy_workload", {}).get("geomean_speedup", 0.0),
+        "python_fallback_speedup": _RESULTS.get(
+            "python_workload", {}).get("geomean_speedup", 0.0),
+    })
+    JSON_PATH.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
+
+
+HEADER = ("query", "facts", "steps", "warm", "scalar_s", "batched_s",
+          "speedup", "cached_groups")
+
+
+def test_a11_batched_vs_scalar_numpy(benchmark):
+    if not HAS_NUMPY:
+        import pytest
+
+        pytest.skip("numpy unavailable; the fallback workload covers "
+                    "the python backend")
+    rows, geomean = benchmark.pedantic(numpy_workload, rounds=1,
+                                       iterations=1)
+    report("A11a: batched vs scalar lifted execution (numpy backend)",
+           HEADER, rows)
+    if not SMOKE:
+        # The acceptance bar: ≥ 10× geometric-mean speedup on the
+        # sweep-and-serve workload.
+        assert geomean >= 10.0, f"geomean speedup {geomean:.2f}x < 10x"
+
+
+def test_a11_batched_vs_scalar_python_fallback(benchmark):
+    rows, geomean = benchmark.pedantic(python_workload, rounds=1,
+                                       iterations=1)
+    report("A11b: batched vs scalar lifted execution (pure-python)",
+           HEADER, rows)
+    if not SMOKE:
+        assert geomean >= 2.0, (
+            f"python fallback geomean {geomean:.2f}x < 2x")
+    _write_json()

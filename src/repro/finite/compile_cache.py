@@ -89,13 +89,66 @@ class CompiledQuery:
         return f"CompiledQuery(size={self.size()})"
 
 
+class LiftedExecState:
+    """Per-family runtime state of the batched lifted executor.
+
+    Everything here is keyed by plan-node ``id`` — sound because the
+    family owns its plan objects (``_Family.lifted``) for as long as it
+    owns this state, and both are dropped together on family eviction.
+
+    * ``node_caches`` — delta-extended binding tables of root-level
+      projects (:class:`repro.finite.lifted._ProjectDeltaCache`): an
+      ε-sweep's next truncation re-executes only the separator values
+      its delta facts touch.
+    * ``annotations`` — the grouped-execution side tables
+      (:func:`repro.logic.hierarchy.grouped_plan_info`), one per cached
+      plan root.
+    * ``candidate_memo`` — the scalar path's per-(node, epoch)
+      separator-candidate memo.
+    * ``lock`` — held across a whole batched run, *including* the
+      grounding step.  When the state belongs to a compile-cache family
+      this is the family's own stripe lock: the batched executor's
+      binding tables and marginal columns assume the shared index holds
+      exactly the evaluated table's facts, and another session of the
+      same family grounding a different truncation mid-run would
+      silently break that (the index would gain rows whose marginal is
+      still 0.0 in *this* table, poisoning the caches once the table
+      catches up).
+
+    Runtime-only: excluded from family pickles and rebuilt empty on
+    restore (snapshots re-warm in one run).
+    """
+
+    __slots__ = ("lock", "node_caches", "annotations", "candidate_memo")
+
+    def __init__(self, lock: Optional[threading.RLock] = None) -> None:
+        self.lock = lock if lock is not None else threading.RLock()
+        self.node_caches: Dict[int, object] = {}
+        self.annotations: Dict[int, Dict[int, object]] = {}
+        self.candidate_memo: Dict[object, tuple] = {}
+
+    def annotations_for(self, plan) -> Dict[int, object]:
+        """The grouped-execution side table of one cached plan root,
+        computed once per (family, plan object)."""
+        info = self.annotations.get(id(plan))
+        if info is None:
+            from repro.logic.hierarchy import grouped_plan_info
+
+            info = grouped_plan_info(plan)
+            self.annotations[id(plan)] = info
+        return info
+
+
 class _Family:
     """All diagrams compiled for one query: a manager plus one root per
     possible-fact-set fingerprint, and one shared
     :class:`~repro.relational.index.FactIndex` the grounding engine
     delta-extends as the family's fact sets grow across truncations."""
 
-    __slots__ = ("manager", "roots", "index", "lifted", "lock")
+    __slots__ = (
+        "manager", "roots", "index", "lifted", "exec_state", "lock",
+        "grounded_from",
+    )
 
     def __init__(self) -> None:
         self.manager = BDDManager([])
@@ -110,6 +163,41 @@ class _Family:
         #: and plan building for *this* query, so distinct queries still
         #: compile concurrently.
         self.lock = threading.RLock()
+        #: Batched-executor state for this family's plans (binding
+        #: tables, annotations, candidate memo).  Shares the stripe
+        #: lock so a batched run can atomically ground *and* execute.
+        self.exec_state = LiftedExecState(self.lock)
+        #: ``(table, fact count)`` of the last grounding — warm
+        #: re-evaluations of an unchanged table (the serving hot path)
+        #: skip the O(n) facts-key rebuild and subset check entirely.
+        #: Runtime-only, dropped from pickles with the rest of the
+        #: executor state.
+        self.grounded_from: Optional[tuple] = None
+
+    def grounding_index_for(self, pdb) -> FactIndex:
+        """The family's fact index, grown to ``pdb``'s fact set.
+
+        Tables grow in place and only ever gain facts, so the same
+        table object at the same fact count is the same fact set: that
+        case returns the index untouched without materializing the
+        frozenset key.  Anything else goes through
+        :meth:`grounding_index`.
+        """
+        if isinstance(pdb, TupleIndependentTable):
+            size = len(pdb.marginals)
+            if (
+                self.grounded_from is not None
+                and self.grounded_from[0] is pdb
+                and self.grounded_from[1] == size
+                and self.index is not None
+                and len(self.index) == size
+            ):
+                return self.index
+            index = self.grounding_index(frozenset(pdb.marginals))
+            self.grounded_from = (pdb, size)
+            return index
+        self.grounded_from = None
+        return self.grounding_index(frozenset(pdb.facts()))
 
     def grounding_index(self, facts_key: FrozenSet[Fact]) -> FactIndex:
         """The family's fact index, grown to exactly ``facts_key``.
@@ -119,6 +207,10 @@ class _Family:
         re-indexed, counted by ``grounding.delta_facts``.  A
         non-superset key rebuilds from scratch.
         """
+        # Any direct grounding (including the compiled path's) may
+        # change the index's fact set: drop the warm same-table stamp,
+        # grounding_index_for re-establishes it.
+        self.grounded_from = None
         if self.index is not None and self.index.fact_set <= facts_key:
             added = self.index.extend(facts_key)
             if added:
@@ -149,6 +241,8 @@ class _Family:
         self.index = state["index"]
         self.lifted = state["lifted"]
         self.lock = threading.RLock()
+        self.exec_state = LiftedExecState(self.lock)
+        self.grounded_from = None
 
 
 class CompileCache:
@@ -254,11 +348,9 @@ class CompileCache:
         from repro.logic.hierarchy import UnsafeLeaf, safe_plan_ucq
         from repro.logic.normalform import extract_ucq
 
-        if isinstance(pdb, TupleIndependentTable):
-            facts_key = frozenset(pdb.marginals)
-        elif isinstance(pdb, BlockIndependentTable):
-            facts_key = frozenset(pdb.facts())
-        else:
+        if not isinstance(
+            pdb, (TupleIndependentTable, BlockIndependentTable)
+        ):
             raise EvaluationError(
                 "lifted evaluation needs a TI or BID table")
         family = self._family(formula)
@@ -286,7 +378,7 @@ class CompileCache:
                 obs.incr("lifted.plan_cache_hits")
             kind, payload, ucq = entry
             if kind == "plan":
-                return payload, family.grounding_index(facts_key)
+                return payload, family.grounding_index_for(pdb)
             if not partial:
                 raise payload
             hybrid = family.lifted.get("partial")
@@ -304,7 +396,14 @@ class CompileCache:
                 family.lifted["partial"] = hybrid
             if hybrid[0] == "error":
                 raise hybrid[1]
-            return hybrid[1], family.grounding_index(facts_key)
+            return hybrid[1], family.grounding_index_for(pdb)
+
+    def lifted_state(self, formula: Formula) -> LiftedExecState:
+        """The batched-executor state of ``formula``'s family — binding
+        tables delta-extended across truncations, plan annotations, and
+        the scalar candidate memo.  Same lifetime as the family's
+        cached plans (evicted together)."""
+        return self._family(formula).exec_state
 
     def clear(self) -> None:
         with self._lock:

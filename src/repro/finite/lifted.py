@@ -29,19 +29,24 @@ intensional engine.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Set, Union
+import itertools
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Union
 
+from repro import obs
 from repro.errors import EvaluationError, UnsafeQueryError
 from repro.finite.bid import BlockIndependentTable
 from repro.finite.tuple_independent import TupleIndependentTable
 from repro.logic.hierarchy import (
     FactLeaf,
+    GroupedLeaf,
+    GroupedProject,
     InclusionExclusion,
     IndependentJoin,
     IndependentProject,
     IndependentUnion,
     SafePlan,
     UnsafeLeaf,
+    grouped_plan_info,
     safe_plan,
     safe_plan_ucq,
 )
@@ -53,7 +58,12 @@ from repro.logic.queries import BooleanQuery
 from repro.logic.syntax import Atom, Constant, Formula, Variable
 from repro.relational.facts import Fact, Value, domain_sort_key
 from repro.relational.index import FactIndex
-from repro.utils.probability import ComplementAccumulator
+from repro.utils.probability import (
+    TINY_PROBABILITY,
+    UNDERFLOW_FLOOR,
+    ComplementAccumulator,
+    segmented_disjunction,
+)
 
 __all__ = [
     "evaluate_plan",
@@ -65,6 +75,21 @@ __all__ = [
 LiftedTable = Union[TupleIndependentTable, BlockIndependentTable]
 
 Binding = Dict[Variable, Value]
+
+#: Obs counter: plan nodes evaluated as one grouped columnar pass.
+LIFTED_VECTORIZED_NODES = "lifted.vectorized_nodes"
+#: Obs counter: grouped evaluations that fell back to the scalar path
+#: (per-group unsafe residue, or a whole-plan BID fallback).
+LIFTED_SCALAR_FALLBACKS = "lifted.scalar_fallbacks"
+#: Obs counter: index rows flowing through grouped probe/fold passes.
+LIFTED_GROUP_ROWS = "lifted.group_rows"
+#: Obs counter: separator groups served from a delta-extended
+#: per-plan-node binding cache instead of re-executing the child.
+LIFTED_CACHED_GROUPS = "lifted.cached_groups"
+#: Obs counter: scalar-path candidate sets served from the memo.
+LIFTED_CANDIDATE_MEMO_HITS = "lifted.candidate_memo_hits"
+
+_EXECUTORS = ("auto", "scalar", "batched")
 
 
 def _ground_fact(atom: Atom, binding: Binding) -> Fact:
@@ -188,21 +213,67 @@ class _PlanEvaluator:
     environment; all data access goes through the table's
     :class:`~repro.relational.index.FactIndex`."""
 
-    __slots__ = ("table", "index", "is_bid", "unsafe_fallback")
+    __slots__ = (
+        "table", "index", "is_bid", "unsafe_fallback", "candidate_memo")
 
     def __init__(
         self,
         table: LiftedTable,
         index: FactIndex,
         unsafe_fallback: Optional[Callable[[Formula], float]] = None,
+        candidate_memo: Optional[Dict[object, tuple]] = None,
     ):
         self.table = table
         self.index = index
         self.is_bid = isinstance(table, BlockIndependentTable)
         self.unsafe_fallback = unsafe_fallback
+        #: Separator-candidate memo, keyed by plan-node id — pass the
+        #: compile-cache family's persistent dict to keep hits across
+        #: runs of one ε-sweep; entries carry the (index, epoch) they
+        #: were computed at, so truncation growth invalidates them.
+        self.candidate_memo = candidate_memo if candidate_memo is not None else {}
 
     def run(self, plan: SafePlan) -> float:
         return self._eval(plan, {})
+
+    def _candidates(
+        self, plan: IndependentProject, binding: Binding
+    ) -> List[Value]:
+        """Separator candidates of one project node, memoized per
+        (plan node, truncation epoch).
+
+        The candidate set depends on the binding only through scope
+        variables other than the separator; when none of those is bound
+        (the root-level visit, and every re-visit of the same node at
+        the same truncation) the set is a pure function of (node, index
+        state) and the memo serves repeats without re-probing."""
+        memo = self.candidate_memo
+        key = id(plan)
+        scope = memo.get(("scope", key))
+        if scope is None:
+            scope = frozenset(
+                term
+                for atom in _scope_atoms(plan.subquery)
+                for term in atom.terms
+                if isinstance(term, Variable) and term != plan.variable
+            )
+            memo[("scope", key)] = scope
+        if binding and not scope.isdisjoint(binding):
+            return _candidate_values(
+                plan.subquery, plan.variable, self.index, binding)
+        index = self.index
+        entry = memo.get(key)
+        if (
+            entry is not None
+            and entry[0] is index
+            and entry[1] == index.epoch
+        ):
+            obs.incr(LIFTED_CANDIDATE_MEMO_HITS)
+            return entry[2]
+        values = _candidate_values(
+            plan.subquery, plan.variable, index, binding)
+        memo[key] = (index, index.epoch, values)
+        return values
 
     # ------------------------------------------------------------- dispatch
     def _eval(self, plan: SafePlan, binding: Binding) -> float:
@@ -269,8 +340,7 @@ class _PlanEvaluator:
             fast = self._project_leaf_fast(plan, binding)
             if fast is not None:
                 return fast
-        values = _candidate_values(
-            plan.subquery, plan.variable, self.index, binding)
+        values = self._candidates(plan, binding)
         bindings = [
             {**binding, plan.variable: value} for value in values
         ]
@@ -405,14 +475,619 @@ class _PlanEvaluator:
         return acc.disjunction()
 
 
-def evaluate_plan(plan: SafePlan, table: LiftedTable) -> float:
+class _Groups:
+    """A group table: ``size`` separator-binding rows, one value column
+    per bound variable.  The batched evaluator threads one of these
+    through the plan instead of a per-candidate binding dict — node
+    evaluation returns one probability per group row."""
+
+    __slots__ = ("size", "columns")
+
+    def __init__(self, size: int, columns: Dict[Variable, List[Value]]):
+        self.size = size
+        self.columns = columns
+
+
+class _ProjectDeltaCache:
+    """Per-plan-node binding table of a root-level project: the
+    separator values discovered so far with their child probabilities,
+    stamped with the index state they were computed at.  An ε-sweep's
+    next truncation re-executes only the values its delta facts touch —
+    sound because the separator occurs in every scope atom, so a new
+    fact can only perturb the candidate value it mentions (and existing
+    facts' marginals never change under extension)."""
+
+    __slots__ = (
+        "index", "source", "epoch", "values", "probs", "slots", "result",
+    )
+
+    def __init__(self, index, source, epoch, values, probs):
+        self.index = index
+        #: The table the child probabilities were computed against —
+        #: index and epoch alone don't pin them, because two tables
+        #: with one fact set (same family index) may disagree on
+        #: marginals.  Sweeps extend one table in place, so identity
+        #: is the right key.
+        self.source = source
+        self.epoch = epoch
+        self.values: List[Value] = values
+        self.probs: List[float] = probs
+        self.slots: Dict[Value, int] = {v: i for i, v in enumerate(values)}
+        #: The folded disjunction over ``probs`` — a warm re-evaluation
+        #: of an unchanged truncation (the serving hot path) returns it
+        #: without re-folding.
+        self.result: Optional[float] = None
+
+
+class _BatchedEvaluator:
+    """Set-at-a-time plan interpreter over the columnar layer (TI
+    tables).
+
+    Where :class:`_PlanEvaluator` recurses once per separator candidate,
+    this evaluator visits each plan node **once per node**: a project
+    materializes all its separator bindings as a group table, the child
+    subplan evaluates for every group in one pass, and the fold back to
+    per-parent-group probabilities is a segmented hybrid log-space
+    reduction (:func:`repro.utils.probability.segmented_disjunction`).
+    Numerically it applies the exact per-element policy of
+    :class:`~repro.utils.probability.ComplementAccumulator`, so dyadic
+    marginals stay bit-exact against the scalar path and the other
+    exact strategies.
+
+    BID tables keep the scalar path: their disjoint-union rule needs
+    per-binding block inspection (see ``_run_plan``).
+    """
+
+    __slots__ = (
+        "table", "index", "unsafe_fallback", "info", "node_caches",
+        "column", "np", "marginals",
+    )
+
+    def __init__(
+        self,
+        table: LiftedTable,
+        index: FactIndex,
+        unsafe_fallback: Optional[Callable[[Formula], float]] = None,
+        info: Optional[Dict[int, object]] = None,
+        node_caches: Optional[Dict[int, _ProjectDeltaCache]] = None,
+    ):
+        if isinstance(table, BlockIndependentTable):  # pragma: no cover
+            raise EvaluationError(
+                "the batched executor evaluates TI tables only")
+        self.table = table
+        self.index = index
+        self.unsafe_fallback = unsafe_fallback
+        self.info = info
+        self.node_caches = node_caches
+        self.column = index.marginal_column(table)
+        if self.column.backend == "numpy":
+            from repro.utils.probability import numpy_or_none
+
+            self.np = numpy_or_none()
+        else:
+            self.np = None
+        #: Zero-copy marginal values aligned to row ids (list or array).
+        self.marginals = self.column.view()
+
+    def run(self, plan: SafePlan) -> float:
+        if self.info is None:
+            self.info = grouped_plan_info(plan)
+        out = self._eval(plan, _Groups(1, {}))
+        return float(out[0])
+
+    # ------------------------------------------------------------- dispatch
+    def _eval(self, plan: SafePlan, groups: _Groups):
+        if isinstance(plan, FactLeaf):
+            return self._eval_leaf(plan, groups)
+        if isinstance(plan, IndependentJoin):
+            return self._eval_join(plan, groups)
+        if isinstance(plan, IndependentUnion):
+            return self._eval_union(plan, groups)
+        if isinstance(plan, IndependentProject):
+            return self._eval_project(plan, groups)
+        if isinstance(plan, InclusionExclusion):
+            return self._eval_inclusion_exclusion(plan, groups)
+        if isinstance(plan, UnsafeLeaf):
+            return self._eval_unsafe(plan, groups)
+        raise EvaluationError(f"unknown plan node {plan!r}")
+
+    # ------------------------------------------------------------ operators
+    def _eval_leaf(self, plan: FactLeaf, groups: _Groups):
+        """Ground every group's binding of the leaf atom in one sweep of
+        the full-arity signature table; absent facts contribute 0."""
+        obs.incr(LIFTED_VECTORIZED_NODES)
+        leaf: GroupedLeaf = self.info[id(plan)]
+        columns = []
+        for kind, payload in leaf.layout:
+            if kind == "c":
+                columns.append(itertools.repeat(payload, groups.size))
+            else:
+                column = groups.columns.get(payload)
+                if column is None:
+                    raise EvaluationError(
+                        f"unbound variable {payload} at plan leaf {plan.atom}"
+                    )
+                columns.append(column)
+        table = self.index.signature_table(
+            leaf.relation, tuple(range(len(leaf.layout))))
+        lookup = table.get
+        if leaf.layout:
+            keys = zip(*columns)
+        else:
+            keys = itertools.repeat((), groups.size)
+        rows = []
+        for key in keys:
+            bucket = lookup(key)
+            rows.append(bucket[0] if bucket else -1)
+        obs.incr(LIFTED_GROUP_ROWS, groups.size)
+        np = self.np
+        if np is None:
+            marginals = self.marginals
+            return [marginals[row] if row >= 0 else 0.0 for row in rows]
+        row_array = np.asarray(rows, dtype=np.intp)
+        out = np.zeros(len(rows), dtype=np.float64)
+        present = row_array >= 0
+        if bool(present.any()):
+            out[present] = self.column.array()[row_array[present]]
+        return out
+
+    def _eval_join(self, plan: IndependentJoin, groups: _Groups):
+        obs.incr(LIFTED_VECTORIZED_NODES)
+        np = self.np
+        if np is None:
+            totals = [1.0] * groups.size
+            for child in plan.children:
+                vector = self._eval(child, groups)
+                for g, p in enumerate(vector):
+                    totals[g] *= p
+            return totals
+        out = np.ones(groups.size, dtype=np.float64)
+        for child in plan.children:
+            out = out * np.asarray(self._eval(child, groups))
+        return out
+
+    def _eval_union(self, plan: IndependentUnion, groups: _Groups):
+        obs.incr(LIFTED_VECTORIZED_NODES)
+        vectors = [self._eval(child, groups) for child in plan.children]
+        return self._fold_disjunction(vectors, groups.size)
+
+    def _eval_inclusion_exclusion(
+        self, plan: InclusionExclusion, groups: _Groups
+    ):
+        obs.incr(LIFTED_VECTORIZED_NODES)
+        np = self.np
+        if np is None:
+            totals = [0.0] * groups.size
+            for coefficient, term in plan.terms:
+                vector = self._eval(term, groups)
+                for g, p in enumerate(vector):
+                    totals[g] += coefficient * p
+            return totals
+        out = np.zeros(groups.size, dtype=np.float64)
+        for coefficient, term in plan.terms:
+            out = out + coefficient * np.asarray(self._eval(term, groups))
+        return out
+
+    def _eval_unsafe(self, plan: UnsafeLeaf, groups: _Groups):
+        if self.unsafe_fallback is None:
+            raise UnsafeQueryError(
+                f"plan contains an unsafe residue: {plan.subquery!r}",
+                subquery=plan.subquery,
+            )
+        # Unsafe residue exists only at the root level (the solver never
+        # wraps it under a project), so its formula is binding-free: one
+        # intensional evaluation serves every group.
+        obs.incr(LIFTED_SCALAR_FALLBACKS, groups.size)
+        value = float(self.unsafe_fallback(plan.formula()))
+        out = [value] * groups.size
+        if self.np is not None:
+            return self.np.asarray(out, dtype=self.np.float64)
+        return out
+
+    # -------------------------------------------------------------- project
+    def _eval_project(self, plan: IndependentProject, groups: _Groups):
+        obs.incr(LIFTED_VECTORIZED_NODES)
+        info: GroupedProject = self.info[id(plan)]
+        if (
+            self.node_caches is not None
+            and info.cacheable
+            and groups.size == 1
+            and not groups.columns
+        ):
+            return self._project_root_cached(plan, info)
+        if isinstance(plan.child, FactLeaf):
+            fast = self._project_leaf(plan, groups)
+            if fast is not None:
+                return fast
+        values, offsets = self._candidate_groups(info, groups)
+        child_groups = self._expand(groups, info.variable, values, offsets)
+        vector = self._eval(plan.child, child_groups)
+        return self._segmented_disjunction(vector, offsets)
+
+    def _project_leaf(self, plan: IndependentProject, groups: _Groups):
+        """Grouped form of the single-leaf project fast path: one
+        ``probe_rows_multi`` sweep yields every group's candidate rows,
+        and the marginal column folds them segment-at-a-time.  Mirrors
+        the scalar ``_project_leaf_fast`` exactly — candidates come from
+        the child atom alone — and bails to the generic path (None) when
+        the leaf has free variables besides the separator."""
+        leaf: GroupedLeaf = self.info[id(plan.child)]
+        variable = plan.variable
+        separator_positions: List[int] = []
+        context = []
+        for position, (kind, payload) in enumerate(leaf.layout):
+            if kind == "v" and payload == variable:
+                separator_positions.append(position)
+            elif kind == "c":
+                context.append((position, ("c", payload)))
+            else:
+                column = groups.columns.get(payload)
+                if column is None:
+                    return None
+                context.append((position, ("v", column)))
+        if not separator_positions:
+            return None
+        context.sort()
+        positions = tuple(p for p, _ in context)
+        sources = tuple(s for _, s in context)
+        keys = (
+            tuple(
+                payload if kind == "c" else payload[g]
+                for kind, payload in sources
+            )
+            for g in range(groups.size)
+        )
+        flat, offsets = self.index.probe_rows_multi(
+            leaf.relation, positions, keys)
+        # Re-fold every segment in canonical separator-value order
+        # (``domain_sort_key``, as the scalar fast path does): bucket
+        # order is index-interning order, which depends on the shared
+        # index's rebuild/extend history and would make concurrent
+        # sweeps differ from a serial one by float rounding.
+        first, rest = separator_positions[0], separator_positions[1:]
+        fact_at = self.index.fact_at
+        filtered: List[int] = []
+        new_offsets = [0]
+        for g in range(groups.size):
+            segment = []
+            for row in flat[offsets[g]:offsets[g + 1]]:
+                args = fact_at(row).args
+                value = args[first]
+                if rest and any(args[p] != value for p in rest):
+                    continue
+                segment.append((domain_sort_key(value), row))
+            segment.sort()
+            filtered.extend(row for _, row in segment)
+            new_offsets.append(len(filtered))
+        flat, offsets = filtered, new_offsets
+        obs.incr(LIFTED_GROUP_ROWS, len(flat))
+        return self.column.segmented_disjunction(flat, offsets)
+
+    def _project_root_cached(
+        self, plan: IndependentProject, info: GroupedProject
+    ):
+        """Root-level project with a delta-extended binding table: the
+        first run materializes every (value, child probability) pair;
+        later runs re-execute only values the index delta touches."""
+        caches = self.node_caches
+        cache = caches.get(id(plan))
+        index = self.index
+        if (
+            cache is None
+            or cache.index is not index
+            or cache.source is not self.table
+            or cache.epoch > index.epoch
+        ):
+            root = _Groups(1, {})
+            values, offsets = self._candidate_groups(info, root)
+            child_groups = _Groups(
+                len(values), {info.variable: list(values)})
+            vector = self._eval(plan.child, child_groups)
+            cache = _ProjectDeltaCache(
+                index, self.table, index.epoch, list(values),
+                [float(p) for p in vector])
+            caches[id(plan)] = cache
+        elif cache.epoch < index.epoch:
+            fresh = self._fresh_candidates(info, cache)
+            reused = len(cache.values) - sum(
+                1 for value in fresh if value in cache.slots)
+            if reused:
+                obs.incr(LIFTED_CACHED_GROUPS, reused)
+            if fresh:
+                child_groups = _Groups(
+                    len(fresh), {info.variable: list(fresh)})
+                vector = self._eval(plan.child, child_groups)
+                inserted = False
+                for value, probability in zip(fresh, vector):
+                    slot = cache.slots.get(value)
+                    if slot is None:
+                        cache.slots[value] = len(cache.values)
+                        cache.values.append(value)
+                        cache.probs.append(float(probability))
+                        inserted = True
+                    else:
+                        cache.probs[slot] = float(probability)
+                if inserted:
+                    # Restore canonical fold order (appends land at the
+                    # end): Timsort on the mostly-sorted pair list is
+                    # ~linear, and a history-independent order keeps
+                    # delta-extended sweeps bit-identical to a fresh
+                    # full evaluation.
+                    pairs = sorted(
+                        zip(cache.values, cache.probs),
+                        key=lambda pair: domain_sort_key(pair[0]),
+                    )
+                    cache.values = [value for value, _ in pairs]
+                    cache.probs = [prob for _, prob in pairs]
+                    cache.slots = {
+                        value: i for i, value in enumerate(cache.values)
+                    }
+            cache.epoch = index.epoch
+        else:
+            obs.incr(LIFTED_CACHED_GROUPS, len(cache.values))
+            if cache.result is not None:
+                # Warm truncation, warm fold: nothing changed.
+                return [cache.result]
+        probs = cache.probs
+        folded = self._segmented_disjunction(probs, [0, len(probs)])
+        cache.result = float(folded[0])
+        return folded
+
+    def _fresh_candidates(
+        self, info: GroupedProject, cache: _ProjectDeltaCache
+    ) -> List[Value]:
+        """Separator values the delta facts touch and that are (now)
+        candidates — the only values whose child probability can differ
+        from the cached one.  Candidacy is monotone under append-only
+        extension, so cached values never need revoking."""
+        delta = self.index.facts_since(cache.epoch)
+        touched: Dict[Value, None] = {}
+        for fact in delta:
+            for atoms in info.per_disjunct:
+                for grouped in atoms:
+                    if fact.relation != grouped.relation:
+                        continue
+                    if any(
+                        fact.args[p] != value
+                        for p, value in grouped.constants
+                    ):
+                        continue
+                    values = {
+                        fact.args[p]
+                        for p in grouped.separator_positions
+                    }
+                    if len(values) == 1:
+                        touched.setdefault(values.pop(), None)
+        return [
+            value for value in touched if self._is_candidate(info, value)
+        ]
+
+    def _is_candidate(self, info: GroupedProject, value: Value) -> bool:
+        """Root-level candidacy of one separator value: some disjunct
+        has, for *every* atom containing the separator, a fact matching
+        its constants with the value at all separator positions."""
+        index = self.index
+        for atoms in info.per_disjunct:
+            candidate_atoms = [a for a in atoms if a.separator_positions]
+            if not candidate_atoms:
+                continue
+            for grouped in candidate_atoms:
+                entries = list(grouped.constants) + [
+                    (p, value) for p in grouped.separator_positions
+                ]
+                entries.sort()
+                positions = tuple(p for p, _ in entries)
+                key = tuple(v for _, v in entries)
+                table = index.signature_table(grouped.relation, positions)
+                if key not in table:
+                    break
+            else:
+                return True
+        return False
+
+    # ----------------------------------------------------------- candidates
+    def _candidate_groups(self, info: GroupedProject, groups: _Groups):
+        """Separator candidates of every group in one pass: per group,
+        the ordered union over disjuncts of (base-atom bucket values
+        filtered by membership in the disjunct's other atoms) — the
+        grouped form of the scalar per-atom-set intersection.  Returns
+        ``(values, offsets)`` in the segment layout."""
+        index = self.index
+        prepared = []
+        for atoms in info.per_disjunct:
+            candidate_atoms = [a for a in atoms if a.separator_positions]
+            if not candidate_atoms:
+                prepared.append(None)
+                continue
+            entries = []
+            for grouped in candidate_atoms:
+                context = [(p, ("c", v)) for p, v in grouped.constants]
+                for p, var in grouped.variables:
+                    column = groups.columns.get(var)
+                    if column is not None:
+                        context.append((p, ("v", column)))
+                context.sort()
+                context_positions = tuple(p for p, _ in context)
+                context_sources = tuple(s for _, s in context)
+                full = context + [
+                    (p, ("s", None)) for p in grouped.separator_positions
+                ]
+                full.sort()
+                full_positions = tuple(p for p, _ in full)
+                full_sources = tuple(s for _, s in full)
+                entries.append((
+                    grouped,
+                    index.signature_table(
+                        grouped.relation, context_positions),
+                    context_sources,
+                    index.signature_table(grouped.relation, full_positions),
+                    full_sources,
+                ))
+            prepared.append(entries)
+        fact_at = index.fact_at
+        flat: List[Value] = []
+        offsets = [0]
+        scanned = 0
+        for g in range(groups.size):
+            seen: Dict[Value, None] = {}
+            for entries in prepared:
+                if entries is None:
+                    continue
+                base, base_table, base_sources, _, _ = entries[0]
+                base_key = tuple(
+                    payload if kind == "c" else payload[g]
+                    for kind, payload in base_sources
+                )
+                bucket = base_table.get(base_key)
+                if not bucket:
+                    continue
+                scanned += len(bucket)
+                first = base.separator_positions[0]
+                rest = base.separator_positions[1:]
+                local: Set[Value] = set()
+                for row in bucket:
+                    args = fact_at(row).args
+                    value = args[first]
+                    if value in local:
+                        continue
+                    if any(args[p] != value for p in rest):
+                        continue
+                    local.add(value)
+                    for _, _, _, full_table, full_sources in entries[1:]:
+                        full_key = tuple(
+                            payload if kind == "c"
+                            else (payload[g] if kind == "v" else value)
+                            for kind, payload in full_sources
+                        )
+                        if full_key not in full_table:
+                            break
+                    else:
+                        seen.setdefault(value, None)
+            # Canonical per-group candidate order (the scalar path's
+            # ``domain_sort_key``): bucket discovery order depends on
+            # the shared index's history and would leak into the fold's
+            # float rounding.
+            flat.extend(sorted(seen, key=domain_sort_key))
+            offsets.append(len(flat))
+        return flat, offsets
+
+    def _expand(
+        self,
+        groups: _Groups,
+        variable: Variable,
+        values: List[Value],
+        offsets: List[int],
+    ) -> _Groups:
+        """The child group table of a project: each parent group row is
+        repeated once per candidate value, and the separator becomes a
+        new bound column."""
+        columns: Dict[Variable, List[Value]] = {}
+        for var, column in groups.columns.items():
+            expanded: List[Value] = []
+            for g in range(groups.size):
+                expanded.extend(
+                    itertools.repeat(
+                        column[g], offsets[g + 1] - offsets[g]))
+            columns[var] = expanded
+        columns[variable] = list(values)
+        return _Groups(len(values), columns)
+
+    # ---------------------------------------------------------------- folds
+    def _segmented_disjunction(self, vector, offsets):
+        """Fold a per-candidate probability vector back to one
+        disjunction per parent group."""
+        return segmented_disjunction(self.np, vector, offsets)
+
+    def _fold_disjunction(self, vectors, size: int):
+        """Elementwise hybrid disjunction across child vectors — the
+        vector form of the union fold's ``ComplementAccumulator``, same
+        per-element operation order."""
+        np = self.np
+        if np is None:
+            accumulators = [ComplementAccumulator() for _ in range(size)]
+            for vector in vectors:
+                for accumulator, p in zip(accumulators, vector):
+                    accumulator.add(p)
+            return [accumulator.disjunction() for accumulator in accumulators]
+        product = np.ones(size, dtype=np.float64)
+        residual = np.zeros(size, dtype=np.float64)
+        zero = np.zeros(size, dtype=bool)
+        for vector in vectors:
+            vector = np.asarray(vector, dtype=np.float64)
+            ones = vector >= 1.0
+            tiny = (vector > 0.0) & (vector < TINY_PROBABILITY)
+            zero |= ones
+            residual = residual - np.where(tiny, vector, 0.0)
+            product = product * np.where(ones | tiny, 1.0, 1.0 - vector)
+            low = (product < UNDERFLOW_FLOOR) & ~zero
+            if bool(low.any()):
+                residual[low] += np.log(product[low])
+                product[low] = 1.0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rescued = -np.expm1(np.log(product) + residual)
+        out = np.where(residual == 0.0, 1.0 - product, rescued)
+        out[zero] = 1.0
+        return out
+
+
+def _run_plan(
+    plan: SafePlan,
+    table: LiftedTable,
+    index: FactIndex,
+    unsafe_fallback: Optional[Callable[[Formula], float]],
+    executor: str,
+    state=None,
+) -> float:
+    """Dispatch one plan run to the batched or scalar executor.
+
+    ``executor="auto"`` routes TI tables to the batched set-at-a-time
+    executor and BID tables to the scalar one (the disjoint-union rule
+    needs per-binding block inspection); ``"scalar"`` forces the legacy
+    candidate-at-a-time interpreter; ``"batched"`` forces the grouped
+    pipeline where it applies, counting a ``lifted.scalar_fallbacks``
+    when a BID table sends it back to the scalar path anyway.
+
+    ``state`` is a compile-cache family's
+    :class:`~repro.finite.compile_cache.LiftedExecState`: it carries the
+    persistent per-plan-node binding tables (delta-extended across
+    ε-sweep truncations), the plan-annotation side tables, and the
+    scalar path's candidate memo.
+    """
+    if executor not in _EXECUTORS:
+        raise EvaluationError(
+            f"unknown lifted executor {executor!r}; "
+            f"expected one of {_EXECUTORS}"
+        )
+    is_bid = isinstance(table, BlockIndependentTable)
+    if executor != "scalar" and not is_bid:
+        if state is not None:
+            with state.lock:
+                evaluator = _BatchedEvaluator(
+                    table, index, unsafe_fallback,
+                    state.annotations_for(plan), state.node_caches)
+                return evaluator.run(plan)
+        return _BatchedEvaluator(table, index, unsafe_fallback).run(plan)
+    if executor == "batched" and is_bid:
+        obs.incr(LIFTED_SCALAR_FALLBACKS)
+    memo = state.candidate_memo if state is not None else None
+    return _PlanEvaluator(
+        table, index, unsafe_fallback, candidate_memo=memo).run(plan)
+
+
+def evaluate_plan(
+    plan: SafePlan, table: LiftedTable, executor: str = "auto"
+) -> float:
     """Evaluate a compiled :class:`SafePlan` on a TI (or BID) table.
 
     Builds a fresh :class:`~repro.relational.index.FactIndex` over the
     table's possible facts; callers evaluating one query family across
     growing truncations should go through
     :func:`query_probability_lifted`, which reuses a delta-extended
-    index and caches plans.
+    index, caches plans, and keeps warm per-node binding tables.
+
+    ``executor`` picks the interpreter: ``"auto"`` (batched
+    set-at-a-time on TI tables, scalar on BID), ``"scalar"``, or
+    ``"batched"``.
 
     >>> from repro.relational import Schema
     >>> from repro.logic.syntax import Atom, Variable
@@ -428,7 +1103,7 @@ def evaluate_plan(plan: SafePlan, table: LiftedTable) -> float:
     ):
         raise EvaluationError("lifted evaluation needs a TI or BID table")
     index = FactIndex(table.facts())
-    return _PlanEvaluator(table, index).run(plan)
+    return _run_plan(plan, table, index, None, executor)
 
 
 def query_probability_lifted(
@@ -437,6 +1112,7 @@ def query_probability_lifted(
     plan_cache=None,
     partial: bool = False,
     unsafe_fallback: Optional[Callable[[Formula], float]] = None,
+    executor: str = "auto",
 ) -> float:
     """Exact ``P(Q)`` via safe plans, or :class:`UnsafeQueryError`.
 
@@ -456,6 +1132,14 @@ def query_probability_lifted(
     delegated to ``unsafe_fallback(formula)`` (required in that case by
     evaluation time); a wholly unsafe query raises even in partial mode.
 
+    ``executor`` picks the plan interpreter — ``"auto"`` runs the
+    batched set-at-a-time executor on TI tables (scalar on BID),
+    ``"scalar"`` forces the candidate-at-a-time path, ``"batched"``
+    forces the grouped pipeline (BID still falls back, counted).  The
+    batched executor keeps per-plan-node binding tables in the cache
+    family and delta-extends them across a sweep's truncations, so only
+    new separator groups re-execute (``lifted.cached_groups``).
+
     >>> from repro.relational import Schema
     >>> from repro.logic.parser import parse_formula
     >>> schema = Schema.of(R=2)
@@ -472,5 +1156,25 @@ def query_probability_lifted(
     from repro.finite.compile_cache import DEFAULT_COMPILE_CACHE
 
     cache = plan_cache if plan_cache is not None else DEFAULT_COMPILE_CACHE
+    state_of = getattr(cache, "lifted_state", None)
+    state = state_of(query.formula) if state_of is not None else None
+    if (
+        state is not None
+        and executor != "scalar"
+        and not isinstance(table, BlockIndependentTable)
+    ):
+        # Batched execution over a shared family: hold the family
+        # stripe lock (== ``state.lock``, reentrant) from grounding
+        # through execution, so the shared index holds *exactly* this
+        # table's facts for the whole run.  Another session of the same
+        # family grounding a different truncation in between would
+        # extend the index with facts this table does not have yet —
+        # their marginals would sync as 0.0 and the binding-table
+        # epochs would cover facts never actually folded in, silently
+        # corrupting later delta reuse once this table catches up.
+        with state.lock:
+            plan, index = cache.lifted(query.formula, table, partial=partial)
+            return _run_plan(
+                plan, table, index, unsafe_fallback, executor, state)
     plan, index = cache.lifted(query.formula, table, partial=partial)
-    return _PlanEvaluator(table, index, unsafe_fallback).run(plan)
+    return _run_plan(plan, table, index, unsafe_fallback, executor, state)

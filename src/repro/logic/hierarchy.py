@@ -739,3 +739,123 @@ def _inclusion_exclusion(
     if len(signed) == 1 and signed[0][0] == 1:
         return signed[0][1]
     return InclusionExclusion(signed)
+
+
+# ------------------------------------------------- grouped-execution info
+# Side-table annotations for the set-at-a-time executor
+# (``repro.finite.lifted``).  Safe plans are data-independent and cached
+# per query family, so everything a grouped pass needs per node — probe
+# layouts, separator positions, delta-cacheability — is derivable once
+# from the plan alone and looked up by node identity at run time.  A
+# side table (rather than extra slots on the AST) keeps the plan nodes
+# and their pinned ``repr`` untouched.
+
+class GroupedAtom:
+    """How one scope atom of an :class:`IndependentProject` constrains
+    the separator: which positions the separator occupies, which are
+    pinned by constants, and which carry other (possibly enclosing-
+    bound) variables."""
+
+    __slots__ = ("atom", "relation", "separator_positions", "constants",
+                 "variables")
+
+    def __init__(self, atom: Atom, variable: Variable):
+        self.atom = atom
+        self.relation = atom.relation
+        self.separator_positions = _variable_positions(atom, variable)
+        self.constants: Tuple[Tuple[int, object], ...] = tuple(
+            (i, t.value)
+            for i, t in enumerate(atom.terms)
+            if isinstance(t, Constant)
+        )
+        self.variables: Tuple[Tuple[int, Variable], ...] = tuple(
+            (i, t)
+            for i, t in enumerate(atom.terms)
+            if isinstance(t, Variable) and t != variable
+        )
+
+
+class GroupedProject:
+    """Annotation of one :class:`IndependentProject`: the scope atoms of
+    each disjunct as :class:`GroupedAtom` layouts, plus whether the node
+    may keep a delta-extended binding cache across truncations — sound
+    exactly when the separator occurs in *every* scope atom (so a new
+    fact can only perturb the candidate value it mentions) and the
+    subtree is fully safe."""
+
+    __slots__ = ("variable", "per_disjunct", "cacheable")
+
+    def __init__(
+        self,
+        variable: Variable,
+        per_disjunct: Tuple[Tuple[GroupedAtom, ...], ...],
+        cacheable: bool,
+    ):
+        self.variable = variable
+        self.per_disjunct = per_disjunct
+        self.cacheable = cacheable
+
+
+class GroupedLeaf:
+    """Annotation of one :class:`FactLeaf`: the full-arity probe layout
+    — per position either ``("c", value)`` or ``("v", variable)`` — so a
+    grouped pass grounds every binding of the leaf in one signature-
+    table sweep."""
+
+    __slots__ = ("atom", "relation", "layout")
+
+    def __init__(self, atom: Atom):
+        self.atom = atom
+        self.relation = atom.relation
+        self.layout: Tuple[Tuple[str, object], ...] = tuple(
+            ("c", t.value) if isinstance(t, Constant) else ("v", t)
+            for t in atom.terms
+        )
+
+
+def grouped_plan_info(plan: SafePlan) -> Dict[int, object]:
+    """The grouped-execution side table of one safe plan, keyed by node
+    ``id``.  Valid for the lifetime of the plan object (the compile
+    cache owns both and drops them together)."""
+    info: Dict[int, object] = {}
+    _annotate_plan(plan, info)
+    return info
+
+
+def _annotate_plan(plan: SafePlan, info: Dict[int, object]) -> bool:
+    """Fill ``info`` for ``plan``'s subtree; True iff it is fully safe
+    (contains no :class:`UnsafeLeaf`)."""
+    if isinstance(plan, FactLeaf):
+        info[id(plan)] = GroupedLeaf(plan.atom)
+        return True
+    if isinstance(plan, (IndependentJoin, IndependentUnion)):
+        safe = True
+        for child in plan.children:
+            safe = _annotate_plan(child, info) and safe
+        return safe
+    if isinstance(plan, InclusionExclusion):
+        safe = True
+        for _, term in plan.terms:
+            safe = _annotate_plan(term, info) and safe
+        return safe
+    if isinstance(plan, IndependentProject):
+        safe = _annotate_plan(plan.child, info)
+        subquery = plan.subquery
+        disjuncts = (
+            subquery.disjuncts
+            if isinstance(subquery, UnionOfConjunctiveQueries)
+            else (subquery,)
+        )
+        per_disjunct = tuple(
+            tuple(GroupedAtom(atom, plan.variable) for atom in cq.atoms)
+            for cq in disjuncts
+        )
+        cacheable = safe and all(
+            grouped.separator_positions
+            for atoms in per_disjunct
+            for grouped in atoms
+        )
+        info[id(plan)] = GroupedProject(plan.variable, per_disjunct, cacheable)
+        return safe
+    # UnsafeLeaf (and anything unknown): no annotation, subtree unsafe.
+    return False

@@ -51,6 +51,9 @@ from repro.utils.probability import (
     log_product_complement,
     numpy_or_none,
     product_complement,
+    segmented_complement_product,
+    segmented_disjunction,
+    segmented_log_complement,
     vector_complement_product,
     vector_disjunction,
     vector_log_complement,
@@ -242,6 +245,50 @@ class FloatColumn:
         values = self.array() if rows is None else self.gather(rows)
         return vector_disjunction(self._np, values)
 
+    # ----------------------------------------------------- segmented folds
+    # Group-at-a-time forms for the batched plan executor: ``rows`` is a
+    # flat gather list, ``offsets`` (``n_groups + 1`` entries) delimits
+    # contiguous per-group segments of it.  Each returns one aggregate
+    # per group — a list (python) or float64 array (numpy).
+
+    def segmented_complement_product(
+        self, rows: Sequence[int], offsets: Sequence[int]
+    ):
+        """Per-group ``Π (1 − p_i)`` over row segments."""
+        if self.backend == "python":
+            data = self._data
+            values = [data[row] for row in rows]
+            return segmented_complement_product(None, values, offsets)
+        obs.incr(COLUMNS_VECTOR_OPS)
+        return segmented_complement_product(self._np, self.gather(rows), offsets)
+
+    def segmented_disjunction(self, rows: Sequence[int], offsets: Sequence[int]):
+        """Per-group ``1 − Π (1 − p_i)`` over row segments."""
+        if self.backend == "python":
+            data = self._data
+            values = [data[row] for row in rows]
+            return segmented_disjunction(None, values, offsets)
+        obs.incr(COLUMNS_VECTOR_OPS)
+        return segmented_disjunction(self._np, self.gather(rows), offsets)
+
+    def segmented_log_complement(
+        self, rows: Sequence[int], offsets: Sequence[int]
+    ):
+        """Per-group ``Σ log1p(−p_i)`` over row segments."""
+        if self.backend == "python":
+            data = self._data
+            values = [data[row] for row in rows]
+            return segmented_log_complement(None, values, offsets)
+        obs.incr(COLUMNS_VECTOR_OPS)
+        return segmented_log_complement(self._np, self.gather(rows), offsets)
+
+    def view(self):
+        """The live values, zero-copy: the backing list (python) or the
+        array view (numpy).  Callers must not mutate the result."""
+        if self.backend == "python":
+            return self._data
+        return self.array()
+
     def _cumsum(self):
         if self._cum is None:
             obs.incr(COLUMNS_VECTOR_OPS)
@@ -413,6 +460,22 @@ class ColumnStore:
 
     def disjunction(self) -> float:
         return self.marginals.disjunction()
+
+    def segmented_disjunction(self, rows: Sequence[int], offsets: Sequence[int]):
+        """Per-group ``1 − Π (1 − p)`` over marginal row segments."""
+        return self.marginals.segmented_disjunction(rows, offsets)
+
+    def segmented_complement_product(
+        self, rows: Sequence[int], offsets: Sequence[int]
+    ):
+        """Per-group ``Π (1 − p)`` over marginal row segments."""
+        return self.marginals.segmented_complement_product(rows, offsets)
+
+    def segmented_log_complement(
+        self, rows: Sequence[int], offsets: Sequence[int]
+    ):
+        """Per-group ``Σ log1p(−p)`` over marginal row segments."""
+        return self.marginals.segmented_log_complement(rows, offsets)
 
     def __repr__(self) -> str:
         return (

@@ -53,6 +53,11 @@ Signature = Tuple[int, ...]
 
 _EMPTY_ROWS: Tuple[int, ...] = ()
 
+#: Per-index probe-view cache bound: beyond this many distinct buckets
+#: the cache is cleared wholesale (the working set of any one query's
+#: probes is far smaller; clearing only costs re-wrapping).
+_VIEW_CACHE_LIMIT = 2048
+
 
 class _RowFacts(Sequence):
     """A lazy fact view over a row-id range — compares, slices and
@@ -117,6 +122,7 @@ class FactIndex:
         "_values",
         "_marginals",
         "_marginal_source",
+        "_view_cache",
         "_lock",
     )
 
@@ -138,6 +144,12 @@ class FactIndex:
         #: :meth:`marginal_column`); dropped from pickles.
         self._marginals = None
         self._marginal_source = None
+        #: bucket id → (bucket, view): repeated probes of the same
+        #: bucket reuse one lazy fact view instead of allocating a
+        #: fresh ``_RowFacts`` per probe.  The strong bucket reference
+        #: keeps the id stable; buckets are append-only, and the views
+        #: are lazy, so cached views track extensions for free.
+        self._view_cache: Dict[int, Tuple[Sequence[int], "_RowFacts"]] = {}
         self.extend(facts)
 
     # ------------------------------------------------------------- mutation
@@ -183,7 +195,19 @@ class FactIndex:
         position set is built on first use and reused (and delta-updated
         by :meth:`extend`) afterwards.
         """
-        return _RowFacts(self._row_facts, self.probe_rows(relation, bound))
+        return self._view(self.probe_rows(relation, bound))
+
+    def _view(self, rows: Sequence[int]) -> "_RowFacts":
+        """The cached lazy fact view of one row-id bucket."""
+        cache = self._view_cache
+        entry = cache.get(id(rows))
+        if entry is not None and entry[0] is rows:
+            return entry[1]
+        view = _RowFacts(self._row_facts, rows)
+        if len(cache) >= _VIEW_CACHE_LIMIT:
+            cache.clear()
+        cache[id(rows)] = (rows, view)
+        return view
 
     def probe_rows(
         self, relation: RelationSymbol, bound: Mapping[int, Value]
@@ -197,6 +221,27 @@ class FactIndex:
         if not bound:
             return rows
         positions = tuple(sorted(bound))
+        table = self.signature_table(relation, positions)
+        return table.get(tuple(bound[i] for i in positions), _EMPTY_ROWS)
+
+    def signature_table(
+        self, relation: RelationSymbol, positions: Signature
+    ) -> Mapping[Tuple[Value, ...], List[int]]:
+        """The whole bucket table of one bound-column signature — key
+        tuple (values at ``positions``, which must be in ascending
+        order) → row-id bucket.  Built on first use, then delta-patched
+        by :meth:`extend`; the batched plan executor reads it directly
+        to resolve many probe keys in one pass.  An empty ``positions``
+        yields the single-bucket table of the whole relation.
+        """
+        rows = self._by_relation.get(relation)
+        if rows is None:
+            return {}
+        positions = tuple(positions)
+        if not positions:
+            # Not registered in ``_signatures``: the bucket *is* the
+            # live relation list, so it tracks extensions already.
+            return {(): rows}
         table = self._signatures.get((relation, positions))
         if table is None:
             # Double-checked build under the lock: a concurrent extend
@@ -212,18 +257,53 @@ class FactIndex:
                         key = tuple(fact.args[i] for i in positions)
                         table.setdefault(key, []).append(row)
                     self._signatures[(relation, positions)] = table
-        return table.get(tuple(bound[i] for i in positions), _EMPTY_ROWS)
+        return table
+
+    def probe_rows_multi(
+        self,
+        relation: RelationSymbol,
+        positions: Signature,
+        keys: Iterable[Tuple[Value, ...]],
+    ) -> Tuple[List[int], List[int]]:
+        """Row ids for many probe keys of one signature at once.
+
+        Returns ``(flat, offsets)``: the concatenated per-key buckets
+        and the ``n_keys + 1`` segment boundaries into them — the group
+        layout the segmented probability kernels consume.
+        """
+        flat: List[int] = []
+        offsets: List[int] = [0]
+        table = self.signature_table(relation, positions)
+        for key in keys:
+            bucket = table.get(key)
+            if bucket:
+                flat.extend(bucket)
+            offsets.append(len(flat))
+        return flat, offsets
 
     def relation_facts(self, relation: RelationSymbol) -> Sequence[Fact]:
         """All possible facts of one relation (insertion order)."""
         rows = self._by_relation.get(relation)
         if rows is None:
             return ()
-        return _RowFacts(self._row_facts, rows)
+        return self._view(rows)
 
     def fact_at(self, row: int) -> Fact:
         """The interned fact of one row id."""
         return self._row_facts[row]
+
+    @property
+    def epoch(self) -> int:
+        """The interned-fact count — a monotone truncation epoch.  Two
+        reads with equal epochs saw the identical fact set (extension is
+        append-only), which is what lets per-plan-node caches decide
+        delta-only re-execution."""
+        return len(self._row_facts)
+
+    def facts_since(self, epoch: int) -> List[Fact]:
+        """Facts interned at row ids ``>= epoch``, in row order — the
+        delta a cache stamped at ``epoch`` has not yet seen."""
+        return self._row_facts[epoch:]
 
     @property
     def fact_set(self) -> KeysView:
@@ -297,6 +377,7 @@ class FactIndex:
             setattr(self, name, value)
         self._marginals = None
         self._marginal_source = None
+        self._view_cache = {}
         self._lock = threading.RLock()
 
     def __repr__(self) -> str:

@@ -51,6 +51,9 @@ __all__ = [
     "log_product_complement",
     "numpy_or_none",
     "product_complement",
+    "segmented_complement_product",
+    "segmented_disjunction",
+    "segmented_log_complement",
     "vector_complement_product",
     "vector_disjunction",
     "vector_log_complement",
@@ -274,6 +277,150 @@ def vector_disjunction(np, marginals) -> float:
     if log_total == -math.inf:
         return 1.0
     return -math.expm1(log_total)
+
+
+# ----------------------------------------------------------- segmented batch
+# Segmented forms for the set-at-a-time plan executor: one call folds
+# *many* independent groups at once over contiguous segments
+# ``values[offsets[i]:offsets[i+1]]`` (``offsets`` has ``n_groups + 1``
+# entries, first 0, last ``len(values)``).  Empty segments fold the
+# empty product: complement 1.0, disjunction 0.0, log-complement 0.0.
+#
+# The numpy path must honour the same hybrid policy as
+# :class:`ComplementAccumulator` — in particular per-segment products of
+# ordinary factors are *sequential in-order multiplications* (exact on
+# dyadic marginals), which is precisely what ``np.multiply.reduceat``
+# computes.  Tiny probabilities and underflowed segments move to a log
+# residual exactly as the streaming accumulator does, so the two forms
+# agree bit-for-bit wherever the accumulator never enters log space.
+
+
+def _segmented_python(values, offsets):
+    """Per-segment ``ComplementAccumulator`` states for the fallback."""
+    accs = []
+    for start, end in zip(offsets, offsets[1:]):
+        acc = ComplementAccumulator()
+        for j in range(start, end):
+            acc.add(values[j])
+            if acc.is_zero:
+                break
+        accs.append(acc)
+    return accs
+
+
+def _segmented_state(np, values, offsets):
+    """Per-segment ``(product, residual_log, is_zero)`` of the hybrid
+    complement fold — the vector form of ``ComplementAccumulator``."""
+    values = np.asarray(values, dtype=np.float64)
+    offsets = np.asarray(offsets, dtype=np.intp)
+    starts = offsets[:-1]
+    counts = np.diff(offsets)
+    n_segments = len(starts)
+    if n_segments == 0:
+        empty = np.empty(0, dtype=np.float64)
+        return empty, empty.copy(), np.empty(0, dtype=bool)
+    ones = values >= 1.0
+    tiny = (values > 0.0) & (values < TINY_PROBABILITY)
+    # Ordinary factors multiply directly; tiny and saturating entries
+    # become the identity here and are folded via the masks below.
+    factors = np.where(ones | tiny, 1.0, 1.0 - values)
+    # ``reduceat`` quirks: a start index equal to ``len(values)`` raises,
+    # and ``start == next_start`` returns the single element instead of
+    # the empty product — so pad with one identity element (folding it
+    # into the final real segment is exact) and overwrite empty segments
+    # from the ``counts`` mask afterwards.
+    empty_mask = counts == 0
+    products = np.multiply.reduceat(np.append(factors, 1.0), starts)
+    products[empty_mask] = 1.0
+    residual = np.add.reduceat(np.append(np.where(tiny, -values, 0.0), 0.0), starts)
+    residual[empty_mask] = 0.0
+    one_counts = np.add.reduceat(np.append(ones, False).astype(np.float64), starts)
+    one_counts[empty_mask] = 0.0
+    is_zero = one_counts > 0.0
+    # Segments whose sequential product slid under the underflow floor
+    # lost information the accumulator would have kept (it folds the
+    # partial product into the residual and restarts); redo just those
+    # segments as a log-space sum.  ``factors`` is strictly positive
+    # wherever it is not 1.0 (p < 1 implies 1 − p ≥ 2⁻⁵³), so the log is
+    # finite.
+    low = (products < UNDERFLOW_FLOOR) & ~is_zero & ~empty_mask
+    if bool(low.any()):
+        with np.errstate(divide="ignore"):
+            log_products = np.add.reduceat(np.append(np.log(factors), 0.0), starts)
+        residual = np.where(low, residual + log_products, residual)
+        products = np.where(low, 1.0, products)
+    return products, residual, is_zero
+
+
+def segmented_complement_product(np, values, offsets):
+    """Per-segment ``Π (1 − p_i)`` over contiguous segments.
+
+    With ``np=None`` runs the pure-Python streaming accumulator per
+    segment and returns a list; with numpy returns a float64 array.
+
+    >>> segmented_complement_product(None, [0.5, 0.5, 0.25], [0, 2, 2, 3])
+    [0.25, 1.0, 0.75]
+    """
+    if np is None:
+        return [acc.complement() for acc in _segmented_python(values, offsets)]
+    products, residual, is_zero = _segmented_state(np, values, offsets)
+    # ``exp(0.0) == 1.0`` and multiplying by exactly 1.0 preserves bits,
+    # so segments with no residual keep the accumulator's direct product.
+    out = products * np.exp(residual)
+    return np.where(is_zero, 0.0, out)
+
+
+def segmented_disjunction(np, values, offsets):
+    """Per-segment ``1 − Π (1 − p_i)`` over contiguous segments.
+
+    Matches :meth:`ComplementAccumulator.disjunction` per segment: the
+    no-residual exit is the bit-identical ``1.0 − product``, and
+    residual-bearing segments go through ``−expm1``.
+
+    >>> segmented_disjunction(None, [0.5, 0.5, 0.25], [0, 2, 2, 3])
+    [0.75, 0.0, 0.25]
+    """
+    if np is None:
+        return [acc.disjunction() for acc in _segmented_python(values, offsets)]
+    products, residual, is_zero = _segmented_state(np, values, offsets)
+    if len(products) == 0:
+        return products
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rescued = -np.expm1(np.log(products) + residual)
+    out = np.where(residual == 0.0, 1.0 - products, rescued)
+    return np.where(is_zero, 1.0, out)
+
+
+def segmented_log_complement(np, values, offsets):
+    """Per-segment ``Σ log1p(−p_i)``; −inf where any ``p_i ≥ 1``.
+
+    >>> segmented_log_complement(None, [0.5], [0, 1, 1]) == [math.log(0.5), 0.0]
+    True
+    """
+    if np is None:
+        out = []
+        for start, end in zip(offsets, offsets[1:]):
+            total = 0.0
+            for j in range(start, end):
+                if values[j] >= 1.0:
+                    total = -math.inf
+                    break
+                total += math.log1p(-values[j])
+            out.append(total)
+        return out
+    values = np.asarray(values, dtype=np.float64)
+    offsets = np.asarray(offsets, dtype=np.intp)
+    starts = offsets[:-1]
+    if len(starts) == 0:
+        return np.empty(0, dtype=np.float64)
+    counts = np.diff(offsets)
+    ones = values >= 1.0
+    logs = np.log1p(-np.where(ones, 0.0, values))
+    totals = np.add.reduceat(np.append(logs, 0.0), starts)
+    totals[counts == 0] = 0.0
+    one_counts = np.add.reduceat(np.append(ones, False).astype(np.float64), starts)
+    one_counts[counts == 0] = 0.0
+    return np.where(one_counts > 0.0, -math.inf, totals)
 
 
 def sum_values(values: Sequence[float], np: Optional[object] = None) -> float:
